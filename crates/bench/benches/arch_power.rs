@@ -1,0 +1,36 @@
+//! Criterion bench backing experiment E1: per-node power-breakdown evaluation
+//! for both architectures across the paper's workload set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hidwa_core::arch::{NodeArchitecture, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_arch_power(c: &mut Criterion) {
+    let workloads = WorkloadSpec::paper_set();
+    let conventional = NodeArchitecture::conventional();
+    let human = NodeArchitecture::human_inspired();
+
+    c.bench_function("fig1/conventional_breakdown_all_workloads", |b| {
+        b.iter(|| {
+            for w in &workloads {
+                black_box(conventional.power_breakdown(black_box(w)));
+            }
+        });
+    });
+
+    c.bench_function("fig1/human_inspired_breakdown_all_workloads", |b| {
+        b.iter(|| {
+            for w in &workloads {
+                black_box(human.power_breakdown(black_box(w)));
+            }
+        });
+    });
+
+    c.bench_function("fig1/reduction_factor_ecg", |b| {
+        let ecg = WorkloadSpec::ecg_patch();
+        b.iter(|| black_box(NodeArchitecture::reduction_factor(black_box(&ecg))));
+    });
+}
+
+criterion_group!(benches, bench_arch_power);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for the in-sensor-analytics substrate: forward passes of
+//! the model zoo, quantization and the compressors used by leaf nodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hidwa_isa::compression::{Compressor, DeltaEncoder, RunLengthEncoder, Dct8Compressor};
+use hidwa_isa::models;
+use hidwa_isa::quant::QuantizedTensor;
+use hidwa_isa::tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isa_forward");
+    for model in models::all_models() {
+        let input = Tensor::full(model.input_shape(), 0.2);
+        group.throughput(Throughput::Elements(model.macs_per_inference()));
+        group.bench_with_input(BenchmarkId::from_parameter(model.name()), &model, |b, m| {
+            b.iter(|| black_box(m.network().forward(black_box(&input))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_quant_and_compression(c: &mut Criterion) {
+    let activation = Tensor::full(&[32, 64], 0.37);
+    c.bench_function("isa_quantize_int8_2048_elements", |b| {
+        b.iter(|| black_box(QuantizedTensor::quantize(black_box(&activation))));
+    });
+
+    let samples: Vec<i16> = (0..4096)
+        .map(|i| ((i as f64 / 25.0).sin() * 400.0) as i16)
+        .collect();
+    let mut group = c.benchmark_group("isa_compression_4096_samples");
+    group.throughput(Throughput::Bytes(samples.len() as u64 * 2));
+    group.bench_function("delta", |b| {
+        let codec = DeltaEncoder::new();
+        b.iter(|| black_box(codec.compress(black_box(&samples))));
+    });
+    group.bench_function("run_length", |b| {
+        let codec = RunLengthEncoder::new();
+        b.iter(|| black_box(codec.compress(black_box(&samples))));
+    });
+    group.bench_function("dct8_mjpeg_like", |b| {
+        let codec = Dct8Compressor::video_quality();
+        b.iter(|| black_box(codec.compress(black_box(&samples))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_quant_and_compression);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench backing experiment E8: discrete-event simulation of the
+//! body-area network at increasing leaf counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hidwa_core::scenario::{self, LeafSpec};
+use hidwa_eqs::body::BodySite;
+use hidwa_energy::sensing::SensorModality;
+use hidwa_netsim::mac::MacPolicy;
+use hidwa_netsim::traffic::TrafficPattern;
+use hidwa_phy::RadioTechnology;
+use hidwa_units::{DataRate, Power, TimeSpan};
+use std::hint::black_box;
+
+fn leaves(count: usize) -> Vec<LeafSpec> {
+    (0..count)
+        .map(|i| LeafSpec {
+            name: Box::leak(format!("leaf-{i}").into_boxed_str()),
+            site: BodySite::Wrist,
+            modality: SensorModality::Inertial,
+            traffic: TrafficPattern::streaming(DataRate::from_kbps(50.0), 512),
+            compute_power: Power::from_micro_watts(5.0),
+        })
+        .collect()
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_run_5s");
+    group.sample_size(20);
+    for count in [2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("wir_polling", count), &count, |b, &count| {
+            let specs = leaves(count);
+            b.iter(|| {
+                let mut sim = scenario::body_network(RadioTechnology::WiR, &specs, MacPolicy::Polling);
+                black_box(sim.run(TimeSpan::from_seconds(5.0)))
+            });
+        });
+    }
+    group.finish();
+
+    c.bench_function("netsim_standard_body_network_10s", |b| {
+        b.iter(|| {
+            let mut sim = scenario::standard_body_network(RadioTechnology::WiR);
+            black_box(sim.run(TimeSpan::from_seconds(10.0)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_netsim);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench backing experiment E6: the DNN partition optimiser over
+//! the model zoo, under Wi-R and BLE contexts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hidwa_core::partition::{Objective, PartitionContext, PartitionOptimizer};
+use hidwa_isa::models;
+use std::hint::black_box;
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_optimize");
+    for model in models::all_models() {
+        group.bench_with_input(
+            BenchmarkId::new("wir", model.name()),
+            &model,
+            |b, model| {
+                let optimizer = PartitionOptimizer::new(PartitionContext::wir_default());
+                b.iter(|| black_box(optimizer.optimize(black_box(model), Objective::LeafEnergy)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ble", model.name()),
+            &model,
+            |b, model| {
+                let optimizer = PartitionOptimizer::new(PartitionContext::ble_default());
+                b.iter(|| black_box(optimizer.optimize(black_box(model), Objective::LeafEnergy)));
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("partition_evaluate_all/ecg", |b| {
+        let model = models::ecg_arrhythmia_cnn();
+        let optimizer = PartitionOptimizer::new(PartitionContext::wir_default());
+        b.iter(|| black_box(optimizer.evaluate_all(black_box(&model))));
+    });
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion bench for the channel/PHY substrate: EQS channel gain, capacity
+//! estimation, security sweep and link-budget evaluation (backs E4/E5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hidwa_eqs::body::{BodyModel, BodySite};
+use hidwa_eqs::capacity::CapacityEstimator;
+use hidwa_eqs::channel::{EqsChannel, Termination};
+use hidwa_eqs::noise::NoiseModel;
+use hidwa_eqs::rf::RfLink;
+use hidwa_eqs::security::SecurityComparison;
+use hidwa_phy::link::Link;
+use hidwa_phy::wir::WiRTransceiver;
+use hidwa_phy::Transceiver;
+use hidwa_units::{dbm_to_power, DataRate, Distance, Frequency, Voltage};
+use std::hint::black_box;
+
+fn bench_channel(c: &mut Criterion) {
+    let channel = EqsChannel::new(BodyModel::adult(), Termination::HighImpedance);
+
+    c.bench_function("eqs_channel_gain_all_site_pairs", |b| {
+        let f = Frequency::from_mega_hertz(21.0);
+        b.iter(|| {
+            for a in BodySite::ALL {
+                for bsite in BodySite::ALL {
+                    black_box(channel.gain_db_between(a, bsite, f));
+                }
+            }
+        });
+    });
+
+    c.bench_function("eqs_capacity_estimate", |b| {
+        let est = CapacityEstimator::new(channel.clone(), NoiseModel::wearable_receiver());
+        b.iter(|| {
+            black_box(est.achievable_rate(
+                Voltage::from_volts(1.0),
+                Distance::from_meters(1.4),
+                Frequency::from_mega_hertz(4.0),
+            ))
+        });
+    });
+
+    c.bench_function("security_sweep_8_distances", |b| {
+        let cmp = SecurityComparison::new(channel.clone(), RfLink::ble_1m());
+        let distances: Vec<Distance> = [0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0]
+            .iter()
+            .map(|&m| Distance::from_meters(m))
+            .collect();
+        b.iter(|| {
+            black_box(cmp.sweep(
+                Voltage::from_volts(1.0),
+                dbm_to_power(0.0),
+                Distance::from_meters(1.4),
+                Frequency::from_mega_hertz(4.0),
+                &distances,
+            ))
+        });
+    });
+
+    c.bench_function("wir_link_construction_and_goodput", |b| {
+        let est = CapacityEstimator::new(channel.clone(), NoiseModel::wearable_receiver());
+        b.iter(|| {
+            let transceiver = WiRTransceiver::ixana_class();
+            let rate = transceiver.max_data_rate();
+            let link = Link::wir_on_body(
+                transceiver,
+                &est,
+                Voltage::from_volts(1.0),
+                Distance::from_meters(1.4),
+                rate,
+            )
+            .expect("link closes on body");
+            black_box((link.goodput(), link.delivered_energy_per_bit()))
+        });
+    });
+
+    c.bench_function("wir_average_power_rate_sweep", |b| {
+        let wir = WiRTransceiver::ixana_class();
+        b.iter(|| {
+            for kbps in [1.0, 10.0, 100.0, 1000.0, 4000.0] {
+                black_box(wir.average_power(DataRate::from_kbps(kbps)));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_channel);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench backing experiments E2/E3: device-catalogue battery-life
+//! derivation and the Fig. 3 rate sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hidwa_core::devices;
+use hidwa_core::projection::Fig3Projector;
+use hidwa_units::DataRate;
+use std::hint::black_box;
+
+fn bench_projection(c: &mut Criterion) {
+    let projector = Fig3Projector::paper_defaults();
+
+    c.bench_function("fig3/single_rate_projection", |b| {
+        b.iter(|| black_box(projector.project_rate(black_box(DataRate::from_kbps(256.0)))));
+    });
+
+    c.bench_function("fig3/full_sweep_10bps_to_10mbps", |b| {
+        b.iter(|| {
+            black_box(projector.sweep(
+                DataRate::from_bps(10.0),
+                DataRate::from_mbps(10.0),
+                10,
+            ))
+        });
+    });
+
+    c.bench_function("fig3/perpetual_region_edge", |b| {
+        b.iter(|| black_box(projector.perpetual_region_edge()));
+    });
+
+    c.bench_function("fig2/device_catalog_battery_life", |b| {
+        b.iter(|| {
+            for profile in devices::catalog() {
+                black_box(profile.derived_battery_life());
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_projection);
+criterion_main!(benches);

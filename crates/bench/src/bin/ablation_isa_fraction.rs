@@ -1,0 +1,77 @@
+//! Ablation A1 — how much in-sensor analytics should a leaf run?
+//!
+//! Sweeps the ISA fraction (share of the local model executed on the leaf
+//! before offloading the rest over Wi-R) for each workload and reports node
+//! power and the resulting battery-life band.  This probes the design choice
+//! behind the paper's "ULP nodes *in some cases* may use low power in-sensor
+//! analytics or data compression" hedge: for low-rate sensors pure offload is
+//! already optimal; for audio/video the ISA share matters.
+
+use hidwa_bench::{fmt_power, header, write_json};
+use hidwa_core::arch::{NodeArchitecture, WorkloadSpec};
+use hidwa_energy::projection::LifetimeProjector;
+use hidwa_energy::Battery;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    isa_fraction: f64,
+    sensing_uw: f64,
+    compute_uw: f64,
+    communication_uw: f64,
+    total_uw: f64,
+    battery_life_days: f64,
+}
+
+fn main() {
+    header(
+        "A1 — ablation: ISA fraction on the human-inspired leaf",
+        "0 = pure offload over Wi-R, 1 = full local inference on the ISA block",
+    );
+
+    let projector = LifetimeProjector::new(Battery::coin_cell_1000mah());
+    let mut rows = Vec::new();
+    for workload in WorkloadSpec::paper_set() {
+        println!("\n== {} ==", workload.name());
+        println!(
+            "{:>8} {:>12} {:>12} {:>12} {:>12} {:>14}",
+            "ISA", "sensing", "compute", "comm", "total", "battery life"
+        );
+        let mut best: Option<(f64, f64)> = None;
+        for step in 0..=10 {
+            let fraction = f64::from(step) / 10.0;
+            let arch = NodeArchitecture::human_inspired()
+                .with_isa_fraction(fraction)
+                .expect("fraction is in [0, 1]");
+            let b = arch.power_breakdown(&workload);
+            let life = projector.project(b.total()).lifetime();
+            println!(
+                "{:>8.1} {:>12} {:>12} {:>12} {:>12} {:>11.1} d",
+                fraction,
+                fmt_power(b.sensing),
+                fmt_power(b.compute),
+                fmt_power(b.communication),
+                fmt_power(b.total()),
+                life.as_days()
+            );
+            if best.is_none() || b.total().as_watts() < best.unwrap().1 {
+                best = Some((fraction, b.total().as_watts()));
+            }
+            rows.push(Row {
+                workload: workload.name().to_string(),
+                isa_fraction: fraction,
+                sensing_uw: b.sensing.as_micro_watts(),
+                compute_uw: b.compute.as_micro_watts(),
+                communication_uw: b.communication.as_micro_watts(),
+                total_uw: b.total().as_micro_watts(),
+                battery_life_days: life.as_days(),
+            });
+        }
+        if let Some((fraction, _)) = best {
+            println!("lowest-power ISA fraction for {}: {fraction:.1}", workload.name());
+        }
+    }
+
+    write_json("ablation_isa_fraction", &rows);
+}

@@ -1,0 +1,66 @@
+//! Experiment E1 — Fig. 1: per-node power breakdown of today's IoB node
+//! (sensor + CPU + radio) versus the human-inspired node (sensor + ISA +
+//! Wi-R), for the four wearable AI workload classes.
+
+use hidwa_bench::{fmt_power, header, write_json};
+use hidwa_core::arch::{NodeArchitecture, WorkloadSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    architecture: &'static str,
+    sensing_uw: f64,
+    compute_uw: f64,
+    communication_uw: f64,
+    total_uw: f64,
+    reduction_factor: f64,
+}
+
+fn main() {
+    header(
+        "E1 / Fig. 1 — per-node active power breakdown",
+        "Today's IoB node (CPU + BLE) vs the human-inspired node (ISA + Wi-R)",
+    );
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<16} {:<34} {:>12} {:>12} {:>12} {:>12}",
+        "workload", "architecture", "sensing", "compute", "comm", "total"
+    );
+    for workload in WorkloadSpec::paper_set() {
+        let reduction = NodeArchitecture::reduction_factor(&workload);
+        for arch in [NodeArchitecture::conventional(), NodeArchitecture::human_inspired()] {
+            let b = arch.power_breakdown(&workload);
+            println!(
+                "{:<16} {:<34} {:>12} {:>12} {:>12} {:>12}",
+                workload.name(),
+                arch.name(),
+                fmt_power(b.sensing),
+                fmt_power(b.compute),
+                fmt_power(b.communication),
+                fmt_power(b.total()),
+            );
+            rows.push(Row {
+                workload: workload.name().to_string(),
+                architecture: arch.name(),
+                sensing_uw: b.sensing.as_micro_watts(),
+                compute_uw: b.compute.as_micro_watts(),
+                communication_uw: b.communication.as_micro_watts(),
+                total_uw: b.total().as_micro_watts(),
+                reduction_factor: reduction,
+            });
+        }
+        println!(
+            "{:<16} -> human-inspired reduction: {:.0}x\n",
+            workload.name(),
+            reduction
+        );
+    }
+
+    println!("Paper bands to compare against (Fig. 1 annotations):");
+    println!("  today's IoB node:      sensors ~100s µW, CPU ~mW, radio ~10s mW");
+    println!("  human-inspired node:   sensors 10-50 µW, ISA ~100 µW, Wi-R ~100 µW");
+
+    write_json("fig1_power_breakdown", &rows);
+}

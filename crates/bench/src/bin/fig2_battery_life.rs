@@ -1,0 +1,68 @@
+//! Experiment E2 — Fig. 2: battery life of today's wearable device classes
+//! (pre-2024 and 2024 wearable-AI devices), derived from representative
+//! battery capacities and platform power budgets.
+
+use hidwa_bench::{fmt_lifetime, fmt_power, header, write_json};
+use hidwa_core::devices::{self, DeviceEra};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    class: String,
+    era: &'static str,
+    battery_mah: f64,
+    average_power_mw: f64,
+    derived_life_hours: f64,
+    derived_band: String,
+    paper_band: String,
+    matches_paper: bool,
+}
+
+fn main() {
+    header(
+        "E2 / Fig. 2 — battery life of current wearable device classes",
+        "Derived from representative battery capacity and platform power per class",
+    );
+
+    let mut rows = Vec::new();
+    for era in [DeviceEra::Pre2024, DeviceEra::WearableAi2024] {
+        let era_name = match era {
+            DeviceEra::Pre2024 => "pre-2024 wearables",
+            DeviceEra::WearableAi2024 => "2024 wearable-AI boom",
+        };
+        println!("\n-- {era_name} --");
+        println!(
+            "{:<24} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            "device class", "battery", "avg power", "life", "derived", "paper"
+        );
+        for profile in devices::catalog().into_iter().filter(|p| p.era() == era) {
+            let life = profile.derived_battery_life();
+            println!(
+                "{:<24} {:>7.0} mAh {:>12} {:>12} {:>12} {:>12}",
+                profile.class().name(),
+                profile.battery().capacity().as_milli_amp_hours(),
+                fmt_power(profile.average_power()),
+                fmt_lifetime(life),
+                profile.derived_band().label(),
+                profile.paper_band().label(),
+            );
+            rows.push(Row {
+                class: profile.class().name().to_string(),
+                era: era_name,
+                battery_mah: profile.battery().capacity().as_milli_amp_hours(),
+                average_power_mw: profile.average_power().as_milli_watts(),
+                derived_life_hours: life.as_hours(),
+                derived_band: profile.derived_band().label().to_string(),
+                paper_band: profile.paper_band().label().to_string(),
+                matches_paper: profile.band_matches_paper(),
+            });
+        }
+    }
+
+    let matches = rows.iter().filter(|r| r.matches_paper).count();
+    println!(
+        "\nBand agreement with the paper: {matches}/{} device classes",
+        rows.len()
+    );
+    write_json("fig2_battery_life", &rows);
+}

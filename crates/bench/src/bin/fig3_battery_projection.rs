@@ -1,0 +1,91 @@
+//! Experiment E3 — Fig. 3: projected battery life of Wi-R-connected wearable
+//! nodes versus data rate (1000 mAh cell, 100 pJ/bit Wi-R, survey sensing
+//! model, compute neglected), with the paper's device-class markers.
+
+use hidwa_bench::{fmt_lifetime, fmt_power, header, write_json};
+use hidwa_core::projection::Fig3Projector;
+use hidwa_units::DataRate;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    rate_bps: f64,
+    sensing_uw: f64,
+    communication_uw: f64,
+    total_uw: f64,
+    battery_life_days: f64,
+    band: String,
+}
+
+#[derive(Serialize)]
+struct Marker {
+    label: String,
+    rate_bps: f64,
+    projected_life_days: f64,
+    projected_band: String,
+    paper_band: String,
+}
+
+fn main() {
+    header(
+        "E3 / Fig. 3 — projected battery life vs data rate with Wi-R",
+        "1000 mAh battery, 100 pJ/bit Wi-R, sensing power from the survey model",
+    );
+
+    let projector = Fig3Projector::paper_defaults();
+    let sweep = projector.sweep(DataRate::from_bps(10.0), DataRate::from_mbps(10.0), 4);
+
+    println!(
+        "{:>14} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "data rate", "sensing", "Wi-R comm", "total", "battery life", "band"
+    );
+    let mut points = Vec::new();
+    for p in &sweep {
+        println!(
+            "{:>11.2} kbps {:>12} {:>12} {:>12} {:>12} {:>12}",
+            p.rate.as_kbps(),
+            fmt_power(p.sensing_power),
+            fmt_power(p.communication_power),
+            fmt_power(p.total_power),
+            fmt_lifetime(p.battery_life),
+            p.band.label(),
+        );
+        points.push(Point {
+            rate_bps: p.rate.as_bps(),
+            sensing_uw: p.sensing_power.as_micro_watts(),
+            communication_uw: p.communication_power.as_micro_watts(),
+            total_uw: p.total_power.as_micro_watts(),
+            battery_life_days: p.battery_life.as_days(),
+            band: p.band.label().to_string(),
+        });
+    }
+
+    println!(
+        "\nPerpetually-operable region (>1 year) extends up to {:.0} kbps.",
+        projector.perpetual_region_edge().as_kbps()
+    );
+
+    println!("\nDevice-class markers (projected vs paper):");
+    let mut markers = Vec::new();
+    for marker in Fig3Projector::device_markers() {
+        let p = projector.project_rate(marker.rate);
+        println!(
+            "  {:<52} {:>10.1} kbps -> {:>10} ({}, paper: {})",
+            marker.label,
+            marker.rate.as_kbps(),
+            fmt_lifetime(p.battery_life),
+            p.band.label(),
+            marker.paper_band.label(),
+        );
+        markers.push(Marker {
+            label: marker.label.to_string(),
+            rate_bps: marker.rate.as_bps(),
+            projected_life_days: p.battery_life.as_days(),
+            projected_band: p.band.label().to_string(),
+            paper_band: marker.paper_band.label().to_string(),
+        });
+    }
+
+    write_json("fig3_curve", &points);
+    write_json("fig3_markers", &markers);
+}

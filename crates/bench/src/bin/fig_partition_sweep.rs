@@ -1,0 +1,113 @@
+//! Experiment E6 — DNN partition-point sweep: leaf energy per inference and
+//! end-to-end latency for every cut of each wearable model, under Wi-R and
+//! BLE (the quantitative form of the paper's distributed-intelligence
+//! argument, §III/§V).
+
+use hidwa_bench::{header, write_json};
+use hidwa_core::partition::{Objective, PartitionContext, PartitionOptimizer};
+use hidwa_isa::models;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    link: String,
+    cut_index: usize,
+    leaf_macs: u64,
+    transfer_bytes: f64,
+    leaf_energy_uj: f64,
+    latency_ms: f64,
+    feasible: bool,
+    optimal: bool,
+}
+
+fn main() {
+    header(
+        "E6 — DNN partition sweep across the body-area link",
+        "Leaf energy and latency per cut point, Wi-R vs BLE, all zoo models",
+    );
+
+    let mut rows = Vec::new();
+    for model in models::all_models() {
+        println!(
+            "\n== {} ({:.1} inferences/s, {:.1} kMAC/inference) ==",
+            model.name(),
+            model.inferences_per_second(),
+            model.macs_per_inference() as f64 / 1e3
+        );
+        for context in [PartitionContext::wir_default(), PartitionContext::ble_default()] {
+            let label = context.label().to_string();
+            let optimizer = PartitionOptimizer::new(context);
+            let plans = optimizer.evaluate_all(&model).expect("zoo models are well-formed");
+            let best_cut = optimizer
+                .optimize(&model, Objective::LeafEnergy)
+                .map(|p| p.cut_index)
+                .ok();
+            println!(
+                "-- {label}: optimal cut = {} --",
+                best_cut.map_or_else(|| "none (infeasible)".to_string(), |c| c.to_string())
+            );
+            println!(
+                "{:>4} {:>12} {:>12} {:>14} {:>12} {:>10}",
+                "cut", "leaf MACs", "tx bytes", "leaf energy", "latency", "feasible"
+            );
+            for plan in &plans {
+                let optimal = Some(plan.cut_index) == best_cut;
+                println!(
+                    "{:>4} {:>12} {:>12.0} {:>11.2} µJ {:>9.2} ms {:>10}{}",
+                    plan.cut_index,
+                    plan.leaf_macs,
+                    plan.transfer_bytes,
+                    plan.leaf_energy.as_micro_joules(),
+                    plan.latency.as_millis(),
+                    plan.feasible,
+                    if optimal { "  <= optimal" } else { "" }
+                );
+                rows.push(Row {
+                    model: model.name().to_string(),
+                    link: label.clone(),
+                    cut_index: plan.cut_index,
+                    leaf_macs: plan.leaf_macs,
+                    transfer_bytes: plan.transfer_bytes,
+                    leaf_energy_uj: plan.leaf_energy.as_micro_joules(),
+                    latency_ms: plan.latency.as_millis(),
+                    feasible: plan.feasible,
+                    optimal,
+                });
+            }
+        }
+    }
+
+    println!("\nSummary (optimal plans, leaf energy per inference):");
+    println!(
+        "{:<44} {:>14} {:>14} {:>10}",
+        "model", "Wi-R", "BLE", "ratio"
+    );
+    for model in models::all_models() {
+        let wir = PartitionOptimizer::new(PartitionContext::wir_default())
+            .optimize(&model, Objective::LeafEnergy)
+            .ok();
+        let ble = PartitionOptimizer::new(PartitionContext::ble_default())
+            .optimize(&model, Objective::LeafEnergy)
+            .ok();
+        match (wir, ble) {
+            (Some(w), Some(b)) => println!(
+                "{:<44} {:>11.2} µJ {:>11.2} µJ {:>9.1}x",
+                model.name(),
+                w.leaf_energy.as_micro_joules(),
+                b.leaf_energy.as_micro_joules(),
+                b.leaf_energy.as_joules() / w.leaf_energy.as_joules()
+            ),
+            (Some(w), None) => println!(
+                "{:<44} {:>11.2} µJ {:>14} {:>10}",
+                model.name(),
+                w.leaf_energy.as_micro_joules(),
+                "infeasible",
+                "-"
+            ),
+            _ => println!("{:<44} infeasible on both links", model.name()),
+        }
+    }
+
+    write_json("fig_partition_sweep", &rows);
+}

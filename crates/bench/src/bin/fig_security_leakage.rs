@@ -1,0 +1,80 @@
+//! Experiment E5 — physical-layer security: attacker SNR versus distance for
+//! the EQS-HBC signal and the BLE signal (§I personal-bubble containment,
+//! §III-B 5–10 m RF radiation claim).
+
+use hidwa_bench::{header, write_json};
+use hidwa_eqs::body::BodyModel;
+use hidwa_eqs::channel::{EqsChannel, Termination};
+use hidwa_eqs::rf::RfLink;
+use hidwa_eqs::security::SecurityComparison;
+use hidwa_units::{dbm_to_power, Distance, Frequency, Voltage};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    distance_m: f64,
+    eqs_snr_db: f64,
+    ble_snr_db: f64,
+    eqs_decodable: bool,
+    ble_decodable: bool,
+}
+
+fn main() {
+    header(
+        "E5 — signal leakage vs attacker distance (EQS-HBC vs BLE)",
+        "Paper claims: EQS is contained in a personal bubble; RF radiates 5-10 m",
+    );
+
+    let comparison = SecurityComparison::new(
+        EqsChannel::new(BodyModel::adult(), Termination::HighImpedance),
+        RfLink::ble_1m(),
+    );
+    let distances: Vec<Distance> = [0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0]
+        .iter()
+        .map(|&m| Distance::from_meters(m))
+        .collect();
+    let points = comparison.sweep(
+        Voltage::from_volts(1.0),
+        dbm_to_power(0.0),
+        Distance::from_meters(1.4),
+        Frequency::from_mega_hertz(4.0),
+        &distances,
+    );
+
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>14}",
+        "distance", "EQS SNR", "BLE SNR", "EQS decodable", "BLE decodable"
+    );
+    let mut rows = Vec::new();
+    for p in &points {
+        println!(
+            "{:>8.2} m {:>11.1} dB {:>11.1} dB {:>14} {:>14}",
+            p.distance.as_meters(),
+            p.eqs_snr_db,
+            p.rf_snr_db,
+            p.eqs_decodable,
+            p.rf_decodable
+        );
+        rows.push(Row {
+            distance_m: p.distance.as_meters(),
+            eqs_snr_db: p.eqs_snr_db,
+            ble_snr_db: p.rf_snr_db,
+            eqs_decodable: p.eqs_decodable,
+            ble_decodable: p.rf_decodable,
+        });
+    }
+
+    let rf = RfLink::ble_1m();
+    println!(
+        "\nBLE detection range at 0 dBm transmit power: {:.1} m (paper: 5-10 m)",
+        rf.detection_range(dbm_to_power(0.0)).as_meters()
+    );
+    let eqs_range = rows
+        .iter()
+        .filter(|r| r.eqs_decodable)
+        .map(|r| r.distance_m)
+        .fold(0.0f64, f64::max);
+    println!("EQS interception limit in this sweep: {eqs_range:.2} m (personal bubble)");
+
+    write_json("fig_security_leakage", &rows);
+}

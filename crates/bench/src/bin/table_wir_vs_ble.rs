@@ -1,0 +1,93 @@
+//! Experiment E4 — the paper's headline Wi-R vs BLE comparison (§I, §IV):
+//! data rate, power at matched application rates, and energy per bit,
+//! together with the cited EQS-HBC literature operating points.
+
+use hidwa_bench::{fmt_power, header, write_json};
+use hidwa_phy::ble::BleTransceiver;
+use hidwa_phy::wir::WiRTransceiver;
+use hidwa_phy::Transceiver;
+use hidwa_units::DataRate;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct RateRow {
+    app_rate_kbps: f64,
+    wir_power_uw: f64,
+    ble_power_uw: f64,
+    power_ratio: f64,
+}
+
+fn main() {
+    header(
+        "E4 — Wi-R vs BLE (data rate, power, energy per bit)",
+        "Paper claims: >10X faster than BLE, <100X lower power, ~100 pJ/bit",
+    );
+
+    let wir = WiRTransceiver::ixana_class();
+    let ble = BleTransceiver::phy_1m();
+    let ble2 = BleTransceiver::phy_2m();
+
+    println!("Delivered (goodput) data rates:");
+    println!("  Wi-R (commercial)     : {:>10.2} Mbps", wir.max_data_rate().as_mbps());
+    println!("  BLE 1M PHY            : {:>10.2} Mbps", ble.max_data_rate().as_mbps());
+    println!("  BLE 2M PHY            : {:>10.2} Mbps", ble2.max_data_rate().as_mbps());
+    println!(
+        "  rate ratio (Wi-R / BLE 1M): {:.1}x   (vs typical 250 kbps BLE app stream: {:.1}x)",
+        wir.max_data_rate().as_bps() / ble.max_data_rate().as_bps(),
+        wir.max_data_rate().as_bps() / DataRate::from_kbps(250.0).as_bps()
+    );
+
+    println!("\nEnergy per delivered bit at each radio's maximum rate:");
+    println!(
+        "  Wi-R   : {:>8.1} pJ/bit",
+        wir.energy_per_bit(wir.max_data_rate()).as_pico_joules()
+    );
+    println!(
+        "  BLE 1M : {:>8.1} nJ/bit",
+        ble.energy_per_bit(ble.max_data_rate()).as_nano_joules()
+    );
+
+    println!("\nAverage transmit-side power at matched application rates:");
+    println!(
+        "{:>14} {:>14} {:>14} {:>10}",
+        "app rate", "Wi-R", "BLE 1M", "ratio"
+    );
+    let mut rows = Vec::new();
+    for kbps in [1.0, 10.0, 100.0, 250.0, 500.0] {
+        let rate = DataRate::from_kbps(kbps);
+        let p_wir = wir.average_power(rate);
+        let p_ble = ble.average_power(rate);
+        let ratio = p_ble.as_watts() / p_wir.as_watts();
+        println!(
+            "{:>11.0} kbps {:>14} {:>14} {:>9.0}x",
+            kbps,
+            fmt_power(p_wir),
+            fmt_power(p_ble),
+            ratio
+        );
+        rows.push(RateRow {
+            app_rate_kbps: kbps,
+            wir_power_uw: p_wir.as_micro_watts(),
+            ble_power_uw: p_ble.as_micro_watts(),
+            power_ratio: ratio,
+        });
+    }
+
+    println!("\nEQS-HBC literature operating points reproduced by the model:");
+    let auth = WiRTransceiver::sub_microwatt_class();
+    println!(
+        "  Sub-µWrComm (10 kbps)   : {:>10}  (paper: 415 nW)",
+        fmt_power(auth.active_tx_power(DataRate::from_kbps(10.0)))
+    );
+    let bodywire = WiRTransceiver::bodywire_class();
+    println!(
+        "  BodyWire (30 Mbps)      : {:>8.1} pJ/bit  (paper: 6.3 pJ/bit)",
+        bodywire.energy_per_bit(DataRate::from_mbps(30.0)).as_pico_joules()
+    );
+    println!(
+        "  Wi-R commercial (4 Mbps): {:>8.1} pJ/bit  (paper: ~100 pJ/bit)",
+        wir.energy_per_bit(DataRate::from_mbps(4.0)).as_pico_joules()
+    );
+
+    write_json("table_wir_vs_ble", &rows);
+}

@@ -1,0 +1,92 @@
+//! Shared helpers for the experiment binaries: aligned-table printing and
+//! machine-readable result dumps.
+//!
+//! Every experiment binary in `src/bin/` regenerates one figure or headline
+//! claim of the paper (see DESIGN.md §3 for the experiment index).  Each
+//! prints a human-readable table to stdout and, when the `HIDWA_RESULTS_DIR`
+//! environment variable is set, writes the same data as JSON for plotting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Prints a section header for an experiment.
+pub fn header(experiment: &str, description: &str) {
+    println!("================================================================");
+    println!("{experiment}");
+    println!("{description}");
+    println!("================================================================");
+}
+
+/// Writes a serialisable result set to `$HIDWA_RESULTS_DIR/<name>.json`
+/// (silently does nothing when the variable is unset).
+///
+/// # Panics
+/// Panics if the results directory cannot be created or written — the bench
+/// harness treats an unwritable results directory as a fatal configuration
+/// error rather than silently dropping data.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let Ok(dir) = std::env::var("HIDWA_RESULTS_DIR") else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    fs::create_dir_all(&dir).expect("create results directory");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialise results");
+    fs::write(&path, json).expect("write results file");
+    println!("[results written to {}]", path.display());
+}
+
+/// Formats a power value with an auto-selected unit.
+#[must_use]
+pub fn fmt_power(power: hidwa_units::Power) -> String {
+    let uw = power.as_micro_watts();
+    if uw < 1000.0 {
+        format!("{uw:.1} µW")
+    } else if uw < 1.0e6 {
+        format!("{:.2} mW", power.as_milli_watts())
+    } else {
+        format!("{:.2} W", power.as_watts())
+    }
+}
+
+/// Formats a duration as hours / days / years depending on magnitude.
+#[must_use]
+pub fn fmt_lifetime(life: hidwa_units::TimeSpan) -> String {
+    if life.as_hours() < 48.0 {
+        format!("{:.1} h", life.as_hours())
+    } else if life.as_days() < 365.0 {
+        format!("{:.1} d", life.as_days())
+    } else {
+        format!("{:.1} y", life.as_years())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidwa_units::{Power, TimeSpan};
+
+    #[test]
+    fn power_formatting_picks_sensible_units() {
+        assert_eq!(fmt_power(Power::from_micro_watts(12.34)), "12.3 µW");
+        assert_eq!(fmt_power(Power::from_milli_watts(12.3)), "12.30 mW");
+        assert_eq!(fmt_power(Power::from_watts(2.5)), "2.50 W");
+    }
+
+    #[test]
+    fn lifetime_formatting_picks_sensible_units() {
+        assert_eq!(fmt_lifetime(TimeSpan::from_hours(5.0)), "5.0 h");
+        assert_eq!(fmt_lifetime(TimeSpan::from_days(12.0)), "12.0 d");
+        assert_eq!(fmt_lifetime(TimeSpan::from_days(800.0)), "2.2 y");
+    }
+
+    #[test]
+    fn write_json_is_a_noop_without_env() {
+        std::env::remove_var("HIDWA_RESULTS_DIR");
+        write_json("test", &vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,351 @@
+//! Catalogue of commercial wearable device classes and their battery-life
+//! bands — the data behind Fig. 2.
+//!
+//! Fig. 2 of the paper is a survey chart: pre-2024 wearables (rings, fitness
+//! trackers, earbuds, watches, headphones, smartphones) and the 2024 wave of
+//! wearable-AI devices (AI pins, pocket assistants, AI necklaces, smart
+//! glasses, mixed-reality headsets), each annotated with its typical battery
+//! life.  Here each class carries a representative battery capacity and
+//! average platform power so the same bands can be *derived* rather than
+//! asserted, and so the human-inspired architecture's effect on each class
+//! can be computed.
+
+use hidwa_energy::projection::OperatingBand;
+use hidwa_energy::Battery;
+use hidwa_units::{Power, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+/// Product era, matching the two columns of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceEra {
+    /// Established wearables (pre-2024).
+    Pre2024,
+    /// The 2024 wearable-AI wave.
+    WearableAi2024,
+}
+
+/// Commercial wearable device classes named in Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// Smart rings (sleep/vitals tracking).
+    SmartRing,
+    /// Wrist-worn fitness trackers.
+    FitnessTracker,
+    /// True-wireless earbuds.
+    Earbuds,
+    /// Smartwatches.
+    Smartwatch,
+    /// Over-ear wireless headphones.
+    Headphones,
+    /// Smartphones (the incumbent hub).
+    Smartphone,
+    /// Chest/lapel AI pins (camera + mic + projector).
+    AiPin,
+    /// Hand-held AI pocket assistants.
+    PocketAssistant,
+    /// AI pendants / necklaces (always-listening mics).
+    AiNecklace,
+    /// Camera-equipped smart glasses.
+    SmartGlasses,
+    /// Mixed-reality headsets.
+    MixedRealityHeadset,
+    /// Biopotential sensor patches (the ULP leaf the paper envisions).
+    BiopotentialPatch,
+}
+
+impl DeviceClass {
+    /// All classes shown in Fig. 2 plus the biopotential patch.
+    pub const ALL: [DeviceClass; 12] = [
+        DeviceClass::SmartRing,
+        DeviceClass::FitnessTracker,
+        DeviceClass::Earbuds,
+        DeviceClass::Smartwatch,
+        DeviceClass::Headphones,
+        DeviceClass::Smartphone,
+        DeviceClass::AiPin,
+        DeviceClass::PocketAssistant,
+        DeviceClass::AiNecklace,
+        DeviceClass::SmartGlasses,
+        DeviceClass::MixedRealityHeadset,
+        DeviceClass::BiopotentialPatch,
+    ];
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceClass::SmartRing => "smart ring",
+            DeviceClass::FitnessTracker => "fitness tracker",
+            DeviceClass::Earbuds => "earbuds",
+            DeviceClass::Smartwatch => "smartwatch",
+            DeviceClass::Headphones => "headphones",
+            DeviceClass::Smartphone => "smartphone",
+            DeviceClass::AiPin => "AI pin",
+            DeviceClass::PocketAssistant => "AI pocket assistant",
+            DeviceClass::AiNecklace => "AI necklace",
+            DeviceClass::SmartGlasses => "smart glasses",
+            DeviceClass::MixedRealityHeadset => "mixed-reality headset",
+            DeviceClass::BiopotentialPatch => "biopotential patch",
+        }
+    }
+}
+
+impl core::fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A device profile: class, era, battery and average platform power.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    class: DeviceClass,
+    era: DeviceEra,
+    battery: Battery,
+    average_power: Power,
+    /// Battery-life band the paper's Fig. 2 assigns to this class.
+    paper_band: OperatingBand,
+}
+
+impl DeviceProfile {
+    /// Creates a profile.
+    #[must_use]
+    pub fn new(
+        class: DeviceClass,
+        era: DeviceEra,
+        battery: Battery,
+        average_power: Power,
+        paper_band: OperatingBand,
+    ) -> Self {
+        Self {
+            class,
+            era,
+            battery,
+            average_power,
+            paper_band,
+        }
+    }
+
+    /// Device class.
+    #[must_use]
+    pub fn class(&self) -> DeviceClass {
+        self.class
+    }
+
+    /// Product era.
+    #[must_use]
+    pub fn era(&self) -> DeviceEra {
+        self.era
+    }
+
+    /// Battery model.
+    #[must_use]
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// Average platform power.
+    #[must_use]
+    pub fn average_power(&self) -> Power {
+        self.average_power
+    }
+
+    /// Battery-life band the paper assigns (ground truth for the check).
+    #[must_use]
+    pub fn paper_band(&self) -> OperatingBand {
+        self.paper_band
+    }
+
+    /// Battery life derived from the profile's battery and power.
+    #[must_use]
+    pub fn derived_battery_life(&self) -> TimeSpan {
+        self.battery.lifetime(self.average_power)
+    }
+
+    /// Battery-life band derived from the model.
+    #[must_use]
+    pub fn derived_band(&self) -> OperatingBand {
+        OperatingBand::classify(self.derived_battery_life())
+    }
+
+    /// `true` when the derived band matches the paper's assignment.
+    #[must_use]
+    pub fn band_matches_paper(&self) -> bool {
+        self.derived_band() == self.paper_band
+    }
+}
+
+/// The full Fig. 2 catalogue with representative batteries and power budgets.
+///
+/// Power budgets are survey midpoints for each product class; capacities are
+/// typical shipping configurations.
+#[must_use]
+pub fn catalog() -> Vec<DeviceProfile> {
+    use DeviceClass as C;
+    use DeviceEra as E;
+    vec![
+        // Pre-2024 wearables.
+        DeviceProfile::new(
+            C::SmartRing,
+            E::Pre2024,
+            Battery::lipo_mah(20.0),
+            Power::from_micro_watts(350.0),
+            OperatingBand::AllWeek,
+        ),
+        DeviceProfile::new(
+            C::FitnessTracker,
+            E::Pre2024,
+            Battery::lipo_mah(160.0),
+            Power::from_milli_watts(2.5),
+            OperatingBand::AllWeek,
+        ),
+        DeviceProfile::new(
+            C::Earbuds,
+            E::Pre2024,
+            Battery::lipo_mah(60.0),
+            Power::from_milli_watts(8.0),
+            OperatingBand::AllDay,
+        ),
+        DeviceProfile::new(
+            C::Smartwatch,
+            E::Pre2024,
+            Battery::lipo_mah(300.0),
+            Power::from_milli_watts(30.0),
+            OperatingBand::AllDay,
+        ),
+        DeviceProfile::new(
+            C::Headphones,
+            E::Pre2024,
+            Battery::lipo_mah(700.0),
+            Power::from_milli_watts(60.0),
+            OperatingBand::AllDay,
+        ),
+        DeviceProfile::new(
+            C::Smartphone,
+            E::Pre2024,
+            Battery::lipo_mah(4500.0),
+            Power::from_milli_watts(2000.0),
+            OperatingBand::SubDay,
+        ),
+        // 2024 wearable-AI devices.
+        DeviceProfile::new(
+            C::AiPin,
+            E::WearableAi2024,
+            Battery::lipo_mah(300.0),
+            Power::from_milli_watts(40.0),
+            OperatingBand::AllDay,
+        ),
+        DeviceProfile::new(
+            C::PocketAssistant,
+            E::WearableAi2024,
+            Battery::lipo_mah(1000.0),
+            Power::from_milli_watts(120.0),
+            OperatingBand::AllDay,
+        ),
+        DeviceProfile::new(
+            C::AiNecklace,
+            E::WearableAi2024,
+            Battery::lipo_mah(250.0),
+            Power::from_milli_watts(30.0),
+            OperatingBand::AllDay,
+        ),
+        DeviceProfile::new(
+            C::SmartGlasses,
+            E::WearableAi2024,
+            Battery::lipo_mah(160.0),
+            Power::from_milli_watts(150.0),
+            OperatingBand::SubDay,
+        ),
+        DeviceProfile::new(
+            C::MixedRealityHeadset,
+            E::WearableAi2024,
+            Battery::lipo_mah(5000.0),
+            Power::from_milli_watts(4500.0),
+            OperatingBand::SubDay,
+        ),
+        // The ULP leaf the paper envisions (for the Fig. 3 markers).
+        DeviceProfile::new(
+            C::BiopotentialPatch,
+            E::WearableAi2024,
+            Battery::coin_cell_1000mah(),
+            Power::from_micro_watts(20.0),
+            OperatingBand::Perpetual,
+        ),
+    ]
+}
+
+/// Looks up a class in the catalogue.
+#[must_use]
+pub fn profile_for(class: DeviceClass) -> Option<DeviceProfile> {
+    catalog().into_iter().find(|p| p.class() == class)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_every_class() {
+        let cat = catalog();
+        for class in DeviceClass::ALL {
+            assert!(
+                cat.iter().any(|p| p.class() == class),
+                "missing profile for {class}"
+            );
+        }
+        assert_eq!(cat.len(), DeviceClass::ALL.len());
+    }
+
+    #[test]
+    fn derived_bands_match_fig2() {
+        // The reproduction check for Fig. 2: every derived band equals the
+        // band the paper assigns.
+        for profile in catalog() {
+            assert!(
+                profile.band_matches_paper(),
+                "{}: derived {} ({} days) but paper says {}",
+                profile.class(),
+                profile.derived_band(),
+                profile.derived_battery_life().as_days(),
+                profile.paper_band()
+            );
+        }
+    }
+
+    #[test]
+    fn specific_fig2_anchor_points() {
+        // Smart glasses and MR headsets: 3–5 h battery life.
+        let glasses = profile_for(DeviceClass::SmartGlasses).unwrap();
+        let hours = glasses.derived_battery_life().as_hours();
+        assert!(hours >= 3.0 && hours <= 5.5, "glasses {hours} h");
+        let mr = profile_for(DeviceClass::MixedRealityHeadset).unwrap();
+        let hours = mr.derived_battery_life().as_hours();
+        assert!(hours >= 3.0 && hours <= 5.5, "MR headset {hours} h");
+        // Smartphone: < 10 h under heavy use.
+        let phone = profile_for(DeviceClass::Smartphone).unwrap();
+        assert!(phone.derived_battery_life().as_hours() < 10.0);
+        // Rings and trackers: all-week.
+        assert!(profile_for(DeviceClass::SmartRing).unwrap().derived_battery_life().as_days() >= 7.0);
+        assert!(profile_for(DeviceClass::FitnessTracker)
+            .unwrap()
+            .derived_battery_life()
+            .as_days()
+            >= 7.0);
+    }
+
+    #[test]
+    fn eras_are_assigned() {
+        let cat = catalog();
+        assert!(cat.iter().any(|p| p.era() == DeviceEra::Pre2024));
+        assert!(cat.iter().any(|p| p.era() == DeviceEra::WearableAi2024));
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let ring = profile_for(DeviceClass::SmartRing).unwrap();
+        assert_eq!(ring.class().to_string(), "smart ring");
+        assert!(ring.average_power() > Power::ZERO);
+        assert!(ring.battery().capacity().as_milli_amp_hours() > 0.0);
+        assert!(profile_for(DeviceClass::BiopotentialPatch).unwrap().paper_band() == OperatingBand::Perpetual);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the core crate.
+
+use core::fmt;
+
+/// Errors produced by the HIDWA core analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A configuration parameter was invalid.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: String,
+    },
+    /// A requested workload cannot be executed on the selected engine
+    /// (e.g. it exceeds the engine's peak throughput).
+    WorkloadInfeasible {
+        /// Description of the infeasibility.
+        reason: String,
+    },
+}
+
+impl CoreError {
+    pub(crate) fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        CoreError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            CoreError::WorkloadInfeasible { reason } => {
+                write!(f, "workload infeasible: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::invalid("x", "y").to_string().contains("invalid parameter"));
+        let e = CoreError::WorkloadInfeasible {
+            reason: "too many MACs".into(),
+        };
+        assert!(e.to_string().contains("infeasible"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Human-Inspired Distributed Wearable AI (HIDWA): the paper's architecture
+//! as a library.
+//!
+//! The crate assembles the substrates — unit types, energy models, EQS-HBC
+//! channel, Wi-R/BLE PHYs, the tiny-DNN library and the network simulator —
+//! into the analyses the paper presents:
+//!
+//! * [`devices`] — a profile catalogue of commercial wearable classes and
+//!   their battery-life bands (Fig. 2).
+//! * [`arch`] — the two node architectures the paper contrasts: today's
+//!   CPU-plus-radio IoB node versus the human-inspired sensor + ISA + Wi-R
+//!   leaf node, with per-component power breakdowns (Fig. 1).
+//! * [`projection`] — battery life versus data rate under Wi-R with the
+//!   sensing-power survey model and the 1000 mAh reference cell (Fig. 3).
+//! * [`partition`] — the DNN partitioning optimiser that decides how much of
+//!   a wearable AI workload runs on the leaf versus the hub, for a given
+//!   radio (the quantitative core of the distributed-intelligence vision).
+//! * [`scenario`] — turn-key body-area network scenarios built on the
+//!   discrete-event simulator, used by the examples and benches.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hidwa_core::arch::{NodeArchitecture, WorkloadSpec};
+//! use hidwa_core::projection::Fig3Projector;
+//! use hidwa_units::DataRate;
+//!
+//! // Fig. 1: the same ECG workload on both architectures.
+//! let workload = WorkloadSpec::ecg_patch();
+//! let conventional = NodeArchitecture::conventional().power_breakdown(&workload);
+//! let human_inspired = NodeArchitecture::human_inspired().power_breakdown(&workload);
+//! assert!(human_inspired.total() < conventional.total());
+//!
+//! // Fig. 3: a 4 kbps biopotential node is perpetually operable.
+//! let projector = Fig3Projector::paper_defaults();
+//! let point = projector.project_rate(DataRate::from_kbps(4.0));
+//! assert!(point.battery_life.as_years() > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod devices;
+mod error;
+pub mod partition;
+pub mod projection;
+pub mod scenario;
+
+pub use error::CoreError;

@@ -1,0 +1,281 @@
+//! Fig. 3: projected battery life of Wi-R-connected wearable nodes versus
+//! data rate.
+//!
+//! The paper's assumptions, reproduced verbatim by [`Fig3Projector::paper_defaults`]:
+//!
+//! * 1000 mAh battery (high-capacity coin cell),
+//! * Wi-R communication at 100 pJ/bit,
+//! * sensing power as a function of data rate from a literature survey,
+//! * computation power considered negligible (first-order approximation),
+//! * devices with more than a year of battery life counted as perpetually
+//!   operable.
+
+use hidwa_energy::projection::{LifetimeProjector, OperatingBand};
+use hidwa_energy::sensing::SensingModel;
+use hidwa_energy::Battery;
+use hidwa_phy::wir::WiRTransceiver;
+use hidwa_phy::Transceiver;
+use hidwa_units::{DataRate, Power, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+/// One point of the Fig. 3 curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProjectionPoint {
+    /// Node data rate.
+    pub rate: DataRate,
+    /// Sensing power at this rate (survey model).
+    pub sensing_power: Power,
+    /// Wi-R communication power at this rate.
+    pub communication_power: Power,
+    /// Total node power (sensing + communication; compute neglected).
+    pub total_power: Power,
+    /// Projected battery life.
+    pub battery_life: TimeSpan,
+    /// Operating band of the projected life.
+    pub band: OperatingBand,
+}
+
+/// A named device marker placed on the Fig. 3 curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceMarker {
+    /// Marker label as used in the figure.
+    pub label: &'static str,
+    /// Data rate the device class operates at.
+    pub rate: DataRate,
+    /// Operating band the paper claims for this class under Wi-R.
+    pub paper_band: OperatingBand,
+}
+
+/// The Fig. 3 projection engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Projector {
+    battery: Battery,
+    sensing: SensingModel,
+    radio: WiRTransceiver,
+}
+
+impl Fig3Projector {
+    /// Creates a projector from explicit components.
+    #[must_use]
+    pub fn new(battery: Battery, sensing: SensingModel, radio: WiRTransceiver) -> Self {
+        Self {
+            battery,
+            sensing,
+            radio,
+        }
+    }
+
+    /// The paper's exact assumptions: 1000 mAh cell, survey sensing model,
+    /// 100 pJ/bit Wi-R.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        Self::new(
+            Battery::coin_cell_1000mah(),
+            SensingModel::survey(),
+            WiRTransceiver::ixana_class(),
+        )
+    }
+
+    /// The battery used in the projection.
+    #[must_use]
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// Total node power at a data rate (sensing + Wi-R communication).
+    #[must_use]
+    pub fn node_power(&self, rate: DataRate) -> Power {
+        self.sensing.power_at(rate) + self.radio.average_power(rate)
+    }
+
+    /// Projects a single data-rate point.
+    #[must_use]
+    pub fn project_rate(&self, rate: DataRate) -> ProjectionPoint {
+        let sensing_power = self.sensing.power_at(rate);
+        let communication_power = self.radio.average_power(rate);
+        let total_power = sensing_power + communication_power;
+        let projector = LifetimeProjector::new(self.battery.clone());
+        let projection = projector.project(total_power);
+        ProjectionPoint {
+            rate,
+            sensing_power,
+            communication_power,
+            total_power,
+            battery_life: projection.lifetime(),
+            band: projection.band(),
+        }
+    }
+
+    /// Projects a full sweep of logarithmically spaced rates from
+    /// `min_rate` to `max_rate` with `points_per_decade` samples per decade —
+    /// the Fig. 3 x-axis.
+    #[must_use]
+    pub fn sweep(
+        &self,
+        min_rate: DataRate,
+        max_rate: DataRate,
+        points_per_decade: usize,
+    ) -> Vec<ProjectionPoint> {
+        let lo = min_rate.as_bps().max(1.0).log10();
+        let hi = max_rate.as_bps().max(1.0).log10();
+        if hi <= lo || points_per_decade == 0 {
+            return vec![self.project_rate(min_rate)];
+        }
+        let total_points = ((hi - lo) * points_per_decade as f64).ceil() as usize + 1;
+        (0..total_points)
+            .map(|i| {
+                let exp = lo + (hi - lo) * i as f64 / (total_points - 1) as f64;
+                self.project_rate(DataRate::from_bps(10f64.powf(exp)))
+            })
+            .collect()
+    }
+
+    /// The device-class markers the paper places on the figure.
+    #[must_use]
+    pub fn device_markers() -> Vec<DeviceMarker> {
+        vec![
+            DeviceMarker {
+                label: "biopotential sensor patch",
+                rate: DataRate::from_kbps(4.0),
+                paper_band: OperatingBand::Perpetual,
+            },
+            DeviceMarker {
+                label: "smart ring / fitness tracker",
+                rate: DataRate::from_kbps(13.0),
+                paper_band: OperatingBand::Perpetual,
+            },
+            DeviceMarker {
+                label: "audio-input wearable AI (pins, pocket assistants, ExG)",
+                rate: DataRate::from_kbps(256.0),
+                paper_band: OperatingBand::AllWeek,
+            },
+            DeviceMarker {
+                label: "AI video node",
+                rate: DataRate::from_mbps(4.0),
+                paper_band: OperatingBand::AllDay,
+            },
+        ]
+    }
+
+    /// The largest data rate that still yields a perpetual (> 1 year) node —
+    /// the right-hand edge of the paper's "perpetually operable region".
+    #[must_use]
+    pub fn perpetual_region_edge(&self) -> DataRate {
+        // Bisection on the monotone battery-life-vs-rate curve.
+        let mut lo = 1.0f64;
+        let mut hi = 1e8f64;
+        for _ in 0..200 {
+            let mid = (lo * hi).sqrt();
+            let life = self.project_rate(DataRate::from_bps(mid)).battery_life;
+            if life.as_years() > 1.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        DataRate::from_bps((lo * hi).sqrt())
+    }
+}
+
+impl Default for Fig3Projector {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn biopotential_and_tracker_nodes_are_perpetual() {
+        // Fig. 3: biopotential patches, smart rings and fitness trackers fall
+        // in the perpetually operable region.
+        let projector = Fig3Projector::paper_defaults();
+        for rate_kbps in [1.0, 4.0, 13.0] {
+            let point = projector.project_rate(DataRate::from_kbps(rate_kbps));
+            assert_eq!(
+                point.band,
+                OperatingBand::Perpetual,
+                "{rate_kbps} kbps node got {}",
+                point.band
+            );
+        }
+    }
+
+    #[test]
+    fn audio_nodes_reach_all_week_and_video_all_day() {
+        let projector = Fig3Projector::paper_defaults();
+        let audio = projector.project_rate(DataRate::from_kbps(256.0));
+        assert!(
+            audio.battery_life.as_days() >= 7.0,
+            "audio node life {} days",
+            audio.battery_life.as_days()
+        );
+        let video = projector.project_rate(DataRate::from_mbps(4.0));
+        assert!(
+            video.battery_life.as_days() >= 1.0,
+            "video node life {} days",
+            video.battery_life.as_days()
+        );
+        assert!(video.battery_life < audio.battery_life);
+    }
+
+    #[test]
+    fn all_paper_markers_meet_their_bands() {
+        let projector = Fig3Projector::paper_defaults();
+        for marker in Fig3Projector::device_markers() {
+            let point = projector.project_rate(marker.rate);
+            assert!(
+                point.band >= marker.paper_band,
+                "{}: projected {} but paper claims {}",
+                marker.label,
+                point.band,
+                marker.paper_band
+            );
+        }
+    }
+
+    #[test]
+    fn battery_life_is_monotone_decreasing_in_rate() {
+        let projector = Fig3Projector::paper_defaults();
+        let sweep = projector.sweep(DataRate::from_bps(10.0), DataRate::from_mbps(10.0), 6);
+        assert!(sweep.len() > 30);
+        for w in sweep.windows(2) {
+            assert!(w[0].battery_life >= w[1].battery_life);
+            assert!(w[0].rate <= w[1].rate);
+            assert!(w[1].total_power >= w[0].total_power);
+        }
+    }
+
+    #[test]
+    fn perpetual_region_edge_is_between_tracker_and_audio_rates() {
+        // The paper draws the perpetual boundary between the tracker-class
+        // rates (≈ 10 kbps) and the audio-class rates (≈ 256 kbps).
+        let projector = Fig3Projector::paper_defaults();
+        let edge = projector.perpetual_region_edge();
+        assert!(
+            edge.as_kbps() > 13.0 && edge.as_kbps() < 256.0,
+            "edge at {edge}"
+        );
+        // And the edge actually separates the two regimes.
+        let just_below = projector.project_rate(DataRate::from_bps(edge.as_bps() * 0.9));
+        let just_above = projector.project_rate(DataRate::from_bps(edge.as_bps() * 1.1));
+        assert_eq!(just_below.band, OperatingBand::Perpetual);
+        assert!(just_above.band < OperatingBand::Perpetual);
+    }
+
+    #[test]
+    fn point_components_sum_and_sweep_degenerates_gracefully() {
+        let projector = Fig3Projector::default();
+        let p = projector.project_rate(DataRate::from_kbps(100.0));
+        assert!(
+            (p.total_power.as_watts() - (p.sensing_power + p.communication_power).as_watts()).abs()
+                < 1e-15
+        );
+        let degenerate = projector.sweep(DataRate::from_kbps(1.0), DataRate::from_kbps(1.0), 5);
+        assert_eq!(degenerate.len(), 1);
+        assert_eq!(projector.battery().name(), "1000 mAh coin cell");
+        assert!(projector.node_power(DataRate::from_kbps(100.0)) > Power::ZERO);
+    }
+}

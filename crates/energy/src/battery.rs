@@ -1,0 +1,258 @@
+//! Battery model: capacity, nominal voltage, usable fraction and
+//! self-discharge of the cells found in wearable devices.
+
+use crate::EnergyError;
+use hidwa_units::{Charge, Energy, Power, TimeSpan, Voltage};
+use serde::{Deserialize, Serialize};
+
+/// A first-order battery model.
+///
+/// The model captures the quantities that matter for a month-to-year scale
+/// lifetime projection:
+///
+/// * rated charge capacity and nominal voltage (giving stored energy),
+/// * a usable fraction (cut-off voltage, converter efficiency, ageing derate),
+/// * an annual self-discharge fraction, modelled as an equivalent constant
+///   leakage power added to the load.
+///
+/// The paper's Fig. 3 assumes a 1000 mAh high-capacity coin cell, available as
+/// [`Battery::coin_cell_1000mah`].
+///
+/// # Example
+/// ```
+/// use hidwa_energy::Battery;
+/// use hidwa_units::Power;
+/// let cell = Battery::coin_cell_1000mah();
+/// let life = cell.lifetime(Power::from_micro_watts(100.0));
+/// assert!(life.as_days() > 300.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    name: String,
+    capacity: Charge,
+    nominal_voltage: Voltage,
+    usable_fraction: f64,
+    self_discharge_per_year: f64,
+}
+
+impl Battery {
+    /// Creates a battery model.
+    ///
+    /// # Errors
+    /// Returns [`EnergyError`] if `usable_fraction` is not in `(0, 1]` or if
+    /// `self_discharge_per_year` is not in `[0, 1)`.
+    pub fn new(
+        name: impl Into<String>,
+        capacity: Charge,
+        nominal_voltage: Voltage,
+        usable_fraction: f64,
+        self_discharge_per_year: f64,
+    ) -> Result<Self, EnergyError> {
+        if !(usable_fraction > 0.0 && usable_fraction <= 1.0) {
+            return Err(EnergyError::invalid("usable_fraction", "must be in (0, 1]"));
+        }
+        if !(0.0..1.0).contains(&self_discharge_per_year) {
+            return Err(EnergyError::invalid(
+                "self_discharge_per_year",
+                "must be in [0, 1)",
+            ));
+        }
+        Ok(Self {
+            name: name.into(),
+            capacity,
+            nominal_voltage,
+            usable_fraction,
+            self_discharge_per_year,
+        })
+    }
+
+    /// The paper's reference cell for Fig. 3: a 1000 mAh, 3 V coin cell with
+    /// 90 % usable energy and 3 %/year self-discharge (lithium primary class).
+    #[must_use]
+    pub fn coin_cell_1000mah() -> Self {
+        Self::new(
+            "1000 mAh coin cell",
+            Charge::from_milli_amp_hours(1000.0),
+            Voltage::from_volts(3.0),
+            0.90,
+            0.03,
+        )
+        .expect("reference cell parameters are valid")
+    }
+
+    /// A CR2032-class 225 mAh coin cell, typical of rings and patches.
+    #[must_use]
+    pub fn cr2032() -> Self {
+        Self::new(
+            "CR2032",
+            Charge::from_milli_amp_hours(225.0),
+            Voltage::from_volts(3.0),
+            0.85,
+            0.02,
+        )
+        .expect("reference cell parameters are valid")
+    }
+
+    /// A small rechargeable Li-Po pouch cell (typical earbud / pendant size).
+    #[must_use]
+    pub fn lipo_mah(mah: f64) -> Self {
+        Self::new(
+            format!("{mah:.0} mAh Li-Po"),
+            Charge::from_milli_amp_hours(mah),
+            Voltage::from_volts(3.7),
+            0.90,
+            0.05,
+        )
+        .expect("reference cell parameters are valid")
+    }
+
+    /// Battery label.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rated charge capacity.
+    #[must_use]
+    pub fn capacity(&self) -> Charge {
+        self.capacity
+    }
+
+    /// Nominal cell voltage.
+    #[must_use]
+    pub fn nominal_voltage(&self) -> Voltage {
+        self.nominal_voltage
+    }
+
+    /// Total stored energy at the nominal voltage (before derating).
+    #[must_use]
+    pub fn stored_energy(&self) -> Energy {
+        self.capacity.energy_at(self.nominal_voltage)
+    }
+
+    /// Energy actually deliverable to the load after the usable-fraction
+    /// derate.
+    #[must_use]
+    pub fn usable_energy(&self) -> Energy {
+        self.stored_energy() * self.usable_fraction
+    }
+
+    /// Equivalent constant leakage power representing self-discharge.
+    #[must_use]
+    pub fn self_discharge_power(&self) -> Power {
+        let per_year = self.stored_energy() * self.self_discharge_per_year;
+        per_year / TimeSpan::from_years(1.0)
+    }
+
+    /// Lifetime under a constant average load power, including self-discharge.
+    ///
+    /// A zero load still drains the cell through self-discharge; a zero load
+    /// *and* zero self-discharge yields an effectively unbounded lifetime
+    /// (returned as 100 years to keep downstream arithmetic finite).
+    #[must_use]
+    pub fn lifetime(&self, load: Power) -> TimeSpan {
+        let effective = load + self.self_discharge_power();
+        if effective.as_watts() <= 0.0 {
+            return TimeSpan::from_years(100.0);
+        }
+        let life = self.usable_energy() / effective;
+        life.min(TimeSpan::from_years(100.0))
+    }
+
+    /// Average load power that would exhaust the battery in exactly `target`.
+    ///
+    /// Useful for answering "what power budget yields all-week battery life?".
+    #[must_use]
+    pub fn power_budget_for(&self, target: TimeSpan) -> Power {
+        if target.as_seconds() <= 0.0 {
+            return Power::from_watts(f64::INFINITY);
+        }
+        let gross = self.usable_energy() / target;
+        (gross - self.self_discharge_power()).clamp_non_negative()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_cell_energy() {
+        let cell = Battery::coin_cell_1000mah();
+        // 1000 mAh * 3 V = 3 Wh stored, 2.7 Wh usable.
+        assert!((cell.stored_energy().as_watt_hours() - 3.0).abs() < 1e-9);
+        assert!((cell.usable_energy().as_watt_hours() - 2.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lifetime_at_100uw_is_about_three_years() {
+        // 2.7 Wh / 100 µW ≈ 1125 days, minus a little self-discharge.
+        let cell = Battery::coin_cell_1000mah();
+        let life = cell.lifetime(Power::from_micro_watts(100.0));
+        assert!(life.as_days() > 1000.0 && life.as_days() < 1125.0);
+        assert!(life.is_perpetual());
+    }
+
+    #[test]
+    fn lifetime_monotonically_decreases_with_load() {
+        let cell = Battery::coin_cell_1000mah();
+        let mut prev = cell.lifetime(Power::from_micro_watts(1.0));
+        for uw in [10.0, 100.0, 1_000.0, 10_000.0, 100_000.0] {
+            let life = cell.lifetime(Power::from_micro_watts(uw));
+            assert!(life < prev);
+            prev = life;
+        }
+    }
+
+    #[test]
+    fn zero_load_is_bounded_by_self_discharge_or_cap() {
+        let cell = Battery::coin_cell_1000mah();
+        let life = cell.lifetime(Power::ZERO);
+        // 3 %/year self discharge cannot be beaten, but the cap is 100 years.
+        assert!(life.as_years() <= 100.0);
+        assert!(life.as_years() > 10.0);
+
+        let ideal = Battery::new(
+            "ideal",
+            Charge::from_milli_amp_hours(100.0),
+            Voltage::from_volts(3.0),
+            1.0,
+            0.0,
+        )
+        .unwrap();
+        assert!((ideal.lifetime(Power::ZERO).as_years() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_budget_round_trips_through_lifetime() {
+        let cell = Battery::coin_cell_1000mah();
+        let target = TimeSpan::from_days(7.0);
+        let budget = cell.power_budget_for(target);
+        let achieved = cell.lifetime(budget);
+        assert!((achieved.as_days() - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_budget_for_zero_target_is_infinite() {
+        let cell = Battery::cr2032();
+        assert!(cell.power_budget_for(TimeSpan::ZERO).as_watts().is_infinite());
+    }
+
+    #[test]
+    fn constructor_validates_fractions() {
+        let cap = Charge::from_milli_amp_hours(100.0);
+        let v = Voltage::from_volts(3.0);
+        assert!(Battery::new("x", cap, v, 0.0, 0.0).is_err());
+        assert!(Battery::new("x", cap, v, 1.5, 0.0).is_err());
+        assert!(Battery::new("x", cap, v, 0.9, 1.0).is_err());
+        assert!(Battery::new("x", cap, v, 0.9, -0.1).is_err());
+        assert!(Battery::new("x", cap, v, 1.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn named_cells_have_expected_capacities() {
+        assert!((Battery::cr2032().capacity().as_milli_amp_hours() - 225.0).abs() < 1e-9);
+        assert!((Battery::lipo_mah(50.0).capacity().as_milli_amp_hours() - 50.0).abs() < 1e-9);
+        assert_eq!(Battery::lipo_mah(50.0).name(), "50 mAh Li-Po");
+    }
+}

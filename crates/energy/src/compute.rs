@@ -1,0 +1,244 @@
+//! Compute-engine energy models: in-sensor-analytics accelerators,
+//! microcontrollers and application processors.
+//!
+//! The architectural contrast at the heart of the paper (Fig. 1) is between
+//! today's IoB node — every wearable carries a CPU burning milliwatts — and
+//! the human-inspired node, where a leaf carries at most a ~100 µW in-sensor
+//! analytics (ISA) block and the heavy lifting happens on the hub.  To make
+//! that contrast quantitative we model each compute engine with:
+//!
+//! * an energy-per-operation (multiply-accumulate) figure,
+//! * an idle/leakage power that is burned whether or not work arrives,
+//! * a peak throughput that bounds how fast work can be executed.
+
+use hidwa_units::{Energy, Power, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+/// Class of compute engine found on wearable platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComputeClass {
+    /// Dedicated ultra-low-power in-sensor-analytics accelerator
+    /// (near-threshold MAC array, ~1 pJ/MAC, microwatt leakage).
+    IsaAccelerator,
+    /// Cortex-M-class microcontroller (~20 pJ/op, tens of µW leakage).
+    Microcontroller,
+    /// Application processor / mobile SoC (~100 pJ/op effective, tens of mW
+    /// leakage): what today's standalone wearables carry.
+    ApplicationProcessor,
+    /// Hub-class edge NPU (efficient per-op but high idle; lives on the
+    /// wearable brain, which has a daily-charge budget anyway).
+    EdgeNpu,
+}
+
+impl ComputeClass {
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ComputeClass::IsaAccelerator => "ISA accelerator",
+            ComputeClass::Microcontroller => "microcontroller",
+            ComputeClass::ApplicationProcessor => "application processor",
+            ComputeClass::EdgeNpu => "edge NPU",
+        }
+    }
+}
+
+/// Energy/performance model of one compute engine.
+///
+/// # Example
+/// ```
+/// use hidwa_energy::compute::{ComputeClass, ComputeEngine};
+/// let isa = ComputeEngine::of_class(ComputeClass::IsaAccelerator);
+/// let cpu = ComputeEngine::of_class(ComputeClass::ApplicationProcessor);
+/// // Same job, orders of magnitude apart in energy.
+/// let job_ops = 1.0e6;
+/// assert!(cpu.energy_for_ops(job_ops).as_joules() > 10.0 * isa.energy_for_ops(job_ops).as_joules());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputeEngine {
+    name: String,
+    class: ComputeClass,
+    energy_per_op: Energy,
+    idle_power: Power,
+    peak_ops_per_second: f64,
+}
+
+impl ComputeEngine {
+    /// Creates an engine from explicit parameters.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        class: ComputeClass,
+        energy_per_op: Energy,
+        idle_power: Power,
+        peak_ops_per_second: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            class,
+            energy_per_op,
+            idle_power,
+            peak_ops_per_second: peak_ops_per_second.max(1.0),
+        }
+    }
+
+    /// A representative engine of the given class (survey midpoints).
+    #[must_use]
+    pub fn of_class(class: ComputeClass) -> Self {
+        match class {
+            ComputeClass::IsaAccelerator => Self::new(
+                "near-threshold ISA accelerator",
+                class,
+                Energy::from_pico_joules(1.0),
+                Power::from_micro_watts(5.0),
+                50.0e6,
+            ),
+            ComputeClass::Microcontroller => Self::new(
+                "Cortex-M class MCU",
+                class,
+                Energy::from_pico_joules(20.0),
+                Power::from_micro_watts(50.0),
+                200.0e6,
+            ),
+            ComputeClass::ApplicationProcessor => Self::new(
+                "mobile application processor",
+                class,
+                Energy::from_pico_joules(100.0),
+                Power::from_milli_watts(20.0),
+                10.0e9,
+            ),
+            ComputeClass::EdgeNpu => Self::new(
+                "hub edge NPU",
+                class,
+                Energy::from_pico_joules(2.0),
+                Power::from_milli_watts(50.0),
+                2.0e12,
+            ),
+        }
+    }
+
+    /// Engine label.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Engine class.
+    #[must_use]
+    pub fn class(&self) -> ComputeClass {
+        self.class
+    }
+
+    /// Marginal energy per operation (MAC).
+    #[must_use]
+    pub fn energy_per_op(&self) -> Energy {
+        self.energy_per_op
+    }
+
+    /// Idle / leakage power.
+    #[must_use]
+    pub fn idle_power(&self) -> Power {
+        self.idle_power
+    }
+
+    /// Peak throughput in operations per second.
+    #[must_use]
+    pub fn peak_ops_per_second(&self) -> f64 {
+        self.peak_ops_per_second
+    }
+
+    /// Switching (dynamic) energy to execute `ops` operations.
+    #[must_use]
+    pub fn energy_for_ops(&self, ops: f64) -> Energy {
+        self.energy_per_op * ops.max(0.0)
+    }
+
+    /// Minimum wall-clock time to execute `ops` operations at peak throughput.
+    #[must_use]
+    pub fn latency_for_ops(&self, ops: f64) -> TimeSpan {
+        TimeSpan::from_seconds(ops.max(0.0) / self.peak_ops_per_second)
+    }
+
+    /// Average power when a workload of `ops_per_second` operations arrives
+    /// every second (dynamic power plus leakage).
+    ///
+    /// Saturates at the power corresponding to peak throughput: work beyond
+    /// peak cannot be executed, and callers should detect that with
+    /// [`ComputeEngine::can_sustain`].
+    #[must_use]
+    pub fn average_power(&self, ops_per_second: f64) -> Power {
+        let executed = ops_per_second.clamp(0.0, self.peak_ops_per_second);
+        self.idle_power + Power::from_watts(self.energy_per_op.as_joules() * executed)
+    }
+
+    /// Whether a sustained rate of `ops_per_second` fits within peak throughput.
+    #[must_use]
+    pub fn can_sustain(&self, ops_per_second: f64) -> bool {
+        ops_per_second <= self.peak_ops_per_second
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_power_ordering_matches_fig1() {
+        // Fig. 1: ISA ~100 µW class << CPU ~mW class.
+        let isa = ComputeEngine::of_class(ComputeClass::IsaAccelerator);
+        let mcu = ComputeEngine::of_class(ComputeClass::Microcontroller);
+        let app = ComputeEngine::of_class(ComputeClass::ApplicationProcessor);
+        // A 10-MMAC/s in-sensor workload (ECG classifier class).
+        let load = 10.0e6;
+        let p_isa = isa.average_power(load);
+        let p_mcu = mcu.average_power(load);
+        let p_app = app.average_power(load);
+        assert!(p_isa.as_micro_watts() < 100.0, "ISA {p_isa}");
+        assert!(p_mcu < p_app);
+        assert!(p_isa < p_mcu);
+        assert!(p_app.as_milli_watts() >= 1.0, "app CPU should be mW class");
+    }
+
+    #[test]
+    fn energy_for_ops_is_linear() {
+        let e = ComputeEngine::of_class(ComputeClass::Microcontroller);
+        let one = e.energy_for_ops(1.0e6);
+        let ten = e.energy_for_ops(10.0e6);
+        assert!((ten.as_joules() / one.as_joules() - 10.0).abs() < 1e-9);
+        assert_eq!(e.energy_for_ops(-5.0), hidwa_units::Energy::ZERO);
+    }
+
+    #[test]
+    fn latency_respects_peak_throughput() {
+        let e = ComputeEngine::of_class(ComputeClass::IsaAccelerator);
+        let t = e.latency_for_ops(50.0e6);
+        assert!((t.as_seconds() - 1.0).abs() < 1e-9);
+        assert_eq!(e.latency_for_ops(0.0), TimeSpan::ZERO);
+    }
+
+    #[test]
+    fn average_power_saturates_at_peak() {
+        let e = ComputeEngine::of_class(ComputeClass::IsaAccelerator);
+        let at_peak = e.average_power(e.peak_ops_per_second());
+        let beyond = e.average_power(e.peak_ops_per_second() * 100.0);
+        assert_eq!(at_peak, beyond);
+        assert!(!e.can_sustain(e.peak_ops_per_second() * 100.0));
+        assert!(e.can_sustain(1.0e6));
+    }
+
+    #[test]
+    fn idle_power_floor() {
+        let e = ComputeEngine::of_class(ComputeClass::ApplicationProcessor);
+        assert_eq!(e.average_power(0.0), e.idle_power());
+    }
+
+    #[test]
+    fn accessors_and_names() {
+        let e = ComputeEngine::of_class(ComputeClass::EdgeNpu);
+        assert_eq!(e.class(), ComputeClass::EdgeNpu);
+        assert_eq!(e.class().name(), "edge NPU");
+        assert!(e.peak_ops_per_second() > 1e11);
+        assert!(e.energy_per_op() > hidwa_units::Energy::ZERO);
+        assert_eq!(e.name(), "hub edge NPU");
+    }
+}

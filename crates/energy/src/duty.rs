@@ -1,0 +1,188 @@
+//! Duty-cycling: folding an active/sleep schedule into an average power.
+//!
+//! Leaf IoB nodes rarely stream continuously; an ECG patch may buffer and
+//! burst, an IMU may wake on motion.  The duty-cycle model turns an
+//! (active power, sleep power, wake-up overhead, schedule) tuple into the
+//! average power the battery actually sees.
+
+use hidwa_units::{Energy, Power, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+/// An active/sleep duty-cycle schedule.
+///
+/// # Example
+/// ```
+/// use hidwa_energy::duty::DutyCycle;
+/// use hidwa_units::{Power, TimeSpan};
+/// // Wake for 10 ms every second.
+/// let duty = DutyCycle::new(TimeSpan::from_millis(10.0), TimeSpan::from_seconds(1.0)).unwrap();
+/// let avg = duty.average_power(Power::from_milli_watts(5.0), Power::from_micro_watts(1.0));
+/// assert!(avg.as_micro_watts() < 60.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DutyCycle {
+    active: TimeSpan,
+    period: TimeSpan,
+    wake_overhead: Energy,
+}
+
+impl DutyCycle {
+    /// Creates a duty cycle that is active for `active` out of every `period`.
+    ///
+    /// # Errors
+    /// Returns [`crate::EnergyError`] if `period` is not positive or `active`
+    /// exceeds `period`.
+    pub fn new(active: TimeSpan, period: TimeSpan) -> Result<Self, crate::EnergyError> {
+        if period.as_seconds() <= 0.0 {
+            return Err(crate::EnergyError::invalid("period", "must be positive"));
+        }
+        if active.as_seconds() < 0.0 || active > period {
+            return Err(crate::EnergyError::invalid(
+                "active",
+                "must be within [0, period]",
+            ));
+        }
+        Ok(Self {
+            active,
+            period,
+            wake_overhead: Energy::ZERO,
+        })
+    }
+
+    /// An always-on (100 %) duty cycle.
+    #[must_use]
+    pub fn always_on() -> Self {
+        Self {
+            active: TimeSpan::from_seconds(1.0),
+            period: TimeSpan::from_seconds(1.0),
+            wake_overhead: Energy::ZERO,
+        }
+    }
+
+    /// Creates a duty cycle from a fraction in `[0, 1]` over a 1 s period.
+    ///
+    /// # Errors
+    /// Returns [`crate::EnergyError`] if `fraction` is outside `[0, 1]`.
+    pub fn from_fraction(fraction: f64) -> Result<Self, crate::EnergyError> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(crate::EnergyError::invalid("fraction", "must be in [0, 1]"));
+        }
+        Self::new(TimeSpan::from_seconds(fraction), TimeSpan::from_seconds(1.0))
+    }
+
+    /// Adds a fixed per-wake-up energy overhead (oscillator start-up,
+    /// regulator settling, radio synchronisation).
+    #[must_use]
+    pub fn with_wake_overhead(mut self, overhead: Energy) -> Self {
+        self.wake_overhead = overhead;
+        self
+    }
+
+    /// Fraction of time spent active.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        self.active / self.period
+    }
+
+    /// Active time per period.
+    #[must_use]
+    pub fn active(&self) -> TimeSpan {
+        self.active
+    }
+
+    /// Schedule period.
+    #[must_use]
+    pub fn period(&self) -> TimeSpan {
+        self.period
+    }
+
+    /// Average power over the schedule given active-phase and sleep-phase
+    /// power draws.
+    #[must_use]
+    pub fn average_power(&self, active_power: Power, sleep_power: Power) -> Power {
+        let f = self.fraction();
+        let wake = if self.active.as_seconds() > 0.0 {
+            self.wake_overhead / self.period
+        } else {
+            Power::ZERO
+        };
+        active_power * f + sleep_power * (1.0 - f) + wake
+    }
+
+    /// Effective average data rate when data is produced only during the
+    /// active phase at `active_rate`.
+    #[must_use]
+    pub fn average_rate(&self, active_rate: hidwa_units::DataRate) -> hidwa_units::DataRate {
+        active_rate * self.fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidwa_units::DataRate;
+
+    #[test]
+    fn always_on_passes_through_active_power() {
+        let d = DutyCycle::always_on();
+        let p = d.average_power(Power::from_milli_watts(3.0), Power::ZERO);
+        assert_eq!(p, Power::from_milli_watts(3.0));
+        assert!((d.fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ten_percent_duty_scales_power() {
+        let d = DutyCycle::from_fraction(0.1).unwrap();
+        let p = d.average_power(Power::from_milli_watts(10.0), Power::ZERO);
+        assert!((p.as_milli_watts() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sleep_power_dominates_at_low_duty() {
+        let d = DutyCycle::from_fraction(1e-4).unwrap();
+        let p = d.average_power(Power::from_milli_watts(1.0), Power::from_micro_watts(5.0));
+        // 0.1 µW of active contribution + ~5 µW sleep floor.
+        assert!(p.as_micro_watts() > 5.0 && p.as_micro_watts() < 6.0);
+    }
+
+    #[test]
+    fn wake_overhead_is_amortised_over_period() {
+        let d = DutyCycle::new(TimeSpan::from_millis(1.0), TimeSpan::from_seconds(1.0))
+            .unwrap()
+            .with_wake_overhead(Energy::from_micro_joules(10.0));
+        let p = d.average_power(Power::ZERO, Power::ZERO);
+        assert!((p.as_micro_watts() - 10.0).abs() < 1e-9);
+        // Zero active time → no wake-ups → no overhead.
+        let idle = DutyCycle::new(TimeSpan::ZERO, TimeSpan::from_seconds(1.0))
+            .unwrap()
+            .with_wake_overhead(Energy::from_micro_joules(10.0));
+        assert_eq!(idle.average_power(Power::ZERO, Power::ZERO), Power::ZERO);
+    }
+
+    #[test]
+    fn average_rate_scales_with_fraction() {
+        let d = DutyCycle::from_fraction(0.25).unwrap();
+        let r = d.average_rate(DataRate::from_kbps(100.0));
+        assert!((r.as_kbps() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(DutyCycle::new(TimeSpan::from_seconds(2.0), TimeSpan::from_seconds(1.0)).is_err());
+        assert!(DutyCycle::new(TimeSpan::from_seconds(1.0), TimeSpan::ZERO).is_err());
+        assert!(DutyCycle::from_fraction(1.5).is_err());
+        assert!(DutyCycle::from_fraction(-0.1).is_err());
+        let d = DutyCycle::new(TimeSpan::from_millis(100.0), TimeSpan::from_seconds(1.0)).unwrap();
+        assert_eq!(d.active(), TimeSpan::from_millis(100.0));
+        assert_eq!(d.period(), TimeSpan::from_seconds(1.0));
+    }
+
+    #[test]
+    fn average_power_between_sleep_and_active() {
+        let d = DutyCycle::from_fraction(0.5).unwrap();
+        let active = Power::from_milli_watts(2.0);
+        let sleep = Power::from_micro_watts(10.0);
+        let avg = d.average_power(active, sleep);
+        assert!(avg > sleep && avg < active);
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type for the energy models.
+
+use core::fmt;
+
+/// Errors produced by battery, harvester and projection constructors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnergyError {
+    /// A model parameter was outside its physically meaningful range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+}
+
+impl EnergyError {
+    pub(crate) fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        EnergyError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for EnergyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnergyError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnergyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EnergyError::invalid("usable_fraction", "must be in (0, 1]");
+        assert_eq!(
+            e.to_string(),
+            "invalid parameter usable_fraction: must be in (0, 1]"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Energy modelling for body-worn devices: batteries, energy harvesters,
+//! sensing front-ends, compute engines, duty cycling and lifetime projection.
+//!
+//! This crate provides the first-order power/energy models that the paper's
+//! battery-life projections (Fig. 3) are built from:
+//!
+//! * [`Battery`] — capacity, nominal voltage, usable fraction and
+//!   self-discharge of the coin cells and pouch cells found in wearables.
+//! * [`harvest`] — indoor photovoltaic, thermoelectric and RF harvester models
+//!   covering the 10–200 µW indoor harvesting range the paper quotes.
+//! * [`sensing`] — the sensing-front-end power versus output data-rate survey
+//!   model (anchored to published analog front ends) used on the x-axis of
+//!   Fig. 3.
+//! * [`compute`] — energy-per-operation models for in-sensor-analytics
+//!   accelerators, microcontrollers and application processors.
+//! * [`duty`] — duty-cycling of active/sleep phases into an average power.
+//! * [`projection`] — combining all of the above into a battery-life
+//!   projection and the all-day / all-week / perpetual classification.
+//!
+//! # Example
+//!
+//! ```
+//! use hidwa_energy::{Battery, projection::{LifetimeProjector, OperatingBand}};
+//! use hidwa_units::Power;
+//!
+//! // The paper's reference cell: 1000 mAh coin cell.
+//! let battery = Battery::coin_cell_1000mah();
+//! let projector = LifetimeProjector::new(battery);
+//! let projection = projector.project(Power::from_micro_watts(20.0));
+//! assert_eq!(projection.band(), OperatingBand::Perpetual);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod battery;
+pub mod compute;
+pub mod duty;
+mod error;
+pub mod harvest;
+pub mod projection;
+pub mod sensing;
+
+pub use battery::Battery;
+pub use error::EnergyError;
+pub use projection::{LifetimeProjection, LifetimeProjector, OperatingBand};

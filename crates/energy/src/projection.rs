@@ -1,0 +1,261 @@
+//! Battery-life projection and the paper's operating-band classification.
+//!
+//! This is the machinery behind Fig. 3: given a battery, an average node
+//! power and (optionally) a harvesting profile, compute the projected battery
+//! life and classify it into the bands the paper uses — less than a day,
+//! all-day, all-week, months, or *perpetual* (more than a year).
+
+use crate::harvest::HarvestingProfile;
+use crate::Battery;
+use hidwa_units::{Power, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+/// Qualitative battery-life bands used throughout the paper (Fig. 2 / Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OperatingBand {
+    /// Less than a full day: needs charging during the day (MR headsets,
+    /// smartphones under heavy use).
+    SubDay,
+    /// At least a day but less than a week ("all-day battery life").
+    AllDay,
+    /// At least a week but less than a month ("all-week battery life").
+    AllWeek,
+    /// At least a month but not yet a year.
+    Months,
+    /// More than a year — the paper's threshold for *perpetually operable*.
+    Perpetual,
+}
+
+impl OperatingBand {
+    /// Classifies a lifetime into a band.
+    #[must_use]
+    pub fn classify(lifetime: TimeSpan) -> Self {
+        if lifetime.is_perpetual() {
+            OperatingBand::Perpetual
+        } else if lifetime.as_days() >= 30.0 {
+            OperatingBand::Months
+        } else if lifetime.is_at_least_a_week() {
+            OperatingBand::AllWeek
+        } else if lifetime.is_at_least_a_day() {
+            OperatingBand::AllDay
+        } else {
+            OperatingBand::SubDay
+        }
+    }
+
+    /// Human-readable label matching the paper's terminology.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            OperatingBand::SubDay => "sub-day",
+            OperatingBand::AllDay => "all-day",
+            OperatingBand::AllWeek => "all-week",
+            OperatingBand::Months => "months",
+            OperatingBand::Perpetual => "perpetual",
+        }
+    }
+}
+
+impl core::fmt::Display for OperatingBand {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Result of a battery-life projection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeProjection {
+    load: Power,
+    harvested: Power,
+    net_load: Power,
+    lifetime: TimeSpan,
+    band: OperatingBand,
+}
+
+impl LifetimeProjection {
+    /// Gross average load power before harvesting.
+    #[must_use]
+    pub fn load(&self) -> Power {
+        self.load
+    }
+
+    /// Average harvested power credited against the load.
+    #[must_use]
+    pub fn harvested(&self) -> Power {
+        self.harvested
+    }
+
+    /// Net power drawn from the battery.
+    #[must_use]
+    pub fn net_load(&self) -> Power {
+        self.net_load
+    }
+
+    /// Projected battery life.
+    #[must_use]
+    pub fn lifetime(&self) -> TimeSpan {
+        self.lifetime
+    }
+
+    /// Operating band of the projected lifetime.
+    #[must_use]
+    pub fn band(&self) -> OperatingBand {
+        self.band
+    }
+
+    /// `true` when harvesting fully covers the load (energy-neutral node).
+    #[must_use]
+    pub fn is_energy_neutral(&self) -> bool {
+        self.harvested >= self.load
+    }
+}
+
+/// Projects battery life for a node given its battery and harvesting profile.
+///
+/// # Example
+/// ```
+/// use hidwa_energy::{Battery, LifetimeProjector, OperatingBand};
+/// use hidwa_energy::harvest::HarvestingProfile;
+/// use hidwa_units::Power;
+///
+/// let projector = LifetimeProjector::new(Battery::coin_cell_1000mah())
+///     .with_harvesting(HarvestingProfile::typical_indoor());
+/// // A 60 µW node under ~70 µW average harvesting is energy-neutral.
+/// let p = projector.project(Power::from_micro_watts(60.0));
+/// assert!(p.is_energy_neutral());
+/// assert_eq!(p.band(), OperatingBand::Perpetual);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeProjector {
+    battery: Battery,
+    harvesting: HarvestingProfile,
+}
+
+impl LifetimeProjector {
+    /// Creates a projector with no harvesting.
+    #[must_use]
+    pub fn new(battery: Battery) -> Self {
+        Self {
+            battery,
+            harvesting: HarvestingProfile::none(),
+        }
+    }
+
+    /// Adds a harvesting profile whose long-run average offsets the load.
+    #[must_use]
+    pub fn with_harvesting(mut self, harvesting: HarvestingProfile) -> Self {
+        self.harvesting = harvesting;
+        self
+    }
+
+    /// The battery being projected.
+    #[must_use]
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// The harvesting profile in use.
+    #[must_use]
+    pub fn harvesting(&self) -> &HarvestingProfile {
+        &self.harvesting
+    }
+
+    /// Projects battery life for an average load power.
+    #[must_use]
+    pub fn project(&self, load: Power) -> LifetimeProjection {
+        let harvested = self.harvesting.average_output();
+        let net_load = (load - harvested).clamp_non_negative();
+        let lifetime = self.battery.lifetime(net_load);
+        LifetimeProjection {
+            load,
+            harvested,
+            net_load,
+            lifetime,
+            band: OperatingBand::classify(lifetime),
+        }
+    }
+
+    /// Projects a whole sweep of loads at once (used for Fig. 3 style curves).
+    #[must_use]
+    pub fn project_sweep(&self, loads: &[Power]) -> Vec<LifetimeProjection> {
+        loads.iter().map(|&l| self.project(l)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harvest::Harvester;
+
+    #[test]
+    fn band_classification_thresholds() {
+        assert_eq!(OperatingBand::classify(TimeSpan::from_hours(5.0)), OperatingBand::SubDay);
+        assert_eq!(OperatingBand::classify(TimeSpan::from_days(2.0)), OperatingBand::AllDay);
+        assert_eq!(OperatingBand::classify(TimeSpan::from_days(8.0)), OperatingBand::AllWeek);
+        assert_eq!(OperatingBand::classify(TimeSpan::from_days(90.0)), OperatingBand::Months);
+        assert_eq!(OperatingBand::classify(TimeSpan::from_days(400.0)), OperatingBand::Perpetual);
+    }
+
+    #[test]
+    fn bands_are_ordered() {
+        assert!(OperatingBand::SubDay < OperatingBand::AllDay);
+        assert!(OperatingBand::AllDay < OperatingBand::AllWeek);
+        assert!(OperatingBand::AllWeek < OperatingBand::Months);
+        assert!(OperatingBand::Months < OperatingBand::Perpetual);
+        assert_eq!(OperatingBand::Perpetual.to_string(), "perpetual");
+    }
+
+    #[test]
+    fn projection_without_harvesting_matches_battery_lifetime() {
+        let battery = Battery::coin_cell_1000mah();
+        let projector = LifetimeProjector::new(battery.clone());
+        let load = Power::from_micro_watts(200.0);
+        let p = projector.project(load);
+        assert_eq!(p.lifetime(), battery.lifetime(load));
+        assert_eq!(p.net_load(), load);
+        assert_eq!(p.harvested(), Power::ZERO);
+        assert!(!p.is_energy_neutral());
+    }
+
+    #[test]
+    fn harvesting_extends_lifetime() {
+        let projector_plain = LifetimeProjector::new(Battery::coin_cell_1000mah());
+        let projector_harv = LifetimeProjector::new(Battery::coin_cell_1000mah())
+            .with_harvesting(HarvestingProfile::new(vec![Harvester::thermoelectric(2.0)]));
+        let load = Power::from_micro_watts(100.0);
+        assert!(projector_harv.project(load).lifetime() > projector_plain.project(load).lifetime());
+    }
+
+    #[test]
+    fn energy_neutral_node_is_perpetual() {
+        let projector = LifetimeProjector::new(Battery::cr2032())
+            .with_harvesting(HarvestingProfile::typical_indoor());
+        let p = projector.project(Power::from_micro_watts(10.0));
+        assert!(p.is_energy_neutral());
+        assert_eq!(p.band(), OperatingBand::Perpetual);
+        assert_eq!(p.net_load(), Power::ZERO);
+    }
+
+    #[test]
+    fn sweep_is_monotone_decreasing_in_load() {
+        let projector = LifetimeProjector::new(Battery::coin_cell_1000mah());
+        let loads: Vec<Power> = (1..6)
+            .map(|i| Power::from_micro_watts(10f64.powi(i)))
+            .collect();
+        let sweep = projector.project_sweep(&loads);
+        assert_eq!(sweep.len(), loads.len());
+        for w in sweep.windows(2) {
+            assert!(w[0].lifetime() >= w[1].lifetime());
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let projector = LifetimeProjector::new(Battery::cr2032())
+            .with_harvesting(HarvestingProfile::typical_indoor());
+        assert_eq!(projector.battery().name(), "CR2032");
+        assert_eq!(projector.harvesting().harvesters().len(), 2);
+        let p = projector.project(Power::from_milli_watts(1.0));
+        assert_eq!(p.load(), Power::from_milli_watts(1.0));
+    }
+}

@@ -1,0 +1,300 @@
+//! Sensing front-end power as a function of output data rate.
+//!
+//! Fig. 3 of the paper plots projected battery life against node data rate,
+//! where the node power is the sum of *sensing* power and *communication*
+//! power ("negligible computation power considered").  The sensing power is
+//! "characterized as a function of data rate with a survey of past literature
+//! and commercially available analog front-ends" (ref. [29], BioCAS 2023).
+//!
+//! We reproduce that survey as a per-modality power-law fit
+//! `P_sense(R) = P_floor + k · R^alpha` anchored to representative published
+//! front ends:
+//!
+//! | Modality | anchor | source class |
+//! |---|---|---|
+//! | Biopotential (ECG/EMG/EEG) | ~2 µW at 4 kbps | instrumentation AFE + SAR ADC |
+//! | IMU / inertial | ~15 µW at 13 kbps | MEMS accel+gyro low-power mode |
+//! | Audio / microphone | ~120 µW at 256 kbps | MEMS mic + codec |
+//! | Image / video | ~10 mW at 10 Mbps | ULP CMOS imager + readout |
+//!
+//! The exact constants are not load-bearing for the reproduction: what must
+//! hold (and what the tests pin down) is the *ordering* of modalities, the
+//! monotonic growth with data rate, and the order-of-magnitude agreement with
+//! the paper's "10–50 µW sensing" leaf-node budget.
+
+use hidwa_units::{DataRate, Power};
+use serde::{Deserialize, Serialize};
+
+/// Sensor modality classes used across the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensorModality {
+    /// Biopotential signals: ECG, EMG, EEG, EOG.
+    Biopotential,
+    /// Inertial measurement units (accelerometer + gyroscope).
+    Inertial,
+    /// Audio capture (MEMS microphone plus codec).
+    Audio,
+    /// Image / video capture (CMOS imager plus readout).
+    Vision,
+    /// Environmental sensing (temperature, pressure, humidity) — very low rate.
+    Environmental,
+}
+
+impl SensorModality {
+    /// All modalities, in increasing order of typical data rate.
+    pub const ALL: [SensorModality; 5] = [
+        SensorModality::Environmental,
+        SensorModality::Biopotential,
+        SensorModality::Inertial,
+        SensorModality::Audio,
+        SensorModality::Vision,
+    ];
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SensorModality::Biopotential => "biopotential",
+            SensorModality::Inertial => "inertial",
+            SensorModality::Audio => "audio",
+            SensorModality::Vision => "vision",
+            SensorModality::Environmental => "environmental",
+        }
+    }
+
+    /// Typical raw output data rate for the modality (survey midpoint).
+    #[must_use]
+    pub fn typical_rate(self) -> DataRate {
+        match self {
+            SensorModality::Environmental => DataRate::from_bps(10.0),
+            SensorModality::Biopotential => DataRate::from_kbps(4.0),
+            SensorModality::Inertial => DataRate::from_kbps(13.0),
+            SensorModality::Audio => DataRate::from_kbps(256.0),
+            SensorModality::Vision => DataRate::from_mbps(10.0),
+        }
+    }
+}
+
+impl core::fmt::Display for SensorModality {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Power-law model of sensing front-end power versus output data rate.
+///
+/// `P(R) = floor + k · (R / 1 bps)^alpha`, clamped below by the floor.
+///
+/// # Example
+/// ```
+/// use hidwa_energy::sensing::SensingModel;
+/// use hidwa_units::DataRate;
+/// let m = SensingModel::survey();
+/// let p_ecg = m.power_at(DataRate::from_kbps(4.0));
+/// assert!(p_ecg.as_micro_watts() > 1.0 && p_ecg.as_micro_watts() < 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensingModel {
+    floor: Power,
+    coefficient_w: f64,
+    exponent: f64,
+}
+
+impl SensingModel {
+    /// Creates a sensing model from its floor power, coefficient (in watts at
+    /// 1 bps) and exponent.
+    #[must_use]
+    pub fn new(floor: Power, coefficient_w: f64, exponent: f64) -> Self {
+        Self {
+            floor,
+            coefficient_w,
+            exponent,
+        }
+    }
+
+    /// The aggregate survey fit used for Fig. 3: a single power law through
+    /// the biopotential, audio and vision front-end anchor points.
+    ///
+    /// Fitting `P = k·R^alpha` through (4 kbps, ≈3 µW: biopotential AFE) and
+    /// (4 Mbps, ≈50 mW: always-on camera + readout) gives `alpha ≈ 1.408`,
+    /// `k ≈ 2.54e-11 W`; a 0.5 µW floor models the bias/reference circuits
+    /// that do not scale with rate.  The super-linear exponent reflects the
+    /// survey's composition: higher-rate modalities use intrinsically more
+    /// power-hungry front ends, not just faster ADCs.
+    #[must_use]
+    pub fn survey() -> Self {
+        Self::new(Power::from_micro_watts(0.5), 2.54e-11, 1.408)
+    }
+
+    /// Survey fit restricted to a single modality (anchored at that
+    /// modality's typical operating point with a generic 0.9 sub-linear
+    /// in-class exponent).
+    #[must_use]
+    pub fn for_modality(modality: SensorModality) -> Self {
+        let (anchor_rate, anchor_power, floor_uw) = match modality {
+            SensorModality::Environmental => (DataRate::from_bps(10.0), Power::from_micro_watts(1.0), 0.2),
+            SensorModality::Biopotential => (DataRate::from_kbps(4.0), Power::from_micro_watts(2.0), 0.3),
+            SensorModality::Inertial => (DataRate::from_kbps(13.0), Power::from_micro_watts(15.0), 2.0),
+            SensorModality::Audio => (DataRate::from_kbps(256.0), Power::from_micro_watts(120.0), 20.0),
+            SensorModality::Vision => (DataRate::from_mbps(10.0), Power::from_milli_watts(10.0), 500.0),
+        };
+        let exponent = 0.9;
+        let floor = Power::from_micro_watts(floor_uw);
+        let variable = (anchor_power - floor).clamp_non_negative();
+        let coefficient_w = variable.as_watts() / anchor_rate.as_bps().powf(exponent);
+        Self::new(floor, coefficient_w, exponent)
+    }
+
+    /// Rate-independent floor power (bias, references, always-on circuits).
+    #[must_use]
+    pub fn floor(&self) -> Power {
+        self.floor
+    }
+
+    /// Sensing power at the given output data rate.
+    #[must_use]
+    pub fn power_at(&self, rate: DataRate) -> Power {
+        if rate.as_bps() <= 0.0 {
+            return self.floor;
+        }
+        self.floor + Power::from_watts(self.coefficient_w * rate.as_bps().powf(self.exponent))
+    }
+}
+
+/// A concrete sensor: a modality plus the rate it is configured to stream at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sensor {
+    name: String,
+    modality: SensorModality,
+    rate: DataRate,
+    model: SensingModel,
+}
+
+impl Sensor {
+    /// Creates a sensor streaming at `rate` using the modality's survey model.
+    #[must_use]
+    pub fn new(name: impl Into<String>, modality: SensorModality, rate: DataRate) -> Self {
+        Self {
+            name: name.into(),
+            modality,
+            rate,
+            model: SensingModel::for_modality(modality),
+        }
+    }
+
+    /// Creates a sensor at the modality's typical rate.
+    #[must_use]
+    pub fn typical(modality: SensorModality) -> Self {
+        Self::new(modality.name(), modality, modality.typical_rate())
+    }
+
+    /// Sensor label.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sensor modality.
+    #[must_use]
+    pub fn modality(&self) -> SensorModality {
+        self.modality
+    }
+
+    /// Configured output data rate.
+    #[must_use]
+    pub fn rate(&self) -> DataRate {
+        self.rate
+    }
+
+    /// Active sensing power at the configured rate.
+    #[must_use]
+    pub fn power(&self) -> Power {
+        self.model.power_at(self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_anchor_points_are_in_range() {
+        let m = SensingModel::survey();
+        let ecg = m.power_at(DataRate::from_kbps(4.0)).as_micro_watts();
+        assert!(ecg > 1.0 && ecg < 10.0, "ecg anchor {ecg} µW");
+        let audio = m.power_at(DataRate::from_kbps(256.0)).as_milli_watts();
+        assert!(audio > 0.3 && audio < 5.0, "audio anchor {audio} mW");
+        let video = m.power_at(DataRate::from_mbps(4.0)).as_milli_watts();
+        assert!(video > 20.0 && video < 100.0, "video anchor {video} mW");
+    }
+
+    #[test]
+    fn sensing_power_monotone_in_rate() {
+        let m = SensingModel::survey();
+        let mut prev = Power::ZERO;
+        for exp in 1..8 {
+            let rate = DataRate::from_bps(10f64.powi(exp));
+            let p = m.power_at(rate);
+            assert!(p > prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn zero_rate_gives_floor() {
+        let m = SensingModel::survey();
+        assert_eq!(m.power_at(DataRate::ZERO), m.floor());
+    }
+
+    #[test]
+    fn modality_models_hit_their_anchors() {
+        for modality in SensorModality::ALL {
+            let m = SensingModel::for_modality(modality);
+            let s = Sensor::typical(modality);
+            let p = m.power_at(modality.typical_rate());
+            assert_eq!(s.power(), p);
+            assert!(p > Power::ZERO);
+        }
+        // Biopotential anchor: 2 µW at 4 kbps.
+        let p = SensingModel::for_modality(SensorModality::Biopotential)
+            .power_at(DataRate::from_kbps(4.0));
+        assert!((p.as_micro_watts() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn modality_ordering_by_power_at_typical_rate() {
+        // At their own typical rates, modalities order by power:
+        // environmental < biopotential < inertial < audio < vision.
+        let powers: Vec<f64> = SensorModality::ALL
+            .iter()
+            .map(|m| Sensor::typical(*m).power().as_watts())
+            .collect();
+        for w in powers.windows(2) {
+            assert!(w[0] < w[1], "expected increasing power, got {powers:?}");
+        }
+    }
+
+    #[test]
+    fn leaf_node_sensing_budget_matches_paper() {
+        // The paper's human-inspired leaf node budgets 10–50 µW for sensing.
+        // ECG, IMU and environmental sensors fall at or below that band.
+        for m in [
+            SensorModality::Environmental,
+            SensorModality::Biopotential,
+            SensorModality::Inertial,
+        ] {
+            let p = Sensor::typical(m).power().as_micro_watts();
+            assert!(p <= 50.0, "{m} sensing power {p} µW exceeds leaf budget");
+        }
+    }
+
+    #[test]
+    fn display_and_names() {
+        assert_eq!(SensorModality::Audio.to_string(), "audio");
+        assert_eq!(Sensor::typical(SensorModality::Vision).name(), "vision");
+        assert_eq!(
+            Sensor::typical(SensorModality::Inertial).modality(),
+            SensorModality::Inertial
+        );
+    }
+}

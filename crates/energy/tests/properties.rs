@@ -1,0 +1,86 @@
+//! Property-based tests for the energy models.
+
+use hidwa_energy::duty::DutyCycle;
+use hidwa_energy::harvest::HarvestingProfile;
+use hidwa_energy::projection::{LifetimeProjector, OperatingBand};
+use hidwa_energy::sensing::SensingModel;
+use hidwa_energy::Battery;
+use hidwa_units::{Charge, DataRate, Power, Voltage};
+use proptest::prelude::*;
+
+proptest! {
+    /// Battery lifetime is monotone non-increasing in load power.
+    #[test]
+    fn battery_lifetime_monotone(load_a in 1.0..1e6f64, load_b in 1.0..1e6f64) {
+        let cell = Battery::coin_cell_1000mah();
+        let (lo, hi) = if load_a < load_b { (load_a, load_b) } else { (load_b, load_a) };
+        let life_lo = cell.lifetime(Power::from_micro_watts(lo));
+        let life_hi = cell.lifetime(Power::from_micro_watts(hi));
+        prop_assert!(life_hi <= life_lo);
+    }
+
+    /// Doubling capacity never shortens lifetime.
+    #[test]
+    fn battery_lifetime_monotone_in_capacity(mah in 10.0..2000.0f64, load in 1.0..1e5f64) {
+        let small = Battery::new("s", Charge::from_milli_amp_hours(mah), Voltage::from_volts(3.0), 0.9, 0.03).unwrap();
+        let big = Battery::new("b", Charge::from_milli_amp_hours(mah * 2.0), Voltage::from_volts(3.0), 0.9, 0.03).unwrap();
+        let p = Power::from_micro_watts(load);
+        prop_assert!(big.lifetime(p) >= small.lifetime(p));
+    }
+
+    /// power_budget_for() inverts lifetime() (where the budget is non-zero).
+    #[test]
+    fn budget_inverts_lifetime(days in 0.5..300.0f64) {
+        let cell = Battery::coin_cell_1000mah();
+        let target = hidwa_units::TimeSpan::from_days(days);
+        let budget = cell.power_budget_for(target);
+        prop_assume!(budget > Power::ZERO);
+        let achieved = cell.lifetime(budget);
+        prop_assert!((achieved.as_days() - days).abs() / days < 1e-6);
+    }
+
+    /// Sensing power is monotone in data rate and never below the floor.
+    #[test]
+    fn sensing_monotone(r1 in 1.0..1e7f64, r2 in 1.0..1e7f64) {
+        let m = SensingModel::survey();
+        let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+        let p_lo = m.power_at(DataRate::from_bps(lo));
+        let p_hi = m.power_at(DataRate::from_bps(hi));
+        prop_assert!(p_hi >= p_lo);
+        prop_assert!(p_lo >= m.floor());
+    }
+
+    /// Duty-cycled average power always lies between sleep and active power.
+    #[test]
+    fn duty_cycle_bounds(fraction in 0.0..1.0f64, active_mw in 0.01..100.0f64, sleep_uw in 0.0..100.0f64) {
+        let d = DutyCycle::from_fraction(fraction).unwrap();
+        let active = Power::from_milli_watts(active_mw);
+        let sleep = Power::from_micro_watts(sleep_uw);
+        prop_assume!(sleep <= active);
+        let avg = d.average_power(active, sleep);
+        prop_assert!(avg >= sleep - Power::from_nano_watts(1.0));
+        prop_assert!(avg <= active + Power::from_nano_watts(1.0));
+    }
+
+    /// Harvesting never makes the projected lifetime shorter, and the band
+    /// never gets worse.
+    #[test]
+    fn harvesting_never_hurts(load_uw in 1.0..1e5f64) {
+        let load = Power::from_micro_watts(load_uw);
+        let plain = LifetimeProjector::new(Battery::coin_cell_1000mah()).project(load);
+        let harv = LifetimeProjector::new(Battery::coin_cell_1000mah())
+            .with_harvesting(HarvestingProfile::typical_indoor())
+            .project(load);
+        prop_assert!(harv.lifetime() >= plain.lifetime());
+        prop_assert!(harv.band() >= plain.band());
+    }
+
+    /// Band classification is monotone in lifetime.
+    #[test]
+    fn band_monotone(d1 in 0.01..2000.0f64, d2 in 0.01..2000.0f64) {
+        let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        let b_lo = OperatingBand::classify(hidwa_units::TimeSpan::from_days(lo));
+        let b_hi = OperatingBand::classify(hidwa_units::TimeSpan::from_days(hi));
+        prop_assert!(b_hi >= b_lo);
+    }
+}

@@ -1,0 +1,263 @@
+//! Geometric and electrical model of the human body as a communication medium.
+//!
+//! For EQS-HBC the body acts as one node of a capacitively closed circuit:
+//! the transmitter couples a potential onto the conductive body volume, the
+//! receiver senses the body potential against its own floating ground, and
+//! the circuit closes through the parasitic capacitances of transmitter and
+//! receiver ground plates back to earth ground.  The numbers that matter are
+//! therefore electrode/ground-plate capacitances, the body's self-capacitance
+//! to earth, and which locations on the body host the devices.
+
+use hidwa_units::Distance;
+use serde::{Deserialize, Serialize};
+
+/// Named on-body device locations, used to derive channel lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BodySite {
+    /// Head / ear (earbuds, glasses temple).
+    Ear,
+    /// Eyes / face front (smart glasses, MR headset).
+    Face,
+    /// Chest (ECG patch, pendant, AI pin).
+    Chest,
+    /// Upper arm.
+    UpperArm,
+    /// Wrist (watch, band).
+    Wrist,
+    /// Finger (smart ring).
+    Finger,
+    /// Waist / pocket (phone, pocket assistant).
+    Waist,
+    /// Thigh.
+    Thigh,
+    /// Ankle / foot.
+    Ankle,
+}
+
+impl BodySite {
+    /// All sites.
+    pub const ALL: [BodySite; 9] = [
+        BodySite::Ear,
+        BodySite::Face,
+        BodySite::Chest,
+        BodySite::UpperArm,
+        BodySite::Wrist,
+        BodySite::Finger,
+        BodySite::Waist,
+        BodySite::Thigh,
+        BodySite::Ankle,
+    ];
+
+    /// Approximate position of the site on a standing adult, in metres, with
+    /// the origin at the feet: `[x lateral, y anterior, z height]`.
+    #[must_use]
+    pub fn position(self) -> [f64; 3] {
+        match self {
+            BodySite::Ear => [0.08, 0.0, 1.65],
+            BodySite::Face => [0.0, 0.10, 1.62],
+            BodySite::Chest => [0.0, 0.12, 1.35],
+            BodySite::UpperArm => [0.22, 0.0, 1.30],
+            BodySite::Wrist => [0.28, 0.05, 0.95],
+            BodySite::Finger => [0.30, 0.10, 0.85],
+            BodySite::Waist => [0.12, 0.10, 1.00],
+            BodySite::Thigh => [0.10, 0.05, 0.70],
+            BodySite::Ankle => [0.08, 0.0, 0.10],
+        }
+    }
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BodySite::Ear => "ear",
+            BodySite::Face => "face",
+            BodySite::Chest => "chest",
+            BodySite::UpperArm => "upper arm",
+            BodySite::Wrist => "wrist",
+            BodySite::Finger => "finger",
+            BodySite::Waist => "waist",
+            BodySite::Thigh => "thigh",
+            BodySite::Ankle => "ankle",
+        }
+    }
+
+    /// On-body path length between two sites.
+    ///
+    /// The Euclidean distance is inflated by 30 % to approximate the path
+    /// along the body surface (signals do not cut through free space).
+    #[must_use]
+    pub fn path_to(self, other: BodySite) -> Distance {
+        let d = Distance::between(self.position(), other.position());
+        d * 1.3
+    }
+}
+
+impl core::fmt::Display for BodySite {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Electrical body model for EQS-HBC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BodyModel {
+    /// Body self-capacitance to earth ground, farads (~100–200 pF for adults).
+    body_to_ground_capacitance_f: f64,
+    /// Transmitter ground-plate return-path capacitance, farads (~0.1–1 pF).
+    tx_return_capacitance_f: f64,
+    /// Receiver ground-plate return-path capacitance, farads (~0.1–1 pF).
+    rx_return_capacitance_f: f64,
+    /// Extra on-body attenuation per metre of channel length, dB/m (small:
+    /// the EQS channel is nearly distance-independent; ~1–2 dB/m captures the
+    /// residual trend reported in measurement campaigns).
+    per_meter_loss_db: f64,
+    /// Maximum usable on-body channel length.
+    max_channel_length: Distance,
+}
+
+impl BodyModel {
+    /// Creates a body model from explicit electrical parameters.
+    ///
+    /// # Errors
+    /// Returns [`crate::EqsError`] if any capacitance is non-positive or the
+    /// per-metre loss is negative.
+    pub fn new(
+        body_to_ground_capacitance_f: f64,
+        tx_return_capacitance_f: f64,
+        rx_return_capacitance_f: f64,
+        per_meter_loss_db: f64,
+        max_channel_length: Distance,
+    ) -> Result<Self, crate::EqsError> {
+        if body_to_ground_capacitance_f <= 0.0 {
+            return Err(crate::EqsError::invalid(
+                "body_to_ground_capacitance_f",
+                "must be positive",
+            ));
+        }
+        if tx_return_capacitance_f <= 0.0 || rx_return_capacitance_f <= 0.0 {
+            return Err(crate::EqsError::invalid(
+                "return_capacitance",
+                "must be positive",
+            ));
+        }
+        if per_meter_loss_db < 0.0 {
+            return Err(crate::EqsError::invalid(
+                "per_meter_loss_db",
+                "must be non-negative",
+            ));
+        }
+        Ok(Self {
+            body_to_ground_capacitance_f,
+            tx_return_capacitance_f,
+            rx_return_capacitance_f,
+            per_meter_loss_db,
+            max_channel_length,
+        })
+    }
+
+    /// A standing adult with wearable-size devices: 150 pF body capacitance,
+    /// 0.6 pF return-path capacitances, 2 dB/m residual distance loss,
+    /// channels up to 2 m (head-to-ankle).
+    #[must_use]
+    pub fn adult() -> Self {
+        Self::new(150e-12, 0.6e-12, 0.6e-12, 2.0, Distance::from_meters(2.0))
+            .expect("reference body parameters are valid")
+    }
+
+    /// A smaller body (child or small adult): lower body capacitance and
+    /// shorter maximum channel.
+    #[must_use]
+    pub fn small_adult() -> Self {
+        Self::new(110e-12, 0.5e-12, 0.5e-12, 2.0, Distance::from_meters(1.6))
+            .expect("reference body parameters are valid")
+    }
+
+    /// Body-to-earth capacitance in farads.
+    #[must_use]
+    pub fn body_to_ground_capacitance_f(&self) -> f64 {
+        self.body_to_ground_capacitance_f
+    }
+
+    /// Transmitter return-path capacitance in farads.
+    #[must_use]
+    pub fn tx_return_capacitance_f(&self) -> f64 {
+        self.tx_return_capacitance_f
+    }
+
+    /// Receiver return-path capacitance in farads.
+    #[must_use]
+    pub fn rx_return_capacitance_f(&self) -> f64 {
+        self.rx_return_capacitance_f
+    }
+
+    /// Residual on-body loss per metre, in dB.
+    #[must_use]
+    pub fn per_meter_loss_db(&self) -> f64 {
+        self.per_meter_loss_db
+    }
+
+    /// Longest supported on-body channel.
+    #[must_use]
+    pub fn max_channel_length(&self) -> Distance {
+        self.max_channel_length
+    }
+}
+
+impl Default for BodyModel {
+    fn default() -> Self {
+        Self::adult()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_paths_are_in_expected_range() {
+        // Paper: IoB channel lengths are typically 1–2 m for the longest
+        // paths; wrist-to-chest is well under a metre.
+        let long = BodySite::Ear.path_to(BodySite::Ankle);
+        assert!(long.as_meters() > 1.5 && long.as_meters() < 2.3, "{long}");
+        let short = BodySite::Wrist.path_to(BodySite::Chest);
+        assert!(short.as_meters() < 1.0);
+    }
+
+    #[test]
+    fn path_is_symmetric_and_zero_to_self() {
+        for a in BodySite::ALL {
+            assert_eq!(a.path_to(a), Distance::ZERO);
+            for b in BodySite::ALL {
+                assert_eq!(a.path_to(b), b.path_to(a));
+            }
+        }
+    }
+
+    #[test]
+    fn adult_model_reference_values() {
+        let body = BodyModel::adult();
+        assert!((body.body_to_ground_capacitance_f() - 150e-12).abs() < 1e-15);
+        assert!(body.max_channel_length().as_meters() >= 2.0);
+        assert!(BodyModel::small_adult().max_channel_length() < body.max_channel_length());
+        assert_eq!(BodyModel::default(), BodyModel::adult());
+    }
+
+    #[test]
+    fn constructor_rejects_nonphysical_parameters() {
+        let d = Distance::from_meters(2.0);
+        assert!(BodyModel::new(0.0, 1e-12, 1e-12, 1.0, d).is_err());
+        assert!(BodyModel::new(100e-12, 0.0, 1e-12, 1.0, d).is_err());
+        assert!(BodyModel::new(100e-12, 1e-12, -1e-12, 1.0, d).is_err());
+        assert!(BodyModel::new(100e-12, 1e-12, 1e-12, -1.0, d).is_err());
+        assert!(BodyModel::new(100e-12, 1e-12, 1e-12, 1.0, d).is_ok());
+    }
+
+    #[test]
+    fn site_names_unique() {
+        let mut names: Vec<&str> = BodySite::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BodySite::ALL.len());
+        assert_eq!(BodySite::Wrist.to_string(), "wrist");
+    }
+}

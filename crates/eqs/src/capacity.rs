@@ -1,0 +1,161 @@
+//! Shannon-capacity bound of the EQS-HBC channel.
+//!
+//! The paper claims Wi-R reaches multi-Mbps rates (4 Mbps demonstrated,
+//! 30 Mbps in the literature) within a ≤ 30 MHz band.  The capacity module
+//! checks that those operating points sit comfortably below the
+//! information-theoretic bound of the modelled channel, and provides the
+//! achievable-rate estimate the PHY layer uses when picking modulation.
+
+use crate::channel::EqsChannel;
+use crate::noise::NoiseModel;
+use hidwa_units::{DataRate, Distance, Frequency, Voltage};
+use serde::{Deserialize, Serialize};
+
+/// Channel-capacity estimator combining the EQS channel with a receiver noise
+/// model.
+///
+/// # Example
+/// ```
+/// use hidwa_eqs::{capacity::CapacityEstimator, channel::{EqsChannel, Termination}, body::BodyModel, noise::NoiseModel};
+/// use hidwa_units::{Distance, Frequency, Voltage};
+/// let est = CapacityEstimator::new(
+///     EqsChannel::new(BodyModel::adult(), Termination::HighImpedance),
+///     NoiseModel::wearable_receiver(),
+/// );
+/// let c = est.capacity(Voltage::from_volts(1.0), Distance::from_meters(1.4), Frequency::from_mega_hertz(4.0));
+/// assert!(c.as_mbps() > 4.0); // the demonstrated 4 Mbps operating point is feasible
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityEstimator {
+    channel: EqsChannel,
+    noise: NoiseModel,
+    /// Implementation gap from Shannon capacity, dB (modulation, coding,
+    /// synchronisation losses). Typical simple OOK/BPSK transceivers sit
+    /// ~10 dB off capacity.
+    implementation_gap_db: f64,
+}
+
+impl CapacityEstimator {
+    /// Creates an estimator with a 10 dB implementation gap.
+    #[must_use]
+    pub fn new(channel: EqsChannel, noise: NoiseModel) -> Self {
+        Self {
+            channel,
+            noise,
+            implementation_gap_db: 10.0,
+        }
+    }
+
+    /// Overrides the implementation gap.
+    #[must_use]
+    pub fn with_implementation_gap_db(mut self, gap_db: f64) -> Self {
+        self.implementation_gap_db = gap_db.max(0.0);
+        self
+    }
+
+    /// Receiver SNR (linear) for a given transmit swing, channel length and
+    /// signal bandwidth.
+    #[must_use]
+    pub fn snr(&self, tx_swing: Voltage, distance: Distance, bandwidth: Frequency) -> f64 {
+        let carrier = Frequency::from_mega_hertz(21.0);
+        let rx = self.channel.received_amplitude(tx_swing, distance, carrier);
+        // High-impedance voltage-mode sensing: compare the received amplitude
+        // against the front end's input-referred noise.
+        self.noise.snr_amplitude(rx, bandwidth)
+    }
+
+    /// Shannon capacity `B·log2(1 + SNR)` of the channel.
+    #[must_use]
+    pub fn capacity(&self, tx_swing: Voltage, distance: Distance, bandwidth: Frequency) -> DataRate {
+        let snr = self.snr(tx_swing, distance, bandwidth);
+        DataRate::from_bps(bandwidth.as_hertz() * (1.0 + snr).log2())
+    }
+
+    /// Achievable rate after the implementation gap is applied to the SNR.
+    #[must_use]
+    pub fn achievable_rate(
+        &self,
+        tx_swing: Voltage,
+        distance: Distance,
+        bandwidth: Frequency,
+    ) -> DataRate {
+        let snr = self.snr(tx_swing, distance, bandwidth)
+            / hidwa_units::db_to_ratio(self.implementation_gap_db);
+        DataRate::from_bps(bandwidth.as_hertz() * (1.0 + snr).log2())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::BodyModel;
+    use crate::channel::Termination;
+
+    fn estimator() -> CapacityEstimator {
+        CapacityEstimator::new(
+            EqsChannel::new(BodyModel::adult(), Termination::HighImpedance),
+            NoiseModel::wearable_receiver(),
+        )
+    }
+
+    #[test]
+    fn demonstrated_operating_points_are_feasible() {
+        let est = estimator();
+        let d = Distance::from_meters(1.4);
+        // 4 Mbps in a 4 MHz band.
+        let c4 = est.achievable_rate(Voltage::from_volts(1.0), d, Frequency::from_mega_hertz(4.0));
+        assert!(c4.as_mbps() > 4.0, "achievable {c4}");
+        // 30 Mbps (BodyWire-class) in the full 30 MHz EQS band.
+        let c30 =
+            est.achievable_rate(Voltage::from_volts(1.0), d, Frequency::from_mega_hertz(30.0));
+        assert!(c30.as_mbps() > 30.0, "achievable {c30}");
+    }
+
+    #[test]
+    fn capacity_exceeds_achievable_rate() {
+        let est = estimator();
+        let d = Distance::from_meters(1.0);
+        let bw = Frequency::from_mega_hertz(4.0);
+        let swing = Voltage::from_volts(1.0);
+        assert!(est.capacity(swing, d, bw) > est.achievable_rate(swing, d, bw));
+    }
+
+    #[test]
+    fn capacity_increases_with_swing_and_bandwidth() {
+        let est = estimator();
+        let d = Distance::from_meters(1.5);
+        let bw = Frequency::from_mega_hertz(4.0);
+        assert!(
+            est.capacity(Voltage::from_volts(2.0), d, bw)
+                > est.capacity(Voltage::from_volts(0.5), d, bw)
+        );
+        assert!(
+            est.capacity(Voltage::from_volts(1.0), d, Frequency::from_mega_hertz(20.0))
+                > est.capacity(Voltage::from_volts(1.0), d, bw)
+        );
+    }
+
+    #[test]
+    fn capacity_decreases_with_distance() {
+        let est = estimator();
+        let bw = Frequency::from_mega_hertz(4.0);
+        let swing = Voltage::from_volts(1.0);
+        assert!(
+            est.capacity(swing, Distance::from_meters(0.3), bw)
+                >= est.capacity(swing, Distance::from_meters(1.9), bw)
+        );
+    }
+
+    #[test]
+    fn zero_gap_matches_capacity() {
+        let est = estimator().with_implementation_gap_db(0.0);
+        let d = Distance::from_meters(1.0);
+        let bw = Frequency::from_mega_hertz(4.0);
+        let swing = Voltage::from_volts(1.0);
+        assert!(
+            (est.capacity(swing, d, bw).as_bps() - est.achievable_rate(swing, d, bw).as_bps())
+                .abs()
+                < 1.0
+        );
+    }
+}

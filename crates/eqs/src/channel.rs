@@ -1,0 +1,274 @@
+//! EQS-HBC channel gain model.
+//!
+//! In capacitive voltage-mode EQS-HBC the transmitter couples its signal onto
+//! the body and the receiver observes the body potential relative to its own
+//! floating ground plate.  The dominant loss mechanism is the capacitive
+//! divider between the tiny return-path capacitances of the wearable ground
+//! plates (~0.1–1 pF) and the much larger body-to-earth capacitance
+//! (~150 pF):
+//!
+//! `gain ≈ (C_ret_tx / C_body) · (C_ret_rx / (C_ret_rx + C_load))`
+//!
+//! With a high-impedance (capacitive, ~fF–pF load) termination the divider is
+//! nearly frequency-independent across the EQS band, which is what makes the
+//! whole-body "wire" behave like a wire: the measured channel loss sits in
+//! the −55 to −80 dB window largely independent of where the devices sit on
+//! the body (Maity 2018).  With a 50 Ω termination the response becomes
+//! high-pass and considerably lossier at low EQS frequencies — which is why
+//! early HBC work at low frequency under-performed and why termination is a
+//! first-class parameter here.
+
+use crate::body::{BodyModel, BodySite};
+use crate::EqsError;
+use hidwa_units::{db_to_ratio, Distance, Frequency, Voltage};
+use serde::{Deserialize, Serialize};
+
+/// Receiver termination style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Termination {
+    /// High-impedance capacitive termination (voltage-mode EQS-HBC): flat,
+    /// low-loss response across the EQS band.
+    HighImpedance,
+    /// Conventional 50 Ω termination: high-pass response, lossy at low
+    /// frequency.
+    FiftyOhm,
+}
+
+/// Capacitive voltage-mode EQS-HBC channel.
+///
+/// # Example
+/// ```
+/// use hidwa_eqs::channel::{EqsChannel, Termination};
+/// use hidwa_eqs::body::BodyModel;
+/// use hidwa_units::{Distance, Frequency};
+/// let ch = EqsChannel::new(BodyModel::adult(), Termination::HighImpedance);
+/// let g = ch.gain_db(Distance::from_meters(1.0), Frequency::from_mega_hertz(21.0));
+/// assert!(g < -50.0 && g > -90.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EqsChannel {
+    body: BodyModel,
+    termination: Termination,
+    /// Receiver load capacitance for high-impedance termination, farads.
+    load_capacitance_f: f64,
+}
+
+impl EqsChannel {
+    /// Creates a channel over `body` with the given termination.
+    #[must_use]
+    pub fn new(body: BodyModel, termination: Termination) -> Self {
+        Self {
+            body,
+            termination,
+            load_capacitance_f: 1.0e-12,
+        }
+    }
+
+    /// Overrides the receiver load capacitance (high-impedance termination).
+    ///
+    /// # Errors
+    /// Returns [`EqsError`] if `farads` is not positive.
+    pub fn with_load_capacitance(mut self, farads: f64) -> Result<Self, EqsError> {
+        if farads <= 0.0 {
+            return Err(EqsError::invalid("load_capacitance_f", "must be positive"));
+        }
+        self.load_capacitance_f = farads;
+        Ok(self)
+    }
+
+    /// The body model underlying this channel.
+    #[must_use]
+    pub fn body(&self) -> &BodyModel {
+        &self.body
+    }
+
+    /// The termination style.
+    #[must_use]
+    pub fn termination(&self) -> Termination {
+        self.termination
+    }
+
+    /// Channel voltage gain (linear) for a given on-body distance and carrier
+    /// frequency.
+    ///
+    /// Frequencies above the EQS band are rejected by [`EqsChannel::try_gain_db`];
+    /// this infallible variant clamps them to the band edge.
+    #[must_use]
+    pub fn gain(&self, distance: Distance, frequency: Frequency) -> f64 {
+        let f = if frequency.is_eqs() {
+            frequency
+        } else {
+            Frequency::from_mega_hertz(30.0)
+        };
+        self.gain_inner(distance, f)
+    }
+
+    /// Channel gain in dB (20·log10 of the voltage gain).
+    #[must_use]
+    pub fn gain_db(&self, distance: Distance, frequency: Frequency) -> f64 {
+        20.0 * self.gain(distance, frequency).log10()
+    }
+
+    /// Channel gain in dB, returning an error outside the EQS band.
+    ///
+    /// # Errors
+    /// Returns [`EqsError::OutsideEqsBand`] when `frequency` exceeds 30 MHz.
+    pub fn try_gain_db(&self, distance: Distance, frequency: Frequency) -> Result<f64, EqsError> {
+        if !frequency.is_eqs() {
+            return Err(EqsError::OutsideEqsBand {
+                frequency_mhz: frequency.as_mega_hertz(),
+            });
+        }
+        Ok(20.0 * self.gain_inner(distance, frequency).log10())
+    }
+
+    fn gain_inner(&self, distance: Distance, frequency: Frequency) -> f64 {
+        let body = &self.body;
+        // Forward coupling: the transmitter lifts the body potential through
+        // the divider between its return capacitance and the body-to-earth
+        // capacitance.
+        let forward = body.tx_return_capacitance_f()
+            / (body.tx_return_capacitance_f() + body.body_to_ground_capacitance_f());
+        // Receive side depends on termination.
+        let receive = match self.termination {
+            Termination::HighImpedance => {
+                // Capacitive divider between the receiver return capacitance
+                // and its load capacitance: frequency-independent.
+                body.rx_return_capacitance_f()
+                    / (body.rx_return_capacitance_f() + self.load_capacitance_f)
+            }
+            Termination::FiftyOhm => {
+                // R·C high-pass: |H| = ωRC / sqrt(1 + (ωRC)²) with
+                // C = receiver return capacitance, R = 50 Ω.
+                let omega = 2.0 * core::f64::consts::PI * frequency.as_hertz();
+                let wrc = omega * 50.0 * body.rx_return_capacitance_f();
+                wrc / (1.0 + wrc * wrc).sqrt()
+                    * (body.rx_return_capacitance_f()
+                        / (body.rx_return_capacitance_f() + self.load_capacitance_f))
+            }
+        };
+        // Residual distance dependence (small for EQS).
+        let distance_m = distance.as_meters().min(body.max_channel_length().as_meters());
+        let residual = db_to_ratio(-body.per_meter_loss_db() * distance_m / 2.0).sqrt();
+        // The factor of 2 and sqrt keep the residual expressed as a voltage
+        // ratio: per_meter_loss_db is specified as a power loss per metre.
+        forward * receive * residual
+    }
+
+    /// Channel gain between two named body sites.
+    #[must_use]
+    pub fn gain_db_between(&self, a: BodySite, b: BodySite, frequency: Frequency) -> f64 {
+        self.gain_db(a.path_to(b), frequency)
+    }
+
+    /// Received amplitude for a given transmit swing.
+    #[must_use]
+    pub fn received_amplitude(
+        &self,
+        tx_swing: Voltage,
+        distance: Distance,
+        frequency: Frequency,
+    ) -> Voltage {
+        tx_swing * self.gain(distance, frequency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adult_hi_z() -> EqsChannel {
+        EqsChannel::new(BodyModel::adult(), Termination::HighImpedance)
+    }
+
+    #[test]
+    fn whole_body_loss_in_measured_window() {
+        // EQS-HBC measurement campaigns report −55 to −85 dB whole-body loss.
+        let ch = adult_hi_z();
+        for meters in [0.2, 0.5, 1.0, 1.5, 2.0] {
+            let g = ch.gain_db(Distance::from_meters(meters), Frequency::from_mega_hertz(21.0));
+            assert!(g < -50.0 && g > -90.0, "gain at {meters} m = {g} dB");
+        }
+    }
+
+    #[test]
+    fn high_impedance_response_is_flat_across_eqs_band() {
+        let ch = adult_hi_z();
+        let d = Distance::from_meters(1.2);
+        let g_low = ch.gain_db(d, Frequency::from_kilo_hertz(100.0));
+        let g_high = ch.gain_db(d, Frequency::from_mega_hertz(30.0));
+        assert!((g_low - g_high).abs() < 1.0, "flatness violated: {g_low} vs {g_high}");
+    }
+
+    #[test]
+    fn fifty_ohm_termination_is_high_pass_and_lossier() {
+        let hi_z = adult_hi_z();
+        let r50 = EqsChannel::new(BodyModel::adult(), Termination::FiftyOhm);
+        let d = Distance::from_meters(1.0);
+        let f_low = Frequency::from_kilo_hertz(100.0);
+        let f_high = Frequency::from_mega_hertz(30.0);
+        // 50 Ω is worse than high-impedance everywhere in the band…
+        assert!(r50.gain_db(d, f_low) < hi_z.gain_db(d, f_low));
+        // …and improves with frequency (high-pass behaviour).
+        assert!(r50.gain_db(d, f_high) > r50.gain_db(d, f_low) + 20.0);
+    }
+
+    #[test]
+    fn gain_decreases_slowly_with_distance() {
+        let ch = adult_hi_z();
+        let f = Frequency::from_mega_hertz(10.0);
+        let g_short = ch.gain_db(Distance::from_meters(0.3), f);
+        let g_long = ch.gain_db(Distance::from_meters(1.8), f);
+        assert!(g_short > g_long);
+        // The whole-body spread is a few dB, not tens of dB — "body as a wire".
+        assert!(g_short - g_long < 5.0);
+    }
+
+    #[test]
+    fn out_of_band_is_rejected_or_clamped() {
+        let ch = adult_hi_z();
+        let d = Distance::from_meters(1.0);
+        assert!(ch.try_gain_db(d, Frequency::from_mega_hertz(2400.0)).is_err());
+        // Infallible variant clamps: equal to the band edge value.
+        let clamped = ch.gain_db(d, Frequency::from_mega_hertz(2400.0));
+        let edge = ch.gain_db(d, Frequency::from_mega_hertz(30.0));
+        assert!((clamped - edge).abs() < 1e-9);
+    }
+
+    #[test]
+    fn site_to_site_gain_uses_path_length() {
+        let ch = adult_hi_z();
+        let f = Frequency::from_mega_hertz(21.0);
+        let g_sites = ch.gain_db_between(BodySite::Wrist, BodySite::Chest, f);
+        let g_manual = ch.gain_db(BodySite::Wrist.path_to(BodySite::Chest), f);
+        assert!((g_sites - g_manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn received_amplitude_scales_with_swing() {
+        let ch = adult_hi_z();
+        let d = Distance::from_meters(1.0);
+        let f = Frequency::from_mega_hertz(21.0);
+        let v1 = ch.received_amplitude(Voltage::from_volts(1.0), d, f);
+        let v2 = ch.received_amplitude(Voltage::from_volts(2.0), d, f);
+        assert!((v2.as_volts() / v1.as_volts() - 2.0).abs() < 1e-12);
+        // 1 V swing over a ~−65 dB channel lands in the 100 µV – 3 mV window.
+        assert!(v1.as_micro_volts() > 50.0 && v1.as_micro_volts() < 3000.0);
+    }
+
+    #[test]
+    fn load_capacitance_validation_and_effect() {
+        let base = adult_hi_z();
+        let heavy_load = EqsChannel::new(BodyModel::adult(), Termination::HighImpedance)
+            .with_load_capacitance(10e-12)
+            .unwrap();
+        let d = Distance::from_meters(1.0);
+        let f = Frequency::from_mega_hertz(21.0);
+        assert!(heavy_load.gain_db(d, f) < base.gain_db(d, f));
+        assert!(EqsChannel::new(BodyModel::adult(), Termination::HighImpedance)
+            .with_load_capacitance(0.0)
+            .is_err());
+        assert_eq!(base.termination(), Termination::HighImpedance);
+        assert_eq!(base.body(), &BodyModel::adult());
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the channel models.
+
+use core::fmt;
+
+/// Errors produced by channel-model constructors and evaluators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EqsError {
+    /// A model parameter was outside its physically meaningful range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: String,
+    },
+    /// The requested carrier frequency lies outside the electro-quasistatic
+    /// band, so the EQS channel model does not apply.
+    OutsideEqsBand {
+        /// Requested frequency in MHz.
+        frequency_mhz: f64,
+    },
+}
+
+impl EqsError {
+    pub(crate) fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        EqsError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for EqsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EqsError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            EqsError::OutsideEqsBand { frequency_mhz } => {
+                write!(f, "frequency {frequency_mhz} MHz is outside the EQS band (≤ 30 MHz)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EqsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(EqsError::invalid("x", "y").to_string().contains("invalid parameter x"));
+        let e = EqsError::OutsideEqsBand { frequency_mhz: 2400.0 };
+        assert!(e.to_string().contains("2400"));
+    }
+}

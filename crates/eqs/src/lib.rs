@@ -1,0 +1,46 @@
+//! Electro-quasistatic human body communication (EQS-HBC) channel models.
+//!
+//! The paper's "Body as a Wire" (Wi-R) argument rests on three physical
+//! observations about the conductive human body:
+//!
+//! 1. Below ~30 MHz (the electro-quasistatic band) the body behaves as a
+//!    lossy conductor rather than an antenna, so an externally coupled
+//!    electric-field signal travels across the whole body with a loss that is
+//!    nearly independent of on-body distance ([`channel`]).
+//! 2. The same quasistatic fields decay extremely steeply *away* from the
+//!    body, confining the signal to a centimetre-scale "personal bubble" and
+//!    giving physical-layer security; radiative RF instead illuminates a
+//!    5–10 m room-scale bubble ([`security`], [`rf`]).
+//! 3. The resulting channel supports Mbps-class data rates at ultra-low
+//!    power, quantified with a Shannon-capacity bound ([`capacity`]).
+//!
+//! Models are first-order and parametric, calibrated against the trends in
+//! the cited EQS-HBC literature (Maity 2018, Das 2019, Nath 2021): capacitive
+//! return path division for voltage-mode termination, frequency-flat response
+//! in the EQS band with high-impedance termination, and dipole-like
+//! quasistatic field decay off the body.
+//!
+//! # Example
+//! ```
+//! use hidwa_eqs::channel::{EqsChannel, Termination};
+//! use hidwa_eqs::body::BodyModel;
+//! use hidwa_units::{Distance, Frequency};
+//!
+//! let body = BodyModel::adult();
+//! let channel = EqsChannel::new(body, Termination::HighImpedance);
+//! let gain_db = channel.gain_db(Distance::from_meters(1.4), Frequency::from_mega_hertz(21.0));
+//! assert!(gain_db < -50.0 && gain_db > -90.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod body;
+pub mod capacity;
+pub mod channel;
+mod error;
+pub mod noise;
+pub mod rf;
+pub mod security;
+
+pub use error::EqsError;

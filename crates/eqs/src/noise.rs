@@ -1,0 +1,191 @@
+//! Receiver noise model: thermal noise floor, noise figure and interference,
+//! yielding the SNR that the capacity and BER models consume.
+
+use hidwa_units::{power_to_dbm, Frequency, Power};
+use serde::{Deserialize, Serialize};
+
+/// Boltzmann constant, J/K.
+const BOLTZMANN: f64 = 1.380_649e-23;
+/// Reference temperature for noise calculations, kelvin.
+const T0_KELVIN: f64 = 290.0;
+
+/// Receiver noise model.
+///
+/// # Example
+/// ```
+/// use hidwa_eqs::noise::NoiseModel;
+/// use hidwa_units::Frequency;
+/// let rx = NoiseModel::wearable_receiver();
+/// let floor = rx.noise_floor(Frequency::from_mega_hertz(4.0));
+/// // kTB over 4 MHz with a 10 dB NF plus 1 pW interference lands near −89 dBm.
+/// assert!(hidwa_units::power_to_dbm(floor) < -85.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Receiver noise figure in dB.
+    noise_figure_db: f64,
+    /// In-band interference power picked up by the body (the body is a large
+    /// antenna for ambient 50/60 Hz and broadcast interference).
+    interference: Power,
+    /// Input-referred voltage-noise density of the high-impedance front end,
+    /// in nV/√Hz. Used for the voltage-domain SNR of EQS receivers.
+    input_noise_density_nv_rthz: f64,
+}
+
+impl NoiseModel {
+    /// Creates a noise model from a noise figure (dB) and an interference
+    /// power. The input-referred voltage-noise density defaults to
+    /// 30 nV/√Hz (a good wearable LNA); see
+    /// [`NoiseModel::with_input_noise_density`].
+    #[must_use]
+    pub fn new(noise_figure_db: f64, interference: Power) -> Self {
+        Self {
+            noise_figure_db: noise_figure_db.max(0.0),
+            interference,
+            input_noise_density_nv_rthz: 30.0,
+        }
+    }
+
+    /// Overrides the input-referred voltage-noise density (nV/√Hz).
+    #[must_use]
+    pub fn with_input_noise_density(mut self, nv_per_rt_hz: f64) -> Self {
+        self.input_noise_density_nv_rthz = nv_per_rt_hz.max(0.0);
+        self
+    }
+
+    /// A wearable-class EQS receiver: 10 dB noise figure, 1 pW residual
+    /// in-band interference after the interference-rejection front end,
+    /// 30 nV/√Hz input-referred noise.
+    #[must_use]
+    pub fn wearable_receiver() -> Self {
+        Self::new(10.0, Power::from_watts(1e-12))
+    }
+
+    /// An ideal receiver (0 dB NF, no interference, noiseless front end) —
+    /// upper-bound studies.
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self::new(0.0, Power::ZERO).with_input_noise_density(0.0)
+    }
+
+    /// Receiver noise figure in dB.
+    #[must_use]
+    pub fn noise_figure_db(&self) -> f64 {
+        self.noise_figure_db
+    }
+
+    /// Interference power.
+    #[must_use]
+    pub fn interference(&self) -> Power {
+        self.interference
+    }
+
+    /// Total noise-plus-interference power in a given bandwidth.
+    #[must_use]
+    pub fn noise_floor(&self, bandwidth: Frequency) -> Power {
+        let thermal = BOLTZMANN * T0_KELVIN * bandwidth.as_hertz();
+        let nf = hidwa_units::db_to_ratio(self.noise_figure_db);
+        Power::from_watts(thermal * nf) + self.interference
+    }
+
+    /// Signal-to-noise ratio (linear) for a received signal power in a given
+    /// bandwidth.
+    #[must_use]
+    pub fn snr(&self, received: Power, bandwidth: Frequency) -> f64 {
+        let floor = self.noise_floor(bandwidth);
+        if floor.as_watts() <= 0.0 {
+            return f64::INFINITY;
+        }
+        received / floor
+    }
+
+    /// SNR in dB.
+    #[must_use]
+    pub fn snr_db(&self, received: Power, bandwidth: Frequency) -> f64 {
+        hidwa_units::ratio_to_db(self.snr(received, bandwidth))
+    }
+
+    /// Noise floor expressed in dBm (convenience for link budgets).
+    #[must_use]
+    pub fn noise_floor_dbm(&self, bandwidth: Frequency) -> f64 {
+        power_to_dbm(self.noise_floor(bandwidth))
+    }
+
+    /// Input-referred RMS noise voltage integrated over `bandwidth`.
+    #[must_use]
+    pub fn input_referred_noise(&self, bandwidth: Frequency) -> hidwa_units::Voltage {
+        hidwa_units::Voltage::from_volts(
+            self.input_noise_density_nv_rthz * 1e-9 * bandwidth.as_hertz().sqrt(),
+        )
+    }
+
+    /// Voltage-domain SNR (linear) for a received amplitude at a
+    /// high-impedance EQS front end.
+    #[must_use]
+    pub fn snr_amplitude(&self, received: hidwa_units::Voltage, bandwidth: Frequency) -> f64 {
+        let noise = self.input_referred_noise(bandwidth);
+        if noise.as_volts() <= 0.0 {
+            return f64::INFINITY;
+        }
+        (received.as_volts() / noise.as_volts()).powi(2)
+    }
+
+    /// Voltage-domain SNR in dB.
+    #[must_use]
+    pub fn snr_amplitude_db(&self, received: hidwa_units::Voltage, bandwidth: Frequency) -> f64 {
+        hidwa_units::ratio_to_db(self.snr_amplitude(received, bandwidth))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_floor_reference() {
+        // kTB at 290 K over 1 MHz = −114 dBm; with 10 dB NF ≈ −104 dBm
+        // (interference of 1 pW = −90 dBm dominates slightly in this model).
+        let ideal = NoiseModel::ideal();
+        let dbm = ideal.noise_floor_dbm(Frequency::from_mega_hertz(1.0));
+        assert!((dbm + 114.0).abs() < 0.5, "floor {dbm} dBm");
+    }
+
+    #[test]
+    fn noise_floor_scales_with_bandwidth() {
+        let rx = NoiseModel::ideal();
+        let narrow = rx.noise_floor(Frequency::from_kilo_hertz(10.0));
+        let wide = rx.noise_floor(Frequency::from_mega_hertz(10.0));
+        assert!((wide.as_watts() / narrow.as_watts() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snr_decreases_with_bandwidth() {
+        let rx = NoiseModel::wearable_receiver();
+        let rcv = Power::from_nano_watts(1.0);
+        let s1 = rx.snr(rcv, Frequency::from_kilo_hertz(100.0));
+        let s2 = rx.snr(rcv, Frequency::from_mega_hertz(10.0));
+        assert!(s1 > s2);
+    }
+
+    #[test]
+    fn interference_adds_to_floor() {
+        let quiet = NoiseModel::new(10.0, Power::ZERO);
+        let noisy = NoiseModel::new(10.0, Power::from_nano_watts(1.0));
+        let bw = Frequency::from_mega_hertz(4.0);
+        assert!(noisy.noise_floor(bw) > quiet.noise_floor(bw));
+        assert_eq!(noisy.interference(), Power::from_nano_watts(1.0));
+        assert!((noisy.noise_figure_db() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_receiver_with_zero_bandwidth_has_infinite_snr() {
+        let rx = NoiseModel::ideal();
+        assert!(rx.snr(Power::from_nano_watts(1.0), Frequency::ZERO).is_infinite());
+    }
+
+    #[test]
+    fn negative_noise_figure_clamped() {
+        let rx = NoiseModel::new(-5.0, Power::ZERO);
+        assert_eq!(rx.noise_figure_db(), 0.0);
+    }
+}

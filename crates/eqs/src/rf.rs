@@ -1,0 +1,206 @@
+//! Radiative RF path-loss model (the baseline the paper argues against).
+//!
+//! A 2.4 GHz BLE radio on the body radiates into the room: free-space (Friis)
+//! path loss plus a body-shadowing term when the direct path crosses the
+//! torso.  Two consequences drive the paper's argument:
+//!
+//! * energy: the radio must close a link budget over a room-scale bubble even
+//!   though the intended receiver is 1–2 m away on the same body, and
+//! * security: an eavesdropper 5–10 m away still receives a usable signal.
+
+use hidwa_units::{power_to_dbm, Distance, Frequency, Power};
+use serde::{Deserialize, Serialize};
+
+/// Free-space path loss in dB at distance `d` and frequency `f`.
+///
+/// `FSPL = 20·log10(4π·d/λ)`; returns 0 dB for distances below 1 cm to avoid
+/// the near-field singularity.
+#[must_use]
+pub fn free_space_path_loss_db(distance: Distance, frequency: Frequency) -> f64 {
+    let d = distance.as_meters().max(0.01);
+    let lambda = frequency.wavelength_m();
+    20.0 * (4.0 * core::f64::consts::PI * d / lambda).log10()
+}
+
+/// Radiative RF link model (BLE-class).
+///
+/// # Example
+/// ```
+/// use hidwa_eqs::rf::RfLink;
+/// use hidwa_units::{dbm_to_power, Distance};
+/// let link = RfLink::ble_2m();
+/// let rx = link.received_power(dbm_to_power(0.0), Distance::from_meters(5.0));
+/// assert!(hidwa_units::power_to_dbm(rx) > -90.0); // still comfortably decodable at 5 m
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RfLink {
+    carrier: Frequency,
+    /// Combined TX+RX antenna gain, dB (small, body-worn antennas are poor).
+    antenna_gain_db: f64,
+    /// Additional loss when the body shadows the path, dB.
+    body_shadow_db: f64,
+    /// Receiver sensitivity.
+    sensitivity: Power,
+}
+
+impl RfLink {
+    /// Creates an RF link model.
+    #[must_use]
+    pub fn new(
+        carrier: Frequency,
+        antenna_gain_db: f64,
+        body_shadow_db: f64,
+        sensitivity: Power,
+    ) -> Self {
+        Self {
+            carrier,
+            antenna_gain_db,
+            body_shadow_db,
+            sensitivity,
+        }
+    }
+
+    /// BLE 1M PHY reference link: 2.44 GHz, −4 dB net antenna gain, 15 dB
+    /// average body shadowing, −95 dBm sensitivity.
+    #[must_use]
+    pub fn ble_1m() -> Self {
+        Self::new(
+            Frequency::from_giga_hertz(2.44),
+            -4.0,
+            15.0,
+            hidwa_units::dbm_to_power(-95.0),
+        )
+    }
+
+    /// BLE 2M PHY reference link: same radio, ~3 dB worse sensitivity.
+    #[must_use]
+    pub fn ble_2m() -> Self {
+        Self::new(
+            Frequency::from_giga_hertz(2.44),
+            -4.0,
+            15.0,
+            hidwa_units::dbm_to_power(-92.0),
+        )
+    }
+
+    /// Carrier frequency.
+    #[must_use]
+    pub fn carrier(&self) -> Frequency {
+        self.carrier
+    }
+
+    /// Receiver sensitivity.
+    #[must_use]
+    pub fn sensitivity(&self) -> Power {
+        self.sensitivity
+    }
+
+    /// Total path loss in dB at a given distance (free space + shadowing −
+    /// antenna gains).
+    #[must_use]
+    pub fn path_loss_db(&self, distance: Distance) -> f64 {
+        free_space_path_loss_db(distance, self.carrier) + self.body_shadow_db
+            - self.antenna_gain_db
+    }
+
+    /// Received power for a given transmit power and distance.
+    #[must_use]
+    pub fn received_power(&self, tx_power: Power, distance: Distance) -> Power {
+        let rx_dbm = power_to_dbm(tx_power) - self.path_loss_db(distance);
+        hidwa_units::dbm_to_power(rx_dbm)
+    }
+
+    /// Maximum distance at which the received power still meets the receiver
+    /// sensitivity — the "radiation bubble" radius for an eavesdropper with
+    /// the same receiver.
+    #[must_use]
+    pub fn detection_range(&self, tx_power: Power) -> Distance {
+        // Invert FSPL: allowed loss = TX(dBm) − sensitivity(dBm).
+        let allowed_db =
+            power_to_dbm(tx_power) - power_to_dbm(self.sensitivity) + self.antenna_gain_db
+                - self.body_shadow_db;
+        if allowed_db <= 0.0 {
+            return Distance::ZERO;
+        }
+        let lambda = self.carrier.wavelength_m();
+        let d = lambda / (4.0 * core::f64::consts::PI) * hidwa_units::db_to_ratio(allowed_db).sqrt();
+        Distance::from_meters(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidwa_units::dbm_to_power;
+
+    #[test]
+    fn fspl_reference_point() {
+        // 2.4 GHz at 1 m ≈ 40 dB.
+        let loss = free_space_path_loss_db(
+            Distance::from_meters(1.0),
+            Frequency::from_giga_hertz(2.4),
+        );
+        assert!((loss - 40.0).abs() < 0.5, "loss {loss}");
+    }
+
+    #[test]
+    fn fspl_increases_with_distance_and_frequency() {
+        let f = Frequency::from_giga_hertz(2.4);
+        assert!(
+            free_space_path_loss_db(Distance::from_meters(10.0), f)
+                > free_space_path_loss_db(Distance::from_meters(1.0), f)
+        );
+        assert!(
+            free_space_path_loss_db(Distance::from_meters(1.0), Frequency::from_giga_hertz(5.0))
+                > free_space_path_loss_db(Distance::from_meters(1.0), f)
+        );
+        // Near-field clamp.
+        let tiny = free_space_path_loss_db(Distance::ZERO, f);
+        assert!(tiny.is_finite());
+    }
+
+    #[test]
+    fn ble_reaches_room_scale() {
+        // Paper: "the data is radiated 5−10 meters away from the device".
+        // A 0 dBm BLE transmitter must remain decodable at ≥ 5 m even with
+        // body shadowing.
+        let link = RfLink::ble_1m();
+        let range = link.detection_range(dbm_to_power(0.0));
+        assert!(range.as_meters() > 5.0, "range {range}");
+        // And the received power at 2 m (across-body via reflection) is far
+        // above sensitivity.
+        let rx = link.received_power(dbm_to_power(0.0), Distance::from_meters(2.0));
+        assert!(rx > link.sensitivity());
+    }
+
+    #[test]
+    fn received_power_monotone_decreasing() {
+        let link = RfLink::ble_2m();
+        let tx = dbm_to_power(0.0);
+        let mut prev = Power::from_watts(f64::MAX);
+        for m in [0.5, 1.0, 2.0, 5.0, 10.0] {
+            let p = link.received_power(tx, Distance::from_meters(m));
+            assert!(p < prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn detection_range_zero_when_link_cannot_close() {
+        let deaf = RfLink::new(
+            Frequency::from_giga_hertz(2.44),
+            -4.0,
+            15.0,
+            dbm_to_power(20.0),
+        );
+        assert_eq!(deaf.detection_range(dbm_to_power(0.0)), Distance::ZERO);
+    }
+
+    #[test]
+    fn accessors() {
+        let link = RfLink::ble_1m();
+        assert!((link.carrier().as_giga_hertz() - 2.44).abs() < 1e-9);
+        assert!(link.sensitivity() < dbm_to_power(-90.0));
+        assert!(link.path_loss_db(Distance::from_meters(1.0)) > 40.0);
+    }
+}

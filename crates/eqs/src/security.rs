@@ -1,0 +1,270 @@
+//! Physical-layer security: signal leakage away from the body.
+//!
+//! Quasistatic fields around the body decay like a static dipole — the leaked
+//! potential falls off roughly with the cube of distance once an eavesdropper
+//! is more than a few centimetres away from the skin (Das 2019 measured the
+//! EQS-HBC "personal bubble" at ≲ 0.15 m).  Radiative RF instead falls off as
+//! 1/d in amplitude, so a BLE packet is decodable across the room.  This
+//! module quantifies both so the bench can regenerate the containment
+//! comparison the paper makes in §I and §III-B.
+
+use crate::channel::EqsChannel;
+use crate::noise::NoiseModel;
+use crate::rf::RfLink;
+use hidwa_units::{Distance, Frequency, Power, Voltage};
+use serde::{Deserialize, Serialize};
+
+/// Leakage model for EQS-HBC signals off the body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EqsLeakage {
+    /// Reference distance at which the off-body amplitude equals the on-body
+    /// received amplitude (electrode-to-air transition region), metres.
+    reference_distance_m: f64,
+    /// Amplitude decay exponent beyond the reference distance (≈3 for a
+    /// quasistatic dipole).
+    decay_exponent: f64,
+}
+
+impl EqsLeakage {
+    /// Creates a leakage model.
+    #[must_use]
+    pub fn new(reference_distance_m: f64, decay_exponent: f64) -> Self {
+        Self {
+            reference_distance_m: reference_distance_m.max(1e-3),
+            decay_exponent: decay_exponent.max(1.0),
+        }
+    }
+
+    /// Default model fitted to published containment measurements: 5 cm
+    /// transition region, cubic amplitude decay.
+    #[must_use]
+    pub fn measured() -> Self {
+        Self::new(0.05, 3.0)
+    }
+
+    /// Off-body amplitude at `distance` from the body surface, given the
+    /// amplitude available at the body surface.
+    #[must_use]
+    pub fn leaked_amplitude(&self, on_body: Voltage, distance: Distance) -> Voltage {
+        let d = distance.as_meters();
+        if d <= self.reference_distance_m {
+            return on_body;
+        }
+        on_body * (self.reference_distance_m / d).powf(self.decay_exponent)
+    }
+
+    /// Distance at which the leaked amplitude drops below an attacker's
+    /// receiver sensitivity (expressed as a minimum detectable amplitude).
+    #[must_use]
+    pub fn containment_radius(&self, on_body: Voltage, min_detectable: Voltage) -> Distance {
+        if min_detectable.as_volts() <= 0.0 {
+            return Distance::from_meters(f64::INFINITY);
+        }
+        if on_body <= min_detectable {
+            return Distance::from_meters(self.reference_distance_m);
+        }
+        let ratio = on_body.as_volts() / min_detectable.as_volts();
+        Distance::from_meters(self.reference_distance_m * ratio.powf(1.0 / self.decay_exponent))
+    }
+}
+
+impl Default for EqsLeakage {
+    fn default() -> Self {
+        Self::measured()
+    }
+}
+
+/// One row of the EQS-vs-RF interception comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterceptionPoint {
+    /// Eavesdropper distance from the body.
+    pub distance: Distance,
+    /// Eavesdropper SNR on the EQS signal, dB.
+    pub eqs_snr_db: f64,
+    /// Eavesdropper SNR on the RF (BLE) signal, dB.
+    pub rf_snr_db: f64,
+    /// Whether the EQS signal is decodable (SNR above threshold).
+    pub eqs_decodable: bool,
+    /// Whether the RF signal is decodable.
+    pub rf_decodable: bool,
+}
+
+/// Compares attacker visibility of an EQS-HBC link and a BLE link versus
+/// distance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SecurityComparison {
+    eqs_channel: EqsChannel,
+    leakage: EqsLeakage,
+    rf_link: RfLink,
+    attacker_noise: NoiseModel,
+    /// SNR (dB) an attacker needs to decode either signal.
+    decode_threshold_db: f64,
+}
+
+impl SecurityComparison {
+    /// Creates a comparison with a 10 dB decode threshold and a wearable-class
+    /// attacker receiver.
+    #[must_use]
+    pub fn new(eqs_channel: EqsChannel, rf_link: RfLink) -> Self {
+        Self {
+            eqs_channel,
+            leakage: EqsLeakage::measured(),
+            rf_link,
+            attacker_noise: NoiseModel::wearable_receiver(),
+            decode_threshold_db: 10.0,
+        }
+    }
+
+    /// Overrides the leakage model.
+    #[must_use]
+    pub fn with_leakage(mut self, leakage: EqsLeakage) -> Self {
+        self.leakage = leakage;
+        self
+    }
+
+    /// Evaluates both links at a set of attacker distances.
+    ///
+    /// `tx_swing` is the EQS transmit swing, `tx_rf` the BLE transmit power,
+    /// `on_body_distance` the legitimate on-body channel length, `bandwidth`
+    /// the signal bandwidth used for the SNR calculation.
+    #[must_use]
+    pub fn sweep(
+        &self,
+        tx_swing: Voltage,
+        tx_rf: Power,
+        on_body_distance: Distance,
+        bandwidth: Frequency,
+        distances: &[Distance],
+    ) -> Vec<InterceptionPoint> {
+        let carrier = Frequency::from_mega_hertz(21.0);
+        let on_body_amplitude = self
+            .eqs_channel
+            .received_amplitude(tx_swing, on_body_distance, carrier);
+        distances
+            .iter()
+            .map(|&d| {
+                let leaked = self.leakage.leaked_amplitude(on_body_amplitude, d);
+                // The attacker probes the leaked field with a high-impedance
+                // front end: voltage-domain SNR against its input noise.
+                let eqs_snr_db = self.attacker_noise.snr_amplitude_db(leaked, bandwidth);
+                let rf_rx = self.rf_link.received_power(tx_rf, d);
+                let rf_snr_db = self.attacker_noise.snr_db(rf_rx, bandwidth);
+                InterceptionPoint {
+                    distance: d,
+                    eqs_snr_db,
+                    rf_snr_db,
+                    eqs_decodable: eqs_snr_db >= self.decode_threshold_db,
+                    rf_decodable: rf_snr_db >= self.decode_threshold_db,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::BodyModel;
+    use crate::channel::Termination;
+    use hidwa_units::dbm_to_power;
+
+    fn comparison() -> SecurityComparison {
+        SecurityComparison::new(
+            EqsChannel::new(BodyModel::adult(), Termination::HighImpedance),
+            RfLink::ble_1m(),
+        )
+    }
+
+    #[test]
+    fn leakage_decays_steeply() {
+        let l = EqsLeakage::measured();
+        let v0 = Voltage::from_milli_volts(1.0);
+        let near = l.leaked_amplitude(v0, Distance::from_centimeters(5.0));
+        let half_m = l.leaked_amplitude(v0, Distance::from_meters(0.5));
+        let one_m = l.leaked_amplitude(v0, Distance::from_meters(1.0));
+        assert_eq!(near, v0);
+        assert!(half_m < v0 * 0.01);
+        // Cubic decay: doubling distance costs 8×.
+        assert!((half_m.as_volts() / one_m.as_volts() - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn containment_radius_is_personal_bubble_scale() {
+        let l = EqsLeakage::measured();
+        // 1 mV on-body signal, attacker needs 10 µV: contained within ~25 cm.
+        let r = l.containment_radius(Voltage::from_milli_volts(1.0), Voltage::from_micro_volts(10.0));
+        assert!(r.as_meters() < 0.5, "containment {r}");
+        // Degenerate cases.
+        assert!(l
+            .containment_radius(Voltage::from_milli_volts(1.0), Voltage::ZERO)
+            .as_meters()
+            .is_infinite());
+        assert_eq!(
+            l.containment_radius(Voltage::from_micro_volts(1.0), Voltage::from_milli_volts(1.0)),
+            Distance::from_meters(0.05)
+        );
+    }
+
+    #[test]
+    fn eqs_contained_but_rf_decodable_at_room_scale() {
+        // The paper's core security claim: at 5 m the BLE signal is decodable
+        // but the EQS signal is not; the EQS signal is only visible in the
+        // personal bubble.
+        let cmp = comparison();
+        let distances = [
+            Distance::from_centimeters(10.0),
+            Distance::from_meters(1.0),
+            Distance::from_meters(5.0),
+            Distance::from_meters(10.0),
+        ];
+        let points = cmp.sweep(
+            Voltage::from_volts(1.0),
+            dbm_to_power(0.0),
+            Distance::from_meters(1.4),
+            Frequency::from_mega_hertz(4.0),
+            &distances,
+        );
+        assert_eq!(points.len(), 4);
+        // RF decodable at 5 m, EQS not decodable beyond the bubble.
+        let at_5m = &points[2];
+        assert!(at_5m.rf_decodable, "RF should be decodable at 5 m");
+        assert!(!at_5m.eqs_decodable, "EQS must not be decodable at 5 m");
+        // Within 10 cm the EQS signal is observable (that is the legitimate
+        // receiver's regime).
+        assert!(points[0].eqs_snr_db > points[2].eqs_snr_db + 40.0);
+        // SNRs decrease monotonically with distance for both technologies.
+        for w in points.windows(2) {
+            assert!(w[0].eqs_snr_db >= w[1].eqs_snr_db);
+            assert!(w[0].rf_snr_db >= w[1].rf_snr_db);
+        }
+    }
+
+    #[test]
+    fn custom_leakage_changes_containment() {
+        let loose = EqsLeakage::new(0.5, 2.0);
+        let cmp = comparison().with_leakage(loose);
+        let points = cmp.sweep(
+            Voltage::from_volts(1.0),
+            dbm_to_power(0.0),
+            Distance::from_meters(1.0),
+            Frequency::from_mega_hertz(4.0),
+            &[Distance::from_meters(1.0)],
+        );
+        let tight_points = comparison().sweep(
+            Voltage::from_volts(1.0),
+            dbm_to_power(0.0),
+            Distance::from_meters(1.0),
+            Frequency::from_mega_hertz(4.0),
+            &[Distance::from_meters(1.0)],
+        );
+        assert!(points[0].eqs_snr_db > tight_points[0].eqs_snr_db);
+    }
+
+    #[test]
+    fn leakage_constructor_clamps() {
+        let l = EqsLeakage::new(-1.0, 0.5);
+        let v = l.leaked_amplitude(Voltage::from_volts(1.0), Distance::from_meters(1.0));
+        assert!(v.as_volts() > 0.0 && v.as_volts() < 1.0);
+        assert_eq!(EqsLeakage::default(), EqsLeakage::measured());
+    }
+}

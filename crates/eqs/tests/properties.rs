@@ -1,0 +1,98 @@
+//! Property-based tests for the EQS channel models.
+
+use hidwa_eqs::body::{BodyModel, BodySite};
+use hidwa_eqs::capacity::CapacityEstimator;
+use hidwa_eqs::channel::{EqsChannel, Termination};
+use hidwa_eqs::noise::NoiseModel;
+use hidwa_eqs::rf::{free_space_path_loss_db, RfLink};
+use hidwa_eqs::security::EqsLeakage;
+use hidwa_units::{dbm_to_power, Distance, Frequency, Voltage};
+use proptest::prelude::*;
+
+fn site() -> impl Strategy<Value = BodySite> {
+    prop::sample::select(BodySite::ALL.to_vec())
+}
+
+proptest! {
+    /// Channel gain is always a loss (< 0 dB) and finite within the EQS band.
+    #[test]
+    fn gain_is_a_finite_loss(meters in 0.05..2.0f64, mhz in 0.1..30.0f64) {
+        let ch = EqsChannel::new(BodyModel::adult(), Termination::HighImpedance);
+        let g = ch.gain_db(Distance::from_meters(meters), Frequency::from_mega_hertz(mhz));
+        prop_assert!(g.is_finite());
+        prop_assert!(g < 0.0);
+        prop_assert!(g > -120.0);
+    }
+
+    /// Gain is monotone non-increasing in on-body distance.
+    #[test]
+    fn gain_monotone_in_distance(d1 in 0.05..2.0f64, d2 in 0.05..2.0f64, mhz in 0.1..30.0f64) {
+        let ch = EqsChannel::new(BodyModel::adult(), Termination::HighImpedance);
+        let f = Frequency::from_mega_hertz(mhz);
+        let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(ch.gain_db(Distance::from_meters(lo), f) >= ch.gain_db(Distance::from_meters(hi), f));
+    }
+
+    /// 50 Ω termination never beats high-impedance termination.
+    #[test]
+    fn high_impedance_dominates(meters in 0.05..2.0f64, mhz in 0.1..30.0f64) {
+        let hi = EqsChannel::new(BodyModel::adult(), Termination::HighImpedance);
+        let lo = EqsChannel::new(BodyModel::adult(), Termination::FiftyOhm);
+        let d = Distance::from_meters(meters);
+        let f = Frequency::from_mega_hertz(mhz);
+        prop_assert!(hi.gain_db(d, f) >= lo.gain_db(d, f));
+    }
+
+    /// Site-to-site paths are symmetric and bounded by the body size.
+    #[test]
+    fn site_paths_symmetric(a in site(), b in site()) {
+        prop_assert_eq!(a.path_to(b), b.path_to(a));
+        prop_assert!(a.path_to(b).as_meters() <= 2.5);
+    }
+
+    /// EQS leakage never exceeds the on-body amplitude and is monotone in distance.
+    #[test]
+    fn leakage_monotone(mv in 0.001..10.0f64, d1 in 0.01..10.0f64, d2 in 0.01..10.0f64) {
+        let l = EqsLeakage::measured();
+        let v0 = Voltage::from_milli_volts(mv);
+        let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        let near = l.leaked_amplitude(v0, Distance::from_meters(lo));
+        let far = l.leaked_amplitude(v0, Distance::from_meters(hi));
+        prop_assert!(near <= v0);
+        prop_assert!(far <= near);
+    }
+
+    /// Free-space path loss is monotone in distance.
+    #[test]
+    fn fspl_monotone(d1 in 0.02..50.0f64, d2 in 0.02..50.0f64) {
+        let f = Frequency::from_giga_hertz(2.44);
+        let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(
+            free_space_path_loss_db(Distance::from_meters(lo), f)
+                <= free_space_path_loss_db(Distance::from_meters(hi), f) + 1e-9
+        );
+    }
+
+    /// RF detection range grows with transmit power.
+    #[test]
+    fn detection_range_monotone_in_tx(dbm1 in -20.0..10.0f64, dbm2 in -20.0..10.0f64) {
+        let link = RfLink::ble_1m();
+        let (lo, hi) = if dbm1 < dbm2 { (dbm1, dbm2) } else { (dbm2, dbm1) };
+        prop_assert!(link.detection_range(dbm_to_power(lo)) <= link.detection_range(dbm_to_power(hi)));
+    }
+
+    /// Shannon capacity is monotone in bandwidth and transmit swing.
+    #[test]
+    fn capacity_monotone(bw1 in 0.5..30.0f64, bw2 in 0.5..30.0f64, swing in 0.1..3.0f64) {
+        let est = CapacityEstimator::new(
+            EqsChannel::new(BodyModel::adult(), Termination::HighImpedance),
+            NoiseModel::wearable_receiver(),
+        );
+        let d = Distance::from_meters(1.4);
+        let (lo, hi) = if bw1 < bw2 { (bw1, bw2) } else { (bw2, bw1) };
+        let v = Voltage::from_volts(swing);
+        let c_lo = est.capacity(v, d, Frequency::from_mega_hertz(lo));
+        let c_hi = est.capacity(v, d, Frequency::from_mega_hertz(hi));
+        prop_assert!(c_hi >= c_lo);
+    }
+}

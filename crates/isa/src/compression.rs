@@ -1,0 +1,364 @@
+//! Signal compression models for leaf nodes.
+//!
+//! The paper names "data compression (example MJPEG compression for video)"
+//! as the other leaf-side tool besides in-sensor analytics for cutting the
+//! volume a node must push over the link.  Three compressors cover the
+//! wearable signal classes:
+//!
+//! * [`DeltaEncoder`] — first-difference + variable-length coding for slowly
+//!   varying biopotential/IMU streams.
+//! * [`RunLengthEncoder`] — for sparse / thresholded event streams.
+//! * [`Dct8Compressor`] — an 8-point DCT with quality-controlled coefficient
+//!   truncation, the 1-D core of an MJPEG-style intra-frame video codec.
+//!
+//! Each compressor reports its achieved ratio on real buffers *and* a
+//! first-order compute cost (operations per input sample) so the energy cost
+//! of compressing can be weighed against the link energy it saves.
+
+use serde::{Deserialize, Serialize};
+
+/// A lossless or lossy compressor with an explicit compute cost.
+pub trait Compressor {
+    /// Name for reports.
+    fn name(&self) -> &str;
+
+    /// Compresses a buffer of samples (16-bit ADC codes) into bytes.
+    fn compress(&self, samples: &[i16]) -> Vec<u8>;
+
+    /// Decompresses bytes back into samples. Lossy compressors return an
+    /// approximation.
+    fn decompress(&self, bytes: &[u8]) -> Vec<i16>;
+
+    /// Arithmetic operations per input sample (for energy estimates).
+    fn ops_per_sample(&self) -> f64;
+
+    /// Achieved compression ratio on a buffer (input bytes / output bytes).
+    fn ratio_on(&self, samples: &[i16]) -> f64 {
+        if samples.is_empty() {
+            return 1.0;
+        }
+        let input_bytes = samples.len() * 2;
+        let output_bytes = self.compress(samples).len().max(1);
+        input_bytes as f64 / output_bytes as f64
+    }
+}
+
+/// First-difference encoder with a two-tier variable-length code: deltas in
+/// `[-127, 127]` take one byte, larger deltas take three.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaEncoder;
+
+impl DeltaEncoder {
+    /// Creates a delta encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Compressor for DeltaEncoder {
+    fn name(&self) -> &str {
+        "delta"
+    }
+
+    fn compress(&self, samples: &[i16]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(samples.len());
+        let mut prev: i16 = 0;
+        for &s in samples {
+            let delta = i32::from(s) - i32::from(prev);
+            if (-127..=127).contains(&delta) {
+                out.push(delta as i8 as u8);
+            } else {
+                out.push(0x80);
+                out.extend_from_slice(&(delta as i16).to_le_bytes());
+            }
+            prev = s;
+        }
+        out
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Vec<i16> {
+        let mut out = Vec::new();
+        let mut prev: i16 = 0;
+        let mut i = 0;
+        while i < bytes.len() {
+            let delta = if bytes[i] == 0x80 {
+                if i + 2 >= bytes.len() {
+                    break;
+                }
+                let d = i16::from_le_bytes([bytes[i + 1], bytes[i + 2]]);
+                i += 3;
+                i32::from(d)
+            } else {
+                let d = i32::from(bytes[i] as i8);
+                i += 1;
+                d
+            };
+            prev = (i32::from(prev) + delta) as i16;
+            out.push(prev);
+        }
+        out
+    }
+
+    fn ops_per_sample(&self) -> f64 {
+        4.0
+    }
+}
+
+/// Run-length encoder for sparse streams: `(value, run length)` pairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunLengthEncoder;
+
+impl RunLengthEncoder {
+    /// Creates a run-length encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Compressor for RunLengthEncoder {
+    fn name(&self) -> &str {
+        "run-length"
+    }
+
+    fn compress(&self, samples: &[i16]) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut iter = samples.iter().peekable();
+        while let Some(&value) = iter.next() {
+            let mut run: u8 = 1;
+            while run < u8::MAX {
+                match iter.peek() {
+                    Some(&&next) if next == value => {
+                        iter.next();
+                        run += 1;
+                    }
+                    _ => break,
+                }
+            }
+            out.extend_from_slice(&value.to_le_bytes());
+            out.push(run);
+        }
+        out
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Vec<i16> {
+        let mut out = Vec::new();
+        for chunk in bytes.chunks_exact(3) {
+            let value = i16::from_le_bytes([chunk[0], chunk[1]]);
+            let run = chunk[2] as usize;
+            out.extend(core::iter::repeat_n(value, run));
+        }
+        out
+    }
+
+    fn ops_per_sample(&self) -> f64 {
+        2.0
+    }
+}
+
+/// 8-point DCT compressor with quality-controlled coefficient truncation —
+/// the 1-D core of an MJPEG-style intra-frame codec.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dct8Compressor {
+    /// Number of DCT coefficients kept per 8-sample block (1–8).
+    kept_coefficients: usize,
+}
+
+impl Dct8Compressor {
+    /// Creates a DCT compressor keeping `kept_coefficients` of 8 per block.
+    ///
+    /// # Errors
+    /// Returns [`crate::IsaError`] if `kept_coefficients` is 0 or > 8.
+    pub fn new(kept_coefficients: usize) -> Result<Self, crate::IsaError> {
+        if kept_coefficients == 0 || kept_coefficients > 8 {
+            return Err(crate::IsaError::invalid(
+                "kept_coefficients",
+                "must be in 1..=8",
+            ));
+        }
+        Ok(Self { kept_coefficients })
+    }
+
+    /// Quality setting matching MJPEG-ish visually lossless video (keep 4/8).
+    #[must_use]
+    pub fn video_quality() -> Self {
+        Self {
+            kept_coefficients: 4,
+        }
+    }
+
+    fn dct8(block: &[f64; 8]) -> [f64; 8] {
+        let mut out = [0.0; 8];
+        for (k, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (n, &x) in block.iter().enumerate() {
+                acc += x
+                    * (core::f64::consts::PI / 8.0 * (n as f64 + 0.5) * k as f64).cos();
+            }
+            let scale = if k == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+            *o = acc * scale;
+        }
+        out
+    }
+
+    fn idct8(coeffs: &[f64; 8]) -> [f64; 8] {
+        let mut out = [0.0; 8];
+        for (n, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (k, &c) in coeffs.iter().enumerate() {
+                let scale = if k == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+                acc += scale * c * (core::f64::consts::PI / 8.0 * (n as f64 + 0.5) * k as f64).cos();
+            }
+            *o = acc;
+        }
+        out
+    }
+}
+
+impl Compressor for Dct8Compressor {
+    fn name(&self) -> &str {
+        "dct8 (MJPEG-like)"
+    }
+
+    fn compress(&self, samples: &[i16]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for chunk in samples.chunks(8) {
+            let mut block = [0.0f64; 8];
+            for (i, &s) in chunk.iter().enumerate() {
+                block[i] = f64::from(s);
+            }
+            let coeffs = Self::dct8(&block);
+            for &c in coeffs.iter().take(self.kept_coefficients) {
+                out.extend_from_slice(&(c.clamp(-32768.0, 32767.0) as i16).to_le_bytes());
+            }
+        }
+        out
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Vec<i16> {
+        let mut out = Vec::new();
+        let per_block = self.kept_coefficients * 2;
+        for chunk in bytes.chunks(per_block) {
+            let mut coeffs = [0.0f64; 8];
+            for (i, pair) in chunk.chunks_exact(2).enumerate() {
+                coeffs[i] = f64::from(i16::from_le_bytes([pair[0], pair[1]]));
+            }
+            let block = Self::idct8(&coeffs);
+            out.extend(block.iter().map(|&x| x.round().clamp(-32768.0, 32767.0) as i16));
+        }
+        out
+    }
+
+    fn ops_per_sample(&self) -> f64 {
+        // 8-point DCT ≈ 64 multiply-adds per 8 samples.
+        8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ecg_like(n: usize) -> Vec<i16> {
+        // Slowly varying baseline with periodic spikes: compresses well under
+        // delta coding.
+        (0..n)
+            .map(|i| {
+                let baseline = (i as f64 / 40.0).sin() * 100.0;
+                let spike = if i % 128 == 0 { 800.0 } else { 0.0 };
+                (baseline + spike) as i16
+            })
+            .collect()
+    }
+
+    #[test]
+    fn delta_round_trips_losslessly() {
+        let data = ecg_like(1000);
+        let enc = DeltaEncoder::new();
+        let compressed = enc.compress(&data);
+        assert_eq!(enc.decompress(&compressed), data);
+        // Slowly varying data compresses close to 2×.
+        assert!(enc.ratio_on(&data) > 1.8, "ratio {}", enc.ratio_on(&data));
+    }
+
+    #[test]
+    fn delta_handles_large_jumps() {
+        let data = vec![0, 30_000, -30_000, 5];
+        let enc = DeltaEncoder::new();
+        assert_eq!(enc.decompress(&enc.compress(&data)), data);
+        // Jumps cost 3 bytes each, so the ratio can drop below 1.
+        assert!(enc.ratio_on(&data) < 1.0);
+    }
+
+    #[test]
+    fn run_length_round_trips_and_compresses_sparse_data() {
+        let mut data = vec![0i16; 500];
+        data[100] = 7;
+        data[101] = 7;
+        data[400] = -3;
+        let enc = RunLengthEncoder::new();
+        assert_eq!(enc.decompress(&enc.compress(&data)), data);
+        assert!(enc.ratio_on(&data) > 50.0);
+    }
+
+    #[test]
+    fn run_length_worst_case_expands() {
+        let data: Vec<i16> = (0..256).map(|i| i as i16).collect();
+        let enc = RunLengthEncoder::new();
+        assert_eq!(enc.decompress(&enc.compress(&data)), data);
+        assert!(enc.ratio_on(&data) < 1.0);
+    }
+
+    #[test]
+    fn dct_achieves_target_ratio_with_bounded_error() {
+        let data = ecg_like(800);
+        let codec = Dct8Compressor::video_quality();
+        let compressed = codec.compress(&data);
+        // Keeping 4/8 coefficients halves the volume.
+        assert!((codec.ratio_on(&data) - 2.0).abs() < 0.1);
+        let reconstructed = codec.decompress(&compressed);
+        assert_eq!(reconstructed.len(), data.len());
+        // Lossy, but the smooth component survives: RMS error well below the
+        // signal range.
+        let rms: f64 = (data
+            .iter()
+            .zip(&reconstructed)
+            .map(|(&a, &b)| f64::from(a - b).powi(2))
+            .sum::<f64>()
+            / data.len() as f64)
+            .sqrt();
+        assert!(rms < 200.0, "rms {rms}");
+    }
+
+    #[test]
+    fn dct_keep_all_is_near_lossless() {
+        let data = ecg_like(64);
+        let codec = Dct8Compressor::new(8).unwrap();
+        let rec = codec.decompress(&codec.compress(&data));
+        for (a, b) in data.iter().zip(&rec) {
+            assert!((i32::from(*a) - i32::from(*b)).abs() <= 2);
+        }
+        assert!(Dct8Compressor::new(0).is_err());
+        assert!(Dct8Compressor::new(9).is_err());
+    }
+
+    #[test]
+    fn ops_per_sample_ordering() {
+        // Cheaper codecs first: RLE < delta < DCT.
+        assert!(RunLengthEncoder::new().ops_per_sample() < DeltaEncoder::new().ops_per_sample());
+        assert!(DeltaEncoder::new().ops_per_sample() < Dct8Compressor::video_quality().ops_per_sample());
+    }
+
+    #[test]
+    fn empty_input_edge_cases() {
+        let enc = DeltaEncoder::new();
+        assert!(enc.compress(&[]).is_empty());
+        assert_eq!(enc.ratio_on(&[]), 1.0);
+        assert!(RunLengthEncoder::new().compress(&[]).is_empty());
+        assert!(Dct8Compressor::video_quality().compress(&[]).is_empty());
+        assert_eq!(DeltaEncoder::new().name(), "delta");
+        assert_eq!(RunLengthEncoder::new().name(), "run-length");
+        assert!(Dct8Compressor::video_quality().name().contains("MJPEG"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the ISA library.
+
+use core::fmt;
+
+/// Errors produced by tensor operations and network construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IsaError {
+    /// Two tensors (or a tensor and a layer) had incompatible shapes.
+    ShapeMismatch {
+        /// What was expected.
+        expected: Vec<usize>,
+        /// What was provided.
+        actual: Vec<usize>,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: String,
+    },
+}
+
+impl IsaError {
+    pub(crate) fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        IsaError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn shape(expected: &[usize], actual: &[usize]) -> Self {
+        IsaError::ShapeMismatch {
+            expected: expected.to_vec(),
+            actual: actual.to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {actual:?}")
+            }
+            IsaError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(IsaError::shape(&[1, 2], &[3]).to_string().contains("shape mismatch"));
+        assert!(IsaError::invalid("k", "must be odd").to_string().contains("invalid parameter"));
+    }
+}

@@ -1,0 +1,556 @@
+//! DNN layers with explicit compute and memory cost accounting.
+//!
+//! Every layer knows how to run (`forward`), what it costs
+//! (multiply-accumulate operations for a given input shape), how many
+//! parameters it carries and what its output shape is.  Those four pieces are
+//! what the partition optimiser needs to decide where to cut a network
+//! between the leaf node and the hub.
+//!
+//! Shape conventions (row-major 2-D tensors throughout):
+//! * dense layers: `[1, features]`
+//! * 1-D convolutional layers: `[channels, length]`
+
+use crate::tensor::Tensor;
+use crate::IsaError;
+use serde::{Deserialize, Serialize};
+
+/// Deterministic pseudo-random weight initialisation (xorshift-based).
+///
+/// The models in this crate are cost/shape stand-ins for the paper's
+/// workloads, not trained networks, so weights only need to be reproducible
+/// and reasonably scaled.
+fn det_weights(n: usize, scale: f32, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Map to (-1, 1).
+            let unit = (state >> 11) as f32 / (1u64 << 53) as f32;
+            (unit * 2.0 - 1.0) * scale
+        })
+        .collect()
+}
+
+/// A neural-network layer.
+pub trait Layer: Send + Sync {
+    /// Layer name for profiles and reports.
+    fn name(&self) -> &str;
+
+    /// Output shape for a given input shape.
+    ///
+    /// # Errors
+    /// Returns [`IsaError::ShapeMismatch`] if the input shape is incompatible.
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, IsaError>;
+
+    /// Runs the layer.
+    ///
+    /// # Errors
+    /// Returns [`IsaError`] if the input shape is incompatible.
+    fn forward(&self, input: &Tensor) -> Result<Tensor, IsaError>;
+
+    /// Multiply-accumulate operations for one forward pass on the given input
+    /// shape.
+    fn macs(&self, input_shape: &[usize]) -> u64;
+
+    /// Number of trainable parameters.
+    fn parameter_count(&self) -> usize;
+}
+
+/// Fully connected layer: `[1, in] → [1, out]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    name: String,
+    input_features: usize,
+    output_features: usize,
+    weights: Tensor,
+    bias: Vec<f32>,
+}
+
+impl Dense {
+    /// Creates a dense layer with deterministic pseudo-random weights.
+    #[must_use]
+    pub fn new(name: impl Into<String>, input_features: usize, output_features: usize) -> Self {
+        let name = name.into();
+        let scale = (2.0 / input_features.max(1) as f32).sqrt();
+        let seed = name.bytes().map(u64::from).sum::<u64>() + (input_features * 31 + output_features) as u64;
+        let weights = Tensor::from_vec(
+            det_weights(input_features * output_features, scale, seed),
+            &[input_features, output_features],
+        )
+        .expect("weight shape is consistent by construction");
+        Self {
+            name,
+            input_features,
+            output_features,
+            weights,
+            bias: vec![0.0; output_features],
+        }
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, IsaError> {
+        if input_shape != [1, self.input_features] {
+            return Err(IsaError::shape(&[1, self.input_features], input_shape));
+        }
+        Ok(vec![1, self.output_features])
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor, IsaError> {
+        self.output_shape(input.shape())?;
+        let mut out = input.matmul(&self.weights)?;
+        for (o, b) in out.data_mut().iter_mut().zip(&self.bias) {
+            *o += b;
+        }
+        Ok(out)
+    }
+
+    fn macs(&self, _input_shape: &[usize]) -> u64 {
+        (self.input_features * self.output_features) as u64
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.input_features * self.output_features + self.output_features
+    }
+}
+
+/// 1-D convolution: `[in_channels, length] → [out_channels, out_length]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv1d {
+    name: String,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl Conv1d {
+    /// Creates a 1-D convolution with deterministic pseudo-random weights.
+    ///
+    /// # Errors
+    /// Returns [`IsaError`] if `kernel` or `stride` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+    ) -> Result<Self, IsaError> {
+        if kernel == 0 {
+            return Err(IsaError::invalid("kernel", "must be positive"));
+        }
+        if stride == 0 {
+            return Err(IsaError::invalid("stride", "must be positive"));
+        }
+        let name = name.into();
+        let n = in_channels * out_channels * kernel;
+        let scale = (2.0 / (in_channels * kernel).max(1) as f32).sqrt();
+        let seed = name.bytes().map(u64::from).sum::<u64>() + (n * 17) as u64;
+        Ok(Self {
+            name,
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            weights: det_weights(n, scale, seed),
+            bias: vec![0.0; out_channels],
+        })
+    }
+
+    fn out_length(&self, input_length: usize) -> Option<usize> {
+        if input_length < self.kernel {
+            return None;
+        }
+        Some((input_length - self.kernel) / self.stride + 1)
+    }
+}
+
+impl Layer for Conv1d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, IsaError> {
+        if input_shape.len() != 2 || input_shape[0] != self.in_channels {
+            return Err(IsaError::shape(&[self.in_channels, 0], input_shape));
+        }
+        let out_len = self
+            .out_length(input_shape[1])
+            .ok_or_else(|| IsaError::invalid("input length", "shorter than kernel"))?;
+        Ok(vec![self.out_channels, out_len])
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor, IsaError> {
+        let out_shape = self.output_shape(input.shape())?;
+        let in_len = input.shape()[1];
+        let out_len = out_shape[1];
+        let mut out = Tensor::zeros(&out_shape);
+        let x = input.data();
+        let y = out.data_mut();
+        for oc in 0..self.out_channels {
+            for t in 0..out_len {
+                let mut acc = self.bias[oc];
+                for ic in 0..self.in_channels {
+                    for k in 0..self.kernel {
+                        let w = self.weights
+                            [oc * self.in_channels * self.kernel + ic * self.kernel + k];
+                        acc += w * x[ic * in_len + t * self.stride + k];
+                    }
+                }
+                y[oc * out_len + t] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    fn macs(&self, input_shape: &[usize]) -> u64 {
+        match self.output_shape(input_shape) {
+            Ok(out) => (self.in_channels * self.kernel * self.out_channels * out[1]) as u64,
+            Err(_) => 0,
+        }
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.in_channels * self.out_channels * self.kernel + self.out_channels
+    }
+}
+
+/// Rectified linear unit (element-wise).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relu;
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        "relu"
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, IsaError> {
+        Ok(input_shape.to_vec())
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor, IsaError> {
+        Ok(input.map(|x| x.max(0.0)))
+    }
+
+    fn macs(&self, _input_shape: &[usize]) -> u64 {
+        0
+    }
+
+    fn parameter_count(&self) -> usize {
+        0
+    }
+}
+
+/// Max pooling over the time axis: `[c, l] → [c, l / stride]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaxPool1d {
+    window: usize,
+}
+
+impl MaxPool1d {
+    /// Creates a max-pool layer with the given window (= stride).
+    ///
+    /// # Errors
+    /// Returns [`IsaError`] if `window` is zero.
+    pub fn new(window: usize) -> Result<Self, IsaError> {
+        if window == 0 {
+            return Err(IsaError::invalid("window", "must be positive"));
+        }
+        Ok(Self { window })
+    }
+}
+
+impl Layer for MaxPool1d {
+    fn name(&self) -> &str {
+        "maxpool1d"
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, IsaError> {
+        if input_shape.len() != 2 || input_shape[1] < self.window {
+            return Err(IsaError::shape(&[0, self.window], input_shape));
+        }
+        Ok(vec![input_shape[0], input_shape[1] / self.window])
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor, IsaError> {
+        let out_shape = self.output_shape(input.shape())?;
+        let (channels, in_len) = (input.shape()[0], input.shape()[1]);
+        let out_len = out_shape[1];
+        let mut out = Tensor::zeros(&out_shape);
+        for c in 0..channels {
+            for t in 0..out_len {
+                let start = t * self.window;
+                let max = (start..start + self.window)
+                    .map(|i| input.data()[c * in_len + i])
+                    .fold(f32::NEG_INFINITY, f32::max);
+                out.data_mut()[c * out_len + t] = max;
+            }
+        }
+        Ok(out)
+    }
+
+    fn macs(&self, _input_shape: &[usize]) -> u64 {
+        0
+    }
+
+    fn parameter_count(&self) -> usize {
+        0
+    }
+}
+
+/// Global average pooling: `[c, l] → [1, c]`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalAveragePool;
+
+impl Layer for GlobalAveragePool {
+    fn name(&self) -> &str {
+        "global_avg_pool"
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, IsaError> {
+        if input_shape.len() != 2 {
+            return Err(IsaError::shape(&[0, 0], input_shape));
+        }
+        Ok(vec![1, input_shape[0]])
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor, IsaError> {
+        let out_shape = self.output_shape(input.shape())?;
+        let (channels, len) = (input.shape()[0], input.shape()[1]);
+        let mut out = Tensor::zeros(&out_shape);
+        for c in 0..channels {
+            let sum: f32 = (0..len).map(|i| input.data()[c * len + i]).sum();
+            out.data_mut()[c] = sum / len.max(1) as f32;
+        }
+        Ok(out)
+    }
+
+    fn macs(&self, input_shape: &[usize]) -> u64 {
+        input_shape.iter().product::<usize>() as u64
+    }
+
+    fn parameter_count(&self) -> usize {
+        0
+    }
+}
+
+/// Flatten: `[c, l] → [1, c·l]`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flatten;
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        "flatten"
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, IsaError> {
+        Ok(vec![1, input_shape.iter().product()])
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor, IsaError> {
+        let shape = self.output_shape(input.shape())?;
+        input.clone().reshape(&shape)
+    }
+
+    fn macs(&self, _input_shape: &[usize]) -> u64 {
+        0
+    }
+
+    fn parameter_count(&self) -> usize {
+        0
+    }
+}
+
+/// Folded batch-normalisation (per-channel scale and shift on `[c, l]`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchNorm1d {
+    channels: usize,
+    scale: Vec<f32>,
+    shift: Vec<f32>,
+}
+
+impl BatchNorm1d {
+    /// Creates a folded batch-norm with unit scale and zero shift.
+    #[must_use]
+    pub fn new(channels: usize) -> Self {
+        Self {
+            channels,
+            scale: vec![1.0; channels],
+            shift: vec![0.0; channels],
+        }
+    }
+}
+
+impl Layer for BatchNorm1d {
+    fn name(&self) -> &str {
+        "batchnorm1d"
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, IsaError> {
+        if input_shape.len() != 2 || input_shape[0] != self.channels {
+            return Err(IsaError::shape(&[self.channels, 0], input_shape));
+        }
+        Ok(input_shape.to_vec())
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor, IsaError> {
+        self.output_shape(input.shape())?;
+        let len = input.shape()[1];
+        let mut out = input.clone();
+        for c in 0..self.channels {
+            for t in 0..len {
+                let idx = c * len + t;
+                out.data_mut()[idx] = input.data()[idx] * self.scale[c] + self.shift[c];
+            }
+        }
+        Ok(out)
+    }
+
+    fn macs(&self, input_shape: &[usize]) -> u64 {
+        input_shape.iter().product::<usize>() as u64
+    }
+
+    fn parameter_count(&self) -> usize {
+        2 * self.channels
+    }
+}
+
+/// Softmax over the last dimension of a `[1, n]` tensor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Softmax;
+
+impl Layer for Softmax {
+    fn name(&self) -> &str {
+        "softmax"
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, IsaError> {
+        Ok(input_shape.to_vec())
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor, IsaError> {
+        let max = input.data().iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let exps: Vec<f32> = input.data().iter().map(|&x| (x - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        Tensor::from_vec(exps.into_iter().map(|e| e / sum).collect(), input.shape())
+    }
+
+    fn macs(&self, input_shape: &[usize]) -> u64 {
+        // exp + divide per element; count as ~4 ops each.
+        4 * input_shape.iter().product::<usize>() as u64
+    }
+
+    fn parameter_count(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_shapes_and_macs() {
+        let d = Dense::new("fc", 8, 4);
+        assert_eq!(d.output_shape(&[1, 8]).unwrap(), vec![1, 4]);
+        assert!(d.output_shape(&[1, 9]).is_err());
+        assert_eq!(d.macs(&[1, 8]), 32);
+        assert_eq!(d.parameter_count(), 8 * 4 + 4);
+        let out = d.forward(&Tensor::full(&[1, 8], 1.0)).unwrap();
+        assert_eq!(out.shape(), &[1, 4]);
+        assert!(out.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn dense_weights_are_deterministic() {
+        let a = Dense::new("fc", 16, 8);
+        let b = Dense::new("fc", 16, 8);
+        assert_eq!(
+            a.forward(&Tensor::full(&[1, 16], 0.5)).unwrap(),
+            b.forward(&Tensor::full(&[1, 16], 0.5)).unwrap()
+        );
+    }
+
+    #[test]
+    fn conv1d_shapes_macs_and_forward() {
+        let c = Conv1d::new("conv", 2, 4, 3, 1).unwrap();
+        assert_eq!(c.output_shape(&[2, 10]).unwrap(), vec![4, 8]);
+        assert_eq!(c.macs(&[2, 10]), (2 * 3 * 4 * 8) as u64);
+        assert_eq!(c.parameter_count(), 2 * 4 * 3 + 4);
+        let out = c.forward(&Tensor::full(&[2, 10], 1.0)).unwrap();
+        assert_eq!(out.shape(), &[4, 8]);
+        // Strided convolution halves the output length.
+        let s = Conv1d::new("conv_s", 2, 4, 3, 2).unwrap();
+        assert_eq!(s.output_shape(&[2, 11]).unwrap(), vec![4, 5]);
+        // Errors.
+        assert!(Conv1d::new("bad", 1, 1, 0, 1).is_err());
+        assert!(Conv1d::new("bad", 1, 1, 3, 0).is_err());
+        assert!(c.output_shape(&[3, 10]).is_err());
+        assert!(c.output_shape(&[2, 2]).is_err());
+        assert_eq!(c.macs(&[2, 2]), 0);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let r = Relu;
+        let out = r
+            .forward(&Tensor::from_vec(vec![-1.0, 2.0], &[1, 2]).unwrap())
+            .unwrap();
+        assert_eq!(out.data(), &[0.0, 2.0]);
+        assert_eq!(r.macs(&[1, 2]), 0);
+        assert_eq!(r.parameter_count(), 0);
+    }
+
+    #[test]
+    fn maxpool_downsamples() {
+        let p = MaxPool1d::new(2).unwrap();
+        let input = Tensor::from_vec(vec![1.0, 3.0, 2.0, 0.0, 5.0, 4.0], &[1, 6]).unwrap();
+        let out = p.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[1, 3]);
+        assert_eq!(out.data(), &[3.0, 2.0, 5.0]);
+        assert!(MaxPool1d::new(0).is_err());
+        assert!(p.output_shape(&[1, 1]).is_err());
+    }
+
+    #[test]
+    fn global_average_pool_reduces_to_channels() {
+        let g = GlobalAveragePool;
+        let input = Tensor::from_vec(vec![1.0, 3.0, 10.0, 20.0], &[2, 2]).unwrap();
+        let out = g.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[1, 2]);
+        assert_eq!(out.data(), &[2.0, 15.0]);
+        assert!(g.output_shape(&[2]).is_err());
+    }
+
+    #[test]
+    fn flatten_and_batchnorm() {
+        let f = Flatten;
+        let input = Tensor::zeros(&[3, 4]);
+        assert_eq!(f.forward(&input).unwrap().shape(), &[1, 12]);
+        let bn = BatchNorm1d::new(3);
+        assert_eq!(bn.forward(&input).unwrap().shape(), &[3, 4]);
+        assert_eq!(bn.parameter_count(), 6);
+        assert!(bn.output_shape(&[2, 4]).is_err());
+        assert!(bn.macs(&[3, 4]) > 0);
+    }
+
+    #[test]
+    fn softmax_produces_distribution() {
+        let s = Softmax;
+        let out = s
+            .forward(&Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap())
+            .unwrap();
+        let sum: f32 = out.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(out.data().windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(out.argmax(), Some(2));
+    }
+}

@@ -1,0 +1,51 @@
+//! In-Sensor Analytics (ISA): a from-scratch tiny-DNN library with explicit
+//! compute and memory cost accounting.
+//!
+//! The paper's human-inspired leaf node may run "low power in-sensor
+//! analytics (ISA) or data compression (example MJPEG compression for video)
+//! to reduce the data volume to be communicated" before handing the rest of
+//! the work to the hub over Wi-R.  Deciding *how much* of a model to run on
+//! the node versus the hub requires, for every candidate cut point, the
+//! number of operations executed on each side and the size of the
+//! intermediate tensor that must cross the link.  That is exactly what this
+//! crate exposes:
+//!
+//! * [`tensor`] — a minimal dense `f32` tensor.
+//! * [`layer`] — DNN layers (dense, conv1d, pooling, activations, batch-norm)
+//!   with `forward`, MAC counts, parameter bytes and activation bytes.
+//! * [`network`] — sequential networks, per-layer [`network::LayerProfile`]s
+//!   and cut-point enumeration.
+//! * [`quant`] — int8 post-training quantization of activations (what a leaf
+//!   would actually ship over the link).
+//! * [`compression`] — signal compressors (delta, run-length, DCT/MJPEG-like)
+//!   with compression-ratio and compute-cost models.
+//! * [`models`] — a model zoo for the paper's wearable workloads: ECG
+//!   arrhythmia detection, IMU gesture recognition, audio keyword spotting
+//!   and a video feature extractor.
+//!
+//! # Example
+//!
+//! ```
+//! use hidwa_isa::models;
+//! use hidwa_isa::tensor::Tensor;
+//!
+//! let model = models::ecg_arrhythmia_cnn();
+//! let beat = Tensor::zeros(&[1, 128]);
+//! let scores = model.network().forward(&beat);
+//! assert_eq!(scores.shape(), &[1, 5]);
+//! // Total multiply-accumulates for one inference:
+//! assert!(model.network().total_macs(&[1, 128]) > 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compression;
+mod error;
+pub mod layer;
+pub mod models;
+pub mod network;
+pub mod quant;
+pub mod tensor;
+
+pub use error::IsaError;

@@ -1,0 +1,307 @@
+//! Model zoo: the wearable AI workloads the paper's vision is built around.
+//!
+//! Each entry couples a [`Network`] (layer stack with true MAC/activation
+//! accounting) with the workload metadata the distributed-architecture
+//! analysis needs: the shape of one inference input, how often inferences
+//! happen, and the raw sensor data rate feeding the model.  The architectures
+//! are representative of published tinyML models for each task; they are
+//! *cost stand-ins*, not trained networks.
+
+use crate::layer::{BatchNorm1d, Conv1d, Dense, Flatten, GlobalAveragePool, MaxPool1d, Relu, Softmax};
+use crate::network::Network;
+use hidwa_units::DataRate;
+
+/// A wearable AI workload: a network plus its streaming context.
+#[derive(Debug)]
+pub struct WearableModel {
+    name: &'static str,
+    network: Network,
+    input_shape: Vec<usize>,
+    inferences_per_second: f64,
+    raw_sensor_rate: DataRate,
+    output_classes: usize,
+}
+
+impl WearableModel {
+    /// Workload name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The underlying network.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Shape of one inference input.
+    #[must_use]
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// How many inferences per second the workload performs.
+    #[must_use]
+    pub fn inferences_per_second(&self) -> f64 {
+        self.inferences_per_second
+    }
+
+    /// Raw sensor data rate feeding the model.
+    #[must_use]
+    pub fn raw_sensor_rate(&self) -> DataRate {
+        self.raw_sensor_rate
+    }
+
+    /// Number of output classes / feature dimensions.
+    #[must_use]
+    pub fn output_classes(&self) -> usize {
+        self.output_classes
+    }
+
+    /// Total MACs per inference.
+    #[must_use]
+    pub fn macs_per_inference(&self) -> u64 {
+        self.network.total_macs(&self.input_shape)
+    }
+
+    /// Sustained compute load in MACs per second.
+    #[must_use]
+    pub fn macs_per_second(&self) -> f64 {
+        self.macs_per_inference() as f64 * self.inferences_per_second
+    }
+
+    /// Size of one raw inference input in bytes (f32 elements).
+    #[must_use]
+    pub fn input_bytes(&self) -> usize {
+        self.input_shape.iter().product::<usize>() * 4
+    }
+}
+
+/// ECG arrhythmia classifier: one 128-sample beat window → 5 AAMI classes.
+///
+/// Representative of MIT-BIH-class 1-D CNN classifiers deployed on patches.
+#[must_use]
+pub fn ecg_arrhythmia_cnn() -> WearableModel {
+    let network = Network::new(
+        "ecg_arrhythmia_cnn",
+        vec![
+            Box::new(Conv1d::new("conv1", 1, 8, 7, 1).expect("static model parameters")),
+            Box::new(BatchNorm1d::new(8)),
+            Box::new(Relu),
+            Box::new(MaxPool1d::new(2).expect("static model parameters")),
+            Box::new(Conv1d::new("conv2", 8, 16, 5, 1).expect("static model parameters")),
+            Box::new(Relu),
+            Box::new(MaxPool1d::new(2).expect("static model parameters")),
+            Box::new(Conv1d::new("conv3", 16, 32, 3, 1).expect("static model parameters")),
+            Box::new(Relu),
+            Box::new(GlobalAveragePool),
+            Box::new(Dense::new("fc", 32, 5)),
+            Box::new(Softmax),
+        ],
+    );
+    WearableModel {
+        name: "ECG arrhythmia detection",
+        network,
+        input_shape: vec![1, 128],
+        inferences_per_second: 1.2, // one classification per heartbeat
+        raw_sensor_rate: DataRate::from_kbps(4.0),
+        output_classes: 5,
+    }
+}
+
+/// IMU gesture recogniser: 6-axis, 50-sample window → 8 gestures.
+#[must_use]
+pub fn imu_gesture_cnn() -> WearableModel {
+    let network = Network::new(
+        "imu_gesture_cnn",
+        vec![
+            Box::new(Conv1d::new("conv1", 6, 16, 5, 1).expect("static model parameters")),
+            Box::new(Relu),
+            Box::new(MaxPool1d::new(2).expect("static model parameters")),
+            Box::new(Conv1d::new("conv2", 16, 32, 3, 1).expect("static model parameters")),
+            Box::new(Relu),
+            Box::new(GlobalAveragePool),
+            Box::new(Dense::new("fc1", 32, 32)),
+            Box::new(Relu),
+            Box::new(Dense::new("fc2", 32, 8)),
+            Box::new(Softmax),
+        ],
+    );
+    WearableModel {
+        name: "IMU gesture recognition",
+        network,
+        input_shape: vec![6, 50],
+        inferences_per_second: 2.0,
+        raw_sensor_rate: DataRate::from_kbps(13.0),
+        output_classes: 8,
+    }
+}
+
+/// Audio keyword spotter: 40 MFCC bins × 49 frames → 12 keywords.
+///
+/// Representative of Google-Speech-Commands-class DS-CNN keyword spotters.
+#[must_use]
+pub fn keyword_spotting_cnn() -> WearableModel {
+    let network = Network::new(
+        "keyword_spotting_cnn",
+        vec![
+            Box::new(Conv1d::new("conv1", 40, 64, 5, 1).expect("static model parameters")),
+            Box::new(Relu),
+            Box::new(MaxPool1d::new(2).expect("static model parameters")),
+            Box::new(Conv1d::new("conv2", 64, 64, 3, 1).expect("static model parameters")),
+            Box::new(Relu),
+            Box::new(GlobalAveragePool),
+            Box::new(Dense::new("fc1", 64, 64)),
+            Box::new(Relu),
+            Box::new(Dense::new("fc2", 64, 12)),
+            Box::new(Softmax),
+        ],
+    );
+    WearableModel {
+        name: "audio keyword spotting",
+        network,
+        input_shape: vec![40, 49],
+        inferences_per_second: 2.0, // overlapping 1 s windows
+        raw_sensor_rate: DataRate::from_kbps(256.0),
+        output_classes: 12,
+    }
+}
+
+/// Video feature extractor: a 64×64 RGB frame (flattened to a 3×4096 strip
+/// for the 1-D cost model) → 128-dimensional embedding shipped to the hub's
+/// vision-language model.
+#[must_use]
+pub fn video_feature_extractor() -> WearableModel {
+    let network = Network::new(
+        "video_feature_extractor",
+        vec![
+            Box::new(Conv1d::new("conv1", 3, 16, 9, 2).expect("static model parameters")),
+            Box::new(Relu),
+            Box::new(MaxPool1d::new(2).expect("static model parameters")),
+            Box::new(Conv1d::new("conv2", 16, 32, 5, 2).expect("static model parameters")),
+            Box::new(Relu),
+            Box::new(MaxPool1d::new(2).expect("static model parameters")),
+            Box::new(Conv1d::new("conv3", 32, 64, 3, 1).expect("static model parameters")),
+            Box::new(Relu),
+            Box::new(GlobalAveragePool),
+            Box::new(Dense::new("proj", 64, 128)),
+        ],
+    );
+    WearableModel {
+        name: "first-person video feature extraction",
+        network,
+        input_shape: vec![3, 4096],
+        inferences_per_second: 15.0, // 15 fps preview stream
+        raw_sensor_rate: DataRate::from_mbps(10.0),
+        output_classes: 128,
+    }
+}
+
+/// Environmental / vitals trend model: tiny MLP over 16 aggregated features.
+#[must_use]
+pub fn vitals_trend_mlp() -> WearableModel {
+    let network = Network::new(
+        "vitals_trend_mlp",
+        vec![
+            Box::new(Flatten),
+            Box::new(Dense::new("fc1", 16, 32)),
+            Box::new(Relu),
+            Box::new(Dense::new("fc2", 32, 3)),
+            Box::new(Softmax),
+        ],
+    );
+    WearableModel {
+        name: "vitals trend classification",
+        network,
+        input_shape: vec![1, 16],
+        inferences_per_second: 0.1,
+        raw_sensor_rate: DataRate::from_bps(100.0),
+        output_classes: 3,
+    }
+}
+
+/// All models in the zoo, from lightest to heaviest sensor stream.
+#[must_use]
+pub fn all_models() -> Vec<WearableModel> {
+    vec![
+        vitals_trend_mlp(),
+        ecg_arrhythmia_cnn(),
+        imu_gesture_cnn(),
+        keyword_spotting_cnn(),
+        video_feature_extractor(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn all_models_run_end_to_end() {
+        for model in all_models() {
+            let input = Tensor::zeros(model.input_shape());
+            let out = model.network().try_forward(&input).expect("model runs");
+            assert_eq!(
+                out.shape().iter().product::<usize>(),
+                model.output_classes(),
+                "{} output size",
+                model.name()
+            );
+            assert!(model.macs_per_inference() > 0);
+        }
+    }
+
+    #[test]
+    fn model_compute_ordering_is_sensible() {
+        // Video >> keyword spotting > ECG ≈ IMU > vitals.
+        let video = video_feature_extractor().macs_per_inference();
+        let kws = keyword_spotting_cnn().macs_per_inference();
+        let ecg = ecg_arrhythmia_cnn().macs_per_inference();
+        let vitals = vitals_trend_mlp().macs_per_inference();
+        assert!(video > kws);
+        assert!(kws > ecg);
+        assert!(ecg > vitals);
+    }
+
+    #[test]
+    fn ecg_model_is_isa_scale() {
+        // The ECG classifier must fit the "in-sensor analytics at ~100 µW"
+        // story: well under 1 MMAC per inference, ~1 MMAC/s sustained.
+        let ecg = ecg_arrhythmia_cnn();
+        assert!(ecg.macs_per_inference() < 1_000_000);
+        assert!(ecg.macs_per_second() < 1.0e6);
+    }
+
+    #[test]
+    fn video_model_is_hub_scale() {
+        // The video extractor at 15 fps is tens of MMAC/s — far beyond a
+        // 100 µW ISA budget, which is exactly why the hub exists.
+        let video = video_feature_extractor();
+        assert!(video.macs_per_second() > 10.0e6);
+    }
+
+    #[test]
+    fn raw_rates_match_modalities() {
+        assert!((ecg_arrhythmia_cnn().raw_sensor_rate().as_kbps() - 4.0).abs() < 1e-9);
+        assert!((video_feature_extractor().raw_sensor_rate().as_mbps() - 10.0).abs() < 1e-9);
+        assert_eq!(ecg_arrhythmia_cnn().input_bytes(), 128 * 4);
+        assert!(all_models().len() >= 5);
+        assert!(imu_gesture_cnn().inferences_per_second() > 0.0);
+        assert_eq!(keyword_spotting_cnn().output_classes(), 12);
+        assert!(vitals_trend_mlp().name().contains("vitals"));
+    }
+
+    #[test]
+    fn cut_points_exist_for_every_model() {
+        for model in all_models() {
+            let cuts = model.network().cut_points(model.input_shape()).unwrap();
+            assert_eq!(cuts.len(), model.network().len() + 1);
+            // Somewhere in the network the activation is smaller than the raw
+            // input — the premise of ISA-assisted offload.
+            let min_transfer = cuts.iter().map(|c| c.transfer_bytes).min().unwrap();
+            assert!(min_transfer < model.input_bytes());
+        }
+    }
+}

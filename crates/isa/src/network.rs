@@ -1,0 +1,335 @@
+//! Sequential networks, per-layer cost profiles and cut-point enumeration.
+//!
+//! A [`Network`] is an ordered stack of layers.  For the distributed-wearable
+//! question the important artefact is the [`Network::profile`]: for every
+//! layer, how many MACs it costs and how many bytes its activation occupies —
+//! because a *cut point* after layer `k` means the leaf executes layers
+//! `0..=k`, ships the activation of layer `k` over the link, and the hub runs
+//! the rest.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+use crate::IsaError;
+use serde::{Deserialize, Serialize};
+
+/// Cost profile of one layer within a network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Index of the layer within the network.
+    pub index: usize,
+    /// Layer name.
+    pub name: String,
+    /// Multiply-accumulates executed by this layer.
+    pub macs: u64,
+    /// Parameters held by this layer.
+    pub parameters: usize,
+    /// Shape of this layer's output activation.
+    pub output_shape: Vec<usize>,
+    /// Size of this layer's output activation in bytes (`f32` elements).
+    pub output_bytes: usize,
+}
+
+/// A sequential neural network.
+///
+/// # Example
+/// ```
+/// use hidwa_isa::network::Network;
+/// use hidwa_isa::layer::{Dense, Relu};
+/// let net = Network::new("mlp", vec![
+///     Box::new(Dense::new("fc1", 16, 32)),
+///     Box::new(Relu),
+///     Box::new(Dense::new("fc2", 32, 4)),
+/// ]);
+/// assert_eq!(net.total_macs(&[1, 16]), 16 * 32 + 32 * 4);
+/// ```
+pub struct Network {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Network {
+    /// Creates a network from a stack of layers.
+    #[must_use]
+    pub fn new(name: impl Into<String>, layers: Vec<Box<dyn Layer>>) -> Self {
+        Self {
+            name: name.into(),
+            layers,
+        }
+    }
+
+    /// Network name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the network has no layers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The layers.
+    #[must_use]
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Runs the full network.
+    ///
+    /// # Panics
+    /// Panics if an intermediate shape is incompatible — networks built by
+    /// [`crate::models`] are shape-checked by construction; use
+    /// [`Network::try_forward`] for arbitrary inputs.
+    #[must_use]
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        self.try_forward(input)
+            .expect("network layers have mutually compatible shapes")
+    }
+
+    /// Runs the full network, propagating shape errors.
+    ///
+    /// # Errors
+    /// Returns [`IsaError`] if the input (or an intermediate tensor) is
+    /// incompatible with a layer.
+    pub fn try_forward(&self, input: &Tensor) -> Result<Tensor, IsaError> {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Runs only the first `count` layers (a leaf-side partial inference).
+    ///
+    /// # Errors
+    /// Returns [`IsaError`] on shape mismatch.
+    pub fn forward_prefix(&self, input: &Tensor, count: usize) -> Result<Tensor, IsaError> {
+        let mut x = input.clone();
+        for layer in self.layers.iter().take(count) {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Output shape of the whole network for a given input shape.
+    ///
+    /// # Errors
+    /// Returns [`IsaError`] on shape mismatch.
+    pub fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, IsaError> {
+        let mut shape = input_shape.to_vec();
+        for layer in &self.layers {
+            shape = layer.output_shape(&shape)?;
+        }
+        Ok(shape)
+    }
+
+    /// Total multiply-accumulates for one inference.
+    #[must_use]
+    pub fn total_macs(&self, input_shape: &[usize]) -> u64 {
+        self.profile(input_shape)
+            .map(|p| p.iter().map(|l| l.macs).sum())
+            .unwrap_or(0)
+    }
+
+    /// Total parameter count.
+    #[must_use]
+    pub fn total_parameters(&self) -> usize {
+        self.layers.iter().map(|l| l.parameter_count()).sum()
+    }
+
+    /// Per-layer cost profile for a given input shape.
+    ///
+    /// # Errors
+    /// Returns [`IsaError`] if the input shape is incompatible with the
+    /// network.
+    pub fn profile(&self, input_shape: &[usize]) -> Result<Vec<LayerProfile>, IsaError> {
+        let mut shape = input_shape.to_vec();
+        let mut profiles = Vec::with_capacity(self.layers.len());
+        for (index, layer) in self.layers.iter().enumerate() {
+            let macs = layer.macs(&shape);
+            let output_shape = layer.output_shape(&shape)?;
+            let output_bytes = output_shape.iter().product::<usize>() * core::mem::size_of::<f32>();
+            profiles.push(LayerProfile {
+                index,
+                name: layer.name().to_string(),
+                macs,
+                parameters: layer.parameter_count(),
+                output_shape: output_shape.clone(),
+                output_bytes,
+            });
+            shape = output_shape;
+        }
+        Ok(profiles)
+    }
+
+    /// All candidate cut points for a leaf/hub split.
+    ///
+    /// Cut point `k` means: the leaf runs layers `0..k` and transmits the
+    /// activation produced by layer `k-1` (for `k = 0` the leaf transmits the
+    /// raw input; for `k = len()` the leaf runs everything and transmits only
+    /// the final output).  Returns, for each `k`, the leaf-side MACs and the
+    /// bytes that must cross the link.
+    ///
+    /// # Errors
+    /// Returns [`IsaError`] if the input shape is incompatible.
+    pub fn cut_points(&self, input_shape: &[usize]) -> Result<Vec<CutPoint>, IsaError> {
+        let profiles = self.profile(input_shape)?;
+        let input_bytes = input_shape.iter().product::<usize>() * core::mem::size_of::<f32>();
+        let total_macs: u64 = profiles.iter().map(|p| p.macs).sum();
+        let mut cuts = Vec::with_capacity(profiles.len() + 1);
+        let mut leaf_macs = 0u64;
+        cuts.push(CutPoint {
+            index: 0,
+            leaf_macs: 0,
+            hub_macs: total_macs,
+            transfer_bytes: input_bytes,
+        });
+        for p in &profiles {
+            leaf_macs += p.macs;
+            cuts.push(CutPoint {
+                index: p.index + 1,
+                leaf_macs,
+                hub_macs: total_macs - leaf_macs,
+                transfer_bytes: p.output_bytes,
+            });
+        }
+        Ok(cuts)
+    }
+}
+
+impl core::fmt::Debug for Network {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Network")
+            .field("name", &self.name)
+            .field("layers", &self.layers.len())
+            .finish()
+    }
+}
+
+/// One candidate leaf/hub split of a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CutPoint {
+    /// Number of layers executed on the leaf (0 = ship raw input).
+    pub index: usize,
+    /// MACs executed on the leaf.
+    pub leaf_macs: u64,
+    /// MACs executed on the hub.
+    pub hub_macs: u64,
+    /// Bytes that must cross the leaf→hub link at this cut.
+    pub transfer_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Conv1d, Dense, GlobalAveragePool, MaxPool1d, Relu};
+
+    fn small_cnn() -> Network {
+        Network::new(
+            "small_cnn",
+            vec![
+                Box::new(Conv1d::new("conv1", 1, 8, 5, 1).unwrap()),
+                Box::new(Relu),
+                Box::new(MaxPool1d::new(2).unwrap()),
+                Box::new(Conv1d::new("conv2", 8, 16, 3, 1).unwrap()),
+                Box::new(Relu),
+                Box::new(GlobalAveragePool),
+                Box::new(Dense::new("fc", 16, 4)),
+            ],
+        )
+    }
+
+    #[test]
+    fn forward_produces_expected_shape() {
+        let net = small_cnn();
+        let out = net.forward(&Tensor::zeros(&[1, 64]));
+        assert_eq!(out.shape(), &[1, 4]);
+        assert_eq!(net.output_shape(&[1, 64]).unwrap(), vec![1, 4]);
+        assert_eq!(net.len(), 7);
+        assert!(!net.is_empty());
+        assert_eq!(net.name(), "small_cnn");
+    }
+
+    #[test]
+    fn try_forward_rejects_bad_input() {
+        let net = small_cnn();
+        assert!(net.try_forward(&Tensor::zeros(&[2, 64])).is_err());
+        assert!(net.output_shape(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn profile_macs_match_layer_sums() {
+        let net = small_cnn();
+        let profile = net.profile(&[1, 64]).unwrap();
+        assert_eq!(profile.len(), 7);
+        let sum: u64 = profile.iter().map(|p| p.macs).sum();
+        assert_eq!(sum, net.total_macs(&[1, 64]));
+        assert!(sum > 0);
+        // The ReLU layers cost nothing.
+        assert_eq!(profile[1].macs, 0);
+        // Output bytes shrink as the network condenses the signal.
+        assert!(profile.last().unwrap().output_bytes < profile[0].output_bytes);
+    }
+
+    #[test]
+    fn cut_points_are_consistent() {
+        let net = small_cnn();
+        let cuts = net.cut_points(&[1, 64]).unwrap();
+        assert_eq!(cuts.len(), net.len() + 1);
+        let total = net.total_macs(&[1, 64]);
+        for cut in &cuts {
+            assert_eq!(cut.leaf_macs + cut.hub_macs, total);
+        }
+        // First cut ships the raw input, last cut ships the 4-class output.
+        assert_eq!(cuts[0].transfer_bytes, 64 * 4);
+        assert_eq!(cuts.last().unwrap().transfer_bytes, 4 * 4);
+        assert_eq!(cuts[0].leaf_macs, 0);
+        assert_eq!(cuts.last().unwrap().hub_macs, 0);
+        // Leaf MACs are non-decreasing along the cut index.
+        for w in cuts.windows(2) {
+            assert!(w[1].leaf_macs >= w[0].leaf_macs);
+        }
+    }
+
+    #[test]
+    fn forward_prefix_matches_manual_cut() {
+        let net = small_cnn();
+        let input = Tensor::full(&[1, 64], 0.3);
+        let partial = net.forward_prefix(&input, 3).unwrap();
+        // Running the prefix then the suffix equals running the whole thing.
+        let mut x = partial.clone();
+        for layer in net.layers().iter().skip(3) {
+            x = layer.forward(&x).unwrap();
+        }
+        assert_eq!(x, net.forward(&input));
+        // Prefix of zero layers is the identity.
+        assert_eq!(net.forward_prefix(&input, 0).unwrap(), input);
+    }
+
+    #[test]
+    fn total_parameters_counts_everything() {
+        let net = small_cnn();
+        let expected: usize = net.layers().iter().map(|l| l.parameter_count()).sum();
+        assert_eq!(net.total_parameters(), expected);
+        assert!(expected > 0);
+    }
+
+    #[test]
+    fn empty_network_is_identity() {
+        let net = Network::new("empty", vec![]);
+        assert!(net.is_empty());
+        let input = Tensor::full(&[1, 3], 1.5);
+        assert_eq!(net.forward(&input), input);
+        assert_eq!(net.total_macs(&[1, 3]), 0);
+        let cuts = net.cut_points(&[1, 3]).unwrap();
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(format!("{net:?}"), "Network { name: \"empty\", layers: 0 }");
+    }
+}

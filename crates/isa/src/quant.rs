@@ -1,0 +1,197 @@
+//! Post-training int8 quantization of activations.
+//!
+//! When a leaf node ships an intermediate activation to the hub, sending it
+//! as `f32` wastes 4× the link energy for no accuracy benefit — wearable
+//! inference pipelines quantize the tensor to int8 (or coarser) first.  The
+//! quantizer here is a standard affine scheme: `q = round(x / scale) + zero`,
+//! with the scale chosen from the tensor's dynamic range.
+
+use crate::tensor::Tensor;
+use crate::IsaError;
+use serde::{Deserialize, Serialize};
+
+/// Affine quantization parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Real-value step per integer step.
+    pub scale: f32,
+    /// Integer value representing real zero.
+    pub zero_point: i8,
+}
+
+impl QuantParams {
+    /// Derives symmetric quantization parameters from a tensor's dynamic
+    /// range (`zero_point = 0`, scale = max|x| / 127).
+    ///
+    /// # Errors
+    /// Returns [`IsaError`] if the tensor is empty.
+    pub fn from_tensor(tensor: &Tensor) -> Result<Self, IsaError> {
+        if tensor.is_empty() {
+            return Err(IsaError::invalid("tensor", "cannot quantize an empty tensor"));
+        }
+        let max_abs = tensor.max_abs();
+        let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+        Ok(Self {
+            scale,
+            zero_point: 0,
+        })
+    }
+}
+
+/// An int8-quantized tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    shape: Vec<usize>,
+    values: Vec<i8>,
+    params: QuantParams,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a tensor with parameters derived from its own range.
+    ///
+    /// # Errors
+    /// Returns [`IsaError`] if the tensor is empty.
+    pub fn quantize(tensor: &Tensor) -> Result<Self, IsaError> {
+        let params = QuantParams::from_tensor(tensor)?;
+        Ok(Self::quantize_with(tensor, params))
+    }
+
+    /// Quantizes a tensor with explicit parameters.
+    #[must_use]
+    pub fn quantize_with(tensor: &Tensor, params: QuantParams) -> Self {
+        let values = tensor
+            .data()
+            .iter()
+            .map(|&x| {
+                let q = (x / params.scale).round() + f32::from(params.zero_point);
+                q.clamp(-128.0, 127.0) as i8
+            })
+            .collect();
+        Self {
+            shape: tensor.shape().to_vec(),
+            values,
+            params,
+        }
+    }
+
+    /// Reconstructs the (lossy) floating-point tensor.
+    #[must_use]
+    pub fn dequantize(&self) -> Tensor {
+        let data = self
+            .values
+            .iter()
+            .map(|&q| (f32::from(q) - f32::from(self.params.zero_point)) * self.params.scale)
+            .collect();
+        Tensor::from_vec(data, &self.shape).expect("shape preserved by construction")
+    }
+
+    /// Quantization parameters.
+    #[must_use]
+    pub fn params(&self) -> QuantParams {
+        self.params
+    }
+
+    /// Tensor shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The int8 payload.
+    #[must_use]
+    pub fn values(&self) -> &[i8] {
+        &self.values
+    }
+
+    /// Size in bytes when transmitted (one byte per element plus the 5-byte
+    /// scale/zero-point header).
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.values.len() + 5
+    }
+
+    /// Worst-case absolute reconstruction error for these parameters
+    /// (half a quantization step).
+    #[must_use]
+    pub fn max_error(&self) -> f32 {
+        self.params.scale / 2.0
+    }
+}
+
+/// Compression ratio achieved by shipping int8 instead of f32 activations.
+#[must_use]
+pub fn int8_compression_ratio(tensor: &Tensor) -> f64 {
+    if tensor.is_empty() {
+        return 1.0;
+    }
+    let quantized = QuantizedTensor::quantize_with(
+        tensor,
+        QuantParams {
+            scale: 1.0,
+            zero_point: 0,
+        },
+    );
+    tensor.byte_size() as f64 / quantized.byte_size() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_error_is_bounded() {
+        let t = Tensor::from_vec(vec![-1.0, -0.25, 0.0, 0.3, 0.9, 1.27], &[1, 6]).unwrap();
+        let q = QuantizedTensor::quantize(&t).unwrap();
+        let back = q.dequantize();
+        for (orig, rec) in t.data().iter().zip(back.data()) {
+            assert!((orig - rec).abs() <= q.max_error() + 1e-6);
+        }
+        assert_eq!(back.shape(), t.shape());
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_cleanly() {
+        let t = Tensor::zeros(&[2, 2]);
+        let q = QuantizedTensor::quantize(&t).unwrap();
+        assert!(q.values().iter().all(|&v| v == 0));
+        assert_eq!(q.dequantize(), t);
+    }
+
+    #[test]
+    fn empty_tensor_rejected() {
+        let t = Tensor::from_vec(vec![], &[0]).unwrap();
+        assert!(QuantizedTensor::quantize(&t).is_err());
+        assert_eq!(int8_compression_ratio(&t), 1.0);
+    }
+
+    #[test]
+    fn byte_size_is_quarter_of_f32() {
+        let t = Tensor::zeros(&[1, 1000]);
+        let q = QuantizedTensor::quantize(&t).unwrap();
+        assert_eq!(t.byte_size(), 4000);
+        assert_eq!(q.byte_size(), 1005);
+        assert!(int8_compression_ratio(&t) > 3.9);
+    }
+
+    #[test]
+    fn values_clamp_to_int8_range() {
+        let t = Tensor::from_vec(vec![1000.0, -1000.0], &[1, 2]).unwrap();
+        let q = QuantizedTensor::quantize_with(
+            &t,
+            QuantParams {
+                scale: 1.0,
+                zero_point: 0,
+            },
+        );
+        assert_eq!(q.values(), &[127, -128]);
+        assert_eq!(q.params().zero_point, 0);
+        assert_eq!(q.shape(), &[1, 2]);
+    }
+
+    #[test]
+    fn params_from_tensor_uses_dynamic_range() {
+        let t = Tensor::from_vec(vec![0.5, -2.54], &[1, 2]).unwrap();
+        let p = QuantParams::from_tensor(&t).unwrap();
+        assert!((p.scale - 2.54 / 127.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,277 @@
+//! A minimal dense `f32` tensor.
+//!
+//! The stack only needs what tiny in-sensor models need: creation, shape
+//! bookkeeping, element access, a 2-D matrix multiply and element-wise maps.
+//! Layout is row-major (last dimension contiguous).
+
+use crate::IsaError;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `f32` tensor.
+///
+/// # Example
+/// ```
+/// use hidwa_isa::tensor::Tensor;
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+/// let b = Tensor::eye(2);
+/// let c = a.matmul(&b).unwrap();
+/// assert_eq!(c.data(), a.data());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    ///
+    /// # Panics
+    /// Panics if the shape has zero dimensions.
+    #[must_use]
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Creates a tensor filled with a constant.
+    #[must_use]
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let mut t = Self::zeros(shape);
+        t.data.fill(value);
+        t
+    }
+
+    /// Creates a tensor from a flat vector and a shape.
+    ///
+    /// # Errors
+    /// Returns [`IsaError::ShapeMismatch`] if the vector length does not match
+    /// the shape's element count.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, IsaError> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(IsaError::shape(shape, &[data.len()]));
+        }
+        Ok(Self {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// Creates a square identity matrix.
+    #[must_use]
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Tensor shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the tensor in bytes when stored as `f32`.
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * core::mem::size_of::<f32>()
+    }
+
+    /// Flat view of the data.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view of the data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reshapes the tensor without copying.
+    ///
+    /// # Errors
+    /// Returns [`IsaError::ShapeMismatch`] if the element count changes.
+    pub fn reshape(mut self, shape: &[usize]) -> Result<Self, IsaError> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(IsaError::shape(shape, &self.shape));
+        }
+        self.shape = shape.to_vec();
+        Ok(self)
+    }
+
+    /// Element at a 2-D index.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not 2-D or the index is out of bounds.
+    #[must_use]
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        assert_eq!(self.shape.len(), 2, "at() requires a 2-D tensor");
+        self.data[row * self.shape[1] + col]
+    }
+
+    /// Matrix multiply of two 2-D tensors: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// # Errors
+    /// Returns [`IsaError::ShapeMismatch`] if either tensor is not 2-D or the
+    /// inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, IsaError> {
+        if self.shape.len() != 2 || other.shape.len() != 2 {
+            return Err(IsaError::shape(&[0, 0], &self.shape));
+        }
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        if k != k2 {
+            return Err(IsaError::shape(&[k, n], &other.shape));
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out.data[i * n + j] += a * other.data[p * n + j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    /// Returns [`IsaError::ShapeMismatch`] if shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, IsaError> {
+        if self.shape != other.shape {
+            return Err(IsaError::shape(&self.shape, &other.shape));
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Self {
+            shape: self.shape.clone(),
+            data,
+        })
+    }
+
+    /// Applies a function to every element, returning a new tensor.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Maximum absolute value (0.0 for an empty tensor).
+    #[must_use]
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |acc, &x| acc.max(x.abs()))
+    }
+
+    /// Index of the largest element (argmax); `None` for an empty tensor.
+    #[must_use]
+    pub fn argmax(&self) -> Option<usize> {
+        self.data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(core::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_full_and_eye() {
+        let z = Tensor::zeros(&[2, 3]);
+        assert_eq!(z.len(), 6);
+        assert_eq!(z.shape(), &[2, 3]);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let f = Tensor::full(&[4], 2.5);
+        assert!(f.data().iter().all(|&x| x == 2.5));
+        let i = Tensor::eye(3);
+        assert_eq!(i.at(0, 0), 1.0);
+        assert_eq!(i.at(0, 1), 0.0);
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        assert_eq!(t.byte_size(), 12);
+    }
+
+    #[test]
+    fn matmul_reference() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+        // Identity preserves.
+        assert_eq!(a.matmul(&Tensor::eye(2)).unwrap(), a);
+        // Shape errors.
+        assert!(a.matmul(&Tensor::zeros(&[3, 2])).is_err());
+        assert!(a.matmul(&Tensor::zeros(&[2])).is_err());
+    }
+
+    #[test]
+    fn add_and_map() {
+        let a = Tensor::from_vec(vec![1.0, -2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[4.0, 2.0]);
+        assert!(a.add(&Tensor::zeros(&[3])).is_err());
+        let relu = a.map(|x| x.max(0.0));
+        assert_eq!(relu.data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let r = t.clone().reshape(&[3, 2]).unwrap();
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn max_abs_and_argmax() {
+        let t = Tensor::from_vec(vec![0.5, -3.0, 2.0], &[3]).unwrap();
+        assert_eq!(t.max_abs(), 3.0);
+        assert_eq!(t.argmax(), Some(2));
+        assert_eq!(Tensor::from_vec(vec![], &[0]).unwrap().argmax(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn zeros_rejects_empty_shape() {
+        let _ = Tensor::zeros(&[]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the ISA library.
+
+use hidwa_isa::compression::{Compressor, DeltaEncoder, RunLengthEncoder};
+use hidwa_isa::layer::{Dense, Layer, MaxPool1d, Relu};
+use hidwa_isa::network::Network;
+use hidwa_isa::quant::QuantizedTensor;
+use hidwa_isa::tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    /// Delta and run-length coding are lossless for arbitrary ADC streams.
+    #[test]
+    fn delta_lossless(samples in prop::collection::vec(any::<i16>(), 0..512)) {
+        let enc = DeltaEncoder::new();
+        prop_assert_eq!(enc.decompress(&enc.compress(&samples)), samples);
+    }
+
+    #[test]
+    fn run_length_lossless(samples in prop::collection::vec(-5i16..5, 0..512)) {
+        let enc = RunLengthEncoder::new();
+        prop_assert_eq!(enc.decompress(&enc.compress(&samples)), samples);
+    }
+
+    /// Int8 quantization round-trips within half a quantization step.
+    #[test]
+    fn quantization_error_bounded(values in prop::collection::vec(-100.0f32..100.0, 1..256)) {
+        let n = values.len();
+        let t = Tensor::from_vec(values, &[1, n]).unwrap();
+        let q = QuantizedTensor::quantize(&t).unwrap();
+        let back = q.dequantize();
+        for (a, b) in t.data().iter().zip(back.data()) {
+            prop_assert!((a - b).abs() <= q.max_error() + 1e-4);
+        }
+    }
+
+    /// Matmul distributes over addition: (A + B)·C = A·C + B·C.
+    #[test]
+    fn matmul_distributes(
+        a in prop::collection::vec(-2.0f32..2.0, 6),
+        b in prop::collection::vec(-2.0f32..2.0, 6),
+        c in prop::collection::vec(-2.0f32..2.0, 6),
+    ) {
+        let a = Tensor::from_vec(a, &[2, 3]).unwrap();
+        let b = Tensor::from_vec(b, &[2, 3]).unwrap();
+        let c = Tensor::from_vec(c, &[3, 2]).unwrap();
+        let lhs = a.add(&b).unwrap().matmul(&c).unwrap();
+        let rhs = a.matmul(&c).unwrap().add(&b.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// ReLU output is non-negative and idempotent.
+    #[test]
+    fn relu_properties(values in prop::collection::vec(-10.0f32..10.0, 1..64)) {
+        let n = values.len();
+        let t = Tensor::from_vec(values, &[1, n]).unwrap();
+        let r = Relu;
+        let once = r.forward(&t).unwrap();
+        prop_assert!(once.data().iter().all(|&x| x >= 0.0));
+        prop_assert_eq!(r.forward(&once).unwrap(), once);
+    }
+
+    /// Cut-point invariants hold for randomly sized MLPs: leaf+hub MACs are
+    /// conserved and the final cut ships the output.
+    #[test]
+    fn cut_points_conserve_macs(
+        hidden1 in 1usize..64,
+        hidden2 in 1usize..64,
+        input in 1usize..64,
+        output in 1usize..16,
+    ) {
+        let net = Network::new(
+            "mlp",
+            vec![
+                Box::new(Dense::new("fc1", input, hidden1)),
+                Box::new(Relu),
+                Box::new(Dense::new("fc2", hidden1, hidden2)),
+                Box::new(Relu),
+                Box::new(Dense::new("fc3", hidden2, output)),
+            ],
+        );
+        let shape = [1, input];
+        let total = net.total_macs(&shape);
+        let cuts = net.cut_points(&shape).unwrap();
+        prop_assert_eq!(cuts.len(), net.len() + 1);
+        for cut in &cuts {
+            prop_assert_eq!(cut.leaf_macs + cut.hub_macs, total);
+        }
+        prop_assert_eq!(cuts.last().unwrap().transfer_bytes, output * 4);
+        // Leaf MACs are non-decreasing in the cut index.
+        for w in cuts.windows(2) {
+            prop_assert!(w[1].leaf_macs >= w[0].leaf_macs);
+        }
+    }
+
+    /// MaxPool never increases the maximum absolute value.
+    #[test]
+    fn maxpool_bounded(values in prop::collection::vec(-10.0f32..10.0, 8..64)) {
+        let n = values.len();
+        let t = Tensor::from_vec(values, &[1, n]).unwrap();
+        let p = MaxPool1d::new(2).unwrap();
+        let out = p.forward(&t).unwrap();
+        prop_assert!(out.max_abs() <= t.max_abs() + 1e-6);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for the network simulator.
+
+use core::fmt;
+
+/// Errors produced when building or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetsimError {
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: String,
+    },
+    /// A node id was referenced that does not exist in the simulation.
+    UnknownNode {
+        /// The unknown node id.
+        id: usize,
+    },
+}
+
+impl NetsimError {
+    pub(crate) fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        NetsimError::InvalidConfig {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for NetsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetsimError::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration {name}: {reason}")
+            }
+            NetsimError::UnknownNode { id } => write!(f, "unknown node id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for NetsimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(NetsimError::invalid("x", "y").to_string().contains("invalid configuration"));
+        assert!(NetsimError::UnknownNode { id: 3 }.to_string().contains('3'));
+    }
+}

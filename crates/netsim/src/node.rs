@@ -1,0 +1,251 @@
+//! Node descriptions: leaf sensors/actuators and the on-body hub.
+
+use crate::traffic::TrafficPattern;
+use hidwa_eqs::body::BodySite;
+use hidwa_units::{DataRate, EnergyPerBit, Power, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+/// Role of a node in the star network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeRole {
+    /// Ultra-low-power leaf (sensor/actuator, optionally with ISA).
+    Leaf,
+    /// The on-body hub ("wearable brain") that terminates all links.
+    Hub,
+}
+
+/// Link characteristics between a leaf and the hub, as seen by the simulator.
+///
+/// The PHY crate computes these from a concrete transceiver + channel pair;
+/// the simulator only needs the resulting goodput, delivered energy per bit
+/// and wake-up latency, which keeps the simulator independent of the radio
+/// technology being evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    goodput: DataRate,
+    energy_per_bit: EnergyPerBit,
+    wakeup: TimeSpan,
+}
+
+impl LinkParams {
+    /// Creates link parameters.
+    #[must_use]
+    pub fn new(goodput: DataRate, energy_per_bit: EnergyPerBit, wakeup: TimeSpan) -> Self {
+        Self {
+            goodput,
+            energy_per_bit,
+            wakeup,
+        }
+    }
+
+    /// Delivered application goodput.
+    #[must_use]
+    pub fn goodput(&self) -> DataRate {
+        self.goodput
+    }
+
+    /// Delivered energy per application bit (transmit side).
+    #[must_use]
+    pub fn energy_per_bit(&self) -> EnergyPerBit {
+        self.energy_per_bit
+    }
+
+    /// Radio wake-up time before a burst.
+    #[must_use]
+    pub fn wakeup(&self) -> TimeSpan {
+        self.wakeup
+    }
+}
+
+/// Static configuration of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    name: String,
+    role: NodeRole,
+    site: BodySite,
+    link: LinkParams,
+    sensing_power: Power,
+    compute_power: Power,
+    idle_power: Power,
+    traffic: TrafficPattern,
+}
+
+impl NodeConfig {
+    /// Creates a leaf node with the given uplink parameters.
+    #[must_use]
+    pub fn leaf(name: impl Into<String>, site: BodySite, link: LinkParams) -> Self {
+        Self {
+            name: name.into(),
+            role: NodeRole::Leaf,
+            site,
+            link,
+            sensing_power: Power::ZERO,
+            compute_power: Power::ZERO,
+            idle_power: Power::from_micro_watts(1.0),
+            traffic: TrafficPattern::Silent,
+        }
+    }
+
+    /// Creates the hub node.
+    #[must_use]
+    pub fn hub(name: impl Into<String>, site: BodySite, link: LinkParams) -> Self {
+        Self {
+            name: name.into(),
+            role: NodeRole::Hub,
+            site,
+            link,
+            sensing_power: Power::ZERO,
+            compute_power: Power::ZERO,
+            idle_power: Power::from_milli_watts(5.0),
+            traffic: TrafficPattern::Silent,
+        }
+    }
+
+    /// Sets the node's always-on sensing power.
+    #[must_use]
+    pub fn with_sensing_power(mut self, power: Power) -> Self {
+        self.sensing_power = power;
+        self
+    }
+
+    /// Sets the node's average compute (ISA or hub inference) power.
+    #[must_use]
+    pub fn with_compute_power(mut self, power: Power) -> Self {
+        self.compute_power = power;
+        self
+    }
+
+    /// Sets the node's idle floor power (sleep regulators, RTC).
+    #[must_use]
+    pub fn with_idle_power(mut self, power: Power) -> Self {
+        self.idle_power = power;
+        self
+    }
+
+    /// Sets the node's uplink traffic pattern.
+    #[must_use]
+    pub fn with_traffic(mut self, traffic: TrafficPattern) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Node name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Node role.
+    #[must_use]
+    pub fn role(&self) -> NodeRole {
+        self.role
+    }
+
+    /// Body site the node is worn at.
+    #[must_use]
+    pub fn site(&self) -> BodySite {
+        self.site
+    }
+
+    /// Link parameters toward the hub.
+    #[must_use]
+    pub fn link(&self) -> LinkParams {
+        self.link
+    }
+
+    /// Always-on sensing power.
+    #[must_use]
+    pub fn sensing_power(&self) -> Power {
+        self.sensing_power
+    }
+
+    /// Average compute power.
+    #[must_use]
+    pub fn compute_power(&self) -> Power {
+        self.compute_power
+    }
+
+    /// Idle floor power.
+    #[must_use]
+    pub fn idle_power(&self) -> Power {
+        self.idle_power
+    }
+
+    /// Uplink traffic pattern.
+    #[must_use]
+    pub fn traffic(&self) -> &TrafficPattern {
+        &self.traffic
+    }
+
+    /// Average power excluding the radio (sensing + compute + idle floor).
+    #[must_use]
+    pub fn baseline_power(&self) -> Power {
+        self.sensing_power + self.compute_power + self.idle_power
+    }
+
+    /// First-order average radio power for this node's traffic over its link
+    /// (energy per bit × average rate).
+    #[must_use]
+    pub fn average_radio_power(&self) -> Power {
+        self.link.energy_per_bit() * self.traffic.average_rate()
+    }
+
+    /// First-order total average power (baseline + radio).
+    #[must_use]
+    pub fn average_power(&self) -> Power {
+        self.baseline_power() + self.average_radio_power()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wir_link() -> LinkParams {
+        LinkParams::new(
+            DataRate::from_mbps(4.0),
+            EnergyPerBit::from_pico_joules(100.0),
+            TimeSpan::from_micros(100.0),
+        )
+    }
+
+    #[test]
+    fn leaf_builder_chains() {
+        let node = NodeConfig::leaf("patch", BodySite::Chest, wir_link())
+            .with_sensing_power(Power::from_micro_watts(2.0))
+            .with_compute_power(Power::from_micro_watts(10.0))
+            .with_idle_power(Power::from_micro_watts(0.5))
+            .with_traffic(TrafficPattern::periodic(TimeSpan::from_seconds(1.0), 500));
+        assert_eq!(node.role(), NodeRole::Leaf);
+        assert_eq!(node.site(), BodySite::Chest);
+        assert_eq!(node.name(), "patch");
+        assert!((node.baseline_power().as_micro_watts() - 12.5).abs() < 1e-9);
+        // 4 kbps × 100 pJ/bit = 0.4 µW of radio power.
+        assert!((node.average_radio_power().as_micro_watts() - 0.4).abs() < 1e-6);
+        assert!((node.average_power().as_micro_watts() - 12.9).abs() < 1e-6);
+        assert_eq!(node.link().goodput(), DataRate::from_mbps(4.0));
+        assert_eq!(node.traffic().frame_bytes(), 500);
+    }
+
+    #[test]
+    fn hub_has_higher_idle_floor() {
+        let hub = NodeConfig::hub("brain", BodySite::Waist, wir_link());
+        let leaf = NodeConfig::leaf("ring", BodySite::Finger, wir_link());
+        assert_eq!(hub.role(), NodeRole::Hub);
+        assert!(hub.idle_power() > leaf.idle_power());
+    }
+
+    #[test]
+    fn silent_node_power_is_baseline_only() {
+        let node = NodeConfig::leaf("actuator", BodySite::Ear, wir_link());
+        assert_eq!(node.average_radio_power(), Power::ZERO);
+        assert_eq!(node.average_power(), node.baseline_power());
+    }
+
+    #[test]
+    fn link_params_accessors() {
+        let link = wir_link();
+        assert_eq!(link.energy_per_bit(), EnergyPerBit::from_pico_joules(100.0));
+        assert_eq!(link.wakeup(), TimeSpan::from_micros(100.0));
+    }
+}

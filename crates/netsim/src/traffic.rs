@@ -1,0 +1,185 @@
+//! Traffic sources: how leaf nodes generate data for the hub.
+
+use hidwa_units::{DataRate, DataVolume, TimeSpan};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A traffic generation pattern for one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// A fixed-size frame every fixed period (sensor streaming with local
+    /// buffering): e.g. an ECG patch shipping 512 B every second.
+    Periodic {
+        /// Frame interval.
+        period: TimeSpan,
+        /// Application bytes per frame.
+        frame_bytes: usize,
+    },
+    /// A continuous stream at a target rate, chunked into frames of the given
+    /// size (audio/video): the period is derived from rate and frame size.
+    Streaming {
+        /// Sustained application data rate.
+        rate: DataRate,
+        /// Application bytes per frame.
+        frame_bytes: usize,
+    },
+    /// Poisson-like bursts: exponentially distributed gaps with the given
+    /// mean, each burst carrying a fixed payload (event-driven sensors).
+    Bursty {
+        /// Mean time between bursts.
+        mean_interval: TimeSpan,
+        /// Application bytes per burst.
+        burst_bytes: usize,
+    },
+    /// No traffic (an actuator that only listens).
+    Silent,
+}
+
+impl TrafficPattern {
+    /// Convenience constructor for [`TrafficPattern::Periodic`].
+    #[must_use]
+    pub fn periodic(period: TimeSpan, frame_bytes: usize) -> Self {
+        TrafficPattern::Periodic {
+            period,
+            frame_bytes,
+        }
+    }
+
+    /// Convenience constructor for [`TrafficPattern::Streaming`].
+    #[must_use]
+    pub fn streaming(rate: DataRate, frame_bytes: usize) -> Self {
+        TrafficPattern::Streaming { rate, frame_bytes }
+    }
+
+    /// Convenience constructor for [`TrafficPattern::Bursty`].
+    #[must_use]
+    pub fn bursty(mean_interval: TimeSpan, burst_bytes: usize) -> Self {
+        TrafficPattern::Bursty {
+            mean_interval,
+            burst_bytes,
+        }
+    }
+
+    /// Long-run average application data rate of the pattern.
+    #[must_use]
+    pub fn average_rate(&self) -> DataRate {
+        match *self {
+            TrafficPattern::Periodic {
+                period,
+                frame_bytes,
+            } => {
+                if period.as_seconds() <= 0.0 {
+                    DataRate::ZERO
+                } else {
+                    DataVolume::from_bytes(frame_bytes as f64) / period
+                }
+            }
+            TrafficPattern::Streaming { rate, .. } => rate,
+            TrafficPattern::Bursty {
+                mean_interval,
+                burst_bytes,
+            } => {
+                if mean_interval.as_seconds() <= 0.0 {
+                    DataRate::ZERO
+                } else {
+                    DataVolume::from_bytes(burst_bytes as f64) / mean_interval
+                }
+            }
+            TrafficPattern::Silent => DataRate::ZERO,
+        }
+    }
+
+    /// Bytes carried by one frame of this pattern.
+    #[must_use]
+    pub fn frame_bytes(&self) -> usize {
+        match *self {
+            TrafficPattern::Periodic { frame_bytes, .. }
+            | TrafficPattern::Streaming { frame_bytes, .. } => frame_bytes,
+            TrafficPattern::Bursty { burst_bytes, .. } => burst_bytes,
+            TrafficPattern::Silent => 0,
+        }
+    }
+
+    /// Time until the next frame after the current one, or `None` for silent
+    /// patterns.  Bursty patterns draw from an exponential distribution using
+    /// `rng`; deterministic patterns ignore it.
+    pub fn next_interval<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<TimeSpan> {
+        match *self {
+            TrafficPattern::Periodic { period, .. } => Some(period),
+            TrafficPattern::Streaming { rate, frame_bytes } => {
+                if rate.as_bps() <= 0.0 {
+                    None
+                } else {
+                    Some(DataVolume::from_bytes(frame_bytes as f64) / rate)
+                }
+            }
+            TrafficPattern::Bursty { mean_interval, .. } => {
+                let u: f64 = rng.gen_range(1e-9..1.0);
+                Some(mean_interval * (-u.ln()))
+            }
+            TrafficPattern::Silent => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn periodic_average_rate() {
+        let p = TrafficPattern::periodic(TimeSpan::from_seconds(1.0), 500);
+        assert!((p.average_rate().as_bps() - 4000.0).abs() < 1e-9);
+        assert_eq!(p.frame_bytes(), 500);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(p.next_interval(&mut rng), Some(TimeSpan::from_seconds(1.0)));
+    }
+
+    #[test]
+    fn streaming_interval_matches_rate() {
+        let s = TrafficPattern::streaming(DataRate::from_kbps(256.0), 1024);
+        let mut rng = StdRng::seed_from_u64(1);
+        let interval = s.next_interval(&mut rng).unwrap();
+        assert!((interval.as_seconds() - 1024.0 * 8.0 / 256_000.0).abs() < 1e-9);
+        assert_eq!(s.average_rate(), DataRate::from_kbps(256.0));
+        // Zero-rate stream produces nothing.
+        let dead = TrafficPattern::streaming(DataRate::ZERO, 1024);
+        assert!(dead.next_interval(&mut rng).is_none());
+    }
+
+    #[test]
+    fn bursty_mean_interval_approximates_configuration() {
+        let b = TrafficPattern::bursty(TimeSpan::from_seconds(2.0), 128);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| b.next_interval(&mut rng).unwrap().as_seconds())
+            .sum::<f64>()
+            / f64::from(n);
+        assert!((mean - 2.0).abs() < 0.1, "mean interval {mean}");
+        assert!((b.average_rate().as_bps() - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn silent_pattern_is_silent() {
+        let s = TrafficPattern::Silent;
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(s.next_interval(&mut rng).is_none());
+        assert_eq!(s.average_rate(), DataRate::ZERO);
+        assert_eq!(s.frame_bytes(), 0);
+    }
+
+    #[test]
+    fn degenerate_periods_give_zero_rate() {
+        assert_eq!(
+            TrafficPattern::periodic(TimeSpan::ZERO, 100).average_rate(),
+            DataRate::ZERO
+        );
+        assert_eq!(
+            TrafficPattern::bursty(TimeSpan::ZERO, 100).average_rate(),
+            DataRate::ZERO
+        );
+    }
+}

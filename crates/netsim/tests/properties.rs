@@ -1,0 +1,87 @@
+//! Property-based tests for the network simulator.
+
+use hidwa_eqs::body::BodySite;
+use hidwa_netsim::mac::MacPolicy;
+use hidwa_netsim::node::{LinkParams, NodeConfig};
+use hidwa_netsim::sim::Simulation;
+use hidwa_netsim::traffic::TrafficPattern;
+use hidwa_units::{DataRate, EnergyPerBit, TimeSpan};
+use proptest::prelude::*;
+
+fn wir_link() -> LinkParams {
+    LinkParams::new(
+        DataRate::from_mbps(4.0),
+        EnergyPerBit::from_pico_joules(100.0),
+        TimeSpan::from_micros(100.0),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conservation: generated = delivered + backlog for every node, and
+    /// delivery ratio lies in [0, 1].
+    #[test]
+    fn frames_are_conserved(
+        node_count in 1usize..6,
+        period_ms in 50.0..500.0f64,
+        frame_bytes in 64usize..2048,
+        seconds in 5.0..20.0f64,
+    ) {
+        let mut sim = Simulation::new(MacPolicy::Tdma);
+        for i in 0..node_count {
+            sim.add_node(
+                NodeConfig::leaf(format!("n{i}"), BodySite::Wrist, wir_link())
+                    .with_traffic(TrafficPattern::periodic(TimeSpan::from_millis(period_ms), frame_bytes)),
+            );
+        }
+        let report = sim.run(TimeSpan::from_seconds(seconds));
+        for s in report.node_stats() {
+            prop_assert_eq!(s.generated_frames, s.delivered_frames + s.backlog_frames);
+            prop_assert!(s.p95_latency >= s.mean_latency - TimeSpan::from_micros(1.0));
+            prop_assert!(s.max_latency >= s.p95_latency);
+        }
+        let ratio = report.delivery_ratio();
+        prop_assert!((0.0..=1.0).contains(&ratio));
+        prop_assert!((0.0..=1.0).contains(&report.medium_utilization()));
+    }
+
+    /// The same seed reproduces identical results; different durations scale
+    /// delivered bytes roughly linearly for underloaded networks.
+    #[test]
+    fn deterministic_and_scales(seed in 0u64..1000) {
+        let build = |seed: u64, secs: f64| {
+            let mut sim = Simulation::new(MacPolicy::Polling).with_seed(seed);
+            sim.add_node(
+                NodeConfig::leaf("audio", BodySite::Ear, wir_link())
+                    .with_traffic(TrafficPattern::streaming(DataRate::from_kbps(64.0), 512)),
+            );
+            sim.run(TimeSpan::from_seconds(secs))
+        };
+        let a = build(seed, 10.0);
+        let b = build(seed, 10.0);
+        prop_assert_eq!(a.node_stats()[0].delivered_bytes, b.node_stats()[0].delivered_bytes);
+        let long = build(seed, 20.0);
+        let short_bytes = a.node_stats()[0].delivered_bytes as f64;
+        let long_bytes = long.node_stats()[0].delivered_bytes as f64;
+        prop_assert!(long_bytes > short_bytes * 1.5);
+    }
+
+    /// Radio energy is proportional to delivered volume, so doubling the
+    /// frame size (at the same frame rate) roughly doubles radio energy.
+    #[test]
+    fn radio_energy_scales_with_volume(frame_bytes in 128usize..1024) {
+        let run = |bytes: usize| {
+            let mut sim = Simulation::new(MacPolicy::Tdma);
+            sim.add_node(
+                NodeConfig::leaf("n", BodySite::Chest, wir_link())
+                    .with_traffic(TrafficPattern::periodic(TimeSpan::from_millis(100.0), bytes)),
+            );
+            sim.run(TimeSpan::from_seconds(10.0)).node_stats()[0].radio_energy
+        };
+        let single = run(frame_bytes);
+        let double = run(frame_bytes * 2);
+        let ratio = double.as_joules() / single.as_joules();
+        prop_assert!((ratio - 2.0).abs() < 0.1, "ratio {}", ratio);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the PHY layer.
+
+use core::fmt;
+use hidwa_units::DataRate;
+
+/// Errors produced by PHY-layer models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhyError {
+    /// The requested data rate exceeds what the transceiver can sustain.
+    RateUnsupported {
+        /// Requested data rate.
+        requested: DataRate,
+        /// Maximum supported data rate.
+        supported: DataRate,
+    },
+    /// A model parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: String,
+    },
+    /// A packet payload exceeded the maximum transfer unit.
+    PayloadTooLarge {
+        /// Payload size in bytes.
+        payload_bytes: usize,
+        /// Maximum payload size in bytes.
+        mtu_bytes: usize,
+    },
+}
+
+impl PhyError {
+    pub(crate) fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        PhyError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for PhyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhyError::RateUnsupported { requested, supported } => write!(
+                f,
+                "requested rate {requested} exceeds supported maximum {supported}"
+            ),
+            PhyError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            PhyError::PayloadTooLarge { payload_bytes, mtu_bytes } => write!(
+                f,
+                "payload of {payload_bytes} bytes exceeds MTU of {mtu_bytes} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PhyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = PhyError::RateUnsupported {
+            requested: DataRate::from_mbps(10.0),
+            supported: DataRate::from_mbps(4.0),
+        };
+        assert!(e.to_string().contains("exceeds supported"));
+        assert!(PhyError::invalid("x", "y").to_string().contains("invalid parameter"));
+        let e = PhyError::PayloadTooLarge { payload_bytes: 500, mtu_bytes: 251 };
+        assert!(e.to_string().contains("MTU"));
+    }
+}

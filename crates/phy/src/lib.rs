@@ -1,0 +1,48 @@
+//! Link/PHY models for body-area communication.
+//!
+//! The paper's quantitative comparisons all reduce to two radios:
+//!
+//! * **Wi-R** — the commercial electro-quasistatic human-body-communication
+//!   transceiver ("Body as a Wire"), operating at ~100 pJ/bit up to 4 Mbps,
+//!   with literature points down to 6.3 pJ/bit at 30 Mbps and 415 nW at
+//!   10 kbps ([`wir`]).
+//! * **BLE** — the radiative baseline every of-the-shelf wearable uses today,
+//!   milliwatt-class active power and nJ/bit-class delivered efficiency
+//!   ([`ble`]).
+//!
+//! Both implement the [`Transceiver`] trait so higher layers (network
+//! simulator, partition optimiser, benches) can swap them freely.  The
+//! [`link`] module combines a transceiver with a channel/noise model into a
+//! [`link::Link`] that accounts for bit errors, retransmissions, goodput and
+//! delivered energy per useful bit; [`packet`] provides the framing used by
+//! the network simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use hidwa_phy::{Transceiver, wir::WiRTransceiver, ble::BleTransceiver};
+//! use hidwa_units::DataRate;
+//!
+//! let wir = WiRTransceiver::ixana_class();
+//! let ble = BleTransceiver::phy_1m();
+//! let rate = DataRate::from_kbps(500.0);
+//! let p_wir = wir.average_power(rate);
+//! let p_ble = ble.average_power(rate);
+//! // The paper's headline: >10× data rate at <1/100th the power is only
+//! // possible because the per-bit energy gap is ~100×.
+//! assert!(p_ble.as_watts() / p_wir.as_watts() > 20.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ble;
+mod error;
+pub mod link;
+pub mod modulation;
+pub mod packet;
+mod transceiver;
+pub mod wir;
+
+pub use error::PhyError;
+pub use transceiver::{RadioTechnology, Transceiver};

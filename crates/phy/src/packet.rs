@@ -1,0 +1,293 @@
+//! Packet framing for the body-area link layer.
+//!
+//! The network simulator exchanges [`Frame`]s between leaf nodes and the hub.
+//! Frames carry a small fixed header (addresses, sequence number, type), a
+//! payload, and a CRC-16; [`FrameCodec`] turns them into bytes and back so
+//! the framing overhead accounted by the link model is the real overhead of
+//! this format.
+
+use crate::PhyError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hidwa_units::DataVolume;
+use serde::{Deserialize, Serialize};
+
+/// Link-layer frame types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameKind {
+    /// Application data.
+    Data,
+    /// Acknowledgement.
+    Ack,
+    /// Polling / scheduling beacon from the hub.
+    Beacon,
+    /// Network management (join, leave, schedule update).
+    Management,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Data => 0,
+            FrameKind::Ack => 1,
+            FrameKind::Beacon => 2,
+            FrameKind::Management => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(FrameKind::Data),
+            1 => Some(FrameKind::Ack),
+            2 => Some(FrameKind::Beacon),
+            3 => Some(FrameKind::Management),
+            _ => None,
+        }
+    }
+}
+
+/// A link-layer frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Source node address.
+    pub source: u8,
+    /// Destination node address.
+    pub destination: u8,
+    /// Sequence number (wraps at 255).
+    pub sequence: u8,
+    /// Frame type.
+    pub kind: FrameKind,
+    /// Application payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Header size in bytes: source, destination, sequence, kind, 2-byte
+    /// length field.
+    pub const HEADER_BYTES: usize = 6;
+    /// Trailer size in bytes (CRC-16).
+    pub const TRAILER_BYTES: usize = 2;
+    /// Maximum payload per frame.
+    pub const MAX_PAYLOAD_BYTES: usize = 1024;
+
+    /// Creates a data frame.
+    ///
+    /// # Errors
+    /// Returns [`PhyError::PayloadTooLarge`] if the payload exceeds
+    /// [`Frame::MAX_PAYLOAD_BYTES`].
+    pub fn data(source: u8, destination: u8, sequence: u8, payload: Vec<u8>) -> Result<Self, PhyError> {
+        if payload.len() > Self::MAX_PAYLOAD_BYTES {
+            return Err(PhyError::PayloadTooLarge {
+                payload_bytes: payload.len(),
+                mtu_bytes: Self::MAX_PAYLOAD_BYTES,
+            });
+        }
+        Ok(Self {
+            source,
+            destination,
+            sequence,
+            kind: FrameKind::Data,
+            payload,
+        })
+    }
+
+    /// Creates an acknowledgement for a received frame.
+    #[must_use]
+    pub fn ack_for(frame: &Frame) -> Self {
+        Self {
+            source: frame.destination,
+            destination: frame.source,
+            sequence: frame.sequence,
+            kind: FrameKind::Ack,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Total on-air size of the frame, including header and CRC.
+    #[must_use]
+    pub fn wire_size(&self) -> DataVolume {
+        DataVolume::from_bytes((Self::HEADER_BYTES + self.payload.len() + Self::TRAILER_BYTES) as f64)
+    }
+
+    /// Number of frames needed to carry `payload_bytes` of application data.
+    #[must_use]
+    pub fn frames_for(payload_bytes: usize) -> usize {
+        if payload_bytes == 0 {
+            return 0;
+        }
+        payload_bytes.div_ceil(Self::MAX_PAYLOAD_BYTES)
+    }
+
+    /// Framing overhead factor: wire bits per payload bit for a payload of
+    /// the given size (≥ 1.0).
+    #[must_use]
+    pub fn overhead_factor(payload_bytes: usize) -> f64 {
+        if payload_bytes == 0 {
+            return 1.0;
+        }
+        let frames = Self::frames_for(payload_bytes);
+        let wire = payload_bytes + frames * (Self::HEADER_BYTES + Self::TRAILER_BYTES);
+        wire as f64 / payload_bytes as f64
+    }
+}
+
+/// Encoder/decoder between [`Frame`]s and raw bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameCodec;
+
+impl FrameCodec {
+    /// Creates a codec.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Encodes a frame into bytes (header, payload, CRC-16).
+    #[must_use]
+    pub fn encode(&self, frame: &Frame) -> Bytes {
+        let mut buf = BytesMut::with_capacity(
+            Frame::HEADER_BYTES + frame.payload.len() + Frame::TRAILER_BYTES,
+        );
+        buf.put_u8(frame.source);
+        buf.put_u8(frame.destination);
+        buf.put_u8(frame.sequence);
+        buf.put_u8(frame.kind.to_byte());
+        buf.put_u16(frame.payload.len() as u16);
+        buf.put_slice(&frame.payload);
+        let crc = crc16(&buf);
+        buf.put_u16(crc);
+        buf.freeze()
+    }
+
+    /// Decodes a frame from bytes, verifying length and CRC.
+    ///
+    /// # Errors
+    /// Returns [`PhyError`] if the buffer is truncated, the kind byte is
+    /// unknown, or the CRC does not match.
+    pub fn decode(&self, mut bytes: Bytes) -> Result<Frame, PhyError> {
+        if bytes.len() < Frame::HEADER_BYTES + Frame::TRAILER_BYTES {
+            return Err(PhyError::invalid("frame", "truncated header"));
+        }
+        let body_len = bytes.len() - Frame::TRAILER_BYTES;
+        let crc_expected = {
+            let mut tail = bytes.clone();
+            tail.advance(body_len);
+            tail.get_u16()
+        };
+        let crc_actual = crc16(&bytes[..body_len]);
+        if crc_expected != crc_actual {
+            return Err(PhyError::invalid("frame", "CRC mismatch"));
+        }
+        let source = bytes.get_u8();
+        let destination = bytes.get_u8();
+        let sequence = bytes.get_u8();
+        let kind = FrameKind::from_byte(bytes.get_u8())
+            .ok_or_else(|| PhyError::invalid("frame", "unknown frame kind"))?;
+        let len = bytes.get_u16() as usize;
+        if bytes.remaining() < len + Frame::TRAILER_BYTES {
+            return Err(PhyError::invalid("frame", "truncated payload"));
+        }
+        let payload = bytes.split_to(len).to_vec();
+        Ok(Frame {
+            source,
+            destination,
+            sequence,
+            kind,
+            payload,
+        })
+    }
+}
+
+/// CRC-16/CCITT-FALSE over a byte slice.
+#[must_use]
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= u16::from(byte) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_reference_vector() {
+        // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+        assert_eq!(crc16(b""), 0xFFFF);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let codec = FrameCodec::new();
+        let frame = Frame::data(3, 1, 42, vec![1, 2, 3, 4, 5]).unwrap();
+        let bytes = codec.encode(&frame);
+        assert_eq!(bytes.len(), Frame::HEADER_BYTES + 5 + Frame::TRAILER_BYTES);
+        let decoded = codec.decode(bytes).unwrap();
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn decode_detects_corruption() {
+        let codec = FrameCodec::new();
+        let frame = Frame::data(3, 1, 42, vec![9; 64]).unwrap();
+        let mut bytes = codec.encode(&frame).to_vec();
+        bytes[10] ^= 0xFF;
+        assert!(codec.decode(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_unknown_kind() {
+        let codec = FrameCodec::new();
+        assert!(codec.decode(Bytes::from_static(&[1, 2, 3])).is_err());
+        // Build a frame with an invalid kind byte but a valid CRC.
+        let mut buf = BytesMut::new();
+        buf.put_u8(1);
+        buf.put_u8(2);
+        buf.put_u8(3);
+        buf.put_u8(9); // unknown kind
+        buf.put_u16(0);
+        let crc = crc16(&buf);
+        buf.put_u16(crc);
+        assert!(codec.decode(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn payload_size_limit() {
+        assert!(Frame::data(0, 1, 0, vec![0; Frame::MAX_PAYLOAD_BYTES]).is_ok());
+        assert!(Frame::data(0, 1, 0, vec![0; Frame::MAX_PAYLOAD_BYTES + 1]).is_err());
+    }
+
+    #[test]
+    fn ack_swaps_addresses_and_keeps_sequence() {
+        let frame = Frame::data(7, 1, 9, vec![1]).unwrap();
+        let ack = Frame::ack_for(&frame);
+        assert_eq!(ack.source, 1);
+        assert_eq!(ack.destination, 7);
+        assert_eq!(ack.sequence, 9);
+        assert_eq!(ack.kind, FrameKind::Ack);
+        assert!(ack.payload.is_empty());
+    }
+
+    #[test]
+    fn wire_size_and_overhead() {
+        let frame = Frame::data(0, 1, 0, vec![0; 100]).unwrap();
+        assert_eq!(frame.wire_size().as_bytes() as usize, 108);
+        assert_eq!(Frame::frames_for(0), 0);
+        assert_eq!(Frame::frames_for(1024), 1);
+        assert_eq!(Frame::frames_for(1025), 2);
+        assert!((Frame::overhead_factor(0) - 1.0).abs() < 1e-12);
+        // Large payloads amortise the header: overhead < 1 %.
+        assert!(Frame::overhead_factor(100 * 1024) < 1.01);
+        // Tiny payloads are dominated by the header.
+        assert!(Frame::overhead_factor(1) > 8.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! The [`Transceiver`] trait: the common surface of Wi-R, BLE and any other
+//! body-area radio the stack compares.
+
+use hidwa_units::{DataRate, DataVolume, Energy, EnergyPerBit, Power, TimeSpan};
+
+/// Radio technology families compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum RadioTechnology {
+    /// Electro-quasistatic human body communication ("Body as a Wire").
+    WiR,
+    /// Bluetooth Low Energy (radiative 2.4 GHz).
+    Ble,
+    /// Near-field magnetic induction.
+    Nfmi,
+    /// Wi-Fi class radiative link (hub uplink).
+    WiFi,
+}
+
+impl RadioTechnology {
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RadioTechnology::WiR => "Wi-R (EQS-HBC)",
+            RadioTechnology::Ble => "BLE",
+            RadioTechnology::Nfmi => "NFMI",
+            RadioTechnology::WiFi => "Wi-Fi",
+        }
+    }
+}
+
+impl core::fmt::Display for RadioTechnology {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A body-area transceiver energy/throughput model.
+///
+/// Implementations provide the technology-specific numbers; the provided
+/// methods derive the composite quantities (energy for a transfer, average
+/// power at a duty-cycled rate) that the rest of the stack consumes.
+pub trait Transceiver {
+    /// Technology family.
+    fn technology(&self) -> RadioTechnology;
+
+    /// Descriptive name of the specific transceiver model.
+    fn name(&self) -> &str;
+
+    /// Maximum sustainable physical-layer data rate.
+    fn max_data_rate(&self) -> DataRate;
+
+    /// Power drawn while actively transmitting at the given link rate.
+    fn active_tx_power(&self, rate: DataRate) -> Power;
+
+    /// Power drawn while actively receiving at the given link rate.
+    fn active_rx_power(&self, rate: DataRate) -> Power;
+
+    /// Power drawn while idle but connected (sniffing / keep-alive).
+    fn idle_power(&self) -> Power;
+
+    /// Time to wake the radio from sleep and (re)acquire the link.
+    fn wakeup_time(&self) -> TimeSpan;
+
+    /// Delivered energy per useful bit when streaming continuously at `rate`
+    /// (protocol overhead included by the implementation).
+    fn energy_per_bit(&self, rate: DataRate) -> EnergyPerBit {
+        self.active_tx_power(rate).per_bit_at(rate)
+    }
+
+    /// Whether the transceiver can sustain an application rate.
+    fn supports_rate(&self, rate: DataRate) -> bool {
+        rate <= self.max_data_rate()
+    }
+
+    /// Energy to move a volume of data at a given application rate
+    /// (transmit side), assuming ideal duty-cycling between bursts.
+    fn energy_for_transfer(&self, volume: DataVolume, rate: DataRate) -> Energy {
+        let link_rate = rate.min(self.max_data_rate());
+        if link_rate.as_bps() <= 0.0 {
+            return Energy::ZERO;
+        }
+        let airtime = volume / self.max_data_rate().min(link_rate.max(link_rate));
+        self.active_tx_power(link_rate) * airtime
+    }
+
+    /// Average transmit-side power when the application produces data at
+    /// `app_rate` and the radio bursts it at its maximum link rate, sleeping
+    /// in between (idle power fills the gaps).
+    fn average_power(&self, app_rate: DataRate) -> Power {
+        let link_rate = self.max_data_rate();
+        if link_rate.as_bps() <= 0.0 {
+            return self.idle_power();
+        }
+        let duty = (app_rate.as_bps() / link_rate.as_bps()).clamp(0.0, 1.0);
+        self.active_tx_power(link_rate) * duty + self.idle_power() * (1.0 - duty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial transceiver to exercise the provided methods.
+    struct Fixed;
+
+    impl Transceiver for Fixed {
+        fn technology(&self) -> RadioTechnology {
+            RadioTechnology::Nfmi
+        }
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn max_data_rate(&self) -> DataRate {
+            DataRate::from_kbps(100.0)
+        }
+        fn active_tx_power(&self, _rate: DataRate) -> Power {
+            Power::from_milli_watts(1.0)
+        }
+        fn active_rx_power(&self, _rate: DataRate) -> Power {
+            Power::from_micro_watts(800.0)
+        }
+        fn idle_power(&self) -> Power {
+            Power::from_micro_watts(1.0)
+        }
+        fn wakeup_time(&self) -> TimeSpan {
+            TimeSpan::from_millis(1.0)
+        }
+    }
+
+    #[test]
+    fn default_energy_per_bit() {
+        let t = Fixed;
+        let epb = t.energy_per_bit(DataRate::from_kbps(100.0));
+        assert!((epb.as_nano_joules() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn supports_rate_boundary() {
+        let t = Fixed;
+        assert!(t.supports_rate(DataRate::from_kbps(100.0)));
+        assert!(!t.supports_rate(DataRate::from_kbps(100.1)));
+    }
+
+    #[test]
+    fn average_power_interpolates_between_idle_and_active() {
+        let t = Fixed;
+        let idle = t.average_power(DataRate::ZERO);
+        assert_eq!(idle, t.idle_power());
+        let full = t.average_power(DataRate::from_kbps(100.0));
+        assert_eq!(full, t.active_tx_power(DataRate::from_kbps(100.0)));
+        let half = t.average_power(DataRate::from_kbps(50.0));
+        assert!(half > idle && half < full);
+    }
+
+    #[test]
+    fn energy_for_transfer_uses_airtime() {
+        let t = Fixed;
+        // 100 kb at 100 kbps = 1 s of airtime at 1 mW = 1 mJ.
+        let e = t.energy_for_transfer(
+            DataVolume::from_bits(100_000.0),
+            DataRate::from_kbps(100.0),
+        );
+        assert!((e.as_milli_joules() - 1.0).abs() < 1e-9);
+        assert_eq!(
+            t.energy_for_transfer(DataVolume::from_bits(1000.0), DataRate::ZERO),
+            Energy::ZERO
+        );
+    }
+
+    #[test]
+    fn technology_names() {
+        assert_eq!(RadioTechnology::WiR.to_string(), "Wi-R (EQS-HBC)");
+        assert_eq!(RadioTechnology::Ble.name(), "BLE");
+        assert_eq!(RadioTechnology::WiFi.name(), "Wi-Fi");
+    }
+}

@@ -1,0 +1,106 @@
+//! Electric charge (battery capacity), stored in coulombs.
+
+use crate::error::{check_non_negative, UnitError};
+use crate::quantity::scalar_quantity;
+use crate::{Energy, Voltage};
+use serde::{Deserialize, Serialize};
+
+/// Electric charge, stored internally in coulombs.
+///
+/// Battery capacities in the wearable world are quoted in mAh; the paper's
+/// Fig. 3 assumes a 1000 mAh high-capacity coin cell.
+///
+/// # Example
+/// ```
+/// use hidwa_units::{Charge, Voltage};
+/// let cell = Charge::from_milli_amp_hours(1000.0);
+/// let energy = cell.energy_at(Voltage::from_volts(3.0));
+/// assert!((energy.as_watt_hours() - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Charge(f64);
+
+scalar_quantity!(Charge, "C", "charge");
+
+impl Charge {
+    /// Creates a charge from coulombs.
+    #[must_use]
+    pub const fn from_coulombs(coulombs: f64) -> Self {
+        Self(coulombs)
+    }
+
+    /// Creates a charge from ampere-hours.
+    #[must_use]
+    pub fn from_amp_hours(ah: f64) -> Self {
+        Self(ah * crate::SECONDS_PER_HOUR)
+    }
+
+    /// Creates a charge from milliampere-hours.
+    #[must_use]
+    pub fn from_milli_amp_hours(mah: f64) -> Self {
+        Self(mah * crate::SECONDS_PER_HOUR * 1e-3)
+    }
+
+    /// Creates a charge from coulombs, rejecting invalid values.
+    ///
+    /// # Errors
+    /// Returns [`UnitError`] if `coulombs` is negative, NaN or infinite.
+    pub fn try_from_coulombs(coulombs: f64) -> Result<Self, UnitError> {
+        check_non_negative("charge", coulombs).map(Self)
+    }
+
+    /// Returns the charge in coulombs.
+    #[must_use]
+    pub const fn as_coulombs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the charge in ampere-hours.
+    #[must_use]
+    pub fn as_amp_hours(self) -> f64 {
+        self.0 / crate::SECONDS_PER_HOUR
+    }
+
+    /// Returns the charge in milliampere-hours.
+    #[must_use]
+    pub fn as_milli_amp_hours(self) -> f64 {
+        self.as_amp_hours() * 1e3
+    }
+
+    /// Stored energy at a nominal cell voltage (`E = Q·V`).
+    #[must_use]
+    pub fn energy_at(self, voltage: Voltage) -> Energy {
+        Energy::from_joules(self.0 * voltage.as_volts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Charge::from_amp_hours(1.0), Charge::from_coulombs(3600.0));
+        assert_eq!(Charge::from_milli_amp_hours(1000.0), Charge::from_amp_hours(1.0));
+    }
+
+    #[test]
+    fn paper_coin_cell_energy() {
+        // 1000 mAh at 3 V nominal = 3 Wh = 10.8 kJ.
+        let e = Charge::from_milli_amp_hours(1000.0).energy_at(Voltage::from_volts(3.0));
+        assert!((e.as_joules() - 10_800.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accessors() {
+        let q = Charge::from_coulombs(7200.0);
+        assert!((q.as_amp_hours() - 2.0).abs() < 1e-12);
+        assert!((q.as_milli_amp_hours() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_from_rejects_bad_values() {
+        assert!(Charge::try_from_coulombs(-1.0).is_err());
+        assert!(Charge::try_from_coulombs(1.0).is_ok());
+    }
+}

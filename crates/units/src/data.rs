@@ -1,0 +1,131 @@
+//! Data volume (amount of information), stored in bits.
+
+use crate::error::{check_non_negative, UnitError};
+use crate::quantity::scalar_quantity;
+use crate::{DataRate, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+/// A quantity of data, stored internally in bits.
+///
+/// # Example
+/// ```
+/// use hidwa_units::{DataVolume, DataRate};
+/// // A 10 kB compressed video frame over a 4 Mbps Wi-R link takes 20 ms.
+/// let frame = DataVolume::from_kilo_bytes(10.0);
+/// let t = frame / DataRate::from_mbps(4.0);
+/// assert!((t.as_millis() - 20.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct DataVolume(f64);
+
+scalar_quantity!(DataVolume, "bit", "data volume");
+
+impl DataVolume {
+    /// Creates a volume from bits.
+    #[must_use]
+    pub const fn from_bits(bits: f64) -> Self {
+        Self(bits)
+    }
+
+    /// Creates a volume from bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: f64) -> Self {
+        Self(bytes * 8.0)
+    }
+
+    /// Creates a volume from kilobytes (1000 bytes).
+    #[must_use]
+    pub fn from_kilo_bytes(kb: f64) -> Self {
+        Self(kb * 8e3)
+    }
+
+    /// Creates a volume from megabytes (10^6 bytes).
+    #[must_use]
+    pub fn from_mega_bytes(mb: f64) -> Self {
+        Self(mb * 8e6)
+    }
+
+    /// Creates a volume from bits, rejecting invalid values.
+    ///
+    /// # Errors
+    /// Returns [`UnitError`] if `bits` is negative, NaN or infinite.
+    pub fn try_from_bits(bits: f64) -> Result<Self, UnitError> {
+        check_non_negative("data volume", bits).map(Self)
+    }
+
+    /// Returns the volume in bits.
+    #[must_use]
+    pub const fn as_bits(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the volume in bytes.
+    #[must_use]
+    pub fn as_bytes(self) -> f64 {
+        self.0 / 8.0
+    }
+
+    /// Returns the volume in kilobytes.
+    #[must_use]
+    pub fn as_kilo_bytes(self) -> f64 {
+        self.0 / 8e3
+    }
+
+    /// Returns the volume in megabytes.
+    #[must_use]
+    pub fn as_mega_bytes(self) -> f64 {
+        self.0 / 8e6
+    }
+}
+
+impl core::ops::Div<DataRate> for DataVolume {
+    type Output = TimeSpan;
+    fn div(self, rhs: DataRate) -> TimeSpan {
+        TimeSpan::from_seconds(self.0 / rhs.as_bps())
+    }
+}
+
+impl core::ops::Div<TimeSpan> for DataVolume {
+    type Output = DataRate;
+    fn div(self, rhs: TimeSpan) -> DataRate {
+        DataRate::from_bps(self.0 / rhs.as_seconds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(DataVolume::from_bytes(1.0), DataVolume::from_bits(8.0));
+        assert_eq!(DataVolume::from_kilo_bytes(1.0), DataVolume::from_bits(8000.0));
+        assert_eq!(DataVolume::from_mega_bytes(1.0), DataVolume::from_bits(8e6));
+    }
+
+    #[test]
+    fn volume_over_rate_is_time() {
+        let t = DataVolume::from_bits(1000.0) / DataRate::from_bps(500.0);
+        assert_eq!(t, TimeSpan::from_seconds(2.0));
+    }
+
+    #[test]
+    fn volume_over_time_is_rate() {
+        let r = DataVolume::from_bits(1000.0) / TimeSpan::from_seconds(2.0);
+        assert_eq!(r, DataRate::from_bps(500.0));
+    }
+
+    #[test]
+    fn accessors() {
+        let v = DataVolume::from_bits(16_000_000.0);
+        assert!((v.as_mega_bytes() - 2.0).abs() < 1e-12);
+        assert!((v.as_kilo_bytes() - 2000.0).abs() < 1e-9);
+        assert!((v.as_bytes() - 2_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn try_from_rejects_bad_values() {
+        assert!(DataVolume::try_from_bits(-8.0).is_err());
+        assert!(DataVolume::try_from_bits(8.0).is_ok());
+    }
+}

@@ -1,0 +1,131 @@
+//! Data rate (throughput), stored in bits per second.
+
+use crate::error::{check_non_negative, UnitError};
+use crate::quantity::scalar_quantity;
+use crate::{DataVolume, EnergyPerBit, Power, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+/// Data rate, stored internally in bits per second.
+///
+/// # Example
+/// ```
+/// use hidwa_units::{DataRate, EnergyPerBit};
+/// // Wi-R headline operating point: 4 Mbps at 100 pJ/bit → 400 µW.
+/// let p = DataRate::from_mbps(4.0) * EnergyPerBit::from_pico_joules(100.0);
+/// assert!((p.as_micro_watts() - 400.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct DataRate(f64);
+
+scalar_quantity!(DataRate, "bps", "data rate");
+
+impl DataRate {
+    /// Creates a data rate from bits per second.
+    #[must_use]
+    pub const fn from_bps(bps: f64) -> Self {
+        Self(bps)
+    }
+
+    /// Creates a data rate from kilobits per second.
+    #[must_use]
+    pub fn from_kbps(kbps: f64) -> Self {
+        Self(kbps * 1e3)
+    }
+
+    /// Creates a data rate from megabits per second.
+    #[must_use]
+    pub fn from_mbps(mbps: f64) -> Self {
+        Self(mbps * 1e6)
+    }
+
+    /// Creates a data rate from bytes per second.
+    #[must_use]
+    pub fn from_bytes_per_second(bytes: f64) -> Self {
+        Self(bytes * 8.0)
+    }
+
+    /// Creates a data rate from bits per second, rejecting invalid values.
+    ///
+    /// # Errors
+    /// Returns [`UnitError`] if `bps` is negative, NaN or infinite.
+    pub fn try_from_bps(bps: f64) -> Result<Self, UnitError> {
+        check_non_negative("data rate", bps).map(Self)
+    }
+
+    /// Returns the rate in bits per second.
+    #[must_use]
+    pub const fn as_bps(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the rate in kilobits per second.
+    #[must_use]
+    pub fn as_kbps(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Returns the rate in megabits per second.
+    #[must_use]
+    pub fn as_mbps(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Returns the rate in bytes per second.
+    #[must_use]
+    pub fn as_bytes_per_second(self) -> f64 {
+        self.0 / 8.0
+    }
+}
+
+impl core::ops::Mul<TimeSpan> for DataRate {
+    type Output = DataVolume;
+    fn mul(self, rhs: TimeSpan) -> DataVolume {
+        DataVolume::from_bits(self.0 * rhs.as_seconds())
+    }
+}
+
+impl core::ops::Mul<EnergyPerBit> for DataRate {
+    type Output = Power;
+    fn mul(self, rhs: EnergyPerBit) -> Power {
+        Power::from_watts(self.0 * rhs.as_joules_per_bit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(DataRate::from_kbps(1.0), DataRate::from_bps(1e3));
+        assert_eq!(DataRate::from_mbps(1.0), DataRate::from_bps(1e6));
+        assert_eq!(DataRate::from_bytes_per_second(1.0), DataRate::from_bps(8.0));
+    }
+
+    #[test]
+    fn rate_times_time_is_volume() {
+        let v = DataRate::from_kbps(10.0) * TimeSpan::from_seconds(2.0);
+        assert_eq!(v, DataVolume::from_bits(20_000.0));
+    }
+
+    #[test]
+    fn rate_times_efficiency_is_power() {
+        let p = DataRate::from_kbps(10.0) * EnergyPerBit::from_pico_joules(50.0);
+        assert!((p.as_nano_watts() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accessors() {
+        let r = DataRate::from_bps(2_500_000.0);
+        assert!((r.as_mbps() - 2.5).abs() < 1e-12);
+        assert!((r.as_kbps() - 2500.0).abs() < 1e-9);
+        assert!((r.as_bytes_per_second() - 312_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_from_rejects_bad_values() {
+        assert!(DataRate::try_from_bps(-1.0).is_err());
+        assert!(DataRate::try_from_bps(f64::NAN).is_err());
+        assert!(DataRate::try_from_bps(100.0).is_ok());
+    }
+}

@@ -1,0 +1,108 @@
+//! Distance, stored in metres.
+
+use crate::error::{check_non_negative, UnitError};
+use crate::quantity::scalar_quantity;
+use serde::{Deserialize, Serialize};
+
+/// Distance, stored internally in metres.
+///
+/// Two distance scales matter in the paper: on-body channel lengths
+/// (1–2 m) and the radiation bubble of conventional RF (5–10 m), which is the
+/// root of both the energy and the security argument.
+///
+/// # Example
+/// ```
+/// use hidwa_units::Distance;
+/// let channel = Distance::from_meters(1.5);
+/// let rf_bubble = Distance::from_meters(7.5);
+/// assert!(rf_bubble > channel);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Distance(f64);
+
+scalar_quantity!(Distance, "m", "distance");
+
+impl Distance {
+    /// Creates a distance from metres.
+    #[must_use]
+    pub const fn from_meters(meters: f64) -> Self {
+        Self(meters)
+    }
+
+    /// Creates a distance from centimetres.
+    #[must_use]
+    pub fn from_centimeters(cm: f64) -> Self {
+        Self(cm * 1e-2)
+    }
+
+    /// Creates a distance from millimetres.
+    #[must_use]
+    pub fn from_millimeters(mm: f64) -> Self {
+        Self(mm * 1e-3)
+    }
+
+    /// Creates a distance from metres, rejecting invalid values.
+    ///
+    /// # Errors
+    /// Returns [`UnitError`] if `meters` is negative, NaN or infinite.
+    pub fn try_from_meters(meters: f64) -> Result<Self, UnitError> {
+        check_non_negative("distance", meters).map(Self)
+    }
+
+    /// Returns the distance in metres.
+    #[must_use]
+    pub const fn as_meters(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the distance in centimetres.
+    #[must_use]
+    pub fn as_centimeters(self) -> f64 {
+        self.0 * 1e2
+    }
+
+    /// Returns the distance in millimetres.
+    #[must_use]
+    pub fn as_millimeters(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Euclidean distance between two points expressed in metres.
+    #[must_use]
+    pub fn between(a: [f64; 3], b: [f64; 3]) -> Self {
+        let dx = a[0] - b[0];
+        let dy = a[1] - b[1];
+        let dz = a[2] - b[2];
+        Self((dx * dx + dy * dy + dz * dz).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Distance::from_centimeters(100.0), Distance::from_meters(1.0));
+        assert_eq!(Distance::from_millimeters(1000.0), Distance::from_meters(1.0));
+    }
+
+    #[test]
+    fn euclidean_between() {
+        let d = Distance::between([0.0, 0.0, 0.0], [3.0, 4.0, 0.0]);
+        assert!((d.as_meters() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accessors() {
+        let d = Distance::from_meters(1.75);
+        assert!((d.as_centimeters() - 175.0).abs() < 1e-9);
+        assert!((d.as_millimeters() - 1750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_from_rejects_bad_values() {
+        assert!(Distance::try_from_meters(-1.0).is_err());
+        assert!(Distance::try_from_meters(1.0).is_ok());
+    }
+}

@@ -1,0 +1,172 @@
+//! Energy, stored in joules.
+
+use crate::error::{check_non_negative, UnitError};
+use crate::quantity::scalar_quantity;
+use crate::{Charge, Power, TimeSpan, Voltage};
+use serde::{Deserialize, Serialize};
+
+/// Energy, stored internally in joules.
+///
+/// # Example
+/// ```
+/// use hidwa_units::{Energy, Power, TimeSpan};
+/// // A 1000 mAh coin cell at 3 V holds 10.8 kJ.
+/// let battery = Energy::from_watt_hours(3.0);
+/// assert!((battery.as_joules() - 10_800.0).abs() < 1e-9);
+/// // At 100 µW it lasts 1250 days.
+/// let life: TimeSpan = battery / Power::from_micro_watts(100.0);
+/// assert!((life.as_days() - 1250.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Energy(f64);
+
+scalar_quantity!(Energy, "J", "energy");
+
+impl Energy {
+    /// Creates an energy from joules.
+    #[must_use]
+    pub const fn from_joules(joules: f64) -> Self {
+        Self(joules)
+    }
+
+    /// Creates an energy from millijoules.
+    #[must_use]
+    pub fn from_milli_joules(mj: f64) -> Self {
+        Self(mj * 1e-3)
+    }
+
+    /// Creates an energy from microjoules.
+    #[must_use]
+    pub fn from_micro_joules(uj: f64) -> Self {
+        Self(uj * 1e-6)
+    }
+
+    /// Creates an energy from nanojoules.
+    #[must_use]
+    pub fn from_nano_joules(nj: f64) -> Self {
+        Self(nj * 1e-9)
+    }
+
+    /// Creates an energy from picojoules.
+    #[must_use]
+    pub fn from_pico_joules(pj: f64) -> Self {
+        Self(pj * 1e-12)
+    }
+
+    /// Creates an energy from watt-hours.
+    #[must_use]
+    pub fn from_watt_hours(wh: f64) -> Self {
+        Self(wh * crate::SECONDS_PER_HOUR)
+    }
+
+    /// Creates an energy from joules, rejecting negative or non-finite values.
+    ///
+    /// # Errors
+    /// Returns [`UnitError`] if `joules` is negative, NaN or infinite.
+    pub fn try_from_joules(joules: f64) -> Result<Self, UnitError> {
+        check_non_negative("energy", joules).map(Self)
+    }
+
+    /// Returns the energy in joules.
+    #[must_use]
+    pub const fn as_joules(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the energy in millijoules.
+    #[must_use]
+    pub fn as_milli_joules(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the energy in microjoules.
+    #[must_use]
+    pub fn as_micro_joules(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the energy in nanojoules.
+    #[must_use]
+    pub fn as_nano_joules(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Returns the energy in picojoules.
+    #[must_use]
+    pub fn as_pico_joules(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Returns the energy in watt-hours.
+    #[must_use]
+    pub fn as_watt_hours(self) -> f64 {
+        self.0 / crate::SECONDS_PER_HOUR
+    }
+
+    /// Equivalent charge at a given nominal voltage (`E = Q·V`).
+    #[must_use]
+    pub fn charge_at(self, voltage: Voltage) -> Charge {
+        Charge::from_coulombs(self.0 / voltage.as_volts())
+    }
+}
+
+impl core::ops::Div<Power> for Energy {
+    type Output = TimeSpan;
+    fn div(self, rhs: Power) -> TimeSpan {
+        TimeSpan::from_seconds(self.0 / rhs.as_watts())
+    }
+}
+
+impl core::ops::Div<TimeSpan> for Energy {
+    type Output = Power;
+    fn div(self, rhs: TimeSpan) -> Power {
+        Power::from_watts(self.0 / rhs.as_seconds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magnitude_constructors_agree() {
+        assert_eq!(Energy::from_milli_joules(1.0), Energy::from_joules(1e-3));
+        assert_eq!(Energy::from_micro_joules(1.0), Energy::from_joules(1e-6));
+        assert_eq!(Energy::from_nano_joules(1.0), Energy::from_joules(1e-9));
+        assert_eq!(Energy::from_pico_joules(1.0), Energy::from_joules(1e-12));
+        assert_eq!(Energy::from_watt_hours(1.0), Energy::from_joules(3600.0));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let e = Energy::from_joules(7.2);
+        assert!((e.as_watt_hours() - 0.002).abs() < 1e-12);
+        assert!((e.as_milli_joules() - 7200.0).abs() < 1e-9);
+        assert!((e.as_pico_joules() - 7.2e12).abs() < 1.0);
+    }
+
+    #[test]
+    fn energy_over_power_is_time() {
+        let t = Energy::from_joules(10.0) / Power::from_watts(2.0);
+        assert_eq!(t, TimeSpan::from_seconds(5.0));
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let p = Energy::from_joules(10.0) / TimeSpan::from_seconds(4.0);
+        assert_eq!(p, Power::from_watts(2.5));
+    }
+
+    #[test]
+    fn charge_at_voltage() {
+        let q = Energy::from_watt_hours(3.7).charge_at(Voltage::from_volts(3.7));
+        assert!((q.as_milli_amp_hours() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn try_from_rejects_bad_values() {
+        assert!(Energy::try_from_joules(-1.0).is_err());
+        assert!(Energy::try_from_joules(f64::INFINITY).is_err());
+        assert!(Energy::try_from_joules(0.0).is_ok());
+    }
+}

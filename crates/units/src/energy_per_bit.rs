@@ -1,0 +1,126 @@
+//! Communication energy efficiency, stored in joules per bit.
+
+use crate::error::{check_non_negative, UnitError};
+use crate::quantity::scalar_quantity;
+use crate::{DataRate, DataVolume, Energy, Power};
+use serde::{Deserialize, Serialize};
+
+/// Energy spent per transmitted (or received) bit, stored in joules per bit.
+///
+/// This is the figure of merit the paper uses to compare Wi-R (~100 pJ/bit,
+/// down to 6.3 pJ/bit in the literature) against BLE (nJ/bit class).
+///
+/// # Example
+/// ```
+/// use hidwa_units::{EnergyPerBit, DataVolume};
+/// let wir = EnergyPerBit::from_pico_joules(100.0);
+/// let frame = DataVolume::from_kilo_bytes(1.0);
+/// let cost = wir * frame;
+/// assert!((cost.as_nano_joules() - 800.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct EnergyPerBit(f64);
+
+scalar_quantity!(EnergyPerBit, "J/bit", "energy per bit");
+
+impl EnergyPerBit {
+    /// Creates an efficiency from joules per bit.
+    #[must_use]
+    pub const fn from_joules_per_bit(jpb: f64) -> Self {
+        Self(jpb)
+    }
+
+    /// Creates an efficiency from nanojoules per bit.
+    #[must_use]
+    pub fn from_nano_joules(njpb: f64) -> Self {
+        Self(njpb * 1e-9)
+    }
+
+    /// Creates an efficiency from picojoules per bit.
+    #[must_use]
+    pub fn from_pico_joules(pjpb: f64) -> Self {
+        Self(pjpb * 1e-12)
+    }
+
+    /// Creates an efficiency from joules per bit, rejecting invalid values.
+    ///
+    /// # Errors
+    /// Returns [`UnitError`] if `jpb` is negative, NaN or infinite.
+    pub fn try_from_joules_per_bit(jpb: f64) -> Result<Self, UnitError> {
+        check_non_negative("energy per bit", jpb).map(Self)
+    }
+
+    /// Returns the efficiency in joules per bit.
+    #[must_use]
+    pub const fn as_joules_per_bit(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the efficiency in nanojoules per bit.
+    #[must_use]
+    pub fn as_nano_joules(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Returns the efficiency in picojoules per bit.
+    #[must_use]
+    pub fn as_pico_joules(self) -> f64 {
+        self.0 * 1e12
+    }
+}
+
+impl core::ops::Mul<DataRate> for EnergyPerBit {
+    type Output = Power;
+    fn mul(self, rhs: DataRate) -> Power {
+        Power::from_watts(self.0 * rhs.as_bps())
+    }
+}
+
+impl core::ops::Mul<DataVolume> for EnergyPerBit {
+    type Output = Energy;
+    fn mul(self, rhs: DataVolume) -> Energy {
+        Energy::from_joules(self.0 * rhs.as_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(
+            EnergyPerBit::from_nano_joules(1.0),
+            EnergyPerBit::from_joules_per_bit(1e-9)
+        );
+        assert_eq!(
+            EnergyPerBit::from_pico_joules(1.0),
+            EnergyPerBit::from_joules_per_bit(1e-12)
+        );
+    }
+
+    #[test]
+    fn efficiency_times_rate_is_power() {
+        let p = EnergyPerBit::from_pico_joules(100.0) * DataRate::from_mbps(4.0);
+        assert!((p.as_micro_watts() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_times_volume_is_energy() {
+        let e = EnergyPerBit::from_nano_joules(2.0) * DataVolume::from_bits(1e6);
+        assert!((e.as_milli_joules() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accessors() {
+        let e = EnergyPerBit::from_joules_per_bit(6.3e-12);
+        assert!((e.as_pico_joules() - 6.3).abs() < 1e-9);
+        assert!((e.as_nano_joules() - 0.0063).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_from_rejects_bad_values() {
+        assert!(EnergyPerBit::try_from_joules_per_bit(-1.0).is_err());
+        assert!(EnergyPerBit::try_from_joules_per_bit(1e-12).is_ok());
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type shared by fallible unit conversions and validated constructors.
+
+use core::fmt;
+
+/// Error returned when a quantity is constructed from an invalid value.
+///
+/// # Example
+/// ```
+/// use hidwa_units::{Power, UnitError};
+/// let err = Power::try_from_watts(-1.0).unwrap_err();
+/// assert!(matches!(err, UnitError::Negative { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitError {
+    /// The value was negative where only non-negative magnitudes make sense.
+    Negative {
+        /// Name of the quantity being constructed.
+        quantity: &'static str,
+        /// The offending value, in the base unit.
+        value: f64,
+    },
+    /// The value was NaN or infinite.
+    NotFinite {
+        /// Name of the quantity being constructed.
+        quantity: &'static str,
+    },
+}
+
+impl fmt::Display for UnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitError::Negative { quantity, value } => {
+                write!(f, "negative value {value} for {quantity}")
+            }
+            UnitError::NotFinite { quantity } => {
+                write!(f, "non-finite value for {quantity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnitError {}
+
+/// Validates that `value` is finite and non-negative.
+pub(crate) fn check_non_negative(quantity: &'static str, value: f64) -> Result<f64, UnitError> {
+    if !value.is_finite() {
+        Err(UnitError::NotFinite { quantity })
+    } else if value < 0.0 {
+        Err(UnitError::Negative { quantity, value })
+    } else {
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_zero_and_positive() {
+        assert_eq!(check_non_negative("x", 0.0), Ok(0.0));
+        assert_eq!(check_non_negative("x", 5.5), Ok(5.5));
+    }
+
+    #[test]
+    fn rejects_negative() {
+        assert!(matches!(
+            check_non_negative("x", -1.0),
+            Err(UnitError::Negative { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nan_and_inf() {
+        assert!(matches!(
+            check_non_negative("x", f64::NAN),
+            Err(UnitError::NotFinite { .. })
+        ));
+        assert!(matches!(
+            check_non_negative("x", f64::INFINITY),
+            Err(UnitError::NotFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = UnitError::Negative {
+            quantity: "power",
+            value: -2.0,
+        };
+        assert_eq!(e.to_string(), "negative value -2 for power");
+        let e = UnitError::NotFinite { quantity: "power" };
+        assert_eq!(e.to_string(), "non-finite value for power");
+    }
+}

@@ -1,0 +1,150 @@
+//! Frequency, stored in hertz.
+
+use crate::error::{check_non_negative, UnitError};
+use crate::quantity::scalar_quantity;
+use serde::{Deserialize, Serialize};
+
+/// Frequency, stored internally in hertz.
+///
+/// The electro-quasistatic regime the paper relies on runs from the
+/// electrophysiological band (≤ 10 kHz) up to roughly 30 MHz; beyond that the
+/// human body starts to behave as an antenna and the quasistatic assumption
+/// breaks down. [`Frequency::is_eqs`] encodes that boundary.
+///
+/// # Example
+/// ```
+/// use hidwa_units::Frequency;
+/// assert!(Frequency::from_mega_hertz(21.0).is_eqs());
+/// assert!(!Frequency::from_mega_hertz(2400.0).is_eqs());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Frequency(f64);
+
+scalar_quantity!(Frequency, "Hz", "frequency");
+
+/// Upper edge of the electro-quasistatic band used throughout the paper.
+pub const EQS_UPPER_EDGE_HZ: f64 = 30e6;
+
+impl Frequency {
+    /// Creates a frequency from hertz.
+    #[must_use]
+    pub const fn from_hertz(hz: f64) -> Self {
+        Self(hz)
+    }
+
+    /// Creates a frequency from kilohertz.
+    #[must_use]
+    pub fn from_kilo_hertz(khz: f64) -> Self {
+        Self(khz * 1e3)
+    }
+
+    /// Creates a frequency from megahertz.
+    #[must_use]
+    pub fn from_mega_hertz(mhz: f64) -> Self {
+        Self(mhz * 1e6)
+    }
+
+    /// Creates a frequency from gigahertz.
+    #[must_use]
+    pub fn from_giga_hertz(ghz: f64) -> Self {
+        Self(ghz * 1e9)
+    }
+
+    /// Creates a frequency from hertz, rejecting invalid values.
+    ///
+    /// # Errors
+    /// Returns [`UnitError`] if `hz` is negative, NaN or infinite.
+    pub fn try_from_hertz(hz: f64) -> Result<Self, UnitError> {
+        check_non_negative("frequency", hz).map(Self)
+    }
+
+    /// Returns the frequency in hertz.
+    #[must_use]
+    pub const fn as_hertz(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the frequency in kilohertz.
+    #[must_use]
+    pub fn as_kilo_hertz(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Returns the frequency in megahertz.
+    #[must_use]
+    pub fn as_mega_hertz(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Returns the frequency in gigahertz.
+    #[must_use]
+    pub fn as_giga_hertz(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Free-space wavelength at this frequency, in metres.
+    ///
+    /// # Panics
+    /// Panics if the frequency is zero.
+    #[must_use]
+    pub fn wavelength_m(self) -> f64 {
+        assert!(self.0 > 0.0, "wavelength undefined at 0 Hz");
+        299_792_458.0 / self.0
+    }
+
+    /// `true` if this frequency lies in the electro-quasistatic band
+    /// (≤ 30 MHz), where the body behaves as a lossy conductor rather than an
+    /// antenna.
+    #[must_use]
+    pub fn is_eqs(self) -> bool {
+        self.0 <= EQS_UPPER_EDGE_HZ
+    }
+
+    /// `true` if this frequency lies in the electrophysiological band
+    /// (≤ 10 kHz) occupied by ECG/EMG/EEG signals; external EQS carriers must
+    /// stay above it to avoid interference.
+    #[must_use]
+    pub fn is_electrophysiological(self) -> bool {
+        self.0 <= 10e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Frequency::from_kilo_hertz(1.0), Frequency::from_hertz(1e3));
+        assert_eq!(Frequency::from_mega_hertz(1.0), Frequency::from_hertz(1e6));
+        assert_eq!(Frequency::from_giga_hertz(1.0), Frequency::from_hertz(1e9));
+    }
+
+    #[test]
+    fn eqs_band_edges() {
+        assert!(Frequency::from_mega_hertz(30.0).is_eqs());
+        assert!(!Frequency::from_mega_hertz(30.1).is_eqs());
+        assert!(Frequency::from_kilo_hertz(5.0).is_electrophysiological());
+        assert!(!Frequency::from_kilo_hertz(11.0).is_electrophysiological());
+    }
+
+    #[test]
+    fn wavelength_reference() {
+        // 21 MHz → ~14.3 m: far larger than the 1–2 m body channel, which is
+        // why the regime is quasistatic.
+        let lambda = Frequency::from_mega_hertz(21.0).wavelength_m();
+        assert!((lambda - 14.28).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "wavelength undefined")]
+    fn wavelength_panics_at_zero() {
+        let _ = Frequency::ZERO.wavelength_m();
+    }
+
+    #[test]
+    fn try_from_rejects_bad_values() {
+        assert!(Frequency::try_from_hertz(-1.0).is_err());
+        assert!(Frequency::try_from_hertz(1e6).is_ok());
+    }
+}

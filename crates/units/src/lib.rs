@@ -1,0 +1,129 @@
+//! Physical-quantity newtypes for the HIDWA (Human-Inspired Distributed
+//! Wearable AI) stack.
+//!
+//! Every model in the stack — channel loss, transceiver energy, battery
+//! projection, partition optimisation — mixes quantities that are all `f64`
+//! underneath (watts, joules, bits per second, hours, metres). Mixing them up
+//! silently is the classic source of 1000× errors in energy modelling, so this
+//! crate wraps each quantity in a newtype with explicit constructors for each
+//! common magnitude (`Power::from_micro_watts`, `DataRate::from_kbps`, …) and
+//! only defines the arithmetic that is dimensionally meaningful
+//! (`Power * TimeSpan = Energy`, `Energy / Charge = Voltage`, …).
+//!
+//! # Example
+//!
+//! ```
+//! use hidwa_units::{Power, TimeSpan, Energy, DataRate, EnergyPerBit};
+//!
+//! // A Wi-R link at 100 pJ/bit streaming 1 Mbps costs 100 µW.
+//! let efficiency = EnergyPerBit::from_pico_joules(100.0);
+//! let rate = DataRate::from_bps(1_000_000.0);
+//! let p: Power = efficiency * rate;
+//! assert!((p.as_micro_watts() - 100.0).abs() < 1e-9);
+//!
+//! // Running that for an hour costs 0.36 J.
+//! let e: Energy = p * TimeSpan::from_hours(1.0);
+//! assert!((e.as_joules() - 0.36).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capacity;
+mod data;
+mod quantity;
+mod datarate;
+mod distance;
+mod energy;
+mod energy_per_bit;
+mod error;
+mod frequency;
+mod power;
+mod timespan;
+mod voltage;
+
+pub use capacity::Charge;
+pub use data::DataVolume;
+pub use datarate::DataRate;
+pub use distance::Distance;
+pub use energy::Energy;
+pub use energy_per_bit::EnergyPerBit;
+pub use error::UnitError;
+pub use frequency::Frequency;
+pub use power::Power;
+pub use timespan::TimeSpan;
+pub use voltage::Voltage;
+
+/// Number of seconds in one hour.
+pub const SECONDS_PER_HOUR: f64 = 3_600.0;
+/// Number of seconds in one day.
+pub const SECONDS_PER_DAY: f64 = 86_400.0;
+/// Number of days in one (mean) year.
+pub const DAYS_PER_YEAR: f64 = 365.25;
+
+/// Converts a linear power ratio to decibels.
+///
+/// # Example
+/// ```
+/// assert!((hidwa_units::ratio_to_db(100.0) - 20.0).abs() < 1e-12);
+/// ```
+pub fn ratio_to_db(ratio: f64) -> f64 {
+    10.0 * ratio.log10()
+}
+
+/// Converts decibels to a linear power ratio.
+///
+/// # Example
+/// ```
+/// assert!((hidwa_units::db_to_ratio(20.0) - 100.0).abs() < 1e-9);
+/// ```
+pub fn db_to_ratio(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a power expressed in dBm to a [`Power`].
+///
+/// # Example
+/// ```
+/// use hidwa_units::{dbm_to_power, Power};
+/// let p = dbm_to_power(0.0);
+/// assert!((p.as_milli_watts() - 1.0).abs() < 1e-12);
+/// ```
+pub fn dbm_to_power(dbm: f64) -> Power {
+    Power::from_milli_watts(db_to_ratio(dbm))
+}
+
+/// Converts a [`Power`] to dBm.
+///
+/// # Example
+/// ```
+/// use hidwa_units::{power_to_dbm, Power};
+/// assert!((power_to_dbm(Power::from_milli_watts(1.0)) - 0.0).abs() < 1e-12);
+/// ```
+pub fn power_to_dbm(power: Power) -> f64 {
+    ratio_to_db(power.as_milli_watts())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_round_trip() {
+        for r in [0.001, 0.1, 1.0, 42.0, 1e6] {
+            let db = ratio_to_db(r);
+            assert!((db_to_ratio(db) - r).abs() / r < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dbm_reference_points() {
+        assert!((power_to_dbm(Power::from_watts(1.0)) - 30.0).abs() < 1e-9);
+        assert!((dbm_to_power(-30.0).as_micro_watts() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constants_consistent() {
+        assert_eq!(SECONDS_PER_DAY, 24.0 * SECONDS_PER_HOUR);
+    }
+}

@@ -1,0 +1,175 @@
+//! Electrical power, stored in watts.
+
+use crate::error::{check_non_negative, UnitError};
+use crate::quantity::scalar_quantity;
+use crate::{DataRate, Energy, EnergyPerBit, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+/// Electrical power, stored internally in watts.
+///
+/// Powers in the wearable domain span nine orders of magnitude: a sub-µW
+/// EQS-HBC authentication node (415 nW) up to a multi-watt mixed-reality
+/// headset. Constructors are provided for every magnitude that appears in the
+/// paper so call sites read like the text they reproduce.
+///
+/// # Example
+/// ```
+/// use hidwa_units::Power;
+/// let wir = Power::from_micro_watts(100.0);
+/// let ble = Power::from_milli_watts(10.0);
+/// assert!(ble / wir >= 100.0 - 1e-9); // "<100X lower than BLE"
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Power(f64);
+
+scalar_quantity!(Power, "W", "power");
+
+impl Power {
+    /// Creates a power from watts.
+    #[must_use]
+    pub const fn from_watts(watts: f64) -> Self {
+        Self(watts)
+    }
+
+    /// Creates a power from milliwatts.
+    #[must_use]
+    pub fn from_milli_watts(mw: f64) -> Self {
+        Self(mw * 1e-3)
+    }
+
+    /// Creates a power from microwatts.
+    #[must_use]
+    pub fn from_micro_watts(uw: f64) -> Self {
+        Self(uw * 1e-6)
+    }
+
+    /// Creates a power from nanowatts.
+    #[must_use]
+    pub fn from_nano_watts(nw: f64) -> Self {
+        Self(nw * 1e-9)
+    }
+
+    /// Creates a power from watts, rejecting negative or non-finite values.
+    ///
+    /// # Errors
+    /// Returns [`UnitError`] if `watts` is negative, NaN or infinite.
+    pub fn try_from_watts(watts: f64) -> Result<Self, UnitError> {
+        check_non_negative("power", watts).map(Self)
+    }
+
+    /// Returns the power in watts.
+    #[must_use]
+    pub const fn as_watts(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the power in milliwatts.
+    #[must_use]
+    pub fn as_milli_watts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the power in microwatts.
+    #[must_use]
+    pub fn as_micro_watts(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the power in nanowatts.
+    #[must_use]
+    pub fn as_nano_watts(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Energy efficiency when transmitting at `rate`: joules per bit.
+    ///
+    /// Returns [`EnergyPerBit::ZERO`] if the rate is zero (an idle link costs
+    /// nothing per bit because no bits are moved).
+    #[must_use]
+    pub fn per_bit_at(self, rate: DataRate) -> EnergyPerBit {
+        if rate.as_bps() == 0.0 {
+            EnergyPerBit::ZERO
+        } else {
+            EnergyPerBit::from_joules_per_bit(self.0 / rate.as_bps())
+        }
+    }
+}
+
+impl core::ops::Mul<TimeSpan> for Power {
+    type Output = Energy;
+    fn mul(self, rhs: TimeSpan) -> Energy {
+        Energy::from_joules(self.0 * rhs.as_seconds())
+    }
+}
+
+impl core::ops::Div<DataRate> for Power {
+    type Output = EnergyPerBit;
+    fn div(self, rhs: DataRate) -> EnergyPerBit {
+        EnergyPerBit::from_joules_per_bit(self.0 / rhs.as_bps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magnitude_constructors_agree() {
+        assert_eq!(Power::from_milli_watts(1.0), Power::from_watts(1e-3));
+        assert_eq!(Power::from_micro_watts(1.0), Power::from_watts(1e-6));
+        assert_eq!(Power::from_nano_watts(1.0), Power::from_watts(1e-9));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let p = Power::from_watts(0.0123);
+        assert!((p.as_milli_watts() - 12.3).abs() < 1e-9);
+        assert!((p.as_micro_watts() - 12_300.0).abs() < 1e-6);
+        assert!((p.as_nano_watts() - 12_300_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::from_watts(2.0) * TimeSpan::from_seconds(3.0);
+        assert_eq!(e, Energy::from_joules(6.0));
+    }
+
+    #[test]
+    fn power_over_rate_is_energy_per_bit() {
+        let epb = Power::from_micro_watts(100.0) / DataRate::from_bps(1e6);
+        assert!((epb.as_pico_joules() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_bit_at_zero_rate_is_zero() {
+        assert_eq!(
+            Power::from_milli_watts(1.0).per_bit_at(DataRate::ZERO),
+            EnergyPerBit::ZERO
+        );
+    }
+
+    #[test]
+    fn try_from_rejects_bad_values() {
+        assert!(Power::try_from_watts(-0.5).is_err());
+        assert!(Power::try_from_watts(f64::NAN).is_err());
+        assert!(Power::try_from_watts(1.5).is_ok());
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = Power::from_milli_watts(3.0);
+        let b = Power::from_milli_watts(1.0);
+        assert_eq!(a + b, Power::from_milli_watts(4.0));
+        assert!((a - b).as_milli_watts() - 2.0 < 1e-12);
+        assert!(a > b);
+        assert!((a / b - 3.0).abs() < 1e-12);
+        assert_eq!(a * 2.0, Power::from_milli_watts(6.0));
+        let total: Power = [a, b].into_iter().sum();
+        assert_eq!(total, Power::from_milli_watts(4.0));
+    }
+
+    #[test]
+    fn display_uses_base_unit() {
+        assert_eq!(Power::from_watts(1.5).to_string(), "1.5 W");
+    }
+}

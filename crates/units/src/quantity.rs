@@ -1,0 +1,150 @@
+//! Internal macro that generates the boilerplate shared by every scalar
+//! physical quantity: constructors from the base unit, ordering, arithmetic
+//! with itself and with dimensionless scalars, and serde support.
+
+/// Implements the common surface of a scalar quantity newtype.
+///
+/// The newtype must be a tuple struct over `f64` storing the quantity in its
+/// SI base unit. The macro adds:
+/// * `ZERO`, `new`, `value`, `is_finite`, `abs`, `max`/`min`, `clamp_non_negative`
+/// * `Add`, `Sub`, `Neg`, `AddAssign`, `SubAssign` with `Self`
+/// * `Mul<f64>`, `Div<f64>`, `Mul<Quantity> for f64`
+/// * `Div<Self> -> f64` (ratio of like quantities)
+/// * `Sum`, `Default`, `PartialOrd`/ordering helpers, `Display` in the base unit
+macro_rules! scalar_quantity {
+    ($ty:ident, $base_unit:literal, $doc:literal) => {
+        impl $ty {
+            #[doc = concat!("The zero ", $doc, ".")]
+            pub const ZERO: Self = Self(0.0);
+
+            #[doc = concat!("Creates a ", $doc, " from its base unit (", $base_unit, ").")]
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            #[doc = concat!("Returns the raw value in ", $base_unit, ".")]
+            #[must_use]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` when the underlying value is finite (not NaN/inf).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps negative values to zero; useful after subtracting budgets.
+            #[must_use]
+            pub fn clamp_non_negative(self) -> Self {
+                Self(self.0.max(0.0))
+            }
+
+            /// Linear interpolation between `self` and `other` at fraction `t`.
+            #[must_use]
+            pub fn lerp(self, other: Self, t: f64) -> Self {
+                Self(self.0 + (other.0 - self.0) * t)
+            }
+        }
+
+        impl core::ops::Add for $ty {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::Sub for $ty {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::Neg for $ty {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $ty {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::SubAssign for $ty {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $ty {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$ty> for f64 {
+            type Output = $ty;
+            fn mul(self, rhs: $ty) -> $ty {
+                $ty(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $ty {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div for $ty {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $ty {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $ty> for $ty {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl core::fmt::Display for $ty {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "{} {}", self.0, $base_unit)
+            }
+        }
+    };
+}
+
+pub(crate) use scalar_quantity;

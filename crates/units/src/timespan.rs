@@ -1,0 +1,194 @@
+//! Durations, stored in seconds, with day/week/year helpers used by the
+//! battery-life projections.
+
+use crate::error::{check_non_negative, UnitError};
+use crate::quantity::scalar_quantity;
+use serde::{Deserialize, Serialize};
+
+/// A span of time, stored internally in seconds.
+///
+/// The paper reports battery life in qualitative bands ("all-day",
+/// "all-week", "perpetual" = more than a year); helpers for those bands live
+/// here so every crate classifies lifetimes identically.
+///
+/// # Example
+/// ```
+/// use hidwa_units::TimeSpan;
+/// let life = TimeSpan::from_days(400.0);
+/// assert!(life.is_perpetual());
+/// assert!(!TimeSpan::from_days(6.9).is_at_least_a_week());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct TimeSpan(f64);
+
+scalar_quantity!(TimeSpan, "s", "time span");
+
+impl TimeSpan {
+    /// Creates a time span from seconds.
+    #[must_use]
+    pub const fn from_seconds(seconds: f64) -> Self {
+        Self(seconds)
+    }
+
+    /// Creates a time span from milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: f64) -> Self {
+        Self(ms * 1e-3)
+    }
+
+    /// Creates a time span from microseconds.
+    #[must_use]
+    pub fn from_micros(us: f64) -> Self {
+        Self(us * 1e-6)
+    }
+
+    /// Creates a time span from minutes.
+    #[must_use]
+    pub fn from_minutes(minutes: f64) -> Self {
+        Self(minutes * 60.0)
+    }
+
+    /// Creates a time span from hours.
+    #[must_use]
+    pub fn from_hours(hours: f64) -> Self {
+        Self(hours * crate::SECONDS_PER_HOUR)
+    }
+
+    /// Creates a time span from days.
+    #[must_use]
+    pub fn from_days(days: f64) -> Self {
+        Self(days * crate::SECONDS_PER_DAY)
+    }
+
+    /// Creates a time span from weeks.
+    #[must_use]
+    pub fn from_weeks(weeks: f64) -> Self {
+        Self(weeks * 7.0 * crate::SECONDS_PER_DAY)
+    }
+
+    /// Creates a time span from (mean) years.
+    #[must_use]
+    pub fn from_years(years: f64) -> Self {
+        Self(years * crate::DAYS_PER_YEAR * crate::SECONDS_PER_DAY)
+    }
+
+    /// Creates a time span from seconds, rejecting negative or non-finite values.
+    ///
+    /// # Errors
+    /// Returns [`UnitError`] if `seconds` is negative, NaN or infinite.
+    pub fn try_from_seconds(seconds: f64) -> Result<Self, UnitError> {
+        check_non_negative("time span", seconds).map(Self)
+    }
+
+    /// Returns the span in seconds.
+    #[must_use]
+    pub const fn as_seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the span in milliseconds.
+    #[must_use]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the span in microseconds.
+    #[must_use]
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the span in hours.
+    #[must_use]
+    pub fn as_hours(self) -> f64 {
+        self.0 / crate::SECONDS_PER_HOUR
+    }
+
+    /// Returns the span in days.
+    #[must_use]
+    pub fn as_days(self) -> f64 {
+        self.0 / crate::SECONDS_PER_DAY
+    }
+
+    /// Returns the span in weeks.
+    #[must_use]
+    pub fn as_weeks(self) -> f64 {
+        self.as_days() / 7.0
+    }
+
+    /// Returns the span in (mean) years.
+    #[must_use]
+    pub fn as_years(self) -> f64 {
+        self.as_days() / crate::DAYS_PER_YEAR
+    }
+
+    /// `true` when the span covers at least a full day ("all-day battery life").
+    #[must_use]
+    pub fn is_at_least_a_day(self) -> bool {
+        self.as_days() >= 1.0
+    }
+
+    /// `true` when the span covers at least a full week ("all-week battery life").
+    #[must_use]
+    pub fn is_at_least_a_week(self) -> bool {
+        self.as_weeks() >= 1.0
+    }
+
+    /// `true` when the span exceeds one year — the paper's threshold for
+    /// calling a device *perpetually operable*.
+    #[must_use]
+    pub fn is_perpetual(self) -> bool {
+        self.as_years() > 1.0
+    }
+}
+
+impl From<std::time::Duration> for TimeSpan {
+    fn from(d: std::time::Duration) -> Self {
+        Self(d.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(TimeSpan::from_minutes(1.0), TimeSpan::from_seconds(60.0));
+        assert_eq!(TimeSpan::from_hours(1.0), TimeSpan::from_seconds(3600.0));
+        assert_eq!(TimeSpan::from_days(1.0), TimeSpan::from_hours(24.0));
+        assert_eq!(TimeSpan::from_weeks(1.0), TimeSpan::from_days(7.0));
+        assert_eq!(TimeSpan::from_years(1.0), TimeSpan::from_days(365.25));
+        assert_eq!(TimeSpan::from_millis(1500.0), TimeSpan::from_seconds(1.5));
+    }
+
+    #[test]
+    fn band_classification() {
+        assert!(!TimeSpan::from_hours(10.0).is_at_least_a_day());
+        assert!(TimeSpan::from_hours(25.0).is_at_least_a_day());
+        assert!(TimeSpan::from_days(8.0).is_at_least_a_week());
+        assert!(!TimeSpan::from_days(365.0).is_perpetual());
+        assert!(TimeSpan::from_days(366.0).is_perpetual());
+    }
+
+    #[test]
+    fn duration_conversion() {
+        let t: TimeSpan = std::time::Duration::from_millis(2500).into();
+        assert!((t.as_seconds() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_from_rejects_bad_values() {
+        assert!(TimeSpan::try_from_seconds(-1.0).is_err());
+        assert!(TimeSpan::try_from_seconds(2.0).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let t = TimeSpan::from_days(14.0);
+        assert!((t.as_weeks() - 2.0).abs() < 1e-12);
+        assert!((t.as_hours() - 336.0).abs() < 1e-9);
+        assert!((TimeSpan::from_seconds(0.25).as_millis() - 250.0).abs() < 1e-12);
+        assert!((TimeSpan::from_micros(500.0).as_seconds() - 5e-4).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,94 @@
+//! Electric potential, stored in volts.
+
+use crate::error::{check_non_negative, UnitError};
+use crate::quantity::scalar_quantity;
+use serde::{Deserialize, Serialize};
+
+/// Electric potential, stored internally in volts.
+///
+/// Used for battery nominal voltages, transmit swing of EQS-HBC drivers and
+/// received signal amplitudes at the electrode interface.
+///
+/// # Example
+/// ```
+/// use hidwa_units::Voltage;
+/// let swing = Voltage::from_volts(1.0);
+/// let received = swing * hidwa_units::db_to_ratio(-60.0).sqrt();
+/// assert!((received.as_milli_volts() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Voltage(f64);
+
+scalar_quantity!(Voltage, "V", "voltage");
+
+impl Voltage {
+    /// Creates a voltage from volts.
+    #[must_use]
+    pub const fn from_volts(volts: f64) -> Self {
+        Self(volts)
+    }
+
+    /// Creates a voltage from millivolts.
+    #[must_use]
+    pub fn from_milli_volts(mv: f64) -> Self {
+        Self(mv * 1e-3)
+    }
+
+    /// Creates a voltage from microvolts.
+    #[must_use]
+    pub fn from_micro_volts(uv: f64) -> Self {
+        Self(uv * 1e-6)
+    }
+
+    /// Creates a voltage from volts, rejecting invalid values.
+    ///
+    /// # Errors
+    /// Returns [`UnitError`] if `volts` is negative, NaN or infinite.
+    /// (Signed voltages are not needed anywhere in the stack; amplitudes are
+    /// magnitudes.)
+    pub fn try_from_volts(volts: f64) -> Result<Self, UnitError> {
+        check_non_negative("voltage", volts).map(Self)
+    }
+
+    /// Returns the voltage in volts.
+    #[must_use]
+    pub const fn as_volts(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the voltage in millivolts.
+    #[must_use]
+    pub fn as_milli_volts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the voltage in microvolts.
+    #[must_use]
+    pub fn as_micro_volts(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Voltage::from_milli_volts(1.0), Voltage::from_volts(1e-3));
+        assert_eq!(Voltage::from_micro_volts(1.0), Voltage::from_volts(1e-6));
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Voltage::from_volts(0.0033);
+        assert!((v.as_milli_volts() - 3.3).abs() < 1e-12);
+        assert!((v.as_micro_volts() - 3300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_from_rejects_bad_values() {
+        assert!(Voltage::try_from_volts(-1.0).is_err());
+        assert!(Voltage::try_from_volts(3.7).is_ok());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the unit arithmetic: dimensional identities must
+//! hold for arbitrary finite magnitudes, not just the hand-picked values in
+//! the unit tests.
+
+use hidwa_units::{
+    db_to_ratio, ratio_to_db, Charge, DataRate, DataVolume, Energy, EnergyPerBit, Power, TimeSpan,
+    Voltage,
+};
+use proptest::prelude::*;
+
+/// Positive, well-conditioned magnitudes (avoid denormals and overflow).
+fn mag() -> impl Strategy<Value = f64> {
+    1e-12..1e12f64
+}
+
+proptest! {
+    #[test]
+    fn power_time_energy_round_trip(p in mag(), t in mag()) {
+        let power = Power::from_watts(p);
+        let span = TimeSpan::from_seconds(t);
+        let energy: Energy = power * span;
+        let back: Power = energy / span;
+        prop_assert!((back.as_watts() - p).abs() / p < 1e-9);
+        let back_t: TimeSpan = energy / power;
+        prop_assert!((back_t.as_seconds() - t).abs() / t < 1e-9);
+    }
+
+    #[test]
+    fn rate_efficiency_power_round_trip(r in mag(), e in 1e-15..1e-3f64) {
+        let rate = DataRate::from_bps(r);
+        let epb = EnergyPerBit::from_joules_per_bit(e);
+        let power: Power = rate * epb;
+        let back: EnergyPerBit = power / rate;
+        prop_assert!((back.as_joules_per_bit() - e).abs() / e < 1e-9);
+    }
+
+    #[test]
+    fn volume_rate_time_round_trip(v in mag(), r in mag()) {
+        let volume = DataVolume::from_bits(v);
+        let rate = DataRate::from_bps(r);
+        let t: TimeSpan = volume / rate;
+        let back: DataVolume = rate * t;
+        prop_assert!((back.as_bits() - v).abs() / v < 1e-9);
+    }
+
+    #[test]
+    fn charge_energy_round_trip(q in mag(), v in 0.1..100.0f64) {
+        let charge = Charge::from_coulombs(q);
+        let volt = Voltage::from_volts(v);
+        let energy = charge.energy_at(volt);
+        let back = energy.charge_at(volt);
+        prop_assert!((back.as_coulombs() - q).abs() / q < 1e-9);
+    }
+
+    #[test]
+    fn db_ratio_round_trip(r in 1e-9..1e9f64) {
+        let db = ratio_to_db(r);
+        prop_assert!((db_to_ratio(db) - r).abs() / r < 1e-9);
+    }
+
+    #[test]
+    fn addition_commutes_and_orders(a in mag(), b in mag()) {
+        let x = Power::from_watts(a);
+        let y = Power::from_watts(b);
+        prop_assert_eq!(x + y, y + x);
+        prop_assert!((x + y) >= x.max(y) - Power::from_watts(1e-6));
+    }
+
+    #[test]
+    fn lifetime_monotone_in_power(e in mag(), p1 in mag(), p2 in mag()) {
+        let energy = Energy::from_joules(e);
+        let (lo, hi) = if p1 < p2 { (p1, p2) } else { (p2, p1) };
+        let life_lo = energy / Power::from_watts(lo);
+        let life_hi = energy / Power::from_watts(hi);
+        // Higher power never yields a longer lifetime.
+        prop_assert!(life_hi <= life_lo + TimeSpan::from_seconds(1e-9));
+    }
+
+    #[test]
+    fn timespan_band_thresholds_consistent(d in 0.0..4000.0f64) {
+        let t = TimeSpan::from_days(d);
+        if t.is_perpetual() {
+            prop_assert!(t.is_at_least_a_week());
+            prop_assert!(t.is_at_least_a_day());
+        }
+        if t.is_at_least_a_week() {
+            prop_assert!(t.is_at_least_a_day());
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! AR assistant scenario: camera smart glasses plus earbuds streaming to a
+//! wearable-brain hub.
+//!
+//! Compares Wi-R and BLE as the artificial nervous system for a first-person
+//! video + audio AI assistant: per-node power, end-to-end latency of the
+//! vision pipeline and the battery life of the glasses.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p hidwa-core --example ar_assistant
+//! ```
+
+use hidwa_core::partition::{Objective, PartitionContext, PartitionOptimizer};
+use hidwa_core::scenario::{self, LeafSpec};
+use hidwa_eqs::body::BodySite;
+use hidwa_energy::sensing::SensorModality;
+use hidwa_energy::Battery;
+use hidwa_isa::models;
+use hidwa_netsim::mac::MacPolicy;
+use hidwa_netsim::traffic::TrafficPattern;
+use hidwa_phy::RadioTechnology;
+use hidwa_units::{DataRate, Power, TimeSpan};
+
+fn leaves() -> Vec<LeafSpec> {
+    vec![
+        LeafSpec {
+            name: "camera-glasses",
+            site: BodySite::Face,
+            modality: SensorModality::Vision,
+            traffic: TrafficPattern::streaming(DataRate::from_mbps(2.0), 4096),
+            compute_power: Power::from_micro_watts(500.0),
+        },
+        LeafSpec {
+            name: "earbuds-audio",
+            site: BodySite::Ear,
+            modality: SensorModality::Audio,
+            traffic: TrafficPattern::streaming(DataRate::from_kbps(256.0), 1024),
+            compute_power: Power::from_micro_watts(50.0),
+        },
+        LeafSpec {
+            name: "imu-head-tracker",
+            site: BodySite::Face,
+            modality: SensorModality::Inertial,
+            traffic: TrafficPattern::streaming(DataRate::from_kbps(13.0), 256),
+            compute_power: Power::from_micro_watts(5.0),
+        },
+    ]
+}
+
+fn main() {
+    println!("== AR assistant: glasses + earbuds + head tracker over one hub ==\n");
+
+    for technology in [RadioTechnology::WiR, RadioTechnology::Ble] {
+        println!("-- artificial nervous system: {technology} --");
+        let mut sim = scenario::body_network(technology, &leaves(), MacPolicy::Polling);
+        let offered = sim.offered_load().expect("links are configured");
+        let report = sim.run(TimeSpan::from_seconds(30.0));
+        println!(
+            "offered load {:>5.2} of medium, delivery ratio {:>5.1} %, medium utilisation {:>5.1} %",
+            offered,
+            report.delivery_ratio() * 100.0,
+            report.medium_utilization() * 100.0
+        );
+        for stats in report.node_stats() {
+            let battery = Battery::lipo_mah(160.0);
+            println!(
+                "  {:<18} avg power {:>9.3} mW  p95 latency {:>8.2} ms  battery life {:>7.1} h",
+                stats.name,
+                stats.average_power.as_milli_watts(),
+                stats.p95_latency.as_millis(),
+                scenario::node_battery_life(stats, &battery).as_hours()
+            );
+        }
+        println!();
+    }
+
+    // Vision pipeline partitioning: how much of the video feature extractor
+    // should run on the glasses?
+    println!("Vision feature-extractor partitioning (15 fps):");
+    let model = models::video_feature_extractor();
+    for context in [PartitionContext::wir_default(), PartitionContext::ble_default()] {
+        let label = context.label().to_string();
+        let optimizer = PartitionOptimizer::new(context);
+        match optimizer.optimize(&model, Objective::EnergyDelayProduct) {
+            Ok(plan) => println!(
+                "  {label:<5} optimal cut {:>2}/{} -> glasses {:>8.1} µJ/frame, end-to-end {:>7.2} ms",
+                plan.cut_index,
+                model.network().len(),
+                plan.leaf_energy.as_micro_joules(),
+                plan.latency.as_millis()
+            ),
+            Err(e) => println!("  {label:<5} no feasible plan: {e}"),
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Whole-body Internet-of-Bodies network over a simulated day.
+//!
+//! Builds the standard five-leaf body network (ECG patch, smart ring, IMU
+//! wristband, earbuds, camera glasses) around a waist-worn hub, runs it under
+//! both MAC policies on Wi-R, and reports per-node energy, latency and
+//! projected battery life.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p hidwa-core --example body_network
+//! ```
+
+use hidwa_core::scenario;
+use hidwa_energy::harvest::HarvestingProfile;
+use hidwa_energy::projection::LifetimeProjector;
+use hidwa_energy::Battery;
+use hidwa_netsim::mac::MacPolicy;
+use hidwa_phy::RadioTechnology;
+use hidwa_units::TimeSpan;
+
+fn main() {
+    println!("== Whole-body IoB network on Wi-R ==\n");
+    // Simulate 10 minutes of wall-clock traffic and extrapolate energy.
+    let horizon = TimeSpan::from_minutes(10.0);
+
+    for policy in [MacPolicy::Tdma, MacPolicy::Polling] {
+        println!("-- MAC policy: {policy} --");
+        let mut sim = scenario::body_network(
+            RadioTechnology::WiR,
+            &scenario::standard_leaf_set(),
+            policy,
+        );
+        let report = sim.run(horizon);
+        println!(
+            "aggregate throughput {:>7.2} Mbps, medium utilisation {:>5.1} %, delivery {:>6.2} %",
+            report.aggregate_throughput().as_mbps(),
+            report.medium_utilization() * 100.0,
+            report.delivery_ratio() * 100.0
+        );
+        println!(
+            "{:<16} {:>12} {:>12} {:>12} {:>14} {:>12}",
+            "node", "avg power", "p95 latency", "throughput", "battery", "life"
+        );
+        for stats in report.node_stats() {
+            let battery = if stats.name == "camera-glasses" || stats.name == "earbuds-audio" {
+                Battery::lipo_mah(160.0)
+            } else {
+                Battery::coin_cell_1000mah()
+            };
+            let life = scenario::node_battery_life(stats, &battery);
+            println!(
+                "{:<16} {:>9.3} mW {:>9.2} ms {:>9.1} kbps {:>14} {:>9.1} d",
+                stats.name,
+                stats.average_power.as_milli_watts(),
+                stats.p95_latency.as_millis(),
+                stats.throughput.as_kbps(),
+                battery.name(),
+                life.as_days()
+            );
+        }
+        println!();
+    }
+
+    // Which leaves become perpetual once indoor harvesting is added?
+    println!("Energy-neutral check with typical indoor harvesting:");
+    let mut sim = scenario::standard_body_network(RadioTechnology::WiR);
+    let report = sim.run(horizon);
+    let harvesting = HarvestingProfile::typical_indoor();
+    for stats in report.node_stats() {
+        let projector = LifetimeProjector::new(Battery::coin_cell_1000mah())
+            .with_harvesting(harvesting.clone());
+        let projection = projector.project(stats.average_power);
+        println!(
+            "  {:<16} load {:>9.3} mW, harvested {:>6.1} µW -> {} {}",
+            stats.name,
+            stats.average_power.as_milli_watts(),
+            projection.harvested().as_micro_watts(),
+            projection.band(),
+            if projection.is_energy_neutral() {
+                "(energy-neutral)"
+            } else {
+                ""
+            }
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Health-patch scenario: an ECG chest patch running arrhythmia detection.
+//!
+//! The example walks the paper's flagship use case end to end:
+//! 1. partition the arrhythmia CNN between the patch (ISA) and the hub,
+//! 2. compare the optimal cut under Wi-R and BLE,
+//! 3. check whether indoor energy harvesting makes the patch energy-neutral.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p hidwa-core --example health_patch
+//! ```
+
+use hidwa_core::partition::{Objective, PartitionContext, PartitionOptimizer};
+use hidwa_energy::harvest::HarvestingProfile;
+use hidwa_energy::projection::LifetimeProjector;
+use hidwa_energy::Battery;
+use hidwa_isa::models;
+use hidwa_units::Power;
+
+fn main() {
+    println!("== ECG health patch: distributed arrhythmia detection ==\n");
+    let model = models::ecg_arrhythmia_cnn();
+    println!(
+        "Model: {} ({} layers, {:.0} kMAC/inference, {:.1} inferences/s)",
+        model.name(),
+        model.network().len(),
+        model.macs_per_inference() as f64 / 1e3,
+        model.inferences_per_second()
+    );
+
+    for context in [PartitionContext::wir_default(), PartitionContext::ble_default()] {
+        let label = context.label().to_string();
+        let optimizer = PartitionOptimizer::new(context);
+        println!("\n-- link: {label} --");
+        println!(
+            "{:>4} {:>12} {:>12} {:>14} {:>12}",
+            "cut", "leaf MACs", "tx bytes", "leaf energy", "latency"
+        );
+        for plan in optimizer.evaluate_all(&model).expect("model is well-formed") {
+            println!(
+                "{:>4} {:>12} {:>12.0} {:>11.2} µJ {:>9.2} ms{}",
+                plan.cut_index,
+                plan.leaf_macs,
+                plan.transfer_bytes,
+                plan.leaf_energy.as_micro_joules(),
+                plan.latency.as_millis(),
+                if plan.feasible { "" } else { "  (infeasible)" }
+            );
+        }
+        let best = optimizer
+            .optimize(&model, Objective::LeafEnergy)
+            .expect("a feasible cut exists");
+        println!(
+            "optimal cut = {} -> leaf {:.2} µJ/inference, {:.1} µW sustained",
+            best.cut_index,
+            best.leaf_energy.as_micro_joules(),
+            best.leaf_power.as_micro_watts()
+        );
+    }
+
+    // Whole-patch power budget: sensing (2 µW) + optimal Wi-R plan.
+    let optimizer = PartitionOptimizer::new(PartitionContext::wir_default());
+    let best = optimizer.optimize(&model, Objective::LeafEnergy).expect("feasible");
+    let patch_power = Power::from_micro_watts(2.0) + best.leaf_power + Power::from_micro_watts(1.0);
+    println!("\nTotal patch power (sensing + inference share + sleep): {:.1} µW", patch_power.as_micro_watts());
+
+    let harvesting = HarvestingProfile::typical_indoor();
+    println!(
+        "Indoor harvesting average: {:.0} µW",
+        harvesting.average_output().as_micro_watts()
+    );
+    let projector = LifetimeProjector::new(Battery::cr2032()).with_harvesting(harvesting);
+    let projection = projector.project(patch_power);
+    println!(
+        "CR2032-powered patch: {} ({} days); energy-neutral: {}",
+        projection.band(),
+        projection.lifetime().as_days().round(),
+        projection.is_energy_neutral()
+    );
+}

@@ -1,0 +1,73 @@
+//! Quickstart: compare today's wearable architecture against the
+//! human-inspired distributed architecture for a small on-body network, and
+//! project battery life for each leaf node.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p hidwa-core --example quickstart
+//! ```
+
+use hidwa_core::arch::{NodeArchitecture, WorkloadSpec};
+use hidwa_core::projection::Fig3Projector;
+use hidwa_energy::projection::LifetimeProjector;
+use hidwa_energy::Battery;
+use hidwa_units::DataRate;
+
+fn main() {
+    println!("== Human-Inspired Distributed Wearable AI: quickstart ==\n");
+
+    // 1. Fig. 1 in code: per-node power under both architectures.
+    println!("Per-node power breakdown (conventional vs human-inspired):");
+    println!(
+        "{:<16} {:>14} {:>14} {:>10}",
+        "workload", "conventional", "human-inspired", "reduction"
+    );
+    for workload in WorkloadSpec::paper_set() {
+        let conventional = NodeArchitecture::conventional().power_breakdown(&workload);
+        let human = NodeArchitecture::human_inspired().power_breakdown(&workload);
+        println!(
+            "{:<16} {:>11.2} mW {:>11.3} mW {:>9.0}x",
+            workload.name(),
+            conventional.total().as_milli_watts(),
+            human.total().as_milli_watts(),
+            NodeArchitecture::reduction_factor(&workload)
+        );
+    }
+
+    // 2. Battery life of a human-inspired ECG patch on the paper's 1000 mAh cell.
+    let patch = NodeArchitecture::human_inspired().power_breakdown(&WorkloadSpec::ecg_patch());
+    let projector = LifetimeProjector::new(Battery::coin_cell_1000mah());
+    let projection = projector.project(patch.total());
+    println!(
+        "\nECG patch under the human-inspired architecture: {:.1} µW total",
+        patch.total().as_micro_watts()
+    );
+    println!(
+        "Projected battery life on a 1000 mAh coin cell: {:.0} days ({})",
+        projection.lifetime().as_days(),
+        projection.band()
+    );
+
+    // 3. A slice of Fig. 3: battery life vs data rate under Wi-R.
+    println!("\nProjected battery life vs node data rate (Wi-R, 1000 mAh):");
+    let fig3 = Fig3Projector::paper_defaults();
+    for rate in [
+        DataRate::from_bps(100.0),
+        DataRate::from_kbps(4.0),
+        DataRate::from_kbps(64.0),
+        DataRate::from_kbps(256.0),
+        DataRate::from_mbps(4.0),
+    ] {
+        let point = fig3.project_rate(rate);
+        println!(
+            "  {:>10.1} kbps -> {:>8.1} days ({})",
+            rate.as_kbps(),
+            point.battery_life.as_days(),
+            point.band
+        );
+    }
+    println!(
+        "\nPerpetual-operation region extends up to {:.0} kbps.",
+        fig3.perpetual_region_edge().as_kbps()
+    );
+}

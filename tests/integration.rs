@@ -1,0 +1,133 @@
+//! Cross-crate integration tests: full scenarios exercised through the
+//! public APIs of every crate in the workspace.
+
+use hidwa_core::arch::{NodeArchitecture, WorkloadSpec};
+use hidwa_core::devices::{self, DeviceClass};
+use hidwa_core::partition::{Objective, PartitionContext, PartitionOptimizer};
+use hidwa_core::projection::Fig3Projector;
+use hidwa_core::scenario;
+use hidwa_energy::harvest::HarvestingProfile;
+use hidwa_energy::projection::{LifetimeProjector, OperatingBand};
+use hidwa_energy::Battery;
+use hidwa_isa::models;
+use hidwa_isa::quant::QuantizedTensor;
+use hidwa_isa::tensor::Tensor;
+use hidwa_phy::RadioTechnology;
+use hidwa_units::{DataRate, Power, TimeSpan};
+
+#[test]
+fn end_to_end_ecg_patch_story() {
+    // The paper's flagship example end to end: an ECG patch under the
+    // human-inspired architecture is perpetually operable.
+    // 1. Architecture: the node budget is sub-100 µW.
+    let breakdown = NodeArchitecture::human_inspired().power_breakdown(&WorkloadSpec::ecg_patch());
+    assert!(breakdown.total().as_micro_watts() < 100.0);
+
+    // 2. Partitioning: the arrhythmia model's optimal cut is feasible on the
+    //    ISA engine and its leaf power fits inside that budget.
+    let optimizer = PartitionOptimizer::new(PartitionContext::wir_default());
+    let plan = optimizer
+        .optimize(&models::ecg_arrhythmia_cnn(), Objective::LeafEnergy)
+        .expect("a feasible plan exists");
+    assert!(plan.feasible);
+    assert!(plan.leaf_power.as_micro_watts() < 100.0);
+
+    // 3. Projection: with the 1000 mAh cell the node is perpetual, and with
+    //    indoor harvesting it is energy-neutral.
+    let projector = LifetimeProjector::new(Battery::coin_cell_1000mah())
+        .with_harvesting(HarvestingProfile::typical_indoor());
+    let projection = projector.project(breakdown.total());
+    assert_eq!(projection.band(), OperatingBand::Perpetual);
+    assert!(projection.is_energy_neutral());
+
+    // 4. Network: in the full-body simulation the patch's measured average
+    //    power stays within the same budget.
+    let mut sim = scenario::standard_body_network(RadioTechnology::WiR);
+    let report = sim.run(TimeSpan::from_seconds(30.0));
+    let ecg_stats = report
+        .node_stats()
+        .iter()
+        .find(|s| s.name == "ecg-patch")
+        .expect("scenario contains the ECG patch");
+    assert!(ecg_stats.average_power.as_micro_watts() < 100.0);
+    assert_eq!(ecg_stats.generated_frames, ecg_stats.delivered_frames + ecg_stats.backlog_frames);
+}
+
+#[test]
+fn inference_results_are_identical_wherever_the_cut_is_placed() {
+    // Distributing a model across leaf and hub must not change its output:
+    // run the prefix on the "leaf", ship the activation, run the suffix on
+    // the "hub", and compare against monolithic execution.
+    for model in models::all_models() {
+        let input = Tensor::full(model.input_shape(), 0.25);
+        let monolithic = model.network().forward(&input);
+        for cut in 0..=model.network().len() {
+            let activation = model.network().forward_prefix(&input, cut).unwrap();
+            let mut hub_side = activation;
+            for layer in model.network().layers().iter().skip(cut) {
+                hub_side = layer.forward(&hub_side).unwrap();
+            }
+            assert_eq!(hub_side, monolithic, "{} cut {}", model.name(), cut);
+        }
+    }
+}
+
+#[test]
+fn quantized_offload_changes_results_only_within_quantization_error() {
+    // Shipping an int8-quantized activation to the hub perturbs the final
+    // scores by a bounded amount.
+    let model = models::ecg_arrhythmia_cnn();
+    let input = Tensor::full(model.input_shape(), 0.1);
+    let cut = 4;
+    let activation = model.network().forward_prefix(&input, cut).unwrap();
+    let quantized = QuantizedTensor::quantize(&activation).unwrap();
+    let mut exact = activation.clone();
+    let mut lossy = quantized.dequantize();
+    for layer in model.network().layers().iter().skip(cut) {
+        exact = layer.forward(&exact).unwrap();
+        lossy = layer.forward(&lossy).unwrap();
+    }
+    // Same winning class, scores close.
+    assert_eq!(exact.argmax(), lossy.argmax());
+    for (a, b) in exact.data().iter().zip(lossy.data()) {
+        assert!((a - b).abs() < 0.05, "score drift {a} vs {b}");
+    }
+}
+
+#[test]
+fn device_catalog_and_projection_are_mutually_consistent() {
+    // The biopotential patch in the device catalogue and the 4 kbps point of
+    // the Fig. 3 projection describe the same device: both must be perpetual.
+    let patch = devices::profile_for(DeviceClass::BiopotentialPatch).unwrap();
+    assert_eq!(patch.derived_band(), OperatingBand::Perpetual);
+    let projector = Fig3Projector::paper_defaults();
+    let point = projector.project_rate(DataRate::from_kbps(4.0));
+    assert_eq!(point.band, OperatingBand::Perpetual);
+    // The projected node power is of the same order as the catalogue budget.
+    assert!(point.total_power < Power::from_micro_watts(100.0));
+}
+
+#[test]
+fn whole_body_network_scales_to_many_nodes_on_wir() {
+    // Eight extra IMU nodes on top of the standard set still fit in the Wi-R
+    // medium's capacity.
+    let mut leaves = scenario::standard_leaf_set();
+    for i in 0..8 {
+        leaves.push(scenario::LeafSpec {
+            name: Box::leak(format!("extra-imu-{i}").into_boxed_str()),
+            site: hidwa_eqs::body::BodySite::Thigh,
+            modality: hidwa_energy::sensing::SensorModality::Inertial,
+            traffic: hidwa_netsim::traffic::TrafficPattern::streaming(DataRate::from_kbps(13.0), 512),
+            compute_power: Power::from_micro_watts(5.0),
+        });
+    }
+    let mut sim = scenario::body_network(
+        RadioTechnology::WiR,
+        &leaves,
+        hidwa_netsim::mac::MacPolicy::Polling,
+    );
+    assert!(sim.offered_load().unwrap() < 1.0);
+    let report = sim.run(TimeSpan::from_seconds(10.0));
+    assert!(report.delivery_ratio() > 0.95);
+    assert_eq!(report.node_stats().len(), 13);
+}
