@@ -2,7 +2,7 @@
 //! the model zoo, quantization and the compressors used by leaf nodes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hidwa_isa::compression::{Compressor, DeltaEncoder, RunLengthEncoder, Dct8Compressor};
+use hidwa_isa::compression::{Compressor, Dct8Compressor, DeltaEncoder, RunLengthEncoder};
 use hidwa_isa::models;
 use hidwa_isa::quant::QuantizedTensor;
 use hidwa_isa::tensor::Tensor;

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hidwa_core::scenario::{self, LeafSpec};
-use hidwa_eqs::body::BodySite;
 use hidwa_energy::sensing::SensorModality;
+use hidwa_eqs::body::BodySite;
 use hidwa_netsim::mac::MacPolicy;
 use hidwa_netsim::traffic::TrafficPattern;
 use hidwa_phy::RadioTechnology;
@@ -27,13 +27,18 @@ fn bench_netsim(c: &mut Criterion) {
     let mut group = c.benchmark_group("netsim_run_5s");
     group.sample_size(20);
     for count in [2usize, 8, 16] {
-        group.bench_with_input(BenchmarkId::new("wir_polling", count), &count, |b, &count| {
-            let specs = leaves(count);
-            b.iter(|| {
-                let mut sim = scenario::body_network(RadioTechnology::WiR, &specs, MacPolicy::Polling);
-                black_box(sim.run(TimeSpan::from_seconds(5.0)))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("wir_polling", count),
+            &count,
+            |b, &count| {
+                let specs = leaves(count);
+                b.iter(|| {
+                    let mut sim =
+                        scenario::body_network(RadioTechnology::WiR, &specs, MacPolicy::Polling);
+                    black_box(sim.run(TimeSpan::from_seconds(5.0)))
+                });
+            },
+        );
     }
     group.finish();
 

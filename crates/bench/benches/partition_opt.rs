@@ -1,30 +1,25 @@
 //! Criterion bench backing experiment E6: the DNN partition optimiser over
-//! the model zoo, under Wi-R and BLE contexts.
+//! the model zoo, under Wi-R and BLE contexts, plus the naive pre-refactor
+//! reference (fresh cut-point enumeration + full plan materialisation) so
+//! the streaming fast path's gain stays visible in every run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hidwa_core::partition::{Objective, PartitionContext, PartitionOptimizer};
+use hidwa_core::sweep::SweepRunner;
 use hidwa_isa::models;
 use std::hint::black_box;
 
 fn bench_partition(c: &mut Criterion) {
     let mut group = c.benchmark_group("partition_optimize");
     for model in models::all_models() {
-        group.bench_with_input(
-            BenchmarkId::new("wir", model.name()),
-            &model,
-            |b, model| {
-                let optimizer = PartitionOptimizer::new(PartitionContext::wir_default());
-                b.iter(|| black_box(optimizer.optimize(black_box(model), Objective::LeafEnergy)));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("ble", model.name()),
-            &model,
-            |b, model| {
-                let optimizer = PartitionOptimizer::new(PartitionContext::ble_default());
-                b.iter(|| black_box(optimizer.optimize(black_box(model), Objective::LeafEnergy)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("wir", model.name()), &model, |b, model| {
+            let optimizer = PartitionOptimizer::new(PartitionContext::wir_default());
+            b.iter(|| black_box(optimizer.optimize(black_box(model), Objective::LeafEnergy)));
+        });
+        group.bench_with_input(BenchmarkId::new("ble", model.name()), &model, |b, model| {
+            let optimizer = PartitionOptimizer::new(PartitionContext::ble_default());
+            b.iter(|| black_box(optimizer.optimize(black_box(model), Objective::LeafEnergy)));
+        });
     }
     group.finish();
 
@@ -33,7 +28,44 @@ fn bench_partition(c: &mut Criterion) {
         let optimizer = PartitionOptimizer::new(PartitionContext::wir_default());
         b.iter(|| black_box(optimizer.evaluate_all(black_box(&model))));
     });
+
+    // The pre-refactor query shape (shared definition in
+    // `hidwa_bench::reference`). Streaming `optimize` must beat this.
+    let mut group = c.benchmark_group("partition_optimize_naive");
+    for model in models::all_models() {
+        group.bench_with_input(BenchmarkId::new("wir", model.name()), &model, |b, model| {
+            let optimizer = PartitionOptimizer::new(PartitionContext::wir_default());
+            b.iter(|| {
+                black_box(hidwa_bench::reference::naive_optimize_leaf_energy(
+                    &optimizer,
+                    black_box(model),
+                ))
+            });
+        });
+    }
+    group.finish();
 }
 
-criterion_group!(benches, bench_partition);
+fn bench_sweep_runner(c: &mut Criterion) {
+    let all_models = models::all_models();
+    let contexts = [
+        PartitionContext::wir_default(),
+        PartitionContext::ble_default(),
+    ];
+    let objectives = [Objective::LeafEnergy];
+
+    let mut group = c.benchmark_group("partition_grid");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        let runner = SweepRunner::serial();
+        b.iter(|| black_box(runner.partition_grid(&all_models, &contexts, &objectives)));
+    });
+    group.bench_function("parallel", |b| {
+        let runner = SweepRunner::new();
+        b.iter(|| black_box(runner.partition_grid(&all_models, &contexts, &objectives)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition, bench_sweep_runner);
 criterion_main!(benches);

@@ -16,11 +16,7 @@ fn bench_projection(c: &mut Criterion) {
 
     c.bench_function("fig3/full_sweep_10bps_to_10mbps", |b| {
         b.iter(|| {
-            black_box(projector.sweep(
-                DataRate::from_bps(10.0),
-                DataRate::from_mbps(10.0),
-                10,
-            ))
+            black_box(projector.sweep(DataRate::from_bps(10.0), DataRate::from_mbps(10.0), 10))
         });
     });
 

@@ -6,14 +6,16 @@
 //! behind the paper's "ULP nodes *in some cases* may use low power in-sensor
 //! analytics or data compression" hedge: for low-rate sensors pure offload is
 //! already optimal; for audio/video the ISA share matters.
+//!
+//! The (workload × fraction) grid is evaluated in parallel via
+//! [`hidwa_core::sweep::SweepRunner`] with deterministic ordering.
 
 use hidwa_bench::{fmt_power, header, write_json};
 use hidwa_core::arch::{NodeArchitecture, WorkloadSpec};
+use hidwa_core::sweep::SweepRunner;
 use hidwa_energy::projection::LifetimeProjector;
 use hidwa_energy::Battery;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     workload: String,
     isa_fraction: f64,
@@ -24,6 +26,16 @@ struct Row {
     battery_life_days: f64,
 }
 
+hidwa_bench::json_struct!(Row {
+    workload,
+    isa_fraction,
+    sensing_uw,
+    compute_uw,
+    communication_uw,
+    total_uw,
+    battery_life_days,
+});
+
 fn main() {
     header(
         "A1 — ablation: ISA fraction on the human-inspired leaf",
@@ -31,21 +43,34 @@ fn main() {
     );
 
     let projector = LifetimeProjector::new(Battery::coin_cell_1000mah());
+    let workloads = WorkloadSpec::paper_set();
+    let steps: Vec<u32> = (0..=10).collect();
+
+    // Workload-major, then fraction — the exact order of the old serial loop.
+    let grid: Vec<(usize, u32)> = (0..workloads.len())
+        .flat_map(|w| steps.iter().map(move |&s| (w, s)))
+        .collect();
+    let results = SweepRunner::new().map(&grid, |&(w, step)| {
+        let fraction = f64::from(step) / 10.0;
+        let arch = NodeArchitecture::human_inspired()
+            .with_isa_fraction(fraction)
+            .expect("fraction is in [0, 1]");
+        let b = arch.power_breakdown(&workloads[w]);
+        let life = projector.project(b.total()).lifetime();
+        (fraction, b, life)
+    });
+
     let mut rows = Vec::new();
-    for workload in WorkloadSpec::paper_set() {
+    let mut result_iter = results.iter();
+    for workload in &workloads {
         println!("\n== {} ==", workload.name());
         println!(
             "{:>8} {:>12} {:>12} {:>12} {:>12} {:>14}",
             "ISA", "sensing", "compute", "comm", "total", "battery life"
         );
         let mut best: Option<(f64, f64)> = None;
-        for step in 0..=10 {
-            let fraction = f64::from(step) / 10.0;
-            let arch = NodeArchitecture::human_inspired()
-                .with_isa_fraction(fraction)
-                .expect("fraction is in [0, 1]");
-            let b = arch.power_breakdown(&workload);
-            let life = projector.project(b.total()).lifetime();
+        for _ in &steps {
+            let (fraction, b, life) = result_iter.next().expect("grid covers every step");
             println!(
                 "{:>8.1} {:>12} {:>12} {:>12} {:>12} {:>11.1} d",
                 fraction,
@@ -56,11 +81,11 @@ fn main() {
                 life.as_days()
             );
             if best.is_none() || b.total().as_watts() < best.unwrap().1 {
-                best = Some((fraction, b.total().as_watts()));
+                best = Some((*fraction, b.total().as_watts()));
             }
             rows.push(Row {
                 workload: workload.name().to_string(),
-                isa_fraction: fraction,
+                isa_fraction: *fraction,
                 sensing_uw: b.sensing.as_micro_watts(),
                 compute_uw: b.compute.as_micro_watts(),
                 communication_uw: b.communication.as_micro_watts(),
@@ -69,7 +94,10 @@ fn main() {
             });
         }
         if let Some((fraction, _)) = best {
-            println!("lowest-power ISA fraction for {}: {fraction:.1}", workload.name());
+            println!(
+                "lowest-power ISA fraction for {}: {fraction:.1}",
+                workload.name()
+            );
         }
     }
 

@@ -7,23 +7,32 @@
 //! quantifies what the paper's architecture would lose with the wrong
 //! termination: channel gain, achievable rate, and the resulting leaf-node
 //! battery-life band.
+//!
+//! The (termination × frequency) sweep runs in parallel via
+//! [`hidwa_core::sweep::SweepRunner`] with deterministic ordering.
 
 use hidwa_bench::{fmt_lifetime, header, write_json};
 use hidwa_core::projection::Fig3Projector;
+use hidwa_core::sweep::SweepRunner;
 use hidwa_eqs::body::BodyModel;
 use hidwa_eqs::capacity::CapacityEstimator;
 use hidwa_eqs::channel::{EqsChannel, Termination};
 use hidwa_eqs::noise::NoiseModel;
 use hidwa_units::{DataRate, Distance, Frequency, Voltage};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     termination: String,
     frequency_mhz: f64,
     gain_db: f64,
     achievable_rate_mbps: f64,
 }
+
+hidwa_bench::json_struct!(Row {
+    termination,
+    frequency_mhz,
+    gain_db,
+    achievable_rate_mbps,
+});
 
 fn main() {
     header(
@@ -33,33 +42,37 @@ fn main() {
 
     let distance = Distance::from_meters(1.4);
     let swing = Voltage::from_volts(1.0);
-    let mut rows = Vec::new();
+    let terminations = [Termination::HighImpedance, Termination::FiftyOhm];
+    let frequencies = [0.1, 1.0, 4.0, 10.0, 21.0, 30.0];
+
+    // Termination-major, then frequency — the old serial loop's order.
+    let grid: Vec<(Termination, f64)> = terminations
+        .iter()
+        .flat_map(|&t| frequencies.iter().map(move |&mhz| (t, mhz)))
+        .collect();
+    let rows = SweepRunner::new().map(&grid, |&(termination, mhz)| {
+        let channel = EqsChannel::new(BodyModel::adult(), termination);
+        let estimator = CapacityEstimator::new(channel.clone(), NoiseModel::wearable_receiver());
+        let f = Frequency::from_mega_hertz(mhz);
+        let gain = channel.gain_db(distance, f);
+        let rate = estimator.achievable_rate(swing, distance, f);
+        Row {
+            termination: format!("{termination:?}"),
+            frequency_mhz: mhz,
+            gain_db: gain,
+            achievable_rate_mbps: rate.as_mbps(),
+        }
+    });
+
     println!(
         "{:>16} {:>12} {:>12} {:>18}",
         "termination", "frequency", "gain", "achievable rate"
     );
-    for termination in [Termination::HighImpedance, Termination::FiftyOhm] {
-        let channel = EqsChannel::new(BodyModel::adult(), termination);
-        let estimator =
-            CapacityEstimator::new(channel.clone(), NoiseModel::wearable_receiver());
-        for mhz in [0.1, 1.0, 4.0, 10.0, 21.0, 30.0] {
-            let f = Frequency::from_mega_hertz(mhz);
-            let gain = channel.gain_db(distance, f);
-            let rate = estimator.achievable_rate(swing, distance, f);
-            println!(
-                "{:>16} {:>9.1} MHz {:>9.1} dB {:>14.2} Mbps",
-                format!("{termination:?}"),
-                mhz,
-                gain,
-                rate.as_mbps()
-            );
-            rows.push(Row {
-                termination: format!("{termination:?}"),
-                frequency_mhz: mhz,
-                gain_db: gain,
-                achievable_rate_mbps: rate.as_mbps(),
-            });
-        }
+    for row in &rows {
+        println!(
+            "{:>16} {:>9.1} MHz {:>9.1} dB {:>14.2} Mbps",
+            row.termination, row.frequency_mhz, row.gain_db, row.achievable_rate_mbps
+        );
     }
 
     // What the termination choice means at the system level: can the audio

@@ -4,9 +4,7 @@
 
 use hidwa_bench::{fmt_power, header, write_json};
 use hidwa_core::arch::{NodeArchitecture, WorkloadSpec};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     workload: String,
     architecture: &'static str,
@@ -16,6 +14,16 @@ struct Row {
     total_uw: f64,
     reduction_factor: f64,
 }
+
+hidwa_bench::json_struct!(Row {
+    workload,
+    architecture,
+    sensing_uw,
+    compute_uw,
+    communication_uw,
+    total_uw,
+    reduction_factor,
+});
 
 fn main() {
     header(
@@ -30,7 +38,10 @@ fn main() {
     );
     for workload in WorkloadSpec::paper_set() {
         let reduction = NodeArchitecture::reduction_factor(&workload);
-        for arch in [NodeArchitecture::conventional(), NodeArchitecture::human_inspired()] {
+        for arch in [
+            NodeArchitecture::conventional(),
+            NodeArchitecture::human_inspired(),
+        ] {
             let b = arch.power_breakdown(&workload);
             println!(
                 "{:<16} {:<34} {:>12} {:>12} {:>12} {:>12}",

@@ -4,9 +4,7 @@
 
 use hidwa_bench::{fmt_lifetime, fmt_power, header, write_json};
 use hidwa_core::devices::{self, DeviceEra};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     class: String,
     era: &'static str,
@@ -17,6 +15,17 @@ struct Row {
     paper_band: String,
     matches_paper: bool,
 }
+
+hidwa_bench::json_struct!(Row {
+    class,
+    era,
+    battery_mah,
+    average_power_mw,
+    derived_life_hours,
+    derived_band,
+    paper_band,
+    matches_paper,
+});
 
 fn main() {
     header(

@@ -5,9 +5,7 @@
 use hidwa_bench::{fmt_lifetime, fmt_power, header, write_json};
 use hidwa_core::projection::Fig3Projector;
 use hidwa_units::DataRate;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Point {
     rate_bps: f64,
     sensing_uw: f64,
@@ -17,7 +15,15 @@ struct Point {
     band: String,
 }
 
-#[derive(Serialize)]
+hidwa_bench::json_struct!(Point {
+    rate_bps,
+    sensing_uw,
+    communication_uw,
+    total_uw,
+    battery_life_days,
+    band,
+});
+
 struct Marker {
     label: String,
     rate_bps: f64,
@@ -25,6 +31,14 @@ struct Marker {
     projected_band: String,
     paper_band: String,
 }
+
+hidwa_bench::json_struct!(Marker {
+    label,
+    rate_bps,
+    projected_life_days,
+    projected_band,
+    paper_band,
+});
 
 fn main() {
     header(

@@ -9,9 +9,7 @@ use hidwa_energy::projection::LifetimeProjector;
 use hidwa_energy::Battery;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     workload: String,
     architecture: &'static str,
@@ -22,6 +20,16 @@ struct Row {
     band_with_harvesting: String,
 }
 
+hidwa_bench::json_struct!(Row {
+    workload,
+    architecture,
+    node_power_uw,
+    harvested_uw,
+    energy_neutral,
+    coverage_probability,
+    band_with_harvesting,
+});
+
 fn main() {
     header(
         "E7 — indoor energy-harvesting feasibility",
@@ -30,14 +38,20 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(2024);
     let profiles: Vec<(&str, HarvestingProfile)> = vec![
-        ("typical indoor (PV 4 cm² + TEG 2 cm²)", HarvestingProfile::typical_indoor()),
+        (
+            "typical indoor (PV 4 cm² + TEG 2 cm²)",
+            HarvestingProfile::typical_indoor(),
+        ),
         (
             "PV-only wearable patch (2 cm²)",
             HarvestingProfile::new(vec![Harvester::indoor_photovoltaic(2.0)]),
         ),
         (
             "TEG + kinetic wristband",
-            HarvestingProfile::new(vec![Harvester::thermoelectric(3.0), Harvester::kinetic_wrist()]),
+            HarvestingProfile::new(vec![
+                Harvester::thermoelectric(3.0),
+                Harvester::kinetic_wrist(),
+            ]),
         ),
     ];
 
@@ -52,11 +66,14 @@ fn main() {
             "workload", "architecture", "node power", "energy-neutral", "P(cover)", "band"
         );
         for workload in WorkloadSpec::paper_set() {
-            for arch in [NodeArchitecture::human_inspired(), NodeArchitecture::conventional()] {
+            for arch in [
+                NodeArchitecture::human_inspired(),
+                NodeArchitecture::conventional(),
+            ] {
                 let node_power = arch.power_breakdown(&workload).total();
                 let coverage = profile.coverage_probability(node_power, 5000, &mut rng);
-                let projector =
-                    LifetimeProjector::new(Battery::coin_cell_1000mah()).with_harvesting(profile.clone());
+                let projector = LifetimeProjector::new(Battery::coin_cell_1000mah())
+                    .with_harvesting(profile.clone());
                 let projection = projector.project(node_power);
                 println!(
                     "{:<16} {:<34} {:>12} {:>16} {:>10.2} {:>12}",

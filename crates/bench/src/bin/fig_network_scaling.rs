@@ -1,18 +1,22 @@
 //! Experiment E8 — network scaling (§V): how many leaf nodes can share one
 //! hub over a single Wi-R medium, and what latency/energy they see, compared
 //! with a BLE star.
+//!
+//! Every (technology × MAC policy × leaf count) cell simulates independently,
+//! so the whole grid fans out across threads via
+//! [`hidwa_core::sweep::SweepRunner`]; printing stays serial and in grid
+//! order, keeping the output byte-identical to the old nested loops.
 
 use hidwa_bench::{fmt_power, header, write_json};
 use hidwa_core::scenario::{self, LeafSpec};
-use hidwa_eqs::body::BodySite;
+use hidwa_core::sweep::SweepRunner;
 use hidwa_energy::sensing::SensorModality;
+use hidwa_eqs::body::BodySite;
 use hidwa_netsim::mac::MacPolicy;
 use hidwa_netsim::traffic::TrafficPattern;
 use hidwa_phy::RadioTechnology;
 use hidwa_units::{DataRate, Power, TimeSpan};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     technology: String,
     mac: String,
@@ -25,11 +29,27 @@ struct Row {
     mean_leaf_power_uw: f64,
 }
 
+hidwa_bench::json_struct!(Row {
+    technology,
+    mac,
+    leaf_count,
+    offered_load,
+    delivery_ratio,
+    medium_utilization,
+    aggregate_throughput_kbps,
+    mean_p95_latency_ms,
+    mean_leaf_power_uw,
+});
+
 fn imu_leaves(count: usize) -> Vec<LeafSpec> {
     (0..count)
         .map(|i| LeafSpec {
             name: Box::leak(format!("imu-{i}").into_boxed_str()),
-            site: if i % 2 == 0 { BodySite::Wrist } else { BodySite::Ankle },
+            site: if i % 2 == 0 {
+                BodySite::Wrist
+            } else {
+                BodySite::Ankle
+            },
             modality: SensorModality::Inertial,
             traffic: TrafficPattern::streaming(DataRate::from_kbps(100.0), 1024),
             compute_power: Power::from_micro_watts(5.0),
@@ -44,19 +64,46 @@ fn main() {
     );
 
     let horizon = TimeSpan::from_seconds(20.0);
+    let technologies = [RadioTechnology::WiR, RadioTechnology::Ble];
+    let policies = [MacPolicy::Tdma, MacPolicy::Polling];
+    let counts = [1usize, 2, 4, 8, 16, 24, 32];
+
+    // Flatten the grid (technology-major, then policy, then count) and
+    // simulate every cell in parallel.
+    let mut grid: Vec<(RadioTechnology, MacPolicy, usize)> = Vec::new();
+    for &technology in &technologies {
+        for &policy in &policies {
+            for &count in &counts {
+                grid.push((technology, policy, count));
+            }
+        }
+    }
+    let results = SweepRunner::new().map(&grid, |&(technology, policy, count)| {
+        let leaves = imu_leaves(count);
+        let mut sim = scenario::body_network(technology, &leaves, policy);
+        let offered = sim.offered_load().expect("valid links");
+        let report = sim.run(horizon);
+        (offered, report)
+    });
+
     let mut rows = Vec::new();
-    for technology in [RadioTechnology::WiR, RadioTechnology::Ble] {
-        for policy in [MacPolicy::Tdma, MacPolicy::Polling] {
+    let mut result_iter = grid.iter().zip(&results);
+    for &technology in &technologies {
+        for &policy in &policies {
             println!("\n-- {technology} / {policy} --");
             println!(
                 "{:>6} {:>10} {:>10} {:>12} {:>14} {:>14} {:>14}",
-                "leaves", "offered", "delivered", "medium util", "throughput", "p95 latency", "leaf power"
+                "leaves",
+                "offered",
+                "delivered",
+                "medium util",
+                "throughput",
+                "p95 latency",
+                "leaf power"
             );
-            for count in [1usize, 2, 4, 8, 16, 24, 32] {
-                let leaves = imu_leaves(count);
-                let mut sim = scenario::body_network(technology, &leaves, policy);
-                let offered = sim.offered_load().expect("valid links");
-                let report = sim.run(horizon);
+            for &count in &counts {
+                let (cell, (offered, report)) = result_iter.next().expect("grid covers every cell");
+                debug_assert_eq!(*cell, (technology, policy, count));
                 let mean_p95_ms = report
                     .node_stats()
                     .iter()
@@ -83,7 +130,7 @@ fn main() {
                     technology: technology.to_string(),
                     mac: policy.to_string(),
                     leaf_count: count,
-                    offered_load: offered,
+                    offered_load: *offered,
                     delivery_ratio: report.delivery_ratio(),
                     medium_utilization: report.medium_utilization(),
                     aggregate_throughput_kbps: report.aggregate_throughput().as_kbps(),

@@ -2,13 +2,17 @@
 //! end-to-end latency for every cut of each wearable model, under Wi-R and
 //! BLE (the quantitative form of the paper's distributed-intelligence
 //! argument, §III/§V).
+//!
+//! The (model × link) grid is evaluated in parallel by
+//! [`hidwa_core::sweep::SweepRunner`]; results come back in deterministic
+//! serial order, so the printed tables and JSON are byte-identical to the
+//! old nested-loop implementation.
 
 use hidwa_bench::{header, write_json};
-use hidwa_core::partition::{Objective, PartitionContext, PartitionOptimizer};
+use hidwa_core::partition::{Objective, PartitionContext};
+use hidwa_core::sweep::SweepRunner;
 use hidwa_isa::models;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     model: String,
     link: String,
@@ -21,37 +25,56 @@ struct Row {
     optimal: bool,
 }
 
+hidwa_bench::json_struct!(Row {
+    model,
+    link,
+    cut_index,
+    leaf_macs,
+    transfer_bytes,
+    leaf_energy_uj,
+    latency_ms,
+    feasible,
+    optimal,
+});
+
 fn main() {
     header(
         "E6 — DNN partition sweep across the body-area link",
         "Leaf energy and latency per cut point, Wi-R vs BLE, all zoo models",
     );
 
+    let all_models = models::all_models();
+    let contexts = [
+        PartitionContext::wir_default(),
+        PartitionContext::ble_default(),
+    ];
+    let runner = SweepRunner::new();
+    let cells = runner.partition_grid(&all_models, &contexts, &[Objective::LeafEnergy]);
+
     let mut rows = Vec::new();
-    for model in models::all_models() {
+    let mut cell_iter = cells.iter();
+    for model in &all_models {
         println!(
             "\n== {} ({:.1} inferences/s, {:.1} kMAC/inference) ==",
             model.name(),
             model.inferences_per_second(),
             model.macs_per_inference() as f64 / 1e3
         );
-        for context in [PartitionContext::wir_default(), PartitionContext::ble_default()] {
-            let label = context.label().to_string();
-            let optimizer = PartitionOptimizer::new(context);
-            let plans = optimizer.evaluate_all(&model).expect("zoo models are well-formed");
-            let best_cut = optimizer
-                .optimize(&model, Objective::LeafEnergy)
-                .map(|p| p.cut_index)
-                .ok();
+        for _context in &contexts {
+            let cell = cell_iter
+                .next()
+                .expect("grid covers every (model, context)");
+            let best_cut = cell.best_cut();
             println!(
-                "-- {label}: optimal cut = {} --",
+                "-- {}: optimal cut = {} --",
+                cell.context,
                 best_cut.map_or_else(|| "none (infeasible)".to_string(), |c| c.to_string())
             );
             println!(
                 "{:>4} {:>12} {:>12} {:>14} {:>12} {:>10}",
                 "cut", "leaf MACs", "tx bytes", "leaf energy", "latency", "feasible"
             );
-            for plan in &plans {
+            for plan in &cell.plans {
                 let optimal = Some(plan.cut_index) == best_cut;
                 println!(
                     "{:>4} {:>12} {:>12.0} {:>11.2} µJ {:>9.2} ms {:>10}{}",
@@ -65,7 +88,7 @@ fn main() {
                 );
                 rows.push(Row {
                     model: model.name().to_string(),
-                    link: label.clone(),
+                    link: cell.context.to_string(),
                     cut_index: plan.cut_index,
                     leaf_macs: plan.leaf_macs,
                     transfer_bytes: plan.transfer_bytes,
@@ -83,13 +106,20 @@ fn main() {
         "{:<44} {:>14} {:>14} {:>10}",
         "model", "Wi-R", "BLE", "ratio"
     );
-    for model in models::all_models() {
-        let wir = PartitionOptimizer::new(PartitionContext::wir_default())
-            .optimize(&model, Objective::LeafEnergy)
-            .ok();
-        let ble = PartitionOptimizer::new(PartitionContext::ble_default())
-            .optimize(&model, Objective::LeafEnergy)
-            .ok();
+    for (index, model) in all_models.iter().enumerate() {
+        // Look cells up by their recorded indices rather than assuming a
+        // stride, so growing the context/objective arrays cannot silently
+        // pair the wrong cells.
+        let best_for = |context_index: usize| {
+            cells
+                .iter()
+                .find(|cell| cell.model_index == index && cell.context_index == context_index)
+                .expect("grid covers every (model, context)")
+                .best
+                .as_ref()
+        };
+        let wir = best_for(0);
+        let ble = best_for(1);
         match (wir, ble) {
             (Some(w), Some(b)) => println!(
                 "{:<44} {:>11.2} µJ {:>11.2} µJ {:>9.1}x",

@@ -8,9 +8,7 @@ use hidwa_eqs::channel::{EqsChannel, Termination};
 use hidwa_eqs::rf::RfLink;
 use hidwa_eqs::security::SecurityComparison;
 use hidwa_units::{dbm_to_power, Distance, Frequency, Voltage};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     distance_m: f64,
     eqs_snr_db: f64,
@@ -18,6 +16,14 @@ struct Row {
     eqs_decodable: bool,
     ble_decodable: bool,
 }
+
+hidwa_bench::json_struct!(Row {
+    distance_m,
+    eqs_snr_db,
+    ble_snr_db,
+    eqs_decodable,
+    ble_decodable,
+});
 
 fn main() {
     header(

@@ -7,15 +7,20 @@ use hidwa_phy::ble::BleTransceiver;
 use hidwa_phy::wir::WiRTransceiver;
 use hidwa_phy::Transceiver;
 use hidwa_units::DataRate;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct RateRow {
     app_rate_kbps: f64,
     wir_power_uw: f64,
     ble_power_uw: f64,
     power_ratio: f64,
 }
+
+hidwa_bench::json_struct!(RateRow {
+    app_rate_kbps,
+    wir_power_uw,
+    ble_power_uw,
+    power_ratio,
+});
 
 fn main() {
     header(
@@ -28,9 +33,18 @@ fn main() {
     let ble2 = BleTransceiver::phy_2m();
 
     println!("Delivered (goodput) data rates:");
-    println!("  Wi-R (commercial)     : {:>10.2} Mbps", wir.max_data_rate().as_mbps());
-    println!("  BLE 1M PHY            : {:>10.2} Mbps", ble.max_data_rate().as_mbps());
-    println!("  BLE 2M PHY            : {:>10.2} Mbps", ble2.max_data_rate().as_mbps());
+    println!(
+        "  Wi-R (commercial)     : {:>10.2} Mbps",
+        wir.max_data_rate().as_mbps()
+    );
+    println!(
+        "  BLE 1M PHY            : {:>10.2} Mbps",
+        ble.max_data_rate().as_mbps()
+    );
+    println!(
+        "  BLE 2M PHY            : {:>10.2} Mbps",
+        ble2.max_data_rate().as_mbps()
+    );
     println!(
         "  rate ratio (Wi-R / BLE 1M): {:.1}x   (vs typical 250 kbps BLE app stream: {:.1}x)",
         wir.max_data_rate().as_bps() / ble.max_data_rate().as_bps(),
@@ -82,11 +96,14 @@ fn main() {
     let bodywire = WiRTransceiver::bodywire_class();
     println!(
         "  BodyWire (30 Mbps)      : {:>8.1} pJ/bit  (paper: 6.3 pJ/bit)",
-        bodywire.energy_per_bit(DataRate::from_mbps(30.0)).as_pico_joules()
+        bodywire
+            .energy_per_bit(DataRate::from_mbps(30.0))
+            .as_pico_joules()
     );
     println!(
         "  Wi-R commercial (4 Mbps): {:>8.1} pJ/bit  (paper: ~100 pJ/bit)",
-        wir.energy_per_bit(DataRate::from_mbps(4.0)).as_pico_joules()
+        wir.energy_per_bit(DataRate::from_mbps(4.0))
+            .as_pico_joules()
     );
 
     write_json("table_wir_vs_ble", &rows);

@@ -5,11 +5,18 @@
 //! claim of the paper (see DESIGN.md §3 for the experiment index).  Each
 //! prints a human-readable table to stdout and, when the `HIDWA_RESULTS_DIR`
 //! environment variable is set, writes the same data as JSON for plotting.
+//!
+//! JSON output goes through the explicit [`json::ToJson`] trait (plus the
+//! [`json_struct!`] field-listing macro) rather than serde: the offline shim
+//! serde derives are no-ops, so machine-readable encoding must be spelled
+//! out — which for the flat row structs the binaries emit is one macro line.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
+pub mod json;
+pub mod reference;
+
 use std::fs;
 use std::path::PathBuf;
 
@@ -28,15 +35,14 @@ pub fn header(experiment: &str, description: &str) {
 /// Panics if the results directory cannot be created or written — the bench
 /// harness treats an unwritable results directory as a fatal configuration
 /// error rather than silently dropping data.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+pub fn write_json<T: json::ToJson>(name: &str, value: &T) {
     let Ok(dir) = std::env::var("HIDWA_RESULTS_DIR") else {
         return;
     };
     let dir = PathBuf::from(dir);
     fs::create_dir_all(&dir).expect("create results directory");
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serialise results");
-    fs::write(&path, json).expect("write results file");
+    fs::write(&path, json::to_string_pretty(value)).expect("write results file");
     println!("[results written to {}]", path.display());
 }
 
@@ -87,6 +93,6 @@ mod tests {
     #[test]
     fn write_json_is_a_noop_without_env() {
         std::env::remove_var("HIDWA_RESULTS_DIR");
-        write_json("test", &vec![1, 2, 3]);
+        write_json("test", &vec![1.0, 2.0, 3.0]);
     }
 }

@@ -271,8 +271,8 @@ impl NodeArchitecture {
     /// architecture (the Fig. 1 bars).
     #[must_use]
     pub fn power_breakdown(&self, workload: &WorkloadSpec) -> PowerBreakdown {
-        let sensing = SensingModel::for_modality(workload.modality())
-            .power_at(workload.sensor_rate());
+        let sensing =
+            SensingModel::for_modality(workload.modality()).power_at(workload.sensor_rate());
         match self {
             NodeArchitecture::Conventional { cpu, radio } => {
                 let compute = cpu.average_power(workload.local_macs_per_second());
@@ -326,9 +326,18 @@ mod tests {
     fn fig1_conventional_node_is_milliwatt_class() {
         // Fig. 1 left: sensors ~100s µW, CPU ~mW, radio ~10s mW → total is
         // dominated by CPU + radio in the mW–10s mW range.
-        let breakdown = NodeArchitecture::conventional().power_breakdown(&WorkloadSpec::ecg_patch());
-        assert!(breakdown.compute.as_milli_watts() >= 1.0, "CPU {}", breakdown.compute);
-        assert!(breakdown.total().as_milli_watts() >= 10.0, "total {}", breakdown.total());
+        let breakdown =
+            NodeArchitecture::conventional().power_breakdown(&WorkloadSpec::ecg_patch());
+        assert!(
+            breakdown.compute.as_milli_watts() >= 1.0,
+            "CPU {}",
+            breakdown.compute
+        );
+        assert!(
+            breakdown.total().as_milli_watts() >= 10.0,
+            "total {}",
+            breakdown.total()
+        );
         assert_ne!(breakdown.dominant(), "sensing");
     }
 
@@ -337,9 +346,24 @@ mod tests {
         // Fig. 1 right: sensing 10–50 µW, ISA ~100 µW, Wi-R ~100 µW class.
         for workload in [WorkloadSpec::ecg_patch(), WorkloadSpec::imu_wristband()] {
             let b = NodeArchitecture::human_inspired().power_breakdown(&workload);
-            assert!(b.sensing.as_micro_watts() <= 50.0, "{}: sensing {}", workload.name(), b.sensing);
-            assert!(b.compute.as_micro_watts() <= 150.0, "{}: ISA {}", workload.name(), b.compute);
-            assert!(b.communication.as_micro_watts() <= 150.0, "{}: Wi-R {}", workload.name(), b.communication);
+            assert!(
+                b.sensing.as_micro_watts() <= 50.0,
+                "{}: sensing {}",
+                workload.name(),
+                b.sensing
+            );
+            assert!(
+                b.compute.as_micro_watts() <= 150.0,
+                "{}: ISA {}",
+                workload.name(),
+                b.compute
+            );
+            assert!(
+                b.communication.as_micro_watts() <= 150.0,
+                "{}: Wi-R {}",
+                workload.name(),
+                b.communication
+            );
             assert!(b.total().as_micro_watts() < 500.0);
         }
     }
@@ -388,7 +412,9 @@ mod tests {
     fn isa_fraction_validation_and_effect() {
         let arch = NodeArchitecture::human_inspired();
         assert!(arch.clone().with_isa_fraction(1.5).is_err());
-        assert!(NodeArchitecture::conventional().with_isa_fraction(0.5).is_err());
+        assert!(NodeArchitecture::conventional()
+            .with_isa_fraction(0.5)
+            .is_err());
         // For the audio workload, running *more* of the model locally cuts
         // the transmit rate: communication power falls as isa_fraction rises.
         let low = NodeArchitecture::human_inspired()
@@ -405,7 +431,8 @@ mod tests {
 
     #[test]
     fn breakdown_total_is_component_sum() {
-        let b = NodeArchitecture::human_inspired().power_breakdown(&WorkloadSpec::audio_assistant());
+        let b =
+            NodeArchitecture::human_inspired().power_breakdown(&WorkloadSpec::audio_assistant());
         let sum = b.sensing + b.compute + b.communication;
         assert!((b.total().as_watts() - sum.as_watts()).abs() < 1e-15);
         assert!(!NodeArchitecture::human_inspired().name().is_empty());

@@ -317,20 +317,28 @@ mod tests {
         // Smart glasses and MR headsets: 3–5 h battery life.
         let glasses = profile_for(DeviceClass::SmartGlasses).unwrap();
         let hours = glasses.derived_battery_life().as_hours();
-        assert!(hours >= 3.0 && hours <= 5.5, "glasses {hours} h");
+        assert!((3.0..=5.5).contains(&hours), "glasses {hours} h");
         let mr = profile_for(DeviceClass::MixedRealityHeadset).unwrap();
         let hours = mr.derived_battery_life().as_hours();
-        assert!(hours >= 3.0 && hours <= 5.5, "MR headset {hours} h");
+        assert!((3.0..=5.5).contains(&hours), "MR headset {hours} h");
         // Smartphone: < 10 h under heavy use.
         let phone = profile_for(DeviceClass::Smartphone).unwrap();
         assert!(phone.derived_battery_life().as_hours() < 10.0);
         // Rings and trackers: all-week.
-        assert!(profile_for(DeviceClass::SmartRing).unwrap().derived_battery_life().as_days() >= 7.0);
-        assert!(profile_for(DeviceClass::FitnessTracker)
-            .unwrap()
-            .derived_battery_life()
-            .as_days()
-            >= 7.0);
+        assert!(
+            profile_for(DeviceClass::SmartRing)
+                .unwrap()
+                .derived_battery_life()
+                .as_days()
+                >= 7.0
+        );
+        assert!(
+            profile_for(DeviceClass::FitnessTracker)
+                .unwrap()
+                .derived_battery_life()
+                .as_days()
+                >= 7.0
+        );
     }
 
     #[test]
@@ -346,6 +354,11 @@ mod tests {
         assert_eq!(ring.class().to_string(), "smart ring");
         assert!(ring.average_power() > Power::ZERO);
         assert!(ring.battery().capacity().as_milli_amp_hours() > 0.0);
-        assert!(profile_for(DeviceClass::BiopotentialPatch).unwrap().paper_band() == OperatingBand::Perpetual);
+        assert!(
+            profile_for(DeviceClass::BiopotentialPatch)
+                .unwrap()
+                .paper_band()
+                == OperatingBand::Perpetual
+        );
     }
 }

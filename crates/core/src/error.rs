@@ -50,7 +50,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(CoreError::invalid("x", "y").to_string().contains("invalid parameter"));
+        assert!(CoreError::invalid("x", "y")
+            .to_string()
+            .contains("invalid parameter"));
         let e = CoreError::WorkloadInfeasible {
             reason: "too many MACs".into(),
         };

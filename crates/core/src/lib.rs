@@ -17,6 +17,21 @@
 //!   radio (the quantitative core of the distributed-intelligence vision).
 //! * [`scenario`] — turn-key body-area network scenarios built on the
 //!   discrete-event simulator, used by the examples and benches.
+//! * [`sweep`] — the parallel sweep runner that fans figure-scale grids
+//!   (model × context × objective, multi-seed simulation batches) across
+//!   threads with deterministic, serial-identical output ordering.
+//!
+//! # Caching and ownership model
+//!
+//! The sweep pipeline is allocation-free on its hot path by construction:
+//! [`hidwa_isa::models::WearableModel`] owns per-model caches (layer
+//! profiles, cut points, total MACs) computed once at construction, and the
+//! [`partition`] optimiser borrows those cached slices rather than
+//! re-deriving them.  Labels that appear on every plan (context label, model
+//! name) are interned `Arc<str>`s shared between the long-lived owner
+//! (context/model) and the plans derived from it, so labelling is a
+//! reference-count bump.  See the [`partition`] module docs for the exact
+//! fast-path guarantees.
 //!
 //! # Quick start
 //!
@@ -46,5 +61,6 @@ mod error;
 pub mod partition;
 pub mod projection;
 pub mod scenario;
+pub mod sweep;
 
 pub use error::CoreError;

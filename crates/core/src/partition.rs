@@ -10,6 +10,27 @@
 //! everything on the node) reproduces the architectural claim: with a
 //! ~100 pJ/bit link the optimal cut moves towards "ship early, compute on the
 //! hub", which is exactly the human-inspired architecture.
+//!
+//! # Performance model
+//!
+//! This module sits on the hottest path of the repo — the figure sweeps call
+//! [`PartitionOptimizer::optimize`] for every (model × context × objective)
+//! cell — so the evaluation pipeline is built to do no per-call allocation:
+//!
+//! * cut points come from the [`WearableModel`]'s construction-time cache
+//!   ([`WearableModel::cut_points`]), never from re-profiling the network;
+//! * [`PartitionOptimizer::optimize`] is a single streaming pass over that
+//!   cached slice, tracking the best cut by scalar objective key and
+//!   materialising exactly one winning [`PartitionPlan`] at the end — no
+//!   intermediate `Vec<PartitionPlan>`;
+//! * [`PartitionOptimizer::all_on_leaf`] / [`PartitionOptimizer::all_on_hub`]
+//!   evaluate exactly one cut each;
+//! * context and model labels are interned `Arc<str>`s, so labelling a plan
+//!   is a reference-count bump rather than a `String` clone.
+//!
+//! [`PartitionOptimizer::evaluate_all`] remains available as the naive
+//! reference (and for table-style figure output); the workspace equivalence
+//! tests assert the streaming pass matches it exactly.
 
 use crate::CoreError;
 use hidwa_energy::compute::{ComputeClass, ComputeEngine};
@@ -20,6 +41,7 @@ use hidwa_phy::wir::WiRTransceiver;
 use hidwa_phy::Transceiver;
 use hidwa_units::{DataRate, DataVolume, Energy, EnergyPerBit, Power, TimeSpan};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// What the optimiser minimises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -57,8 +79,8 @@ pub struct PartitionContext {
     link_goodput: DataRate,
     /// Whether activations are quantized to int8 before transmission.
     quantize_activations: bool,
-    /// Descriptive label ("Wi-R", "BLE").
-    label: String,
+    /// Descriptive label ("Wi-R", "BLE"), interned for cheap plan labelling.
+    label: Arc<str>,
 }
 
 impl PartitionContext {
@@ -77,7 +99,7 @@ impl PartitionContext {
             link_energy_per_bit,
             link_goodput,
             quantize_activations: true,
-            label: label.into(),
+            label: Arc::from(label.into()),
         }
     }
 
@@ -123,6 +145,12 @@ impl PartitionContext {
         &self.label
     }
 
+    /// Context label as a shared, cheaply-cloneable `Arc<str>`.
+    #[must_use]
+    pub fn interned_label(&self) -> &Arc<str> {
+        &self.label
+    }
+
     /// Bytes actually transmitted for a cut (after optional quantization).
     #[must_use]
     fn wire_bytes(&self, cut: &CutPoint) -> f64 {
@@ -138,10 +166,12 @@ impl PartitionContext {
 /// A fully evaluated partition of one model in one context.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PartitionPlan {
-    /// Context label ("Wi-R", "BLE", …).
-    pub context: String,
-    /// Model name.
-    pub model: String,
+    /// Context label ("Wi-R", "BLE", …), shared with the originating
+    /// [`PartitionContext`].
+    pub context: Arc<str>,
+    /// Model name, shared with the originating
+    /// [`WearableModel`](hidwa_isa::models::WearableModel).
+    pub model: Arc<str>,
     /// Number of layers executed on the leaf.
     pub cut_index: usize,
     /// MACs executed on the leaf per inference.
@@ -190,22 +220,25 @@ impl PartitionOptimizer {
         &self.context
     }
 
-    /// Evaluates every cut point of a model.
+    /// Evaluates every cut point of a model (the naive reference path).
+    ///
+    /// The streaming [`PartitionOptimizer::optimize`] does not call this; it
+    /// exists for table-style output and as the ground truth the equivalence
+    /// tests compare the fast paths against.
     ///
     /// # Errors
-    /// Returns [`CoreError`] if the model's input shape is inconsistent with
-    /// its network (does not happen for the built-in zoo).
+    /// Kept for API stability; cut points come from the model's
+    /// construction-time cache, so this cannot currently fail.
     pub fn evaluate_all(&self, model: &WearableModel) -> Result<Vec<PartitionPlan>, CoreError> {
-        let cuts = model
-            .network()
-            .cut_points(model.input_shape())
-            .map_err(|e| CoreError::invalid("model", e.to_string()))?;
-        Ok(cuts.iter().map(|cut| self.evaluate(model, cut)).collect())
+        Ok(model
+            .cut_points()
+            .iter()
+            .map(|cut| self.evaluate(model, cut))
+            .collect())
     }
 
-    /// Evaluates one cut point.
-    #[must_use]
-    pub fn evaluate(&self, model: &WearableModel, cut: &CutPoint) -> PartitionPlan {
+    /// Scalar costs of one cut, computed without building a plan.
+    fn cut_metrics(&self, model: &WearableModel, cut: &CutPoint) -> CutMetrics {
         let ctx = &self.context;
         let wire_bytes = ctx.wire_bytes(cut);
         let wire_volume = DataVolume::from_bytes(wire_bytes);
@@ -226,18 +259,11 @@ impl PartitionOptimizer {
 
         let rate = model.inferences_per_second();
         let leaf_power = Power::from_watts(leaf_energy.as_joules() * rate);
-        let feasible = ctx
-            .leaf_engine
-            .can_sustain(cut.leaf_macs as f64 * rate)
+        let feasible = ctx.leaf_engine.can_sustain(cut.leaf_macs as f64 * rate)
             && ctx.link_goodput.as_bps() >= wire_bytes * 8.0 * rate;
 
-        PartitionPlan {
-            context: ctx.label.clone(),
-            model: model.name().to_string(),
-            cut_index: cut.index,
-            leaf_macs: cut.leaf_macs,
-            hub_macs: cut.hub_macs,
-            transfer_bytes: wire_bytes,
+        CutMetrics {
+            wire_bytes,
             leaf_energy,
             hub_energy,
             latency,
@@ -246,7 +272,32 @@ impl PartitionOptimizer {
         }
     }
 
+    /// Evaluates one cut point.
+    #[must_use]
+    pub fn evaluate(&self, model: &WearableModel, cut: &CutPoint) -> PartitionPlan {
+        let metrics = self.cut_metrics(model, cut);
+        PartitionPlan {
+            context: Arc::clone(&self.context.label),
+            model: Arc::clone(model.interned_name()),
+            cut_index: cut.index,
+            leaf_macs: cut.leaf_macs,
+            hub_macs: cut.hub_macs,
+            transfer_bytes: metrics.wire_bytes,
+            leaf_energy: metrics.leaf_energy,
+            hub_energy: metrics.hub_energy,
+            latency: metrics.latency,
+            leaf_power: metrics.leaf_power,
+            feasible: metrics.feasible,
+        }
+    }
+
     /// Finds the feasible cut that minimises the objective.
+    ///
+    /// Single streaming pass over the model's cached cut points: each cut is
+    /// reduced to its scalar objective key, the arg-min index is tracked, and
+    /// exactly one [`PartitionPlan`] (the winner) is materialised.  Ties keep
+    /// the earliest cut, matching the naive `evaluate_all` + `min_by`
+    /// reference.
     ///
     /// # Errors
     /// Returns [`CoreError::WorkloadInfeasible`] if no cut is feasible (the
@@ -256,15 +307,28 @@ impl PartitionOptimizer {
         model: &WearableModel,
         objective: Objective,
     ) -> Result<PartitionPlan, CoreError> {
-        let plans = self.evaluate_all(model)?;
-        plans
-            .into_iter()
-            .filter(|p| p.feasible)
-            .min_by(|a, b| {
-                let ka = Self::key(a, objective);
-                let kb = Self::key(b, objective);
-                ka.partial_cmp(&kb).unwrap_or(core::cmp::Ordering::Equal)
-            })
+        let cuts = model.cut_points();
+        let mut best: Option<(usize, f64)> = None;
+        for (index, cut) in cuts.iter().enumerate() {
+            let metrics = self.cut_metrics(model, cut);
+            if !metrics.feasible {
+                continue;
+            }
+            let key = metrics.key(objective);
+            let better = match best {
+                None => true,
+                // Strict `<` keeps the earliest minimum; incomparable (NaN)
+                // keys never displace the incumbent — both exactly as the
+                // reference `min_by` behaves.
+                Some((_, best_key)) => {
+                    key.partial_cmp(&best_key) == Some(core::cmp::Ordering::Less)
+                }
+            };
+            if better {
+                best = Some((index, key));
+            }
+        }
+        best.map(|(index, _)| self.evaluate(model, &cuts[index]))
             .ok_or_else(|| CoreError::WorkloadInfeasible {
                 reason: format!(
                     "no feasible cut for {} over {} at {:.1} inferences/s",
@@ -275,37 +339,59 @@ impl PartitionOptimizer {
             })
     }
 
-    fn key(plan: &PartitionPlan, objective: Objective) -> f64 {
-        match objective {
-            Objective::LeafEnergy => plan.leaf_energy.as_joules(),
-            Objective::Latency => plan.latency.as_seconds(),
-            Objective::EnergyDelayProduct => plan.energy_delay_product(),
-        }
-    }
-
     /// Convenience: the "everything on the leaf" plan (the conventional
     /// wearable), regardless of feasibility on the ISA engine.
     ///
+    /// Evaluates exactly the final cut of the cached table.
+    ///
     /// # Errors
-    /// Returns [`CoreError`] if the model's cut points cannot be enumerated.
+    /// Returns [`CoreError`] if the model has no cut points (requires a
+    /// pathological zero-layer model with an empty cache).
     pub fn all_on_leaf(&self, model: &WearableModel) -> Result<PartitionPlan, CoreError> {
-        let plans = self.evaluate_all(model)?;
-        plans
-            .into_iter()
+        model
+            .cut_points()
             .last()
+            .map(|cut| self.evaluate(model, cut))
             .ok_or_else(|| CoreError::invalid("model", "model has no cut points"))
     }
 
     /// Convenience: the "raw offload" plan (leaf ships the raw input).
     ///
+    /// Evaluates exactly the first cut of the cached table.
+    ///
     /// # Errors
-    /// Returns [`CoreError`] if the model's cut points cannot be enumerated.
+    /// Returns [`CoreError`] if the model has no cut points (requires a
+    /// pathological zero-layer model with an empty cache).
     pub fn all_on_hub(&self, model: &WearableModel) -> Result<PartitionPlan, CoreError> {
-        let plans = self.evaluate_all(model)?;
-        plans
-            .into_iter()
-            .next()
+        model
+            .cut_points()
+            .first()
+            .map(|cut| self.evaluate(model, cut))
             .ok_or_else(|| CoreError::invalid("model", "model has no cut points"))
+    }
+}
+
+/// Scalar per-cut costs used by the streaming optimiser; building one of
+/// these allocates nothing.
+#[derive(Debug, Clone, Copy)]
+struct CutMetrics {
+    wire_bytes: f64,
+    leaf_energy: Energy,
+    hub_energy: Energy,
+    latency: TimeSpan,
+    leaf_power: Power,
+    feasible: bool,
+}
+
+impl CutMetrics {
+    fn key(&self, objective: Objective) -> f64 {
+        match objective {
+            Objective::LeafEnergy => self.leaf_energy.as_joules(),
+            Objective::Latency => self.latency.as_seconds(),
+            Objective::EnergyDelayProduct => {
+                self.leaf_energy.as_joules() * self.latency.as_seconds()
+            }
+        }
     }
 }
 
@@ -362,8 +448,7 @@ mod tests {
             let wir_best = wir.optimize(&model, Objective::LeafEnergy).unwrap();
             match ble.optimize(&model, Objective::LeafEnergy) {
                 Ok(ble_best) => {
-                    let ratio =
-                        ble_best.leaf_energy.as_joules() / wir_best.leaf_energy.as_joules();
+                    let ratio = ble_best.leaf_energy.as_joules() / wir_best.leaf_energy.as_joules();
                     assert!(
                         ratio > 1.5,
                         "{}: BLE/Wi-R leaf energy ratio {ratio:.1}",
@@ -432,9 +517,10 @@ mod tests {
         let with_quant = PartitionOptimizer::new(PartitionContext::wir_default())
             .all_on_hub(&model)
             .unwrap();
-        let without = PartitionOptimizer::new(PartitionContext::wir_default().without_quantization())
-            .all_on_hub(&model)
-            .unwrap();
+        let without =
+            PartitionOptimizer::new(PartitionContext::wir_default().without_quantization())
+                .all_on_hub(&model)
+                .unwrap();
         assert!(with_quant.transfer_bytes < without.transfer_bytes);
         assert!(with_quant.leaf_energy < without.leaf_energy);
     }
@@ -461,8 +547,8 @@ mod tests {
             assert_eq!(plan.leaf_macs + plan.hub_macs, model.macs_per_inference());
             assert!(plan.leaf_energy >= Energy::ZERO);
             assert!(plan.latency > TimeSpan::ZERO);
-            assert_eq!(plan.context, "Wi-R");
-            assert_eq!(plan.model, model.name());
+            assert_eq!(&*plan.context, "Wi-R");
+            assert_eq!(&*plan.model, model.name());
             assert!(plan.leaf_power >= Power::ZERO);
         }
         assert_eq!(optimizer.context().label(), "Wi-R");

@@ -1,13 +1,13 @@
 //! Turn-key body-area network scenarios built on the discrete-event
 //! simulator — used by the examples and the scaling/ablation benches.
 
+use hidwa_energy::sensing::{Sensor, SensorModality};
+use hidwa_energy::Battery;
 use hidwa_eqs::body::{BodyModel, BodySite};
 use hidwa_eqs::capacity::CapacityEstimator;
 use hidwa_eqs::channel::{EqsChannel, Termination};
 use hidwa_eqs::noise::NoiseModel;
 use hidwa_eqs::rf::RfLink;
-use hidwa_energy::sensing::{Sensor, SensorModality};
-use hidwa_energy::Battery;
 use hidwa_netsim::mac::MacPolicy;
 use hidwa_netsim::node::{LinkParams, NodeConfig};
 use hidwa_netsim::sim::{NodeStats, Simulation};
@@ -27,7 +27,11 @@ use hidwa_units::{DataRate, Power, TimeSpan, Voltage};
 /// [`RadioTechnology::Ble`]); other technologies fall back to BLE-class
 /// parameters.
 #[must_use]
-pub fn link_params_for(technology: RadioTechnology, site: BodySite, hub_site: BodySite) -> LinkParams {
+pub fn link_params_for(
+    technology: RadioTechnology,
+    site: BodySite,
+    hub_site: BodySite,
+) -> LinkParams {
     let distance = site.path_to(hub_site);
     match technology {
         RadioTechnology::WiR => {
@@ -37,8 +41,13 @@ pub fn link_params_for(technology: RadioTechnology, site: BodySite, hub_site: Bo
                 NoiseModel::wearable_receiver(),
             );
             let rate = transceiver.max_data_rate();
-            match Link::wir_on_body(transceiver, &estimator, Voltage::from_volts(1.0), distance, rate)
-            {
+            match Link::wir_on_body(
+                transceiver,
+                &estimator,
+                Voltage::from_volts(1.0),
+                distance,
+                rate,
+            ) {
                 Ok(link) => LinkParams::new(
                     link.goodput(),
                     link.delivered_energy_per_bit(),
@@ -141,7 +150,11 @@ pub fn standard_leaf_set() -> Vec<LeafSpec> {
 /// leaf from `leaves` is connected with link parameters derived from the
 /// channel model for its body site.
 #[must_use]
-pub fn body_network(technology: RadioTechnology, leaves: &[LeafSpec], policy: MacPolicy) -> Simulation {
+pub fn body_network(
+    technology: RadioTechnology,
+    leaves: &[LeafSpec],
+    policy: MacPolicy,
+) -> Simulation {
     let hub_site = BodySite::Waist;
     let mut sim = Simulation::new(policy);
     for leaf in leaves {
@@ -189,10 +202,18 @@ mod tests {
         assert_eq!(sim.nodes().len(), 5);
         assert!(sim.offered_load().unwrap() < 1.0);
         let report = sim.run(TimeSpan::from_seconds(10.0));
-        assert!(report.delivery_ratio() > 0.95, "{}", report.delivery_ratio());
+        assert!(
+            report.delivery_ratio() > 0.95,
+            "{}",
+            report.delivery_ratio()
+        );
         // The ULP leaves stay in the µW class even while the camera streams.
         let ecg = &report.node_stats()[0];
-        assert!(ecg.average_power.as_micro_watts() < 50.0, "{}", ecg.average_power);
+        assert!(
+            ecg.average_power.as_micro_watts() < 50.0,
+            "{}",
+            ecg.average_power
+        );
     }
 
     #[test]
@@ -211,7 +232,11 @@ mod tests {
         let report = sim.run(TimeSpan::from_seconds(5.0));
         let ecg = &report.node_stats()[0];
         let life = node_battery_life(ecg, &Battery::coin_cell_1000mah());
-        assert!(life.as_days() > 365.0, "ECG patch life {} days", life.as_days());
+        assert!(
+            life.as_days() > 365.0,
+            "ECG patch life {} days",
+            life.as_days()
+        );
         let glasses = &report.node_stats()[4];
         let glasses_life = node_battery_life(glasses, &Battery::lipo_mah(160.0));
         assert!(glasses_life < life);

@@ -235,7 +235,10 @@ mod tests {
     #[test]
     fn power_budget_for_zero_target_is_infinite() {
         let cell = Battery::cr2032();
-        assert!(cell.power_budget_for(TimeSpan::ZERO).as_watts().is_infinite());
+        assert!(cell
+            .power_budget_for(TimeSpan::ZERO)
+            .as_watts()
+            .is_infinite());
     }
 
     #[test]

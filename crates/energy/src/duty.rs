@@ -67,7 +67,10 @@ impl DutyCycle {
         if !(0.0..=1.0).contains(&fraction) {
             return Err(crate::EnergyError::invalid("fraction", "must be in [0, 1]"));
         }
-        Self::new(TimeSpan::from_seconds(fraction), TimeSpan::from_seconds(1.0))
+        Self::new(
+            TimeSpan::from_seconds(fraction),
+            TimeSpan::from_seconds(1.0),
+        )
     }
 
     /// Adds a fixed per-wake-up energy overhead (oscillator start-up,

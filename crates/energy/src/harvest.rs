@@ -249,7 +249,10 @@ mod tests {
         let avg = HarvestingProfile::typical_indoor()
             .average_output()
             .as_micro_watts();
-        assert!(avg >= 10.0 && avg <= 200.0, "average {avg} µW outside 10–200 µW");
+        assert!(
+            (10.0..=200.0).contains(&avg),
+            "average {avg} µW outside 10–200 µW"
+        );
     }
 
     #[test]

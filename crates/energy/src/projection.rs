@@ -189,11 +189,26 @@ mod tests {
 
     #[test]
     fn band_classification_thresholds() {
-        assert_eq!(OperatingBand::classify(TimeSpan::from_hours(5.0)), OperatingBand::SubDay);
-        assert_eq!(OperatingBand::classify(TimeSpan::from_days(2.0)), OperatingBand::AllDay);
-        assert_eq!(OperatingBand::classify(TimeSpan::from_days(8.0)), OperatingBand::AllWeek);
-        assert_eq!(OperatingBand::classify(TimeSpan::from_days(90.0)), OperatingBand::Months);
-        assert_eq!(OperatingBand::classify(TimeSpan::from_days(400.0)), OperatingBand::Perpetual);
+        assert_eq!(
+            OperatingBand::classify(TimeSpan::from_hours(5.0)),
+            OperatingBand::SubDay
+        );
+        assert_eq!(
+            OperatingBand::classify(TimeSpan::from_days(2.0)),
+            OperatingBand::AllDay
+        );
+        assert_eq!(
+            OperatingBand::classify(TimeSpan::from_days(8.0)),
+            OperatingBand::AllWeek
+        );
+        assert_eq!(
+            OperatingBand::classify(TimeSpan::from_days(90.0)),
+            OperatingBand::Months
+        );
+        assert_eq!(
+            OperatingBand::classify(TimeSpan::from_days(400.0)),
+            OperatingBand::Perpetual
+        );
     }
 
     #[test]

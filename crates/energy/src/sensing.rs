@@ -132,11 +132,27 @@ impl SensingModel {
     #[must_use]
     pub fn for_modality(modality: SensorModality) -> Self {
         let (anchor_rate, anchor_power, floor_uw) = match modality {
-            SensorModality::Environmental => (DataRate::from_bps(10.0), Power::from_micro_watts(1.0), 0.2),
-            SensorModality::Biopotential => (DataRate::from_kbps(4.0), Power::from_micro_watts(2.0), 0.3),
-            SensorModality::Inertial => (DataRate::from_kbps(13.0), Power::from_micro_watts(15.0), 2.0),
-            SensorModality::Audio => (DataRate::from_kbps(256.0), Power::from_micro_watts(120.0), 20.0),
-            SensorModality::Vision => (DataRate::from_mbps(10.0), Power::from_milli_watts(10.0), 500.0),
+            SensorModality::Environmental => {
+                (DataRate::from_bps(10.0), Power::from_micro_watts(1.0), 0.2)
+            }
+            SensorModality::Biopotential => {
+                (DataRate::from_kbps(4.0), Power::from_micro_watts(2.0), 0.3)
+            }
+            SensorModality::Inertial => (
+                DataRate::from_kbps(13.0),
+                Power::from_micro_watts(15.0),
+                2.0,
+            ),
+            SensorModality::Audio => (
+                DataRate::from_kbps(256.0),
+                Power::from_micro_watts(120.0),
+                20.0,
+            ),
+            SensorModality::Vision => (
+                DataRate::from_mbps(10.0),
+                Power::from_milli_watts(10.0),
+                500.0,
+            ),
         };
         let exponent = 0.9;
         let floor = Power::from_micro_watts(floor_uw);

@@ -66,7 +66,12 @@ impl CapacityEstimator {
 
     /// Shannon capacity `B·log2(1 + SNR)` of the channel.
     #[must_use]
-    pub fn capacity(&self, tx_swing: Voltage, distance: Distance, bandwidth: Frequency) -> DataRate {
+    pub fn capacity(
+        &self,
+        tx_swing: Voltage,
+        distance: Distance,
+        bandwidth: Frequency,
+    ) -> DataRate {
         let snr = self.snr(tx_swing, distance, bandwidth);
         DataRate::from_bps(bandwidth.as_hertz() * (1.0 + snr).log2())
     }
@@ -106,8 +111,11 @@ mod tests {
         let c4 = est.achievable_rate(Voltage::from_volts(1.0), d, Frequency::from_mega_hertz(4.0));
         assert!(c4.as_mbps() > 4.0, "achievable {c4}");
         // 30 Mbps (BodyWire-class) in the full 30 MHz EQS band.
-        let c30 =
-            est.achievable_rate(Voltage::from_volts(1.0), d, Frequency::from_mega_hertz(30.0));
+        let c30 = est.achievable_rate(
+            Voltage::from_volts(1.0),
+            d,
+            Frequency::from_mega_hertz(30.0),
+        );
         assert!(c30.as_mbps() > 30.0, "achievable {c30}");
     }
 
@@ -130,8 +138,11 @@ mod tests {
                 > est.capacity(Voltage::from_volts(0.5), d, bw)
         );
         assert!(
-            est.capacity(Voltage::from_volts(1.0), d, Frequency::from_mega_hertz(20.0))
-                > est.capacity(Voltage::from_volts(1.0), d, bw)
+            est.capacity(
+                Voltage::from_volts(1.0),
+                d,
+                Frequency::from_mega_hertz(20.0)
+            ) > est.capacity(Voltage::from_volts(1.0), d, bw)
         );
     }
 

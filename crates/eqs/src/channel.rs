@@ -148,7 +148,9 @@ impl EqsChannel {
             }
         };
         // Residual distance dependence (small for EQS).
-        let distance_m = distance.as_meters().min(body.max_channel_length().as_meters());
+        let distance_m = distance
+            .as_meters()
+            .min(body.max_channel_length().as_meters());
         let residual = db_to_ratio(-body.per_meter_loss_db() * distance_m / 2.0).sqrt();
         // The factor of 2 and sqrt keep the residual expressed as a voltage
         // ratio: per_meter_loss_db is specified as a power loss per metre.
@@ -186,7 +188,10 @@ mod tests {
         // EQS-HBC measurement campaigns report −55 to −85 dB whole-body loss.
         let ch = adult_hi_z();
         for meters in [0.2, 0.5, 1.0, 1.5, 2.0] {
-            let g = ch.gain_db(Distance::from_meters(meters), Frequency::from_mega_hertz(21.0));
+            let g = ch.gain_db(
+                Distance::from_meters(meters),
+                Frequency::from_mega_hertz(21.0),
+            );
             assert!(g < -50.0 && g > -90.0, "gain at {meters} m = {g} dB");
         }
     }
@@ -197,7 +202,10 @@ mod tests {
         let d = Distance::from_meters(1.2);
         let g_low = ch.gain_db(d, Frequency::from_kilo_hertz(100.0));
         let g_high = ch.gain_db(d, Frequency::from_mega_hertz(30.0));
-        assert!((g_low - g_high).abs() < 1.0, "flatness violated: {g_low} vs {g_high}");
+        assert!(
+            (g_low - g_high).abs() < 1.0,
+            "flatness violated: {g_low} vs {g_high}"
+        );
     }
 
     #[test]
@@ -228,7 +236,9 @@ mod tests {
     fn out_of_band_is_rejected_or_clamped() {
         let ch = adult_hi_z();
         let d = Distance::from_meters(1.0);
-        assert!(ch.try_gain_db(d, Frequency::from_mega_hertz(2400.0)).is_err());
+        assert!(ch
+            .try_gain_db(d, Frequency::from_mega_hertz(2400.0))
+            .is_err());
         // Infallible variant clamps: equal to the band edge value.
         let clamped = ch.gain_db(d, Frequency::from_mega_hertz(2400.0));
         let edge = ch.gain_db(d, Frequency::from_mega_hertz(30.0));
@@ -265,9 +275,11 @@ mod tests {
         let d = Distance::from_meters(1.0);
         let f = Frequency::from_mega_hertz(21.0);
         assert!(heavy_load.gain_db(d, f) < base.gain_db(d, f));
-        assert!(EqsChannel::new(BodyModel::adult(), Termination::HighImpedance)
-            .with_load_capacitance(0.0)
-            .is_err());
+        assert!(
+            EqsChannel::new(BodyModel::adult(), Termination::HighImpedance)
+                .with_load_capacitance(0.0)
+                .is_err()
+        );
         assert_eq!(base.termination(), Termination::HighImpedance);
         assert_eq!(base.body(), &BodyModel::adult());
     }

@@ -36,7 +36,10 @@ impl fmt::Display for EqsError {
                 write!(f, "invalid parameter {name}: {reason}")
             }
             EqsError::OutsideEqsBand { frequency_mhz } => {
-                write!(f, "frequency {frequency_mhz} MHz is outside the EQS band (≤ 30 MHz)")
+                write!(
+                    f,
+                    "frequency {frequency_mhz} MHz is outside the EQS band (≤ 30 MHz)"
+                )
             }
         }
     }
@@ -50,8 +53,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(EqsError::invalid("x", "y").to_string().contains("invalid parameter x"));
-        let e = EqsError::OutsideEqsBand { frequency_mhz: 2400.0 };
+        assert!(EqsError::invalid("x", "y")
+            .to_string()
+            .contains("invalid parameter x"));
+        let e = EqsError::OutsideEqsBand {
+            frequency_mhz: 2400.0,
+        };
         assert!(e.to_string().contains("2400"));
     }
 }

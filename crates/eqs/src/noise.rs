@@ -180,7 +180,9 @@ mod tests {
     #[test]
     fn ideal_receiver_with_zero_bandwidth_has_infinite_snr() {
         let rx = NoiseModel::ideal();
-        assert!(rx.snr(Power::from_nano_watts(1.0), Frequency::ZERO).is_infinite());
+        assert!(rx
+            .snr(Power::from_nano_watts(1.0), Frequency::ZERO)
+            .is_infinite());
     }
 
     #[test]

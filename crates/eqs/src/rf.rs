@@ -99,8 +99,7 @@ impl RfLink {
     /// antenna gains).
     #[must_use]
     pub fn path_loss_db(&self, distance: Distance) -> f64 {
-        free_space_path_loss_db(distance, self.carrier) + self.body_shadow_db
-            - self.antenna_gain_db
+        free_space_path_loss_db(distance, self.carrier) + self.body_shadow_db - self.antenna_gain_db
     }
 
     /// Received power for a given transmit power and distance.
@@ -116,14 +115,15 @@ impl RfLink {
     #[must_use]
     pub fn detection_range(&self, tx_power: Power) -> Distance {
         // Invert FSPL: allowed loss = TX(dBm) − sensitivity(dBm).
-        let allowed_db =
-            power_to_dbm(tx_power) - power_to_dbm(self.sensitivity) + self.antenna_gain_db
-                - self.body_shadow_db;
+        let allowed_db = power_to_dbm(tx_power) - power_to_dbm(self.sensitivity)
+            + self.antenna_gain_db
+            - self.body_shadow_db;
         if allowed_db <= 0.0 {
             return Distance::ZERO;
         }
         let lambda = self.carrier.wavelength_m();
-        let d = lambda / (4.0 * core::f64::consts::PI) * hidwa_units::db_to_ratio(allowed_db).sqrt();
+        let d =
+            lambda / (4.0 * core::f64::consts::PI) * hidwa_units::db_to_ratio(allowed_db).sqrt();
         Distance::from_meters(d)
     }
 }
@@ -136,10 +136,8 @@ mod tests {
     #[test]
     fn fspl_reference_point() {
         // 2.4 GHz at 1 m ≈ 40 dB.
-        let loss = free_space_path_loss_db(
-            Distance::from_meters(1.0),
-            Frequency::from_giga_hertz(2.4),
-        );
+        let loss =
+            free_space_path_loss_db(Distance::from_meters(1.0), Frequency::from_giga_hertz(2.4));
         assert!((loss - 40.0).abs() < 0.5, "loss {loss}");
     }
 

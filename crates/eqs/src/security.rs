@@ -137,9 +137,9 @@ impl SecurityComparison {
         distances: &[Distance],
     ) -> Vec<InterceptionPoint> {
         let carrier = Frequency::from_mega_hertz(21.0);
-        let on_body_amplitude = self
-            .eqs_channel
-            .received_amplitude(tx_swing, on_body_distance, carrier);
+        let on_body_amplitude =
+            self.eqs_channel
+                .received_amplitude(tx_swing, on_body_distance, carrier);
         distances
             .iter()
             .map(|&d| {
@@ -192,7 +192,10 @@ mod tests {
     fn containment_radius_is_personal_bubble_scale() {
         let l = EqsLeakage::measured();
         // 1 mV on-body signal, attacker needs 10 µV: contained within ~25 cm.
-        let r = l.containment_radius(Voltage::from_milli_volts(1.0), Voltage::from_micro_volts(10.0));
+        let r = l.containment_radius(
+            Voltage::from_milli_volts(1.0),
+            Voltage::from_micro_volts(10.0),
+        );
         assert!(r.as_meters() < 0.5, "containment {r}");
         // Degenerate cases.
         assert!(l
@@ -200,7 +203,10 @@ mod tests {
             .as_meters()
             .is_infinite());
         assert_eq!(
-            l.containment_radius(Voltage::from_micro_volts(1.0), Voltage::from_milli_volts(1.0)),
+            l.containment_radius(
+                Voltage::from_micro_volts(1.0),
+                Voltage::from_milli_volts(1.0)
+            ),
             Distance::from_meters(0.05)
         );
     }

@@ -193,10 +193,13 @@ impl Dct8Compressor {
         for (k, o) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (n, &x) in block.iter().enumerate() {
-                acc += x
-                    * (core::f64::consts::PI / 8.0 * (n as f64 + 0.5) * k as f64).cos();
+                acc += x * (core::f64::consts::PI / 8.0 * (n as f64 + 0.5) * k as f64).cos();
             }
-            let scale = if k == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+            let scale = if k == 0 {
+                (1.0f64 / 8.0).sqrt()
+            } else {
+                (2.0f64 / 8.0).sqrt()
+            };
             *o = acc * scale;
         }
         out
@@ -207,8 +210,13 @@ impl Dct8Compressor {
         for (n, o) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (k, &c) in coeffs.iter().enumerate() {
-                let scale = if k == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
-                acc += scale * c * (core::f64::consts::PI / 8.0 * (n as f64 + 0.5) * k as f64).cos();
+                let scale = if k == 0 {
+                    (1.0f64 / 8.0).sqrt()
+                } else {
+                    (2.0f64 / 8.0).sqrt()
+                };
+                acc +=
+                    scale * c * (core::f64::consts::PI / 8.0 * (n as f64 + 0.5) * k as f64).cos();
             }
             *o = acc;
         }
@@ -245,7 +253,11 @@ impl Compressor for Dct8Compressor {
                 coeffs[i] = f64::from(i16::from_le_bytes([pair[0], pair[1]]));
             }
             let block = Self::idct8(&coeffs);
-            out.extend(block.iter().map(|&x| x.round().clamp(-32768.0, 32767.0) as i16));
+            out.extend(
+                block
+                    .iter()
+                    .map(|&x| x.round().clamp(-32768.0, 32767.0) as i16),
+            );
         }
         out
     }
@@ -347,7 +359,9 @@ mod tests {
     fn ops_per_sample_ordering() {
         // Cheaper codecs first: RLE < delta < DCT.
         assert!(RunLengthEncoder::new().ops_per_sample() < DeltaEncoder::new().ops_per_sample());
-        assert!(DeltaEncoder::new().ops_per_sample() < Dct8Compressor::video_quality().ops_per_sample());
+        assert!(
+            DeltaEncoder::new().ops_per_sample() < Dct8Compressor::video_quality().ops_per_sample()
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(IsaError::shape(&[1, 2], &[3]).to_string().contains("shape mismatch"));
-        assert!(IsaError::invalid("k", "must be odd").to_string().contains("invalid parameter"));
+        assert!(IsaError::shape(&[1, 2], &[3])
+            .to_string()
+            .contains("shape mismatch"));
+        assert!(IsaError::invalid("k", "must be odd")
+            .to_string()
+            .contains("invalid parameter"));
     }
 }

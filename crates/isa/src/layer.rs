@@ -74,7 +74,8 @@ impl Dense {
     pub fn new(name: impl Into<String>, input_features: usize, output_features: usize) -> Self {
         let name = name.into();
         let scale = (2.0 / input_features.max(1) as f32).sqrt();
-        let seed = name.bytes().map(u64::from).sum::<u64>() + (input_features * 31 + output_features) as u64;
+        let seed = name.bytes().map(u64::from).sum::<u64>()
+            + (input_features * 31 + output_features) as u64;
         let weights = Tensor::from_vec(
             det_weights(input_features * output_features, scale, seed),
             &[input_features, output_features],
@@ -437,7 +438,10 @@ impl Layer for Softmax {
     }
 
     fn forward(&self, input: &Tensor) -> Result<Tensor, IsaError> {
-        let max = input.data().iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let max = input
+            .data()
+            .iter()
+            .fold(f32::NEG_INFINITY, |a, &b| a.max(b));
         let exps: Vec<f32> = input.data().iter().map(|&x| (x - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
         Tensor::from_vec(exps.into_iter().map(|e| e / sum).collect(), input.shape())

@@ -23,6 +23,17 @@
 //!   arrhythmia detection, IMU gesture recognition, audio keyword spotting
 //!   and a video feature extractor.
 //!
+//! # Caching model
+//!
+//! Cost queries are memoized per model rather than per call:
+//! [`models::WearableModel`] profiles its network exactly once at
+//! construction and owns the resulting layer profiles, cut-point table,
+//! total-MAC count and output shape; its name is interned as an `Arc<str>`
+//! for allocation-free labelling downstream.  [`network::Network`] itself
+//! stays cache-free (it serves arbitrary input shapes); anything that holds
+//! a fixed input shape should go through a `WearableModel` — see the
+//! [`models`] module docs.
+//!
 //! # Example
 //!
 //! ```

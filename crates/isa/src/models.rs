@@ -6,27 +6,117 @@
 //! happen, and the raw sensor data rate feeding the model.  The architectures
 //! are representative of published tinyML models for each task; they are
 //! *cost stand-ins*, not trained networks.
+//!
+//! # Caching model
+//!
+//! A [`WearableModel`] profiles its network exactly once, at construction:
+//! the per-layer [`LayerProfile`]s, the [`CutPoint`] table, the total MACs
+//! per inference and the output shape are all precomputed and stored on the
+//! model.  Sweep-style consumers (the partition optimiser evaluates every cut
+//! of every model thousands of times per figure) read the cached slices via
+//! [`WearableModel::cut_points`] / [`WearableModel::profiles`] instead of
+//! re-propagating shapes through the `Box<dyn Layer>` stack on every query.
+//! The model's name is also interned as an `Arc<str>`
+//! ([`WearableModel::interned_name`]) so downstream plans can label
+//! themselves with a reference-count bump instead of a `String` clone.
 
-use crate::layer::{BatchNorm1d, Conv1d, Dense, Flatten, GlobalAveragePool, MaxPool1d, Relu, Softmax};
-use crate::network::Network;
+use crate::layer::{
+    BatchNorm1d, Conv1d, Dense, Flatten, GlobalAveragePool, MaxPool1d, Relu, Softmax,
+};
+use crate::network::{cut_points_from_profiles, CutPoint, LayerProfile, Network};
 use hidwa_units::DataRate;
+use std::sync::Arc;
 
 /// A wearable AI workload: a network plus its streaming context.
+///
+/// Construction profiles the network once; all cost queries afterwards are
+/// cache reads (see the module docs for the caching model).
 #[derive(Debug)]
 pub struct WearableModel {
     name: &'static str,
+    interned_name: Arc<str>,
     network: Network,
     input_shape: Vec<usize>,
     inferences_per_second: f64,
     raw_sensor_rate: DataRate,
     output_classes: usize,
+    profiles: Vec<LayerProfile>,
+    cut_points: Vec<CutPoint>,
+    macs_per_inference: u64,
+    output_shape: Vec<usize>,
 }
 
 impl WearableModel {
+    /// Assembles a workload and precomputes its cost caches.
+    ///
+    /// # Panics
+    /// Panics if `input_shape` is incompatible with the network — the zoo
+    /// constructors below are shape-checked by construction; external callers
+    /// assembling ad-hoc models should validate with
+    /// [`Network::output_shape`] first.
+    #[must_use]
+    pub fn new(
+        name: &'static str,
+        network: Network,
+        input_shape: Vec<usize>,
+        inferences_per_second: f64,
+        raw_sensor_rate: DataRate,
+        output_classes: usize,
+    ) -> Self {
+        let profiles = network
+            .profile(&input_shape)
+            .expect("model input shape must be compatible with its network");
+        let cut_points = cut_points_from_profiles(&profiles, &input_shape);
+        let macs_per_inference = profiles.iter().map(|p| p.macs).sum();
+        let output_shape = profiles
+            .last()
+            .map_or_else(|| input_shape.clone(), |p| p.output_shape.clone());
+        Self {
+            name,
+            interned_name: Arc::from(name),
+            network,
+            input_shape,
+            inferences_per_second,
+            raw_sensor_rate,
+            output_classes,
+            profiles,
+            cut_points,
+            macs_per_inference,
+            output_shape,
+        }
+    }
+
     /// Workload name.
     #[must_use]
     pub fn name(&self) -> &'static str {
         self.name
+    }
+
+    /// Workload name as a shared, cheaply-cloneable `Arc<str>`.
+    #[must_use]
+    pub fn interned_name(&self) -> &Arc<str> {
+        &self.interned_name
+    }
+
+    /// Cached per-layer cost profile for the model's own input shape.
+    #[must_use]
+    pub fn profiles(&self) -> &[LayerProfile] {
+        &self.profiles
+    }
+
+    /// Cached cut-point table for the model's own input shape.
+    ///
+    /// Equal to `self.network().cut_points(self.input_shape())` but computed
+    /// once at construction.
+    #[must_use]
+    pub fn cut_points(&self) -> &[CutPoint] {
+        &self.cut_points
+    }
+
+    /// Cached output shape of one inference.
+    #[must_use]
+    pub fn output_shape(&self) -> &[usize] {
+        &self.output_shape
     }
 
     /// The underlying network.
@@ -59,10 +149,10 @@ impl WearableModel {
         self.output_classes
     }
 
-    /// Total MACs per inference.
+    /// Total MACs per inference (cached at construction).
     #[must_use]
     pub fn macs_per_inference(&self) -> u64 {
-        self.network.total_macs(&self.input_shape)
+        self.macs_per_inference
     }
 
     /// Sustained compute load in MACs per second.
@@ -100,14 +190,14 @@ pub fn ecg_arrhythmia_cnn() -> WearableModel {
             Box::new(Softmax),
         ],
     );
-    WearableModel {
-        name: "ECG arrhythmia detection",
+    WearableModel::new(
+        "ECG arrhythmia detection",
         network,
-        input_shape: vec![1, 128],
-        inferences_per_second: 1.2, // one classification per heartbeat
-        raw_sensor_rate: DataRate::from_kbps(4.0),
-        output_classes: 5,
-    }
+        vec![1, 128],
+        1.2, // one classification per heartbeat
+        DataRate::from_kbps(4.0),
+        5,
+    )
 }
 
 /// IMU gesture recogniser: 6-axis, 50-sample window → 8 gestures.
@@ -128,14 +218,14 @@ pub fn imu_gesture_cnn() -> WearableModel {
             Box::new(Softmax),
         ],
     );
-    WearableModel {
-        name: "IMU gesture recognition",
+    WearableModel::new(
+        "IMU gesture recognition",
         network,
-        input_shape: vec![6, 50],
-        inferences_per_second: 2.0,
-        raw_sensor_rate: DataRate::from_kbps(13.0),
-        output_classes: 8,
-    }
+        vec![6, 50],
+        2.0,
+        DataRate::from_kbps(13.0),
+        8,
+    )
 }
 
 /// Audio keyword spotter: 40 MFCC bins × 49 frames → 12 keywords.
@@ -158,14 +248,14 @@ pub fn keyword_spotting_cnn() -> WearableModel {
             Box::new(Softmax),
         ],
     );
-    WearableModel {
-        name: "audio keyword spotting",
+    WearableModel::new(
+        "audio keyword spotting",
         network,
-        input_shape: vec![40, 49],
-        inferences_per_second: 2.0, // overlapping 1 s windows
-        raw_sensor_rate: DataRate::from_kbps(256.0),
-        output_classes: 12,
-    }
+        vec![40, 49],
+        2.0, // overlapping 1 s windows
+        DataRate::from_kbps(256.0),
+        12,
+    )
 }
 
 /// Video feature extractor: a 64×64 RGB frame (flattened to a 3×4096 strip
@@ -188,14 +278,14 @@ pub fn video_feature_extractor() -> WearableModel {
             Box::new(Dense::new("proj", 64, 128)),
         ],
     );
-    WearableModel {
-        name: "first-person video feature extraction",
+    WearableModel::new(
+        "first-person video feature extraction",
         network,
-        input_shape: vec![3, 4096],
-        inferences_per_second: 15.0, // 15 fps preview stream
-        raw_sensor_rate: DataRate::from_mbps(10.0),
-        output_classes: 128,
-    }
+        vec![3, 4096],
+        15.0, // 15 fps preview stream
+        DataRate::from_mbps(10.0),
+        128,
+    )
 }
 
 /// Environmental / vitals trend model: tiny MLP over 16 aggregated features.
@@ -211,14 +301,14 @@ pub fn vitals_trend_mlp() -> WearableModel {
             Box::new(Softmax),
         ],
     );
-    WearableModel {
-        name: "vitals trend classification",
+    WearableModel::new(
+        "vitals trend classification",
         network,
-        input_shape: vec![1, 16],
-        inferences_per_second: 0.1,
-        raw_sensor_rate: DataRate::from_bps(100.0),
-        output_classes: 3,
-    }
+        vec![1, 16],
+        0.1,
+        DataRate::from_bps(100.0),
+        3,
+    )
 }
 
 /// All models in the zoo, from lightest to heaviest sensor stream.

@@ -181,27 +181,38 @@ impl Network {
     /// Returns [`IsaError`] if the input shape is incompatible.
     pub fn cut_points(&self, input_shape: &[usize]) -> Result<Vec<CutPoint>, IsaError> {
         let profiles = self.profile(input_shape)?;
-        let input_bytes = input_shape.iter().product::<usize>() * core::mem::size_of::<f32>();
-        let total_macs: u64 = profiles.iter().map(|p| p.macs).sum();
-        let mut cuts = Vec::with_capacity(profiles.len() + 1);
-        let mut leaf_macs = 0u64;
-        cuts.push(CutPoint {
-            index: 0,
-            leaf_macs: 0,
-            hub_macs: total_macs,
-            transfer_bytes: input_bytes,
-        });
-        for p in &profiles {
-            leaf_macs += p.macs;
-            cuts.push(CutPoint {
-                index: p.index + 1,
-                leaf_macs,
-                hub_macs: total_macs - leaf_macs,
-                transfer_bytes: p.output_bytes,
-            });
-        }
-        Ok(cuts)
+        Ok(cut_points_from_profiles(&profiles, input_shape))
     }
+}
+
+/// Derives the cut-point table from an already-computed profile, without
+/// re-propagating shapes through the layer stack.
+///
+/// This is the memoization seam used by
+/// [`crate::models::WearableModel`]: the model profiles its network once at
+/// construction and caches both the profile and the cut points derived here.
+#[must_use]
+pub fn cut_points_from_profiles(profiles: &[LayerProfile], input_shape: &[usize]) -> Vec<CutPoint> {
+    let input_bytes = input_shape.iter().product::<usize>() * core::mem::size_of::<f32>();
+    let total_macs: u64 = profiles.iter().map(|p| p.macs).sum();
+    let mut cuts = Vec::with_capacity(profiles.len() + 1);
+    let mut leaf_macs = 0u64;
+    cuts.push(CutPoint {
+        index: 0,
+        leaf_macs: 0,
+        hub_macs: total_macs,
+        transfer_bytes: input_bytes,
+    });
+    for p in profiles {
+        leaf_macs += p.macs;
+        cuts.push(CutPoint {
+            index: p.index + 1,
+            leaf_macs,
+            hub_macs: total_macs - leaf_macs,
+            transfer_bytes: p.output_bytes,
+        });
+    }
+    cuts
 }
 
 impl core::fmt::Debug for Network {

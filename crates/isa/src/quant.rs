@@ -27,7 +27,10 @@ impl QuantParams {
     /// Returns [`IsaError`] if the tensor is empty.
     pub fn from_tensor(tensor: &Tensor) -> Result<Self, IsaError> {
         if tensor.is_empty() {
-            return Err(IsaError::invalid("tensor", "cannot quantize an empty tensor"));
+            return Err(IsaError::invalid(
+                "tensor",
+                "cannot quantize an empty tensor",
+            ));
         }
         let max_abs = tensor.max_abs();
         let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };

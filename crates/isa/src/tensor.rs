@@ -30,7 +30,10 @@ impl Tensor {
     /// Panics if the shape has zero dimensions.
     #[must_use]
     pub fn zeros(shape: &[usize]) -> Self {
-        assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
+        assert!(
+            !shape.is_empty(),
+            "tensor shape must have at least one dimension"
+        );
         Self {
             shape: shape.to_vec(),
             data: vec![0.0; shape.iter().product()],

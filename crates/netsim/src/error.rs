@@ -47,7 +47,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(NetsimError::invalid("x", "y").to_string().contains("invalid configuration"));
+        assert!(NetsimError::invalid("x", "y")
+            .to_string()
+            .contains("invalid configuration"));
         assert!(NetsimError::UnknownNode { id: 3 }.to_string().contains('3'));
     }
 }

@@ -115,7 +115,10 @@ mod tests {
     fn events_pop_in_time_order() {
         let mut q = EventQueue::new();
         q.schedule(TimeSpan::from_seconds(2.0), Event::Tick);
-        q.schedule(TimeSpan::from_seconds(1.0), Event::FrameGenerated { node: 0, bytes: 1 });
+        q.schedule(
+            TimeSpan::from_seconds(1.0),
+            Event::FrameGenerated { node: 0, bytes: 1 },
+        );
         q.schedule(TimeSpan::from_seconds(3.0), Event::Tick);
         let (t1, e1) = q.pop().unwrap();
         assert_eq!(t1, TimeSpan::from_seconds(1.0));

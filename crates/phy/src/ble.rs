@@ -79,6 +79,7 @@ impl BleTransceiver {
     ///
     /// # Errors
     /// Returns [`PhyError`] if the connection interval is not positive.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: impl Into<String>,
         phy: BlePhy,
@@ -249,8 +250,16 @@ mod tests {
     #[test]
     fn active_powers_are_milliwatt_class() {
         let ble = BleTransceiver::phy_2m();
-        assert!(ble.active_tx_power(DataRate::from_kbps(1.0)).as_milli_watts() >= 1.0);
-        assert!(ble.active_rx_power(DataRate::from_kbps(1.0)).as_milli_watts() >= 1.0);
+        assert!(
+            ble.active_tx_power(DataRate::from_kbps(1.0))
+                .as_milli_watts()
+                >= 1.0
+        );
+        assert!(
+            ble.active_rx_power(DataRate::from_kbps(1.0))
+                .as_milli_watts()
+                >= 1.0
+        );
         assert_eq!(ble.phy(), BlePhy::Phy2M);
         assert_eq!(ble.technology(), RadioTechnology::Ble);
         assert!(ble.wakeup_time() > TimeSpan::ZERO);

@@ -41,14 +41,20 @@ impl PhyError {
 impl fmt::Display for PhyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PhyError::RateUnsupported { requested, supported } => write!(
+            PhyError::RateUnsupported {
+                requested,
+                supported,
+            } => write!(
                 f,
                 "requested rate {requested} exceeds supported maximum {supported}"
             ),
             PhyError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter {name}: {reason}")
             }
-            PhyError::PayloadTooLarge { payload_bytes, mtu_bytes } => write!(
+            PhyError::PayloadTooLarge {
+                payload_bytes,
+                mtu_bytes,
+            } => write!(
                 f,
                 "payload of {payload_bytes} bytes exceeds MTU of {mtu_bytes} bytes"
             ),
@@ -69,8 +75,13 @@ mod tests {
             supported: DataRate::from_mbps(4.0),
         };
         assert!(e.to_string().contains("exceeds supported"));
-        assert!(PhyError::invalid("x", "y").to_string().contains("invalid parameter"));
-        let e = PhyError::PayloadTooLarge { payload_bytes: 500, mtu_bytes: 251 };
+        assert!(PhyError::invalid("x", "y")
+            .to_string()
+            .contains("invalid parameter"));
+        let e = PhyError::PayloadTooLarge {
+            payload_bytes: 500,
+            mtu_bytes: 251,
+        };
         assert!(e.to_string().contains("MTU"));
     }
 }

@@ -13,7 +13,9 @@ use crate::transceiver::Transceiver;
 use crate::PhyError;
 use hidwa_eqs::capacity::CapacityEstimator;
 use hidwa_eqs::rf::RfLink;
-use hidwa_units::{DataRate, DataVolume, Distance, Energy, EnergyPerBit, Frequency, Power, TimeSpan, Voltage};
+use hidwa_units::{
+    DataRate, DataVolume, Distance, Energy, EnergyPerBit, Frequency, Power, TimeSpan, Voltage,
+};
 
 /// Maximum number of transmissions (1 original + retries) the ARQ model
 /// allows before declaring the transfer failed.
@@ -330,7 +332,10 @@ mod tests {
         assert_eq!(link.transfer_time(DataVolume::ZERO), TimeSpan::ZERO);
         // 1 MB over Wi-R at ~100 pJ/bit ≈ 0.8–1.0 mJ.
         let e = link.transfer_energy(DataVolume::from_mega_bytes(1.0));
-        assert!(e.as_milli_joules() > 0.5 && e.as_milli_joules() < 2.0, "{e}");
+        assert!(
+            e.as_milli_joules() > 0.5 && e.as_milli_joules() < 2.0,
+            "{e}"
+        );
     }
 
     #[test]
@@ -340,7 +345,10 @@ mod tests {
         assert_eq!(idle, link.transceiver().idle_power());
         let full = link.average_power(link.goodput());
         assert!(full >= link.average_power(DataRate::from_kbps(10.0)));
-        assert!(full <= link.transceiver().active_tx_power(link.link_rate()) + Power::from_nano_watts(1.0));
+        assert!(
+            full <= link.transceiver().active_tx_power(link.link_rate())
+                + Power::from_nano_watts(1.0)
+        );
     }
 
     #[test]

@@ -74,7 +74,12 @@ impl Frame {
     /// # Errors
     /// Returns [`PhyError::PayloadTooLarge`] if the payload exceeds
     /// [`Frame::MAX_PAYLOAD_BYTES`].
-    pub fn data(source: u8, destination: u8, sequence: u8, payload: Vec<u8>) -> Result<Self, PhyError> {
+    pub fn data(
+        source: u8,
+        destination: u8,
+        sequence: u8,
+        payload: Vec<u8>,
+    ) -> Result<Self, PhyError> {
         if payload.len() > Self::MAX_PAYLOAD_BYTES {
             return Err(PhyError::PayloadTooLarge {
                 payload_bytes: payload.len(),
@@ -105,7 +110,9 @@ impl Frame {
     /// Total on-air size of the frame, including header and CRC.
     #[must_use]
     pub fn wire_size(&self) -> DataVolume {
-        DataVolume::from_bytes((Self::HEADER_BYTES + self.payload.len() + Self::TRAILER_BYTES) as f64)
+        DataVolume::from_bytes(
+            (Self::HEADER_BYTES + self.payload.len() + Self::TRAILER_BYTES) as f64,
+        )
     }
 
     /// Number of frames needed to carry `payload_bytes` of application data.

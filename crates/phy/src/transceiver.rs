@@ -157,10 +157,7 @@ mod tests {
     fn energy_for_transfer_uses_airtime() {
         let t = Fixed;
         // 100 kb at 100 kbps = 1 s of airtime at 1 mW = 1 mJ.
-        let e = t.energy_for_transfer(
-            DataVolume::from_bits(100_000.0),
-            DataRate::from_kbps(100.0),
-        );
+        let e = t.energy_for_transfer(DataVolume::from_bits(100_000.0), DataRate::from_kbps(100.0));
         assert!((e.as_milli_joules() - 1.0).abs() < 1e-9);
         assert_eq!(
             t.energy_for_transfer(DataVolume::from_bits(1000.0), DataRate::ZERO),

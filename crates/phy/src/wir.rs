@@ -196,7 +196,11 @@ mod tests {
     fn sub_microwatt_operating_point() {
         let n = WiRTransceiver::sub_microwatt_class();
         let p = n.active_tx_power(DataRate::from_kbps(10.0));
-        assert!((p.as_nano_watts() - 415.0).abs() < 1.0, "{}", p.as_nano_watts());
+        assert!(
+            (p.as_nano_watts() - 415.0).abs() < 1.0,
+            "{}",
+            p.as_nano_watts()
+        );
     }
 
     #[test]
@@ -270,7 +274,10 @@ mod tests {
         assert_eq!(wir.technology(), RadioTechnology::WiR);
         assert!(wir.name().contains("Wi-R"));
         assert_eq!(wir.max_data_rate(), DataRate::from_mbps(4.0));
-        assert_eq!(wir.dynamic_energy_per_bit(), EnergyPerBit::from_pico_joules(100.0));
+        assert_eq!(
+            wir.dynamic_energy_per_bit(),
+            EnergyPerBit::from_pico_joules(100.0)
+        );
         assert!(wir.wakeup_time() > TimeSpan::ZERO);
     }
 }

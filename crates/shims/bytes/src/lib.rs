@@ -1,0 +1,220 @@
+//! Offline std-only stand-in for the subset of the `bytes` crate used by the
+//! HIDWA link-layer framing: [`Bytes`], [`BytesMut`], and the [`Buf`] /
+//! [`BufMut`] cursor traits. Multi-byte integers use network (big-endian)
+//! order, matching the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply cloneable, sliceable immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    #[must_use]
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self::from(bytes.to_vec())
+    }
+
+    /// Number of readable bytes remaining.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether no readable bytes remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits off and returns the first `n` bytes, advancing `self` past them.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the remaining length.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + n,
+        };
+        self.start += n;
+        head
+    }
+
+    /// Copies the remaining bytes into a `Vec`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Self {
+            data: data.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of written bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read cursor over a byte buffer (big-endian integer accessors).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let hi = self.get_u8();
+        let lo = self.get_u8();
+        u16::from_be_bytes([hi, lo])
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        self.start += n;
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(!self.is_empty(), "get_u8 on empty buffer");
+        let b = self.data[self.start];
+        self.start += 1;
+        b
+    }
+}
+
+/// Write cursor over a growable byte buffer (big-endian integer accessors).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8);
+
+    /// Appends a byte slice.
+    fn put_slice(&mut self, slice: &[u8]);
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, value: u16) {
+        self.put_slice(&value.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, value: u8) {
+        self.data.push(value);
+    }
+
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.data.extend_from_slice(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u8(0xAB);
+        buf.put_u16(0x1234);
+        buf.put_slice(&[1, 2, 3]);
+        assert_eq!(&buf[..], &[0xAB, 0x12, 0x34, 1, 2, 3]);
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.len(), 6);
+        assert_eq!(bytes.get_u8(), 0xAB);
+        assert_eq!(bytes.get_u16(), 0x1234);
+        assert_eq!(bytes.remaining(), 3);
+        let head = bytes.split_to(2);
+        assert_eq!(head.to_vec(), vec![1, 2]);
+        assert_eq!(bytes.to_vec(), vec![3]);
+    }
+
+    #[test]
+    fn advance_and_slicing() {
+        let mut b = Bytes::from(vec![9, 8, 7, 6]);
+        b.advance(1);
+        assert_eq!(&b[..2], &[8, 7]);
+        assert_eq!(b.len(), 3);
+        let clone = b.clone();
+        assert_eq!(clone.to_vec(), vec![8, 7, 6]);
+    }
+}

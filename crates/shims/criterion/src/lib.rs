@@ -1,0 +1,370 @@
+//! Offline std-only stand-in for the subset of the `criterion` API the HIDWA
+//! benches use. Unlike the serde/proptest shims this one really measures:
+//! each benchmark is warmed up, sampled `sample_size` times with an
+//! auto-scaled iteration count, and the median/min/mean ns-per-iteration are
+//! printed (and optionally appended as JSON lines to `$HIDWA_BENCH_JSON`).
+//!
+//! Knobs (environment variables):
+//! * `HIDWA_BENCH_MS` — per-benchmark measurement budget in milliseconds
+//!   (default 100).
+//! * `HIDWA_BENCH_JSON` — path of a JSON-lines file to append results to.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation (recorded, displayed alongside results).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    #[must_use]
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    sample_size: usize,
+    /// Per-iteration nanoseconds for each sample of the last `iter` call.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(budget: Duration, sample_size: usize) -> Self {
+        Self {
+            budget,
+            sample_size,
+            samples_ns: Vec::new(),
+        }
+    }
+
+    /// Measures the closure: warmup, then `sample_size` timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + per-iteration estimate: run until ~10% of the budget.
+        let warmup_budget = self.budget.mul_f64(0.1).max(Duration::from_micros(200));
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < warmup_budget {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let est_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+
+        // Aim each sample at budget / sample_size.
+        let sample_budget_ns = self.budget.as_nanos() as f64 * 0.9 / self.sample_size as f64;
+        let iters_per_sample = (sample_budget_ns / est_ns).max(1.0) as u64;
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / iters_per_sample as f64);
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Median ns per iteration.
+    pub median_ns: f64,
+    /// Minimum ns per iteration.
+    pub min_ns: f64,
+    /// Mean ns per iteration.
+    pub mean_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Optional throughput annotation.
+    pub throughput: Option<Throughput>,
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+    default_sample_size: usize,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("HIDWA_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100u64);
+        Self {
+            budget: Duration::from_millis(ms),
+            default_sample_size: 20,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        sample_size: usize,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        let mut bencher = Bencher::new(self.budget, sample_size.max(2));
+        f(&mut bencher);
+        let mut sorted = bencher.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let measurement = Measurement {
+            id,
+            median_ns: median(&sorted),
+            min_ns: sorted.first().copied().unwrap_or(0.0),
+            mean_ns: sorted.iter().sum::<f64>() / sorted.len().max(1) as f64,
+            samples: sorted.len(),
+            throughput,
+        };
+        report(&measurement);
+        self.results.push(measurement);
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id.to_string(), None, self.default_sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// All measurements taken so far (used by wrapper binaries).
+    #[must_use]
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+fn report(m: &Measurement) {
+    let mut line = format!(
+        "bench {:<56} median {:>12}   min {:>12}   mean {:>12}   ({} samples)",
+        m.id,
+        fmt_ns(m.median_ns),
+        fmt_ns(m.min_ns),
+        fmt_ns(m.mean_ns),
+        m.samples
+    );
+    if let Some(tp) = m.throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let per_sec = count as f64 / (m.median_ns / 1e9);
+        let _ = write!(line, "   {per_sec:.3e} {unit}/s");
+    }
+    println!("{line}");
+    if let Ok(path) = std::env::var("HIDWA_BENCH_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"id\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"mean_ns\":{},\"samples\":{}}}",
+                m.id.replace('"', "'"),
+                m.median_ns,
+                m.min_ns,
+                m.mean_ns,
+                m.samples
+            );
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = Some(samples);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(id, self.throughput, samples, &mut f);
+        self
+    }
+
+    /// Runs a benchmark that borrows an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion
+            .run_one(id, self.throughput, samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no summary state).
+    pub fn finish(self) {}
+}
+
+/// Mirrors `criterion::black_box`; prefer `std::hint::black_box` in new code.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+            default_sample_size: 5,
+            results: Vec::new(),
+        };
+        c.bench_function("smoke/noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("sum", "n"), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results()[0].median_ns >= 0.0);
+        assert_eq!(c.results()[1].id, "grouped/sum/n");
+        assert_eq!(c.results()[1].samples, 3);
+    }
+
+    #[test]
+    fn median_of_even_and_odd() {
+        assert_eq!(median(&[1.0, 3.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 9.0]), 2.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Offline std-only stand-in for the subset of `proptest` the HIDWA property
+//! tests use: the `proptest!` macro, range/select/collection/`any` strategies
+//! and the `prop_assert*` family.
+//!
+//! Unlike the real proptest there is no shrinking — a failing case reports
+//! the case number and the stringified assertion instead of a minimal
+//! counterexample. Generation is deterministic per test (the RNG is seeded
+//! from the test's name), so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Result of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Why a generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject,
+    /// A `prop_assert*` failed; the test fails.
+    Fail(String),
+}
+
+/// Module mirror matching proptest's `prop::` path layout.
+pub mod prop {
+    /// `prop::sample` — choose from explicit value sets.
+    pub mod sample {
+        pub use crate::sample::select;
+    }
+    /// `prop::collection` — collection-valued strategies.
+    pub mod collection {
+        pub use crate::collection::vec;
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // `if c {} else { .. }` rather than `if !c` keeps clippy's
+        // partial-ord lints quiet for float comparisons in test bodies.
+        if $cond {
+        } else {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {}",
+                ::core::stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if $cond {
+        } else {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {} ({})",
+                ::core::stringify!($cond),
+                ::std::format!($($fmt)*)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                ::core::stringify!($left),
+                ::core::stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {} != {} (both: {:?})",
+                ::core::stringify!($left),
+                ::core::stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs) when the assumption
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if $cond {
+        } else {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests. Mirrors proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in 0.0..1.0f64, v in prop::collection::vec(any::<u8>(), 0..16)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($items:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($items)*);
+    };
+    ($($items:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($items)*);
+    };
+}
+
+/// Internal: expands each `fn` item of a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(::core::stringify!($name));
+            let mut passed: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(16).max(64);
+            while passed < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest '{}': too many rejected cases ({} attempts for {} target cases)",
+                    ::core::stringify!($name),
+                    attempts,
+                    config.cases
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: $crate::TestCaseResult = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(message)) => {
+                        ::core::panic!(
+                            "proptest '{}' failed on case {}: {}",
+                            ::core::stringify!($name),
+                            passed,
+                            message
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 1e-3..1.0f64, n in -5i16..5, k in 0u8..=255) {
+            prop_assert!((1e-3..1.0).contains(&x));
+            prop_assert!((-5..5).contains(&n));
+            let _ = k; // full u8 domain: nothing to check beyond type
+        }
+
+        #[test]
+        fn vectors_respect_size(v in prop::collection::vec(any::<u8>(), 3..7), w in prop::collection::vec(0.0f32..1.0, 4)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            prop_assert_eq!(w.len(), 4);
+            prop_assert!(w.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn select_only_yields_members(x in prop::sample::select(vec![2usize, 4, 8])) {
+            prop_assert!(x == 2 || x == 4 || x == 8);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Assumption rejections retry rather than fail.
+        #[test]
+        fn assume_rejects(x in 0.0..1.0f64) {
+            prop_assume!(x > 0.2);
+            prop_assert!(x > 0.2);
+        }
+    }
+
+    proptest! {
+        /// A deliberately failing property: the panic message carries the
+        /// test name and case number.
+        #[test]
+        #[should_panic(expected = "proptest 'failing' failed")]
+        fn failing(x in 0.0..1.0f64) {
+            prop_assert!(x > 2.0, "x was {}", x);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! `prop::sample` — strategies over explicit value sets.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy choosing uniformly from a fixed set.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// Uniform choice from a non-empty vector, mirroring `prop::sample::select`.
+///
+/// # Panics
+/// Panics (at generation time) if `options` is empty.
+#[must_use]
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "select: empty option set");
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].clone()
+    }
+}

@@ -1,0 +1,58 @@
+//! Test configuration and the deterministic per-test RNG.
+
+pub use rand::rngs::StdRng as InnerRng;
+use rand::{RngCore, SeedableRng};
+
+/// Runner configuration; only `cases` is modelled.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of passing cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Self { cases }
+    }
+}
+
+/// Deterministic generator seeded from the test's name, so a failure in test
+/// `foo` reproduces on every run without recording a seed file.
+#[derive(Debug)]
+pub struct TestRng {
+    inner: InnerRng,
+}
+
+impl TestRng {
+    /// Creates the RNG for the named test.
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name, mixed with a fixed workspace constant.
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            inner: InnerRng::seed_from_u64(hash ^ 0x41D0_4A11_DAC0_2024u64),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The container this repo builds in has no registry access, so the real
+//! serde cannot be fetched. The HIDWA sources keep their
+//! `#[derive(Serialize, Deserialize)]` annotations (the derives come from the
+//! sibling `serde_derive` shim and expand to nothing), and the marker traits
+//! below are blanket-implemented so generic bounds like `T: Serialize` remain
+//! satisfiable. Machine-readable output in this workspace goes through
+//! `hidwa_bench::json` instead, which has explicit `ToJson` impls.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; blanket-implemented.
+pub trait SerializeMarker {}
+impl<T: ?Sized> SerializeMarker for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`; blanket-implemented.
+pub trait DeserializeMarker {}
+impl<T: ?Sized> DeserializeMarker for T {}

@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! The HIDWA crates annotate their data types with
+//! `#[derive(Serialize, Deserialize)]` so the real serde can be dropped in
+//! when a registry is reachable. This shim accepts the same syntax (including
+//! `#[serde(...)]` helper attributes) and expands to nothing: the blanket
+//! trait impls in the sibling `serde` shim satisfy any bounds.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

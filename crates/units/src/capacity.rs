@@ -81,7 +81,10 @@ mod tests {
     #[test]
     fn constructors_agree() {
         assert_eq!(Charge::from_amp_hours(1.0), Charge::from_coulombs(3600.0));
-        assert_eq!(Charge::from_milli_amp_hours(1000.0), Charge::from_amp_hours(1.0));
+        assert_eq!(
+            Charge::from_milli_amp_hours(1000.0),
+            Charge::from_amp_hours(1.0)
+        );
     }
 
     #[test]

@@ -99,7 +99,10 @@ mod tests {
     #[test]
     fn constructors_agree() {
         assert_eq!(DataVolume::from_bytes(1.0), DataVolume::from_bits(8.0));
-        assert_eq!(DataVolume::from_kilo_bytes(1.0), DataVolume::from_bits(8000.0));
+        assert_eq!(
+            DataVolume::from_kilo_bytes(1.0),
+            DataVolume::from_bits(8000.0)
+        );
         assert_eq!(DataVolume::from_mega_bytes(1.0), DataVolume::from_bits(8e6));
     }
 

@@ -99,7 +99,10 @@ mod tests {
     fn constructors_agree() {
         assert_eq!(DataRate::from_kbps(1.0), DataRate::from_bps(1e3));
         assert_eq!(DataRate::from_mbps(1.0), DataRate::from_bps(1e6));
-        assert_eq!(DataRate::from_bytes_per_second(1.0), DataRate::from_bps(8.0));
+        assert_eq!(
+            DataRate::from_bytes_per_second(1.0),
+            DataRate::from_bps(8.0)
+        );
     }
 
     #[test]

@@ -83,8 +83,14 @@ mod tests {
 
     #[test]
     fn constructors_agree() {
-        assert_eq!(Distance::from_centimeters(100.0), Distance::from_meters(1.0));
-        assert_eq!(Distance::from_millimeters(1000.0), Distance::from_meters(1.0));
+        assert_eq!(
+            Distance::from_centimeters(100.0),
+            Distance::from_meters(1.0)
+        );
+        assert_eq!(
+            Distance::from_millimeters(1000.0),
+            Distance::from_meters(1.0)
+        );
     }
 
     #[test]

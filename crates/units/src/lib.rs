@@ -31,7 +31,6 @@
 
 mod capacity;
 mod data;
-mod quantity;
 mod datarate;
 mod distance;
 mod energy;
@@ -39,6 +38,7 @@ mod energy_per_bit;
 mod error;
 mod frequency;
 mod power;
+mod quantity;
 mod timespan;
 mod voltage;
 

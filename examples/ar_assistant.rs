@@ -12,9 +12,9 @@
 
 use hidwa_core::partition::{Objective, PartitionContext, PartitionOptimizer};
 use hidwa_core::scenario::{self, LeafSpec};
-use hidwa_eqs::body::BodySite;
 use hidwa_energy::sensing::SensorModality;
 use hidwa_energy::Battery;
+use hidwa_eqs::body::BodySite;
 use hidwa_isa::models;
 use hidwa_netsim::mac::MacPolicy;
 use hidwa_netsim::traffic::TrafficPattern;
@@ -78,7 +78,10 @@ fn main() {
     // should run on the glasses?
     println!("Vision feature-extractor partitioning (15 fps):");
     let model = models::video_feature_extractor();
-    for context in [PartitionContext::wir_default(), PartitionContext::ble_default()] {
+    for context in [
+        PartitionContext::wir_default(),
+        PartitionContext::ble_default(),
+    ] {
         let label = context.label().to_string();
         let optimizer = PartitionOptimizer::new(context);
         match optimizer.optimize(&model, Objective::EnergyDelayProduct) {

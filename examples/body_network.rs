@@ -25,11 +25,8 @@ fn main() {
 
     for policy in [MacPolicy::Tdma, MacPolicy::Polling] {
         println!("-- MAC policy: {policy} --");
-        let mut sim = scenario::body_network(
-            RadioTechnology::WiR,
-            &scenario::standard_leaf_set(),
-            policy,
-        );
+        let mut sim =
+            scenario::body_network(RadioTechnology::WiR, &scenario::standard_leaf_set(), policy);
         let report = sim.run(horizon);
         println!(
             "aggregate throughput {:>7.2} Mbps, medium utilisation {:>5.1} %, delivery {:>6.2} %",

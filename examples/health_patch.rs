@@ -28,7 +28,10 @@ fn main() {
         model.inferences_per_second()
     );
 
-    for context in [PartitionContext::wir_default(), PartitionContext::ble_default()] {
+    for context in [
+        PartitionContext::wir_default(),
+        PartitionContext::ble_default(),
+    ] {
         let label = context.label().to_string();
         let optimizer = PartitionOptimizer::new(context);
         println!("\n-- link: {label} --");
@@ -36,7 +39,10 @@ fn main() {
             "{:>4} {:>12} {:>12} {:>14} {:>12}",
             "cut", "leaf MACs", "tx bytes", "leaf energy", "latency"
         );
-        for plan in optimizer.evaluate_all(&model).expect("model is well-formed") {
+        for plan in optimizer
+            .evaluate_all(&model)
+            .expect("model is well-formed")
+        {
             println!(
                 "{:>4} {:>12} {:>12.0} {:>11.2} µJ {:>9.2} ms{}",
                 plan.cut_index,
@@ -60,9 +66,14 @@ fn main() {
 
     // Whole-patch power budget: sensing (2 µW) + optimal Wi-R plan.
     let optimizer = PartitionOptimizer::new(PartitionContext::wir_default());
-    let best = optimizer.optimize(&model, Objective::LeafEnergy).expect("feasible");
+    let best = optimizer
+        .optimize(&model, Objective::LeafEnergy)
+        .expect("feasible");
     let patch_power = Power::from_micro_watts(2.0) + best.leaf_power + Power::from_micro_watts(1.0);
-    println!("\nTotal patch power (sensing + inference share + sleep): {:.1} µW", patch_power.as_micro_watts());
+    println!(
+        "\nTotal patch power (sensing + inference share + sleep): {:.1} µW",
+        patch_power.as_micro_watts()
+    );
 
     let harvesting = HarvestingProfile::typical_indoor();
     println!(

@@ -1,0 +1,25 @@
+//! Human-Inspired Distributed Wearable AI (HIDWA) — workspace meta-crate.
+//!
+//! Re-exports every substrate crate under one roof so the workspace-level
+//! integration tests (`tests/`) and examples (`examples/`) have a single
+//! dependency, and downstream users can depend on `hidwa` alone.
+//!
+//! * [`units`] — physical-quantity newtypes.
+//! * [`eqs`] — electro-quasistatic body-channel models.
+//! * [`phy`] — Wi-R / BLE transceivers, links and framing.
+//! * [`energy`] — batteries, harvesting, sensing and lifetime projection.
+//! * [`isa`] — the tiny-DNN library with cost accounting and the model zoo.
+//! * [`netsim`] — the discrete-event body-network simulator.
+//! * [`core`] — the paper's analyses: architectures, projections, the
+//!   partition optimiser and the parallel sweep runner.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hidwa_core as core;
+pub use hidwa_energy as energy;
+pub use hidwa_eqs as eqs;
+pub use hidwa_isa as isa;
+pub use hidwa_netsim as netsim;
+pub use hidwa_phy as phy;
+pub use hidwa_units as units;

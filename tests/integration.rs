@@ -50,7 +50,10 @@ fn end_to_end_ecg_patch_story() {
         .find(|s| s.name == "ecg-patch")
         .expect("scenario contains the ECG patch");
     assert!(ecg_stats.average_power.as_micro_watts() < 100.0);
-    assert_eq!(ecg_stats.generated_frames, ecg_stats.delivered_frames + ecg_stats.backlog_frames);
+    assert_eq!(
+        ecg_stats.generated_frames,
+        ecg_stats.delivered_frames + ecg_stats.backlog_frames
+    );
 }
 
 #[test]
@@ -117,7 +120,10 @@ fn whole_body_network_scales_to_many_nodes_on_wir() {
             name: Box::leak(format!("extra-imu-{i}").into_boxed_str()),
             site: hidwa_eqs::body::BodySite::Thigh,
             modality: hidwa_energy::sensing::SensorModality::Inertial,
-            traffic: hidwa_netsim::traffic::TrafficPattern::streaming(DataRate::from_kbps(13.0), 512),
+            traffic: hidwa_netsim::traffic::TrafficPattern::streaming(
+                DataRate::from_kbps(13.0),
+                512,
+            ),
             compute_power: Power::from_micro_watts(5.0),
         });
     }

@@ -51,7 +51,12 @@ fn claim_literature_operating_points() {
     assert!((p.as_nano_watts() - 415.0).abs() < 5.0);
 
     let bodywire = WiRTransceiver::bodywire_class();
-    assert!(bodywire.energy_per_bit(DataRate::from_mbps(30.0)).as_pico_joules() < 10.0);
+    assert!(
+        bodywire
+            .energy_per_bit(DataRate::from_mbps(30.0))
+            .as_pico_joules()
+            < 10.0
+    );
 
     let wir = WiRTransceiver::ixana_class();
     let epb = wir.energy_per_bit(DataRate::from_mbps(4.0));
@@ -145,7 +150,12 @@ fn claim_indoor_harvesting_enables_energy_neutral_leaves() {
     let harvested = HarvestingProfile::typical_indoor().average_output();
     assert!(harvested.as_micro_watts() >= 10.0 && harvested.as_micro_watts() <= 200.0);
     let leaf = NodeArchitecture::human_inspired().power_breakdown(&WorkloadSpec::ecg_patch());
-    assert!(harvested >= leaf.total(), "harvest {} < load {}", harvested, leaf.total());
+    assert!(
+        harvested >= leaf.total(),
+        "harvest {} < load {}",
+        harvested,
+        leaf.total()
+    );
 }
 
 /// §II/§V: offloading computation over Wi-R moves every leaf class at least
@@ -158,8 +168,12 @@ fn claim_architecture_shift_improves_operating_band() {
         WorkloadSpec::imu_wristband(),
         WorkloadSpec::audio_assistant(),
     ] {
-        let conventional = NodeArchitecture::conventional().power_breakdown(&workload).total();
-        let human = NodeArchitecture::human_inspired().power_breakdown(&workload).total();
+        let conventional = NodeArchitecture::conventional()
+            .power_breakdown(&workload)
+            .total();
+        let human = NodeArchitecture::human_inspired()
+            .power_breakdown(&workload)
+            .total();
         let band_conventional = OperatingBand::classify(battery.lifetime(conventional));
         let band_human = OperatingBand::classify(battery.lifetime(human));
         assert!(
