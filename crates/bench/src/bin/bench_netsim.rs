@@ -1,0 +1,315 @@
+//! Perf-trajectory runner for the netsim hot path and the fleet layer.
+//!
+//! Two sections, written to `BENCH_netsim.json` (in `$HIDWA_BENCH_OUT` or the
+//! current directory) so successive PRs can track the trajectory alongside
+//! `BENCH_partition.json`:
+//!
+//! * `engine` — a 10-node body network simulated over a long horizon on the
+//!   **reference** path (the seed repository's original engine: binary-heap
+//!   event queue, per-arbitration allocation, unbounded latency `Vec` sorted
+//!   at the end) versus the **streaming** path (calendar bucket queue,
+//!   ready-bitmask arbitration, O(1)-memory latency sketches), reporting
+//!   events/sec and simulated bytes/sec plus the speedup.  The speedup is
+//!   **vs the seed engine** — PR 1 had already removed the per-arbitration
+//!   allocation on the live path, so read the trajectory as cumulative since
+//!   the seed, not per-PR.
+//! * `fleet` — [`FleetConfig`] batches of independent bodies over the
+//!   [`SweepRunner`], showing how throughput scales with fleet size, plus a
+//!   determinism check that a ≥1000-body fleet aggregates byte-identically at
+//!   thread widths 1 and 4.
+//!
+//! Exits non-zero if the two engine paths disagree on any exact statistic or
+//! if the fleet determinism check fails.
+//!
+//! Knobs: `HIDWA_BENCH_SAMPLES` (default 5 timing samples per path, best
+//! taken), `HIDWA_BENCH_HORIZON_S` (default 3600 s engine horizon — an hour
+//! of body time, where the reference path's unbounded sample vectors start
+//! paying reallocation and sort costs), `HIDWA_BENCH_FLEET_HORIZON_S`
+//! (default 5 s per-body horizon).
+
+use hidwa_bench::json;
+use hidwa_core::fleet::FleetConfig;
+use hidwa_core::sweep::SweepRunner;
+use hidwa_eqs::body::BodySite;
+use hidwa_netsim::mac::MacPolicy;
+use hidwa_netsim::node::{LinkParams, NodeConfig};
+use hidwa_netsim::sim::{Simulation, SimulationReport};
+use hidwa_netsim::traffic::TrafficPattern;
+use hidwa_units::{DataRate, EnergyPerBit, TimeSpan};
+use std::time::Instant;
+
+struct EngineRow {
+    path: String,
+    horizon_s: f64,
+    events: u64,
+    delivered_bytes: u64,
+    wall_ms: f64,
+    events_per_sec: f64,
+    bytes_per_sec: f64,
+    speedup_vs_reference: f64,
+}
+
+hidwa_bench::json_struct!(EngineRow {
+    path,
+    horizon_s,
+    events,
+    delivered_bytes,
+    wall_ms,
+    events_per_sec,
+    bytes_per_sec,
+    speedup_vs_reference,
+});
+
+struct FleetRow {
+    bodies: usize,
+    horizon_s: f64,
+    events: u64,
+    wall_ms: f64,
+    bodies_per_sec: f64,
+    events_per_sec: f64,
+}
+
+hidwa_bench::json_struct!(FleetRow {
+    bodies,
+    horizon_s,
+    events,
+    wall_ms,
+    bodies_per_sec,
+    events_per_sec,
+});
+
+struct BenchNetsim {
+    engine: Vec<EngineRow>,
+    fleet: Vec<FleetRow>,
+    fleet_determinism_bodies: usize,
+    fleet_determinism_ok: bool,
+}
+
+hidwa_bench::json_struct!(BenchNetsim {
+    engine,
+    fleet,
+    fleet_determinism_bodies,
+    fleet_determinism_ok,
+});
+
+/// The 10-node body the engine comparison runs: two periodic vitals patches
+/// plus eight streaming sensors, all on Wi-R-class links — busy enough that
+/// the event queue and latency accounting dominate.
+fn ten_node_body(reference: bool) -> Simulation {
+    let link = LinkParams::new(
+        DataRate::from_mbps(4.0),
+        EnergyPerBit::from_pico_joules(100.0),
+        TimeSpan::from_micros(100.0),
+    );
+    let mut sim = Simulation::new(MacPolicy::Polling)
+        .with_seed(0xB0D7)
+        .with_reference_engine(reference);
+    for i in 0..2 {
+        sim.add_node(
+            NodeConfig::leaf(format!("vitals-{i}"), BodySite::Chest, link)
+                .with_traffic(TrafficPattern::periodic(TimeSpan::from_millis(250.0), 512)),
+        );
+    }
+    for i in 0..8 {
+        let kbps = 64.0 + 32.0 * i as f64;
+        sim.add_node(
+            NodeConfig::leaf(format!("stream-{i}"), BodySite::Wrist, link)
+                .with_traffic(TrafficPattern::streaming(DataRate::from_kbps(kbps), 512)),
+        );
+    }
+    sim
+}
+
+fn delivered_bytes(report: &SimulationReport) -> u64 {
+    report
+        .node_stats()
+        .iter()
+        .map(|s| s.delivered_bytes as u64)
+        .sum()
+}
+
+fn time_one(reference: bool, horizon: TimeSpan) -> (f64, SimulationReport) {
+    let mut sim = ten_node_body(reference);
+    let start = Instant::now();
+    let report = sim.run(horizon);
+    (start.elapsed().as_secs_f64() * 1e3, report)
+}
+
+/// Best-of-`samples` wall time for both engine paths, sampled *interleaved*
+/// (reference, streaming, reference, …) so machine-load noise hits both
+/// paths alike instead of biasing whichever ran during a quiet window.
+/// Returns `((reference_ms, reference_report), (streaming_ms, report))`.
+#[allow(clippy::type_complexity)]
+fn time_engines(
+    horizon: TimeSpan,
+    samples: usize,
+) -> ((f64, SimulationReport), (f64, SimulationReport)) {
+    let mut best = [f64::INFINITY; 2];
+    let mut reports = [None, None];
+    for _ in 0..samples {
+        for (slot, reference) in [(0, true), (1, false)] {
+            let (ms, report) = time_one(reference, horizon);
+            best[slot] = best[slot].min(ms);
+            reports[slot] = Some(report);
+        }
+    }
+    let [reference, streaming] = reports;
+    (
+        (best[0], reference.expect("samples >= 1")),
+        (best[1], streaming.expect("samples >= 1")),
+    )
+}
+
+fn env_or(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let samples = (env_or("HIDWA_BENCH_SAMPLES", 5.0) as usize).max(1);
+    let horizon = TimeSpan::from_seconds(env_or("HIDWA_BENCH_HORIZON_S", 3600.0).max(1.0));
+    let fleet_horizon = TimeSpan::from_seconds(env_or("HIDWA_BENCH_FLEET_HORIZON_S", 5.0).max(0.5));
+
+    hidwa_bench::header(
+        "bench_netsim",
+        "netsim hot path (reference vs streaming engine) and fleet scaling",
+    );
+
+    // --- Engine comparison -------------------------------------------------
+    let ((reference_ms, reference_report), (streaming_ms, streaming_report)) =
+        time_engines(horizon, samples);
+
+    let mut disagreements = 0;
+    if reference_report.events_processed() != streaming_report.events_processed() {
+        eprintln!(
+            "DISAGREEMENT: events {} vs {}",
+            reference_report.events_processed(),
+            streaming_report.events_processed()
+        );
+        disagreements += 1;
+    }
+    if delivered_bytes(&reference_report) != delivered_bytes(&streaming_report) {
+        eprintln!("DISAGREEMENT: delivered bytes differ between engines");
+        disagreements += 1;
+    }
+    for (r, s) in reference_report
+        .node_stats()
+        .iter()
+        .zip(streaming_report.node_stats())
+    {
+        if r.delivered_frames != s.delivered_frames || r.radio_energy != s.radio_energy {
+            eprintln!("DISAGREEMENT on node {}: {r:?} vs {s:?}", r.name);
+            disagreements += 1;
+        }
+    }
+
+    let speedup = reference_ms / streaming_ms;
+    let make_row = |path: &str, wall_ms: f64, report: &SimulationReport, speedup: f64| EngineRow {
+        path: path.to_string(),
+        horizon_s: horizon.as_seconds(),
+        events: report.events_processed(),
+        delivered_bytes: delivered_bytes(report),
+        wall_ms,
+        events_per_sec: report.events_processed() as f64 / (wall_ms / 1e3),
+        bytes_per_sec: delivered_bytes(report) as f64 / (wall_ms / 1e3),
+        speedup_vs_reference: speedup,
+    };
+    let engine = vec![
+        make_row("reference", reference_ms, &reference_report, 1.0),
+        make_row("streaming", streaming_ms, &streaming_report, speedup),
+    ];
+    println!(
+        "{:<11} {:>10} {:>10} {:>14} {:>14} {:>8}",
+        "path", "events", "wall ms", "events/s", "bytes/s", "speedup"
+    );
+    for row in &engine {
+        println!(
+            "{:<11} {:>10} {:>10.1} {:>14.0} {:>14.0} {:>7.2}x",
+            row.path,
+            row.events,
+            row.wall_ms,
+            row.events_per_sec,
+            row.bytes_per_sec,
+            row.speedup_vs_reference
+        );
+    }
+
+    // --- Fleet scaling ------------------------------------------------------
+    let runner = SweepRunner::new();
+    println!(
+        "\n{:<8} {:>10} {:>10} {:>12} {:>14}  (threads: {})",
+        "bodies",
+        "events",
+        "wall ms",
+        "bodies/s",
+        "events/s",
+        runner.threads()
+    );
+    let mut fleet_rows = Vec::new();
+    for &bodies in &[1usize, 10, 100, 1000] {
+        let config = FleetConfig::new(bodies).with_horizon(fleet_horizon);
+        let start = Instant::now();
+        let report = config.run(&runner);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let row = FleetRow {
+            bodies,
+            horizon_s: fleet_horizon.as_seconds(),
+            events: report.events_processed(),
+            wall_ms,
+            bodies_per_sec: bodies as f64 / (wall_ms / 1e3),
+            events_per_sec: report.events_processed() as f64 / (wall_ms / 1e3),
+        };
+        println!(
+            "{:<8} {:>10} {:>10.1} {:>12.1} {:>14.0}",
+            row.bodies, row.events, row.wall_ms, row.bodies_per_sec, row.events_per_sec
+        );
+        fleet_rows.push(row);
+    }
+
+    // --- Fleet determinism across thread widths -----------------------------
+    let determinism_bodies = 1000;
+    let config = FleetConfig::new(determinism_bodies)
+        .with_base_seed(7)
+        .with_horizon(TimeSpan::from_seconds(2.0));
+    let serial = config.run(&SweepRunner::with_threads(1));
+    let wide = config.run(&SweepRunner::with_threads(4));
+    // Byte-identical: the full reports (every per-body summary, every merged
+    // sketch bucket, every f64 aggregate) compare equal.
+    let deterministic = serial == wide;
+    println!(
+        "\nfleet determinism ({determinism_bodies} bodies, width 1 vs 4): {}",
+        if deterministic {
+            "byte-identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    let results = BenchNetsim {
+        engine,
+        fleet: fleet_rows,
+        fleet_determinism_bodies: determinism_bodies,
+        fleet_determinism_ok: deterministic,
+    };
+    let out_dir = std::env::var("HIDWA_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&out_dir).join("BENCH_netsim.json");
+    std::fs::write(&path, json::to_string_pretty(&results)).expect("write BENCH_netsim.json");
+    println!("[written {}]", path.display());
+
+    assert_eq!(disagreements, 0, "engines disagreed on exact statistics");
+    assert!(deterministic, "fleet aggregation depends on thread width");
+
+    // Perf-trajectory guard: the tracked target is >=2x (see
+    // ARCHITECTURE.md); the enforced floor is lower so shared-runner timing
+    // noise cannot flake CI, overridable via HIDWA_BENCH_MIN_SPEEDUP.
+    let floor = env_or("HIDWA_BENCH_MIN_SPEEDUP", 1.5);
+    if speedup < 2.0 {
+        eprintln!("WARNING: streaming speedup {speedup:.2}x below the 2x trajectory target");
+    }
+    assert!(
+        speedup >= floor,
+        "streaming engine regressed: {speedup:.2}x < {floor}x floor"
+    );
+}

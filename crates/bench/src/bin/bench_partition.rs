@@ -7,7 +7,8 @@
 //!   intermediate plan vector);
 //! * `naive_ns` — median ns for the pre-refactor shape of the same query:
 //!   re-enumerating cut points through the network (fresh shape propagation),
-//!   materialising every [`PartitionPlan`], then `filter` + `min_by`.
+//!   materialising every [`PartitionPlan`](hidwa_core::partition::PartitionPlan),
+//!   then `filter` + `min_by`.
 //!
 //! Writes `BENCH_partition.json` (to `$HIDWA_BENCH_OUT` or the current
 //! directory) so successive PRs can track the trajectory, and exits non-zero
@@ -119,4 +120,23 @@ fn main() {
     println!("[written {}]", path.display());
 
     assert_eq!(disagreements, 0, "fast and naive optimisers disagreed");
+
+    // Perf-trajectory guard: the tracked target is >=10x on every model
+    // (see ARCHITECTURE.md); the enforced floor is lower so shared-runner
+    // timing noise cannot flake CI, overridable via HIDWA_BENCH_MIN_SPEEDUP.
+    let floor: f64 = std::env::var("HIDWA_BENCH_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+    let min_speedup = results
+        .iter()
+        .map(|r| r.speedup)
+        .fold(f64::INFINITY, f64::min);
+    if min_speedup < 10.0 {
+        eprintln!("WARNING: min speedup {min_speedup:.2}x below the 10x trajectory target");
+    }
+    assert!(
+        min_speedup >= floor,
+        "partition speedup regressed: {min_speedup:.2}x < {floor}x floor"
+    );
 }

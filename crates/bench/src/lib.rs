@@ -2,7 +2,8 @@
 //! machine-readable result dumps.
 //!
 //! Every experiment binary in `src/bin/` regenerates one figure or headline
-//! claim of the paper (see DESIGN.md §3 for the experiment index).  Each
+//! claim of the paper (the figure table in the repo-root README maps each
+//! binary to what it reproduces).  Each
 //! prints a human-readable table to stdout and, when the `HIDWA_RESULTS_DIR`
 //! environment variable is set, writes the same data as JSON for plotting.
 //!
@@ -10,6 +11,18 @@
 //! [`json_struct!`] field-listing macro) rather than serde: the offline shim
 //! serde derives are no-ops, so machine-readable encoding must be spelled
 //! out — which for the flat row structs the binaries emit is one macro line.
+//!
+//! # Example
+//!
+//! ```
+//! struct Row { radio: String, goodput_mbps: f64 }
+//! hidwa_bench::json_struct!(Row { radio, goodput_mbps });
+//!
+//! let rows = vec![Row { radio: "wi-r".into(), goodput_mbps: 3.7 }];
+//! let json = hidwa_bench::json::to_string_pretty(&rows);
+//! assert!(json.contains("\"goodput_mbps\": 3.7"));
+//! assert_eq!(hidwa_bench::fmt_power(hidwa_units::Power::from_micro_watts(2.0)), "2.0 µW");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -20,6 +20,9 @@
 //! * [`sweep`] — the parallel sweep runner that fans figure-scale grids
 //!   (model × context × objective, multi-seed simulation batches) across
 //!   threads with deterministic, serial-identical output ordering.
+//! * [`fleet`] — fleet-scale batching of independent body networks over the
+//!   sweep runner: per-body seeds, bounded per-body summaries and
+//!   thread-width-independent aggregation (the millions-of-users direction).
 //!
 //! # Caching and ownership model
 //!
@@ -58,6 +61,7 @@
 pub mod arch;
 pub mod devices;
 mod error;
+pub mod fleet;
 pub mod partition;
 pub mod projection;
 pub mod scenario;

@@ -170,7 +170,7 @@ pub struct PartitionPlan {
     /// [`PartitionContext`].
     pub context: Arc<str>,
     /// Model name, shared with the originating
-    /// [`WearableModel`](hidwa_isa::models::WearableModel).
+    /// [`WearableModel`].
     pub model: Arc<str>,
     /// Number of layers executed on the leaf.
     pub cut_index: usize,

@@ -4,7 +4,7 @@
 //! where the node power is the sum of *sensing* power and *communication*
 //! power ("negligible computation power considered").  The sensing power is
 //! "characterized as a function of data rate with a survey of past literature
-//! and commercially available analog front-ends" (ref. [29], BioCAS 2023).
+//! and commercially available analog front-ends" (ref. \[29\], BioCAS 2023).
 //!
 //! We reproduce that survey as a per-modality power-law fit
 //! `P_sense(R) = P_floor + k · R^alpha` anchored to representative published

@@ -7,7 +7,8 @@
 //! once, and what latency and per-node energy does it deliver — is a
 //! scheduling question, which this crate answers by simulation:
 //!
-//! * [`event`] — a deterministic discrete-event engine.
+//! * [`event`] — a deterministic discrete-event engine (calendar bucket
+//!   queue by default, binary-heap reference kept for equivalence).
 //! * [`traffic`] — periodic, bursty and streaming traffic sources for the
 //!   wearable workloads.
 //! * [`node`] — leaf/hub node descriptions: link parameters, sensing and
@@ -16,6 +17,8 @@
 //!   hub polling).
 //! * [`sim`] — the simulator itself plus per-node statistics (delivered
 //!   bytes, latency percentiles, energy breakdown).
+//! * [`sketch`] — streaming latency percentile sketch with a documented
+//!   1/64 relative error bound, O(1) memory over any horizon.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ pub mod event;
 pub mod mac;
 pub mod node;
 pub mod sim;
+pub mod sketch;
 pub mod traffic;
 
 pub use error::NetsimError;

@@ -1,0 +1,383 @@
+//! Streaming latency statistics with a bounded-error percentile sketch.
+//!
+//! Long-horizon and fleet-scale simulations deliver millions of frames; the
+//! exact path (collect every latency in a `Vec`, sort at the end) costs O(n)
+//! memory and an O(n log n) finalisation per node.  [`LatencySketch`] replaces
+//! it with a fixed-log-bucket histogram: O(1) memory (at most a few thousand
+//! `u64` counters), O(1) insertion with no floating-point transcendentals on
+//! the hot path, and percentile queries with a *documented, tested* error
+//! bound.
+//!
+//! # Bucketing scheme
+//!
+//! Positive IEEE-754 doubles sort the same as their bit patterns, and the top
+//! bits `(exponent, first SUB_BUCKET_BITS mantissa bits)` partition the
+//! positive reals into log-spaced buckets whose relative width is exactly
+//! `2^-SUB_BUCKET_BITS`.  With [`SUB_BUCKET_BITS`]` = 6` every bucket spans
+//! `[v, v · (1 + 1/64))`, so reporting a bucket's **upper edge** overestimates
+//! any value inside it by at most a factor `1 + 1/64` (≈ 1.57 %).
+//!
+//! # Error bound
+//!
+//! For any quantile `q`, let `exact` be the value the exact `Vec`-based
+//! nearest-rank computation would return.  [`LatencySketch::quantile`]
+//! guarantees, for samples within `[`[`MIN_TRACKED`]`, `[`MAX_TRACKED`]`]`
+//! seconds:
+//!
+//! ```text
+//! exact ≤ sketch ≤ exact · (1 + RELATIVE_ERROR_BOUND)
+//! ```
+//!
+//! i.e. the sketch never under-reports a percentile and over-reports by at
+//! most [`RELATIVE_ERROR_BOUND`] (1/64).  Samples below [`MIN_TRACKED`] (1 ns)
+//! are clamped up to it (absolute error ≤ 1 ns — far below anything a
+//! body-network MAC produces); samples above [`MAX_TRACKED`] (≈ 31.7 years)
+//! are clamped down.  Count, mean, minimum and maximum are tracked exactly.
+//! The property tests in `tests/sketch_equivalence.rs` assert the bound
+//! against the exact computation across periodic, bursty and streaming
+//! traffic shapes.
+//!
+//! # Example
+//!
+//! ```
+//! use hidwa_netsim::sketch::{LatencySketch, RELATIVE_ERROR_BOUND};
+//! use hidwa_units::TimeSpan;
+//!
+//! let mut sketch = LatencySketch::new();
+//! for ms in 1..=1000 {
+//!     sketch.record(TimeSpan::from_millis(ms as f64));
+//! }
+//! let p95 = sketch.quantile(0.95);
+//! let exact = TimeSpan::from_millis(950.0);
+//! assert!(p95 >= exact);
+//! assert!(p95.as_seconds() <= exact.as_seconds() * (1.0 + RELATIVE_ERROR_BOUND));
+//! ```
+
+use hidwa_units::TimeSpan;
+use serde::{Deserialize, Serialize};
+
+/// Number of mantissa bits used to subdivide each power-of-two range.
+pub const SUB_BUCKET_BITS: u32 = 6;
+
+/// Worst-case relative overestimate of [`LatencySketch::quantile`]:
+/// `2^-SUB_BUCKET_BITS = 1/64 ≈ 1.57 %`.
+pub const RELATIVE_ERROR_BOUND: f64 = 1.0 / (1u64 << SUB_BUCKET_BITS) as f64;
+
+/// Smallest latency (seconds) resolved by the log buckets; smaller samples
+/// are clamped up to this value.
+pub const MIN_TRACKED: f64 = 1.0e-9;
+
+/// Largest latency (seconds) resolved by the log buckets; larger samples are
+/// clamped down to this value.
+pub const MAX_TRACKED: f64 = 1.0e9;
+
+/// Bits discarded below the `(exponent, sub-bucket)` key.
+const KEY_SHIFT: u32 = 52 - SUB_BUCKET_BITS;
+
+fn key_of(seconds: f64) -> u64 {
+    seconds.clamp(MIN_TRACKED, MAX_TRACKED).to_bits() >> KEY_SHIFT
+}
+
+fn base_key() -> u64 {
+    MIN_TRACKED.to_bits() >> KEY_SHIFT
+}
+
+/// Index of the nearest-rank `q`-quantile (`q` clamped to `[0, 1]`) in a
+/// sorted sample set of `len` elements: `round((len - 1) · q)`.
+///
+/// This is the single quantile convention of the workspace — the exact
+/// reference path, [`LatencySketch::quantile`] and the fleet layer's
+/// cross-body quantiles all use it, and the sketch's documented
+/// never-under-report bound is stated relative to it.
+///
+/// # Panics
+/// Panics if `len` is zero (an empty sample set has no quantiles).
+#[must_use]
+pub fn nearest_rank_index(len: usize, q: f64) -> usize {
+    assert!(len > 0, "nearest_rank_index: empty sample set");
+    let index = ((len as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+    index.min(len - 1)
+}
+
+/// Streaming percentile sketch over latency samples.
+///
+/// See the [module docs](self) for the bucketing scheme and the error bound.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencySketch {
+    count: u64,
+    sum_seconds: f64,
+    min_seconds: f64,
+    max_seconds: f64,
+    /// Key offset of `buckets[0]` relative to [`base_key()`]; meaningful
+    /// only while `buckets` is non-empty.
+    first_index: u64,
+    /// `buckets[i]` counts samples whose key is `base_key() + first_index +
+    /// i`.  The vector spans only the observed key range (first and last
+    /// entries are always non-zero), so a body whose latencies cluster
+    /// around one magnitude holds a few dozen counters, not the full range
+    /// down to [`MIN_TRACKED`] — which is what keeps million-body fleet
+    /// summaries cheap.
+    buckets: Vec<u64>,
+}
+
+impl LatencySketch {
+    /// Creates an empty sketch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum_seconds: 0.0,
+            min_seconds: f64::INFINITY,
+            max_seconds: 0.0,
+            first_index: 0,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Records one latency sample.
+    ///
+    /// Non-finite or negative samples are treated as zero (clamped up to
+    /// [`MIN_TRACKED`]); they never occur in simulator output but must not
+    /// poison the histogram.
+    #[inline]
+    pub fn record(&mut self, latency: TimeSpan) {
+        let mut seconds = latency.as_seconds();
+        if !seconds.is_finite() || seconds < 0.0 {
+            seconds = 0.0;
+        }
+        self.count += 1;
+        self.sum_seconds += seconds;
+        self.min_seconds = self.min_seconds.min(seconds);
+        self.max_seconds = self.max_seconds.max(seconds);
+        let index = key_of(seconds) - base_key();
+        if self.buckets.is_empty() {
+            self.first_index = index;
+            self.buckets.push(1);
+        } else if index < self.first_index {
+            // Rare: a sample below everything seen so far; shift the window.
+            let shift = (self.first_index - index) as usize;
+            self.buckets.splice(0..0, std::iter::repeat_n(0, shift));
+            self.first_index = index;
+            self.buckets[0] += 1;
+        } else {
+            let relative = (index - self.first_index) as usize;
+            if relative >= self.buckets.len() {
+                self.buckets.resize(relative + 1, 0);
+            }
+            self.buckets[relative] += 1;
+        }
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of the recorded samples ([`TimeSpan::ZERO`] when empty).
+    #[must_use]
+    pub fn mean(&self) -> TimeSpan {
+        if self.count == 0 {
+            return TimeSpan::ZERO;
+        }
+        TimeSpan::from_seconds(self.sum_seconds / self.count as f64)
+    }
+
+    /// Exact minimum recorded sample ([`TimeSpan::ZERO`] when empty).
+    #[must_use]
+    pub fn min(&self) -> TimeSpan {
+        if self.count == 0 {
+            return TimeSpan::ZERO;
+        }
+        TimeSpan::from_seconds(self.min_seconds)
+    }
+
+    /// Exact maximum recorded sample ([`TimeSpan::ZERO`] when empty).
+    #[must_use]
+    pub fn max(&self) -> TimeSpan {
+        if self.count == 0 {
+            return TimeSpan::ZERO;
+        }
+        TimeSpan::from_seconds(self.max_seconds)
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) with the module-level error
+    /// bound: never below the exact nearest-rank value, at most
+    /// [`RELATIVE_ERROR_BOUND`] above it.
+    ///
+    /// Uses the same nearest-rank convention as the exact path it replaces:
+    /// the value at sorted position `round((n - 1) · q)`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> TimeSpan {
+        if self.count == 0 {
+            return TimeSpan::ZERO;
+        }
+        // 1-based rank of the exact nearest-rank element.
+        let rank = nearest_rank_index(self.count as usize, q) as u64 + 1;
+        let mut cumulative = 0u64;
+        for (index, &bucket_count) in self.buckets.iter().enumerate() {
+            cumulative += bucket_count;
+            if cumulative >= rank {
+                // Upper edge of the bucket: ≥ every sample inside it, and at
+                // most (1 + 1/64)× the smallest one.  The exact max caps the
+                // top bucket so quantiles never exceed an observed sample.
+                let key = base_key() + self.first_index + index as u64 + 1;
+                let upper = f64::from_bits(key << KEY_SHIFT);
+                return TimeSpan::from_seconds(upper.min(self.max_seconds));
+            }
+        }
+        // Unreachable when counts are consistent; fall back to the exact max.
+        TimeSpan::from_seconds(self.max_seconds)
+    }
+
+    /// Merges another sketch into this one (exact counts add; min/max/sum
+    /// combine exactly), enabling deterministic fleet-wide aggregation.
+    pub fn merge(&mut self, other: &LatencySketch) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum_seconds += other.sum_seconds;
+        self.min_seconds = self.min_seconds.min(other.min_seconds);
+        self.max_seconds = self.max_seconds.max(other.max_seconds);
+        if self.buckets.is_empty() {
+            self.first_index = other.first_index;
+            self.buckets = other.buckets.clone();
+            return;
+        }
+        // Align the two observed-key windows before adding counts.  Both
+        // windows start and end on non-zero buckets, so the merged window is
+        // canonical too (equal sample multisets still compare equal).
+        if other.first_index < self.first_index {
+            let shift = (self.first_index - other.first_index) as usize;
+            self.buckets.splice(0..0, std::iter::repeat_n(0, shift));
+            self.first_index = other.first_index;
+        }
+        let offset = (other.first_index - self.first_index) as usize;
+        if offset + other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(offset + other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets[offset..].iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    #[test]
+    fn empty_sketch_reports_zeroes() {
+        let s = LatencySketch::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), TimeSpan::ZERO);
+        assert_eq!(s.min(), TimeSpan::ZERO);
+        assert_eq!(s.max(), TimeSpan::ZERO);
+        assert_eq!(s.quantile(0.95), TimeSpan::ZERO);
+    }
+
+    #[test]
+    fn quantiles_respect_the_error_bound() {
+        let mut sketch = LatencySketch::new();
+        let mut values: Vec<f64> = (1..=5000)
+            .map(|i| 1e-4 * (1.0 + (i as f64).sin().abs() * 50.0))
+            .collect();
+        for &v in &values {
+            sketch.record(TimeSpan::from_seconds(v));
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&values, q);
+            let got = sketch.quantile(q).as_seconds();
+            assert!(got >= exact - 1e-15, "q={q}: {got} < {exact}");
+            assert!(
+                got <= exact * (1.0 + RELATIVE_ERROR_BOUND) + 1e-15,
+                "q={q}: {got} > bound around {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_min_max_are_exact() {
+        let mut sketch = LatencySketch::new();
+        for v in [0.25, 0.5, 1.0, 2.0] {
+            sketch.record(TimeSpan::from_seconds(v));
+        }
+        assert_eq!(sketch.count(), 4);
+        assert!((sketch.mean().as_seconds() - 0.9375).abs() < 1e-12);
+        assert_eq!(sketch.min(), TimeSpan::from_seconds(0.25));
+        assert_eq!(sketch.max(), TimeSpan::from_seconds(2.0));
+        assert_eq!(sketch.quantile(1.0), TimeSpan::from_seconds(2.0));
+    }
+
+    #[test]
+    fn degenerate_samples_are_clamped_not_poisonous() {
+        let mut sketch = LatencySketch::new();
+        sketch.record(TimeSpan::from_seconds(-1.0));
+        sketch.record(TimeSpan::from_seconds(f64::NAN));
+        sketch.record(TimeSpan::from_seconds(f64::INFINITY));
+        sketch.record(TimeSpan::from_seconds(1e-12));
+        assert_eq!(sketch.count(), 4);
+        assert!(sketch.quantile(0.5).as_seconds().is_finite());
+        // Tiny samples cost exactly one bucket, not a giant allocation.
+        assert!(sketch.buckets.len() <= 1);
+    }
+
+    #[test]
+    fn bucket_window_spans_only_the_observed_range() {
+        // Millisecond-scale latencies must not pay for empty buckets all the
+        // way down to the 1 ns floor (fleet summaries hold one sketch per
+        // body).
+        let mut sketch = LatencySketch::new();
+        for us in 900..1100 {
+            sketch.record(TimeSpan::from_micros(us as f64));
+        }
+        assert!(
+            sketch.buckets.len() <= 32,
+            "window too wide: {} buckets",
+            sketch.buckets.len()
+        );
+        assert!(*sketch.buckets.first().unwrap() > 0);
+        assert!(*sketch.buckets.last().unwrap() > 0);
+        // A later out-of-window low sample extends the window backwards.
+        sketch.record(TimeSpan::from_micros(1.0));
+        assert!(*sketch.buckets.first().unwrap() > 0);
+        let exact_p50 = TimeSpan::from_micros(999.0);
+        assert!(sketch.quantile(0.5) >= exact_p50);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let mut a = LatencySketch::new();
+        let mut b = LatencySketch::new();
+        let mut all = LatencySketch::new();
+        for i in 0..500 {
+            let v = TimeSpan::from_millis(0.1 + i as f64);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        a.merge(&LatencySketch::new());
+        // Counts, extrema and buckets combine exactly; the sum is the same
+        // set of f64 additions in a different order, so compare the mean to
+        // rounding noise rather than bit-for-bit.
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.buckets, all.buckets);
+        assert!((a.mean().as_seconds() - all.mean().as_seconds()).abs() < 1e-12);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests asserting the calendar [`BucketQueue`] pops events in
+//! exactly the order of the reference [`BinaryHeapQueue`] — including stable
+//! tie-breaking of simultaneous events — under arbitrary schedule/pop
+//! interleavings, clustered and sparse time distributions, and wheel growth.
+
+use hidwa_netsim::event::{BinaryHeapQueue, BucketQueue, Event};
+use hidwa_units::TimeSpan;
+use proptest::prelude::*;
+
+/// Drives both queues through the same operation tape and asserts every pop
+/// matches.  `ops` entries: `Some(t)` schedules at time `t`, `None` pops.
+fn drive(ops: &[Option<f64>]) {
+    let mut bucket = BucketQueue::new();
+    let mut heap = BinaryHeapQueue::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Some(seconds) => {
+                let t = TimeSpan::from_seconds(*seconds);
+                let event = Event::FrameGenerated { node: i, bytes: i };
+                bucket.schedule(t, event.clone());
+                heap.schedule(t, event);
+            }
+            None => {
+                assert_eq!(bucket.pop(), heap.pop(), "divergence at op {i}");
+                assert_eq!(bucket.len(), heap.len());
+            }
+        }
+    }
+    // Drain both completely: full order must match, ties included.
+    while let Some(expected) = heap.pop() {
+        assert_eq!(bucket.pop().unwrap(), expected);
+    }
+    assert!(bucket.is_empty());
+    assert_eq!(bucket.pop(), None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random interleavings over a clustered time range (sub-bucket-width
+    /// gaps force heavy tie-style traffic through single buckets).
+    #[test]
+    fn interleavings_match_clustered(
+        raw in prop::collection::vec(0.0..0.25f64, 1..300),
+        pop_every in 2usize..6,
+    ) {
+        let ops: Vec<Option<f64>> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, t)| if i % pop_every == 0 { None } else { Some(*t) })
+            .collect();
+        drive(&ops);
+        prop_assert!(true);
+    }
+
+    /// Sparse times spanning ten decades exercise the lap-then-direct-search
+    /// fallback and cursor rewinds after far-future pops.
+    #[test]
+    fn interleavings_match_sparse(
+        exponents in prop::collection::vec(-4.0..6.0f64, 1..120),
+        pop_every in 2usize..5,
+    ) {
+        let ops: Vec<Option<f64>> = exponents
+            .iter()
+            .enumerate()
+            .map(|(i, e)| if i % pop_every == 0 { None } else { Some(10f64.powf(*e)) })
+            .collect();
+        drive(&ops);
+        prop_assert!(true);
+    }
+
+    /// Exact duplicate timestamps: insertion order (the sequence number) is
+    /// the only tiebreaker and must be preserved.
+    #[test]
+    fn simultaneous_events_keep_insertion_order(
+        times in prop::collection::vec(prop::sample::select(vec![0.0f64, 0.5, 0.5, 1.0, 1.0]), 5..60),
+    ) {
+        let ops: Vec<Option<f64>> = times.iter().map(|t| Some(*t)).collect();
+        drive(&ops);
+        prop_assert!(true);
+    }
+}
+
+#[test]
+fn infinite_and_finite_mix_matches_heap_order() {
+    let mut ops: Vec<Option<f64>> = Vec::new();
+    for i in 0..40 {
+        ops.push(Some(if i % 7 == 0 {
+            f64::INFINITY
+        } else {
+            (i as f64) * 0.013
+        }));
+        if i % 3 == 0 {
+            ops.push(None);
+        }
+    }
+    drive(&ops);
+}

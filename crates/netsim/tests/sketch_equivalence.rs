@@ -1,0 +1,124 @@
+//! Property tests pinning the [`LatencySketch`] error bound against the
+//! exact `Vec`-based percentile computation it replaces, both directly on
+//! random sample sets and end-to-end through the simulator across periodic,
+//! bursty and streaming traffic.
+
+use hidwa_eqs::body::BodySite;
+use hidwa_netsim::mac::MacPolicy;
+use hidwa_netsim::node::{LinkParams, NodeConfig};
+use hidwa_netsim::sim::Simulation;
+use hidwa_netsim::sketch::{LatencySketch, RELATIVE_ERROR_BOUND};
+use hidwa_netsim::traffic::TrafficPattern;
+use hidwa_units::{DataRate, EnergyPerBit, TimeSpan};
+use proptest::prelude::*;
+
+/// The exact nearest-rank quantile the pre-refactor engine computed.
+fn exact_quantile(samples: &mut [f64], q: f64) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((samples.len() as f64 - 1.0) * q).round() as usize;
+    samples[idx.min(samples.len() - 1)]
+}
+
+fn wir_link() -> LinkParams {
+    LinkParams::new(
+        DataRate::from_mbps(4.0),
+        EnergyPerBit::from_pico_joules(100.0),
+        TimeSpan::from_micros(100.0),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For arbitrary sample sets spanning six decades, every queried quantile
+    /// sits in `[exact, exact · (1 + RELATIVE_ERROR_BOUND)]`.
+    #[test]
+    fn sketch_quantiles_bracket_the_exact_value(
+        exponents in prop::collection::vec(-6.0..1.0f64, 1..400),
+        q in 0.0..=1.0f64,
+    ) {
+        let mut samples: Vec<f64> = exponents.iter().map(|e| 10f64.powf(*e)).collect();
+        let mut sketch = LatencySketch::new();
+        for &s in &samples {
+            sketch.record(TimeSpan::from_seconds(s));
+        }
+        let exact = exact_quantile(&mut samples, q);
+        let got = sketch.quantile(q).as_seconds();
+        prop_assert!(got >= exact - 1e-15, "quantile {} under-reported: {} < {}", q, got, exact);
+        prop_assert!(
+            got <= exact * (1.0 + RELATIVE_ERROR_BOUND) + 1e-15,
+            "quantile {} over bound: {} vs exact {}", q, got, exact
+        );
+    }
+
+    /// Mean, min, max and count are tracked exactly regardless of the input
+    /// distribution.
+    #[test]
+    fn sketch_scalars_are_exact(
+        samples in prop::collection::vec(1e-6..10.0f64, 1..300),
+    ) {
+        let mut sketch = LatencySketch::new();
+        let mut sum = 0.0;
+        for &s in &samples {
+            sketch.record(TimeSpan::from_seconds(s));
+            sum += s;
+        }
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0f64, f64::max);
+        prop_assert_eq!(sketch.count(), samples.len() as u64);
+        prop_assert_eq!(sketch.min().as_seconds(), min);
+        prop_assert_eq!(sketch.max().as_seconds(), max);
+        prop_assert!((sketch.mean().as_seconds() - sum / samples.len() as f64).abs() < 1e-12);
+    }
+
+    /// End-to-end: the streaming engine's p95 stays within the documented
+    /// bound of the reference engine's exact p95 for every traffic shape the
+    /// simulator models, while all exact statistics match bit-for-bit.
+    #[test]
+    fn engines_agree_across_traffic_shapes(
+        shape in prop::sample::select(vec![0usize, 1, 2]),
+        period_ms in 20.0..200.0f64,
+        rate_kbps in 16.0..256.0f64,
+        frame_bytes in 64usize..2048,
+        seed in 0u64..1000,
+    ) {
+        let traffic = match shape {
+            0 => TrafficPattern::periodic(TimeSpan::from_millis(period_ms), frame_bytes),
+            1 => TrafficPattern::bursty(TimeSpan::from_millis(period_ms), frame_bytes),
+            _ => TrafficPattern::streaming(DataRate::from_kbps(rate_kbps), frame_bytes),
+        };
+        let build = |reference: bool| {
+            let mut sim = Simulation::new(MacPolicy::Polling)
+                .with_seed(seed)
+                .with_reference_engine(reference);
+            for i in 0..3 {
+                sim.add_node(
+                    NodeConfig::leaf(format!("n{i}"), BodySite::Wrist, wir_link())
+                        .with_traffic(traffic.clone()),
+                );
+            }
+            sim.run(TimeSpan::from_seconds(15.0))
+        };
+        let reference = build(true);
+        let streaming = build(false);
+        prop_assert_eq!(reference.events_processed(), streaming.events_processed());
+        for (r, s) in reference.node_stats().iter().zip(streaming.node_stats()) {
+            prop_assert_eq!(r.generated_frames, s.generated_frames);
+            prop_assert_eq!(r.delivered_bytes, s.delivered_bytes);
+            prop_assert_eq!(r.radio_energy, s.radio_energy);
+            prop_assert_eq!(r.max_latency, s.max_latency);
+            prop_assert!(s.p95_latency >= r.p95_latency);
+            prop_assert!(
+                s.p95_latency.as_seconds()
+                    <= r.p95_latency.as_seconds() * (1.0 + RELATIVE_ERROR_BOUND) + 1e-15,
+                "p95 {} vs exact {}", s.p95_latency, r.p95_latency
+            );
+        }
+        // Streaming sketches hold exactly one sample per delivered frame;
+        // the reference engine keeps its exact path sketch-free.
+        for (stats, sketch) in streaming.node_stats().iter().zip(streaming.latency_sketches()) {
+            prop_assert_eq!(sketch.count(), stats.delivered_frames as u64);
+        }
+        prop_assert!(reference.latency_sketches().iter().all(|s| s.count() == 0));
+    }
+}

@@ -2,8 +2,23 @@
 //! HIDWA link-layer framing: [`Bytes`], [`BytesMut`], and the [`Buf`] /
 //! [`BufMut`] cursor traits. Multi-byte integers use network (big-endian)
 //! order, matching the real crate.
+//!
+//! # Example
+//!
+//! ```
+//! use bytes::{Buf, BufMut, BytesMut};
+//!
+//! let mut frame = BytesMut::new();
+//! frame.put_u16(0xB0D7);
+//! frame.put_u8(42);
+//! let mut bytes = frame.freeze();
+//! assert_eq!(bytes.get_u16(), 0xB0D7); // network byte order
+//! assert_eq!(bytes.get_u8(), 42);
+//! assert_eq!(bytes.remaining(), 0);
+//! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::ops::Deref;
 use std::sync::Arc;

@@ -8,8 +8,20 @@
 //! * `HIDWA_BENCH_MS` — per-benchmark measurement budget in milliseconds
 //!   (default 100).
 //! * `HIDWA_BENCH_JSON` — path of a JSON-lines file to append results to.
+//!
+//! # Example
+//!
+//! ```
+//! use criterion::{black_box, BenchmarkId, Criterion};
+//!
+//! let mut c = Criterion::default();
+//! c.bench_function("sum", |b| b.iter(|| (0..100u64).map(black_box).sum::<u64>()));
+//! assert_eq!(c.results().len(), 1);
+//! let _ = BenchmarkId::new("sum", 100);
+//! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::fmt::Display;
 use std::fmt::Write as _;

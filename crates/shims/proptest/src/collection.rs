@@ -5,7 +5,7 @@ use crate::test_runner::TestRng;
 use rand::Rng;
 use std::ops::Range;
 
-/// Length specification for [`vec`]: an exact size or a half-open range.
+/// Length specification for [`vec()`]: an exact size or a half-open range.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     min: usize,

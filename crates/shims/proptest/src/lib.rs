@@ -6,8 +6,23 @@
 //! the case number and the stringified assertion instead of a minimal
 //! counterexample. Generation is deterministic per test (the RNG is seeded
 //! from the test's name), so failures reproduce across runs.
+//!
+//! # Example
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(16))]
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes(); // doc tests invoke the generated fn directly
+//! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod arbitrary;
 pub mod collection;

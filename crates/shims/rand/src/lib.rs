@@ -6,8 +6,23 @@
 //! for Monte-Carlo harvesting draws and exponential traffic gaps, and fully
 //! deterministic for a given seed (which the simulator's reproducibility
 //! tests depend on).
+//!
+//! # Example
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let x: f64 = rng.gen_range(0.0..1.0);
+//! assert!((0.0..1.0).contains(&x));
+//! // Same seed, same stream.
+//! assert_eq!(StdRng::seed_from_u64(7).gen_range(0..100u32),
+//!            StdRng::seed_from_u64(7).gen_range(0..100u32));
+//! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};
 

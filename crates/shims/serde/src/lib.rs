@@ -7,8 +7,22 @@
 //! below are blanket-implemented so generic bounds like `T: Serialize` remain
 //! satisfiable. Machine-readable output in this workspace goes through
 //! `hidwa_bench::json` instead, which has explicit `ToJson` impls.
+//!
+//! # Example
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Serialize, Deserialize, Debug, PartialEq)]
+//! struct Frame { bytes: usize }
+//!
+//! // The derives expand to nothing; the marker bounds stay satisfiable.
+//! fn needs_serialize<T: serde::SerializeMarker>(_: &T) {}
+//! needs_serialize(&Frame { bytes: 512 });
+//! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use serde_derive::{Deserialize, Serialize};
 

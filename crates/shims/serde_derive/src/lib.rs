@@ -5,6 +5,20 @@
 //! when a registry is reachable. This shim accepts the same syntax (including
 //! `#[serde(...)]` helper attributes) and expands to nothing: the blanket
 //! trait impls in the sibling `serde` shim satisfy any bounds.
+//!
+//! # Example
+//!
+//! ```
+//! use serde_derive::{Deserialize, Serialize};
+//!
+//! #[derive(Serialize, Deserialize, Clone)]
+//! #[serde(rename_all = "snake_case")] // helper attributes are accepted too
+//! enum Role { Leaf, Hub }
+//!
+//! let _ = Role::Leaf.clone();
+//! ```
+
+#![warn(missing_docs)]
 
 use proc_macro::TokenStream;
 

@@ -12,6 +12,20 @@
 //! * [`netsim`] — the discrete-event body-network simulator.
 //! * [`core`] — the paper's analyses: architectures, projections, the
 //!   partition optimiser and the parallel sweep runner.
+//!
+//! # Example
+//!
+//! ```
+//! use hidwa::netsim::{mac::MacPolicy, sim::Simulation};
+//! use hidwa::units::TimeSpan;
+//!
+//! // One turn-key body network from the core scenarios, simulated briefly.
+//! let mut sim = hidwa::core::scenario::standard_body_network(
+//!     hidwa::phy::RadioTechnology::WiR,
+//! );
+//! assert_eq!(sim.run(TimeSpan::from_seconds(2.0)).policy(), MacPolicy::Polling);
+//! let _ = Simulation::new(MacPolicy::Tdma);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
