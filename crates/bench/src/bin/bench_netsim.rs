@@ -17,18 +17,32 @@
 //!   [`SweepRunner`], showing how throughput scales with fleet size, plus a
 //!   determinism check that a ≥1000-body fleet aggregates byte-identically at
 //!   thread widths 1 and 4.
+//! * `hetero_fleet` — heterogeneous population streams
+//!   ([`PopulationModel::mixed_default`]: health-patch / AR-assistant /
+//!   BLE-minimal archetypes) ingested through the bounded-memory
+//!   [`FleetAggregator`](hidwa_core::fleet::FleetAggregator), up to a
+//!   10k-body stream.  Each row records `state_buckets`, the aggregation
+//!   state's memory proxy; the run asserts it stays flat across a 10×
+//!   fleet-size spread (no materialised per-body vector anywhere), and that
+//!   a ≥1000-body heterogeneous fleet aggregates byte-identically at thread
+//!   widths 1 and 4.
 //!
 //! Exits non-zero if the two engine paths disagree on any exact statistic or
-//! if the fleet determinism check fails.
+//! if any determinism / memory-bound check fails.
 //!
 //! Knobs: `HIDWA_BENCH_SAMPLES` (default 5 timing samples per path, best
 //! taken), `HIDWA_BENCH_HORIZON_S` (default 3600 s engine horizon — an hour
 //! of body time, where the reference path's unbounded sample vectors start
 //! paying reallocation and sort costs), `HIDWA_BENCH_FLEET_HORIZON_S`
-//! (default 5 s per-body horizon).
+//! (default 5 s per-body horizon), `HIDWA_BENCH_STREAM_BODIES` (default
+//! 10000 bodies in the largest heterogeneous stream),
+//! `HIDWA_BENCH_STREAM_HORIZON_S` (default 2 s per-body horizon for the
+//! heterogeneous rows).
 
+use hidwa_bench::env_f64;
 use hidwa_bench::json;
 use hidwa_core::fleet::FleetConfig;
+use hidwa_core::population::PopulationModel;
 use hidwa_core::sweep::SweepRunner;
 use hidwa_eqs::body::BodySite;
 use hidwa_netsim::mac::MacPolicy;
@@ -78,11 +92,41 @@ hidwa_bench::json_struct!(FleetRow {
     events_per_sec,
 });
 
+struct HeteroRow {
+    bodies: usize,
+    horizon_s: f64,
+    events: u64,
+    wall_ms: f64,
+    bodies_per_sec: f64,
+    events_per_sec: f64,
+    /// Aggregation-state memory proxy: live sketch buckets + retained top-K
+    /// summaries.  Must stay flat as `bodies` grows.
+    state_buckets: usize,
+    worst_p95_ms: f64,
+    delivery_ratio: f64,
+}
+
+hidwa_bench::json_struct!(HeteroRow {
+    bodies,
+    horizon_s,
+    events,
+    wall_ms,
+    bodies_per_sec,
+    events_per_sec,
+    state_buckets,
+    worst_p95_ms,
+    delivery_ratio,
+});
+
 struct BenchNetsim {
     engine: Vec<EngineRow>,
     fleet: Vec<FleetRow>,
     fleet_determinism_bodies: usize,
     fleet_determinism_ok: bool,
+    hetero_fleet: Vec<HeteroRow>,
+    hetero_memory_bounded: bool,
+    hetero_determinism_bodies: usize,
+    hetero_determinism_ok: bool,
 }
 
 hidwa_bench::json_struct!(BenchNetsim {
@@ -90,6 +134,10 @@ hidwa_bench::json_struct!(BenchNetsim {
     fleet,
     fleet_determinism_bodies,
     fleet_determinism_ok,
+    hetero_fleet,
+    hetero_memory_bounded,
+    hetero_determinism_bodies,
+    hetero_determinism_ok,
 });
 
 /// The 10-node body the engine comparison runs: two periodic vitals patches
@@ -160,17 +208,11 @@ fn time_engines(
     )
 }
 
-fn env_or(name: &str, default: f64) -> f64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 fn main() {
-    let samples = (env_or("HIDWA_BENCH_SAMPLES", 5.0) as usize).max(1);
-    let horizon = TimeSpan::from_seconds(env_or("HIDWA_BENCH_HORIZON_S", 3600.0).max(1.0));
-    let fleet_horizon = TimeSpan::from_seconds(env_or("HIDWA_BENCH_FLEET_HORIZON_S", 5.0).max(0.5));
+    let samples = (env_f64("HIDWA_BENCH_SAMPLES", 5.0) as usize).max(1);
+    let horizon = TimeSpan::from_seconds(env_f64("HIDWA_BENCH_HORIZON_S", 3600.0).max(1.0));
+    let fleet_horizon =
+        TimeSpan::from_seconds(env_f64("HIDWA_BENCH_FLEET_HORIZON_S", 5.0).max(0.5));
 
     hidwa_bench::header(
         "bench_netsim",
@@ -275,7 +317,7 @@ fn main() {
         .with_horizon(TimeSpan::from_seconds(2.0));
     let serial = config.run(&SweepRunner::with_threads(1));
     let wide = config.run(&SweepRunner::with_threads(4));
-    // Byte-identical: the full reports (every per-body summary, every merged
+    // Byte-identical: the full reports (every retained summary, every merged
     // sketch bucket, every f64 aggregate) compare equal.
     let deterministic = serial == wide;
     println!(
@@ -287,11 +329,89 @@ fn main() {
         }
     );
 
+    // --- Heterogeneous population streams -----------------------------------
+    let stream_bodies = (env_f64("HIDWA_BENCH_STREAM_BODIES", 10_000.0) as usize).max(100);
+    let stream_horizon =
+        TimeSpan::from_seconds(env_f64("HIDWA_BENCH_STREAM_HORIZON_S", 2.0).max(0.5));
+    println!(
+        "\nheterogeneous stream (mixed population: health-patch / ar-assistant / ble-minimal)"
+    );
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>14} {:>14} {:>10}",
+        "bodies", "events", "wall ms", "bodies/s", "events/s", "state bkts", "delivery"
+    );
+    let mut hetero_rows = Vec::new();
+    for &bodies in &[stream_bodies / 10, stream_bodies] {
+        let config = FleetConfig::new(bodies)
+            .with_population(PopulationModel::mixed_default())
+            .with_base_seed(0xD15EA5E)
+            .with_horizon(stream_horizon);
+        let start = Instant::now();
+        let report = config.run(&runner);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let row = HeteroRow {
+            bodies,
+            horizon_s: stream_horizon.as_seconds(),
+            events: report.events_processed(),
+            wall_ms,
+            bodies_per_sec: bodies as f64 / (wall_ms / 1e3),
+            events_per_sec: report.events_processed() as f64 / (wall_ms / 1e3),
+            state_buckets: report.aggregation_state_buckets(),
+            worst_p95_ms: report.body_worst_p95_quantile(1.0).as_millis(),
+            delivery_ratio: report.delivery_ratio(),
+        };
+        println!(
+            "{:<8} {:>10} {:>10.1} {:>12.1} {:>14.0} {:>14} {:>10.3}",
+            row.bodies,
+            row.events,
+            row.wall_ms,
+            row.bodies_per_sec,
+            row.events_per_sec,
+            row.state_buckets,
+            row.delivery_ratio
+        );
+        hetero_rows.push(row);
+    }
+    // Bounded memory: a 10× larger stream may widen the sketch windows a
+    // little (rarer latencies appear) but must not scale with body count.
+    let (state_small, state_large) = (hetero_rows[0].state_buckets, hetero_rows[1].state_buckets);
+    let memory_bounded = state_large <= state_small * 2 + 64;
+    println!(
+        "aggregator state: {state_small} -> {state_large} buckets across a 10x body spread ({})",
+        if memory_bounded {
+            "bounded"
+        } else {
+            "GROWS WITH FLEET"
+        }
+    );
+
+    // --- Heterogeneous determinism across thread widths ---------------------
+    let hetero_determinism_bodies = 1000;
+    let hetero_config = FleetConfig::new(hetero_determinism_bodies)
+        .with_population(PopulationModel::mixed_default())
+        .with_base_seed(11)
+        .with_horizon(TimeSpan::from_seconds(2.0));
+    let hetero_serial = hetero_config.run(&SweepRunner::with_threads(1));
+    let hetero_wide = hetero_config.run(&SweepRunner::with_threads(4));
+    let hetero_deterministic = hetero_serial == hetero_wide;
+    println!(
+        "heterogeneous fleet determinism ({hetero_determinism_bodies} bodies, width 1 vs 4): {}",
+        if hetero_deterministic {
+            "byte-identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+
     let results = BenchNetsim {
         engine,
         fleet: fleet_rows,
         fleet_determinism_bodies: determinism_bodies,
         fleet_determinism_ok: deterministic,
+        hetero_fleet: hetero_rows,
+        hetero_memory_bounded: memory_bounded,
+        hetero_determinism_bodies,
+        hetero_determinism_ok: hetero_deterministic,
     };
     let out_dir = std::env::var("HIDWA_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
     let path = std::path::Path::new(&out_dir).join("BENCH_netsim.json");
@@ -300,11 +420,19 @@ fn main() {
 
     assert_eq!(disagreements, 0, "engines disagreed on exact statistics");
     assert!(deterministic, "fleet aggregation depends on thread width");
+    assert!(
+        hetero_deterministic,
+        "heterogeneous fleet aggregation depends on thread width"
+    );
+    assert!(
+        memory_bounded,
+        "aggregation state grew with fleet size: {state_small} -> {state_large} buckets"
+    );
 
     // Perf-trajectory guard: the tracked target is >=2x (see
     // ARCHITECTURE.md); the enforced floor is lower so shared-runner timing
     // noise cannot flake CI, overridable via HIDWA_BENCH_MIN_SPEEDUP.
-    let floor = env_or("HIDWA_BENCH_MIN_SPEEDUP", 1.5);
+    let floor = env_f64("HIDWA_BENCH_MIN_SPEEDUP", 1.5);
     if speedup < 2.0 {
         eprintln!("WARNING: streaming speedup {speedup:.2}x below the 2x trajectory target");
     }

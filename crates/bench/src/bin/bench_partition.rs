@@ -56,17 +56,10 @@ fn median_ns<F: FnMut()>(samples: usize, iters: usize, mut f: F) -> f64 {
 }
 
 fn main() {
-    // Zero would panic (empty medians) or divide by zero; clamp to 1.
-    let samples: usize = std::env::var("HIDWA_BENCH_SAMPLES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(30)
-        .max(1);
-    let iters: usize = std::env::var("HIDWA_BENCH_ITERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2000)
-        .max(1);
+    // env_usize clamps to 1: zero would panic (empty medians) or divide by
+    // zero.
+    let samples = hidwa_bench::env_usize("HIDWA_BENCH_SAMPLES", 30);
+    let iters = hidwa_bench::env_usize("HIDWA_BENCH_ITERS", 2000);
 
     let optimizer = PartitionOptimizer::new(PartitionContext::wir_default());
     let mut results = Vec::new();
@@ -124,10 +117,7 @@ fn main() {
     // Perf-trajectory guard: the tracked target is >=10x on every model
     // (see ARCHITECTURE.md); the enforced floor is lower so shared-runner
     // timing noise cannot flake CI, overridable via HIDWA_BENCH_MIN_SPEEDUP.
-    let floor: f64 = std::env::var("HIDWA_BENCH_MIN_SPEEDUP")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5.0);
+    let floor = hidwa_bench::env_f64("HIDWA_BENCH_MIN_SPEEDUP", 5.0);
     let min_speedup = results
         .iter()
         .map(|r| r.speedup)

@@ -1,34 +1,16 @@
 //! Experiment E7 — energy-harvesting feasibility (§V): with 10–200 µW indoor
 //! harvesting, which node classes become energy-neutral / perpetually
-//! operable?  Monte-Carlo over harvester variability.
+//! operable?  Multi-seed Monte-Carlo over harvester variability, fanned over
+//! the [`SweepRunner`] (rows are byte-identical to the serial loop at any
+//! thread width — asserted by `tests/harvest_grid.rs`).
+//!
+//! Knobs: `HIDWA_HARVEST_SEEDS` (default 8 independent Monte-Carlo streams
+//! per cell), `HIDWA_HARVEST_TRIALS` (default 1000 draws per stream).
 
-use hidwa_bench::{fmt_power, header, write_json};
-use hidwa_core::arch::{NodeArchitecture, WorkloadSpec};
-use hidwa_energy::harvest::{Harvester, HarvestingProfile};
-use hidwa_energy::projection::LifetimeProjector;
-use hidwa_energy::Battery;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-struct Row {
-    workload: String,
-    architecture: &'static str,
-    node_power_uw: f64,
-    harvested_uw: f64,
-    energy_neutral: bool,
-    coverage_probability: f64,
-    band_with_harvesting: String,
-}
-
-hidwa_bench::json_struct!(Row {
-    workload,
-    architecture,
-    node_power_uw,
-    harvested_uw,
-    energy_neutral,
-    coverage_probability,
-    band_with_harvesting,
-});
+use hidwa_bench::harvest::{monte_carlo_grid, HarvestRow};
+use hidwa_bench::{env_usize, fmt_power, header, write_json};
+use hidwa_core::sweep::SweepRunner;
+use hidwa_units::Power;
 
 fn main() {
     header(
@@ -36,65 +18,33 @@ fn main() {
         "Paper claim: 10-200 µW indoor harvesting makes ULP leaf nodes perpetual",
     );
 
-    let mut rng = StdRng::seed_from_u64(2024);
-    let profiles: Vec<(&str, HarvestingProfile)> = vec![
-        (
-            "typical indoor (PV 4 cm² + TEG 2 cm²)",
-            HarvestingProfile::typical_indoor(),
-        ),
-        (
-            "PV-only wearable patch (2 cm²)",
-            HarvestingProfile::new(vec![Harvester::indoor_photovoltaic(2.0)]),
-        ),
-        (
-            "TEG + kinetic wristband",
-            HarvestingProfile::new(vec![
-                Harvester::thermoelectric(3.0),
-                Harvester::kinetic_wrist(),
-            ]),
-        ),
-    ];
+    let seeds = env_usize("HIDWA_HARVEST_SEEDS", 8);
+    let trials = env_usize("HIDWA_HARVEST_TRIALS", 1000);
+    let runner = SweepRunner::new();
+    let rows: Vec<HarvestRow> = monte_carlo_grid(&runner, 2024, seeds, trials);
 
-    let mut rows = Vec::new();
-    for (profile_name, profile) in &profiles {
-        println!(
-            "\n-- harvesting profile: {profile_name} (average {}) --",
-            fmt_power(profile.average_output())
-        );
-        println!(
-            "{:<16} {:<34} {:>12} {:>16} {:>10} {:>12}",
-            "workload", "architecture", "node power", "energy-neutral", "P(cover)", "band"
-        );
-        for workload in WorkloadSpec::paper_set() {
-            for arch in [
-                NodeArchitecture::human_inspired(),
-                NodeArchitecture::conventional(),
-            ] {
-                let node_power = arch.power_breakdown(&workload).total();
-                let coverage = profile.coverage_probability(node_power, 5000, &mut rng);
-                let projector = LifetimeProjector::new(Battery::coin_cell_1000mah())
-                    .with_harvesting(profile.clone());
-                let projection = projector.project(node_power);
-                println!(
-                    "{:<16} {:<34} {:>12} {:>16} {:>10.2} {:>12}",
-                    workload.name(),
-                    arch.name(),
-                    fmt_power(node_power),
-                    projection.is_energy_neutral(),
-                    coverage,
-                    projection.band().label(),
-                );
-                rows.push(Row {
-                    workload: workload.name().to_string(),
-                    architecture: arch.name(),
-                    node_power_uw: node_power.as_micro_watts(),
-                    harvested_uw: profile.average_output().as_micro_watts(),
-                    energy_neutral: projection.is_energy_neutral(),
-                    coverage_probability: coverage,
-                    band_with_harvesting: projection.band().label().to_string(),
-                });
-            }
+    let mut current_profile = String::new();
+    for row in &rows {
+        if row.profile != current_profile {
+            current_profile = row.profile.clone();
+            println!(
+                "\n-- harvesting profile: {current_profile} (average {}) --",
+                fmt_power(Power::from_micro_watts(row.harvested_uw))
+            );
+            println!(
+                "{:<16} {:<34} {:>12} {:>16} {:>10} {:>12}",
+                "workload", "architecture", "node power", "energy-neutral", "P(cover)", "band"
+            );
         }
+        println!(
+            "{:<16} {:<34} {:>12} {:>16} {:>10.2} {:>12}",
+            row.workload,
+            row.architecture,
+            fmt_power(Power::from_micro_watts(row.node_power_uw)),
+            row.energy_neutral,
+            row.coverage_probability,
+            row.band_with_harvesting,
+        );
     }
 
     let neutral_human = rows
@@ -106,7 +56,8 @@ fn main() {
         .filter(|r| r.architecture.contains("conventional") && r.energy_neutral)
         .count();
     println!(
-        "\nEnergy-neutral (workload, profile) combinations: human-inspired {neutral_human}, conventional {neutral_conventional}"
+        "\nEnergy-neutral (workload, profile) combinations: human-inspired {neutral_human}, conventional {neutral_conventional} ({seeds} Monte-Carlo streams x {trials} trials per cell, {} runner threads)",
+        runner.threads()
     );
 
     write_json("fig_harvest_feasibility", &rows);

@@ -1,0 +1,143 @@
+//! The E7 harvesting-feasibility Monte-Carlo grid, as a library so the
+//! `fig_harvest_feasibility` binary and the serial-vs-parallel equivalence
+//! test share one implementation.
+//!
+//! The grid is (harvesting profile × workload × architecture); every cell
+//! runs a **multi-seed** Monte-Carlo coverage estimate: `seeds_per_cell`
+//! independent RNG streams of `trials_per_seed` draws each, averaged.  Cell
+//! seeds are derived from `(base_seed, cell index, stream index)` with a
+//! SplitMix64 finaliser, so each cell is self-contained and the whole grid
+//! is a deterministic function of its inputs — fanning it across a
+//! [`SweepRunner`] produces byte-identical rows to the serial loop
+//! (asserted in `tests/harvest_grid.rs`).
+
+use crate::json_struct;
+use hidwa_core::arch::{NodeArchitecture, WorkloadSpec};
+use hidwa_core::sweep::SweepRunner;
+use hidwa_energy::harvest::{Harvester, HarvestingProfile};
+use hidwa_energy::projection::LifetimeProjector;
+use hidwa_energy::Battery;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One row of the harvesting-feasibility table.
+pub struct HarvestRow {
+    /// Harvesting profile label.
+    pub profile: String,
+    /// Workload class name.
+    pub workload: String,
+    /// Node architecture name.
+    pub architecture: &'static str,
+    /// Total node power under the architecture, µW.
+    pub node_power_uw: f64,
+    /// Long-run average harvested power of the profile, µW.
+    pub harvested_uw: f64,
+    /// Whether harvesting covers the average load (energy-neutral node).
+    pub energy_neutral: bool,
+    /// Monte-Carlo probability that instantaneous harvest covers the load,
+    /// averaged across the per-cell seeds.
+    pub coverage_probability: f64,
+    /// Operating band with harvesting folded into the projection.
+    pub band_with_harvesting: String,
+    /// Independent Monte-Carlo streams averaged into the estimate.
+    pub seeds: usize,
+}
+
+json_struct!(HarvestRow {
+    profile,
+    workload,
+    architecture,
+    node_power_uw,
+    harvested_uw,
+    energy_neutral,
+    coverage_probability,
+    band_with_harvesting,
+    seeds,
+});
+
+/// The paper's three harvesting profiles (§V energy neutrality).
+#[must_use]
+pub fn paper_profiles() -> Vec<(&'static str, HarvestingProfile)> {
+    vec![
+        (
+            "typical indoor (PV 4 cm² + TEG 2 cm²)",
+            HarvestingProfile::typical_indoor(),
+        ),
+        (
+            "PV-only wearable patch (2 cm²)",
+            HarvestingProfile::new(vec![Harvester::indoor_photovoltaic(2.0)]),
+        ),
+        (
+            "TEG + kinetic wristband",
+            HarvestingProfile::new(vec![
+                Harvester::thermoelectric(3.0),
+                Harvester::kinetic_wrist(),
+            ]),
+        ),
+    ]
+}
+
+/// SplitMix64 finaliser giving every `(cell, stream)` pair its own
+/// decorrelated RNG seed.
+fn cell_seed(base_seed: u64, cell: u64, stream: u64) -> u64 {
+    let mut z = base_seed
+        .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(cell.wrapping_add(1)))
+        .wrapping_add(0xD1B54A32D192ED03u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Evaluates the full (profile × workload × architecture) grid over `runner`,
+/// rows in profile-major, then workload, then architecture order — the same
+/// order as the serial triple loop it replaces.
+#[must_use]
+pub fn monte_carlo_grid(
+    runner: &SweepRunner,
+    base_seed: u64,
+    seeds_per_cell: usize,
+    trials_per_seed: usize,
+) -> Vec<HarvestRow> {
+    let profiles = paper_profiles();
+    let workloads = WorkloadSpec::paper_set();
+    let architectures = [
+        NodeArchitecture::human_inspired(),
+        NodeArchitecture::conventional(),
+    ];
+    let arch_count = architectures.len();
+    let cells: Vec<(usize, usize, usize)> = (0..profiles.len())
+        .flat_map(|p| {
+            (0..workloads.len()).flat_map(move |w| (0..arch_count).map(move |a| (p, w, a)))
+        })
+        .collect();
+    runner.map_indexed(&cells, |cell_index, &(p, w, a)| {
+        let (profile_name, profile) = &profiles[p];
+        let workload = &workloads[w];
+        let arch = &architectures[a];
+        let node_power = arch.power_breakdown(workload).total();
+        // Multi-seed Monte-Carlo: average the coverage estimate over
+        // independent streams so one unlucky stream cannot skew a cell.
+        let coverage = (0..seeds_per_cell)
+            .map(|stream| {
+                let mut rng =
+                    StdRng::seed_from_u64(cell_seed(base_seed, cell_index as u64, stream as u64));
+                profile.coverage_probability(node_power, trials_per_seed, &mut rng)
+            })
+            .sum::<f64>()
+            / seeds_per_cell.max(1) as f64;
+        let projector =
+            LifetimeProjector::new(Battery::coin_cell_1000mah()).with_harvesting(profile.clone());
+        let projection = projector.project(node_power);
+        HarvestRow {
+            profile: (*profile_name).to_string(),
+            workload: workload.name().to_string(),
+            architecture: arch.name(),
+            node_power_uw: node_power.as_micro_watts(),
+            harvested_uw: profile.average_output().as_micro_watts(),
+            energy_neutral: projection.is_energy_neutral(),
+            coverage_probability: coverage,
+            band_with_harvesting: projection.band().label().to_string(),
+            seeds: seeds_per_cell,
+        }
+    })
+}

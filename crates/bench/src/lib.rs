@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harvest;
 pub mod json;
 pub mod reference;
 
@@ -57,6 +58,26 @@ pub fn write_json<T: json::ToJson>(name: &str, value: &T) {
     let path = dir.join(format!("{name}.json"));
     fs::write(&path, json::to_string_pretty(value)).expect("write results file");
     println!("[results written to {}]", path.display());
+}
+
+/// Reads a `usize` knob from the environment, clamped to a minimum of 1
+/// (zero would panic or divide-by-zero in every sampling loop that uses it).
+#[must_use]
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+/// Reads an `f64` knob from the environment.
+#[must_use]
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Formats a power value with an auto-selected unit.

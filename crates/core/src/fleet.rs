@@ -1,18 +1,30 @@
-//! Fleet-scale batching of independent body networks.
+//! Streaming fleet simulation: populations of independent body networks
+//! ingested through a bounded-memory aggregator.
 //!
 //! The paper's north star is serving millions of users, and each user is one
 //! star-topology body network — fully independent of every other body, which
-//! makes fleet simulation embarrassingly parallel.  [`FleetConfig`] describes
-//! a batch of `N` identical bodies with decorrelated per-body seeds;
-//! [`FleetConfig::run`] fans the bodies across a
-//! [`SweepRunner`] and folds the per-body results
-//! **in body order**, so the aggregate [`FleetReport`] is byte-identical at
-//! any thread width (asserted by the tests below and by `bench_netsim`).
+//! makes fleet simulation embarrassingly parallel.  [`FleetConfig`] is a thin
+//! wrapper over a [`PopulationModel`]: each body's scenario (leaf set,
+//! traffic mix, radio, MAC policy) is sampled deterministically from
+//! `(base_seed, body_index)`, simulated on the streaming netsim engine, and
+//! reduced to a compact [`BodySummary`] inside the parallel map.
 //!
-//! Memory stays bounded at fleet scale: each body reduces to a compact
-//! [`BodySummary`] — counters, energy and a merged
-//! [`LatencySketch`] — inside the parallel map, so a million-body fleet holds
-//! a million summaries, never a million full event logs.
+//! # Bounded-memory aggregation
+//!
+//! Summaries are **not** materialised per body.  [`FleetConfig::run`] streams
+//! the fleet in body-order chunks over a
+//! [`SweepRunner`] and folds each chunk into a [`FleetAggregator`]: merged
+//! latency sketches, running counters, and a top-K list of the worst bodies
+//! by p95 latency.  Aggregation state is `O(K + sketch buckets)` —
+//! independent of fleet size — so a 10k-body (or 10M-body) stream runs in
+//! the memory of a single chunk.
+//!
+//! # Determinism
+//!
+//! Scenario sampling is a pure per-body function, chunks are folded in body
+//! order, and the fold itself is deterministic, so the final [`FleetReport`]
+//! is byte-identical at any thread width and any chunk size (asserted by the
+//! tests below and, at ≥1000 heterogeneous bodies, by `bench_netsim`).
 //!
 //! # Example
 //!
@@ -28,37 +40,40 @@
 //! assert!(report.fleet_latency().quantile(0.95) > TimeSpan::ZERO);
 //! ```
 
-use crate::scenario::{self, LeafSpec};
+use crate::population::{BodyScenario, LinkCache, PopulationModel};
+use crate::scenario;
 use crate::sweep::SweepRunner;
 use hidwa_netsim::mac::MacPolicy;
-use hidwa_netsim::sim::Simulation;
-use hidwa_netsim::sketch::LatencySketch;
+use hidwa_netsim::sketch::{self, LatencySketch};
 use hidwa_phy::RadioTechnology;
 use hidwa_units::{DataRate, DataVolume, Energy, TimeSpan};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
-/// SplitMix64 finaliser decorrelating per-body seeds: adjacent body indices
-/// map to statistically independent streams even for `base_seed = 0`.
-fn body_seed(base_seed: u64, body_index: u64) -> u64 {
-    let mut z =
-        base_seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(body_index.wrapping_add(1)));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
+pub use crate::population::body_seed;
 
-/// A batch of independent, identically configured body networks.
+/// A fleet of body networks drawn from a population model.
+///
+/// [`FleetConfig::new`] starts homogeneous (every body the standard five-leaf
+/// Wi-R network — a [`PopulationModel::uniform`]); [`FleetConfig::with_population`]
+/// swaps in a heterogeneous population.  The legacy homogeneous knobs
+/// ([`with_technology`](FleetConfig::with_technology),
+/// [`with_policy`](FleetConfig::with_policy),
+/// [`with_leaves`](FleetConfig::with_leaves)) apply across every archetype.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
     bodies: usize,
     base_seed: u64,
     horizon: TimeSpan,
-    technology: RadioTechnology,
-    policy: MacPolicy,
-    leaves: Vec<LeafSpec>,
+    population: PopulationModel,
+    top_k: usize,
+    chunk_size: Option<usize>,
 }
 
 impl FleetConfig {
+    /// Default number of worst bodies retained exactly by the aggregator.
+    pub const DEFAULT_TOP_K: usize = 8;
+
     /// A fleet of `bodies` copies of the standard five-leaf body network
     /// (Wi-R, polling MAC, 60 s horizon).
     #[must_use]
@@ -67,9 +82,13 @@ impl FleetConfig {
             bodies,
             base_seed: 0xF1EE7,
             horizon: TimeSpan::from_seconds(60.0),
-            technology: RadioTechnology::WiR,
-            policy: MacPolicy::Polling,
-            leaves: scenario::standard_leaf_set(),
+            population: PopulationModel::uniform(
+                RadioTechnology::WiR,
+                scenario::standard_leaf_set(),
+                MacPolicy::Polling,
+            ),
+            top_k: Self::DEFAULT_TOP_K,
+            chunk_size: None,
         }
     }
 
@@ -87,24 +106,47 @@ impl FleetConfig {
         self
     }
 
-    /// Sets the radio technology connecting every body's leaves to its hub.
+    /// Replaces the population the fleet draws bodies from.
+    #[must_use]
+    pub fn with_population(mut self, population: PopulationModel) -> Self {
+        self.population = population;
+        self
+    }
+
+    /// Sets the radio technology on every archetype of the population.
     #[must_use]
     pub fn with_technology(mut self, technology: RadioTechnology) -> Self {
-        self.technology = technology;
+        self.population = self.population.with_technology(technology);
         self
     }
 
-    /// Sets the MAC policy used on every body.
+    /// Sets the MAC policy on every archetype of the population.
     #[must_use]
     pub fn with_policy(mut self, policy: MacPolicy) -> Self {
-        self.policy = policy;
+        self.population = self.population.with_policy(policy);
         self
     }
 
-    /// Replaces the per-body leaf set.
+    /// Replaces every archetype's leaf set with the given fixed leaves.
     #[must_use]
-    pub fn with_leaves(mut self, leaves: Vec<LeafSpec>) -> Self {
-        self.leaves = leaves;
+    pub fn with_leaves(mut self, leaves: Vec<scenario::LeafSpec>) -> Self {
+        self.population = self.population.with_leaves(leaves);
+        self
+    }
+
+    /// Sets how many worst bodies (by p95 latency) the aggregator keeps
+    /// exactly (minimum 1).
+    #[must_use]
+    pub fn with_top_k(mut self, top_k: usize) -> Self {
+        self.top_k = top_k.max(1);
+        self
+    }
+
+    /// Sets the streaming chunk size (bodies materialised per fold step).
+    /// Defaults to `max(64, 4 × runner threads)`.
+    #[must_use]
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = Some(chunk_size.max(1));
         self
     }
 
@@ -120,51 +162,81 @@ impl FleetConfig {
         self.horizon
     }
 
+    /// The population bodies are drawn from.
+    #[must_use]
+    pub fn population(&self) -> &PopulationModel {
+        &self.population
+    }
+
     /// The seed the simulation of `body_index` runs under.
     #[must_use]
     pub fn seed_for_body(&self, body_index: usize) -> u64 {
         body_seed(self.base_seed, body_index as u64)
     }
 
-    /// Simulates the whole fleet over `runner` and aggregates in body order.
+    /// The scenario body `body_index` would run — a pure function of
+    /// `(base_seed, body_index)`, derivable without running anything.
+    #[must_use]
+    pub fn scenario_for_body(&self, body_index: usize) -> BodyScenario {
+        self.population.sample(self.base_seed, body_index as u64)
+    }
+
+    /// Simulates one body end to end: sample scenario, build, run, reduce.
+    fn simulate_body(&self, body_index: usize, links: &LinkCache) -> BodySummary {
+        let scenario = self.scenario_for_body(body_index);
+        let mut sim = scenario.build_simulation(links);
+        let report = sim.run(self.horizon);
+        let mut latency = LatencySketch::new();
+        let mut worst_p95 = TimeSpan::ZERO;
+        for (stats, sketch) in report.node_stats().iter().zip(report.latency_sketches()) {
+            latency.merge(sketch);
+            worst_p95 = worst_p95.max(stats.p95_latency);
+        }
+        BodySummary {
+            body_index,
+            seed: scenario.seed(),
+            archetype: Arc::clone(scenario.archetype_label()),
+            nodes: scenario.leaves().len(),
+            generated_frames: report.node_stats().iter().map(|s| s.generated_frames).sum(),
+            delivered_frames: report.node_stats().iter().map(|s| s.delivered_frames).sum(),
+            delivered_bytes: report.node_stats().iter().map(|s| s.delivered_bytes).sum(),
+            events_processed: report.events_processed(),
+            delivery_ratio: report.delivery_ratio(),
+            total_energy: report.total_energy(),
+            worst_p95_latency: worst_p95,
+            latency,
+        }
+    }
+
+    /// Streams the whole fleet over `runner` in body-order chunks and folds
+    /// every [`BodySummary`] into a bounded [`FleetAggregator`].
     ///
-    /// The expensive part — channel-model link derivation for each leaf —
-    /// runs once; every body reuses the resulting node configurations with
-    /// its own seed.  Each body runs on the streaming netsim engine, reduces
-    /// to a [`BodySummary`] inside the parallel map, and the summaries are
-    /// folded serially in body order, so the report is independent of the
-    /// runner's thread width.
+    /// The expensive channel-model link derivation runs once per distinct
+    /// `(technology, site)` pair of the population; each chunk materialises
+    /// at most `chunk_size` summaries before they are folded and dropped, so
+    /// peak memory is `O(chunk + K + sketch)` — independent of `bodies`.
+    /// Chunks are folded in body order and sampling is per-body pure, so the
+    /// report is byte-identical at any thread width and chunk size.
     #[must_use]
     pub fn run(&self, runner: &SweepRunner) -> FleetReport {
-        let template = scenario::body_network(self.technology, &self.leaves, self.policy);
-        let nodes = template.nodes().to_vec();
-        let bodies: Vec<usize> = (0..self.bodies).collect();
-        let summaries = runner.map(&bodies, |&body_index| {
-            let mut sim = Simulation::new(self.policy).with_seed(self.seed_for_body(body_index));
-            for node in &nodes {
-                sim.add_node(node.clone());
+        let links = LinkCache::for_population(&self.population);
+        let chunk_size = self
+            .chunk_size
+            .unwrap_or_else(|| (runner.threads() * 4).max(64));
+        let mut aggregator = FleetAggregator::new(self.horizon, self.top_k);
+        let mut chunk: Vec<usize> = Vec::with_capacity(chunk_size.min(self.bodies));
+        let mut start = 0;
+        while start < self.bodies {
+            let end = (start + chunk_size).min(self.bodies);
+            chunk.clear();
+            chunk.extend(start..end);
+            for summary in runner.map(&chunk, |&body_index| self.simulate_body(body_index, &links))
+            {
+                aggregator.ingest(summary);
             }
-            let report = sim.run(self.horizon);
-            let mut latency = LatencySketch::new();
-            let mut worst_p95 = TimeSpan::ZERO;
-            for (stats, sketch) in report.node_stats().iter().zip(report.latency_sketches()) {
-                latency.merge(sketch);
-                worst_p95 = worst_p95.max(stats.p95_latency);
-            }
-            BodySummary {
-                body_index,
-                seed: self.seed_for_body(body_index),
-                generated_frames: report.node_stats().iter().map(|s| s.generated_frames).sum(),
-                delivered_frames: report.node_stats().iter().map(|s| s.delivered_frames).sum(),
-                delivered_bytes: report.node_stats().iter().map(|s| s.delivered_bytes).sum(),
-                events_processed: report.events_processed(),
-                delivery_ratio: report.delivery_ratio(),
-                total_energy: report.total_energy(),
-                worst_p95_latency: worst_p95,
-                latency,
-            }
-        });
-        FleetReport::aggregate(self.horizon, summaries)
+            start = end;
+        }
+        aggregator.finish()
     }
 }
 
@@ -175,6 +247,10 @@ pub struct BodySummary {
     pub body_index: usize,
     /// Seed the body's traffic sources ran under.
     pub seed: u64,
+    /// Name of the population archetype the body was drawn from (interned).
+    pub archetype: Arc<str>,
+    /// Number of leaf nodes the body carried.
+    pub nodes: usize,
     /// Frames generated across the body's nodes.
     pub generated_frames: usize,
     /// Frames delivered to the body's hub.
@@ -193,51 +269,166 @@ pub struct BodySummary {
     pub latency: LatencySketch,
 }
 
-/// Deterministic, body-order aggregation of a fleet run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct FleetReport {
+/// Bounded-memory, body-order fold of a fleet stream.
+///
+/// State per aggregator, independent of how many bodies are ingested:
+///
+/// * one fleet-wide merged [`LatencySketch`] (every delivered frame),
+/// * one [`LatencySketch`] over per-body worst-p95 values (the cross-body
+///   SLO distribution, queryable to the sketch's documented 1/64 bound,
+///   with exact min/max),
+/// * running scalar totals (energy, frames, bytes, events, delivery),
+/// * the top-K worst bodies by p95, kept exactly (worst first, ties broken
+///   toward the earlier body).
+///
+/// Ingestion order **is** the determinism contract: fold summaries in body
+/// order and the result is byte-identical regardless of which threads
+/// produced them.  [`FleetConfig::run`] does exactly that.
+#[derive(Debug, Clone)]
+pub struct FleetAggregator {
     horizon: TimeSpan,
-    summaries: Vec<BodySummary>,
+    top_k: usize,
+    bodies: usize,
     fleet_latency: LatencySketch,
+    body_p95: LatencySketch,
     total_energy: Energy,
     total_generated: usize,
     total_delivered: usize,
     total_delivered_bytes: usize,
     total_events: u64,
+    min_body_delivery_ratio: f64,
+    worst: Vec<BodySummary>,
 }
 
-impl FleetReport {
-    fn aggregate(horizon: TimeSpan, summaries: Vec<BodySummary>) -> Self {
-        let mut fleet_latency = LatencySketch::new();
-        let mut total_energy = Energy::ZERO;
-        let mut total_generated = 0usize;
-        let mut total_delivered = 0usize;
-        let mut total_delivered_bytes = 0usize;
-        let mut total_events = 0u64;
-        for summary in &summaries {
-            fleet_latency.merge(&summary.latency);
-            total_energy += summary.total_energy;
-            total_generated += summary.generated_frames;
-            total_delivered += summary.delivered_frames;
-            total_delivered_bytes += summary.delivered_bytes;
-            total_events += summary.events_processed;
-        }
+impl FleetAggregator {
+    /// Creates an empty aggregator keeping the `top_k` worst bodies exactly.
+    #[must_use]
+    pub fn new(horizon: TimeSpan, top_k: usize) -> Self {
         Self {
             horizon,
-            summaries,
-            fleet_latency,
-            total_energy,
-            total_generated,
-            total_delivered,
-            total_delivered_bytes,
-            total_events,
+            top_k: top_k.max(1),
+            bodies: 0,
+            fleet_latency: LatencySketch::new(),
+            body_p95: LatencySketch::new(),
+            total_energy: Energy::ZERO,
+            total_generated: 0,
+            total_delivered: 0,
+            total_delivered_bytes: 0,
+            total_events: 0,
+            min_body_delivery_ratio: 1.0,
+            worst: Vec::new(),
         }
     }
 
+    /// Number of bodies ingested so far.
+    #[must_use]
+    pub fn bodies(&self) -> usize {
+        self.bodies
+    }
+
+    /// Folds one body into the aggregate.  Call in body order for
+    /// thread-width-independent results.
+    pub fn ingest(&mut self, summary: BodySummary) {
+        self.bodies += 1;
+        self.fleet_latency.merge(&summary.latency);
+        self.body_p95.record(summary.worst_p95_latency);
+        self.total_energy += summary.total_energy;
+        self.total_generated += summary.generated_frames;
+        self.total_delivered += summary.delivered_frames;
+        self.total_delivered_bytes += summary.delivered_bytes;
+        self.total_events += summary.events_processed;
+        self.min_body_delivery_ratio = self.min_body_delivery_ratio.min(summary.delivery_ratio);
+        // Keep `worst` sorted worst-first (p95 descending, earlier body
+        // first on ties): find the first slot whose p95 is strictly smaller
+        // and insert there, so in-order ingestion is fully deterministic.
+        if self.worst.len() == self.top_k
+            && summary.worst_p95_latency
+                <= self
+                    .worst
+                    .last()
+                    .map_or(TimeSpan::ZERO, |s| s.worst_p95_latency)
+        {
+            return;
+        }
+        let position = self
+            .worst
+            .iter()
+            .position(|s| s.worst_p95_latency < summary.worst_p95_latency)
+            .unwrap_or(self.worst.len());
+        self.worst.insert(position, summary);
+        self.worst.truncate(self.top_k);
+    }
+
+    /// Memory-footprint proxy of the aggregation state: live sketch buckets
+    /// (fleet + body-p95 + the top-K bodies' sketches) plus retained
+    /// summaries.  Bounded by value ranges and K — **not** by body count —
+    /// which `bench_netsim` asserts across a 10× fleet-size spread.
+    #[must_use]
+    pub fn state_buckets(&self) -> usize {
+        state_buckets_of(&self.fleet_latency, &self.body_p95, &self.worst)
+    }
+
+    /// Finalises the fold into a [`FleetReport`].
+    #[must_use]
+    pub fn finish(self) -> FleetReport {
+        FleetReport {
+            horizon: self.horizon,
+            top_k: self.top_k,
+            bodies: self.bodies,
+            fleet_latency: self.fleet_latency,
+            body_p95: self.body_p95,
+            total_energy: self.total_energy,
+            total_generated: self.total_generated,
+            total_delivered: self.total_delivered,
+            total_delivered_bytes: self.total_delivered_bytes,
+            total_events: self.total_events,
+            min_body_delivery_ratio: self.min_body_delivery_ratio,
+            worst: self.worst,
+        }
+    }
+}
+
+/// The one definition of the aggregation-state memory proxy: live sketch
+/// buckets (fleet + per-body-p95 + each retained body's sketch) plus one
+/// unit per retained summary.  Shared by [`FleetAggregator::state_buckets`]
+/// and [`FleetReport::aggregation_state_buckets`] so the bench's
+/// bounded-memory guard and the aggregator always measure the same quantity.
+fn state_buckets_of(
+    fleet_latency: &LatencySketch,
+    body_p95: &LatencySketch,
+    worst: &[BodySummary],
+) -> usize {
+    fleet_latency.bucket_count()
+        + body_p95.bucket_count()
+        + worst
+            .iter()
+            .map(|s| s.latency.bucket_count() + 1)
+            .sum::<usize>()
+}
+
+/// Deterministic aggregate of a fleet stream — everything the old
+/// materialised report answered, from `O(K + sketch)` state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    horizon: TimeSpan,
+    top_k: usize,
+    bodies: usize,
+    fleet_latency: LatencySketch,
+    body_p95: LatencySketch,
+    total_energy: Energy,
+    total_generated: usize,
+    total_delivered: usize,
+    total_delivered_bytes: usize,
+    total_events: u64,
+    min_body_delivery_ratio: f64,
+    worst: Vec<BodySummary>,
+}
+
+impl FleetReport {
     /// Number of bodies aggregated.
     #[must_use]
     pub fn bodies(&self) -> usize {
-        self.summaries.len()
+        self.bodies
     }
 
     /// Simulated horizon per body.
@@ -246,10 +437,11 @@ impl FleetReport {
         self.horizon
     }
 
-    /// Per-body summaries, in body order.
+    /// The worst bodies by p95 latency (worst first), kept exactly — at most
+    /// the configured top-K, fewer when the fleet is smaller.
     #[must_use]
-    pub fn summaries(&self) -> &[BodySummary] {
-        &self.summaries
+    pub fn worst_bodies(&self) -> &[BodySummary] {
+        &self.worst
     }
 
     /// Fleet-wide delivery-latency distribution (every delivered frame on
@@ -257,6 +449,13 @@ impl FleetReport {
     #[must_use]
     pub fn fleet_latency(&self) -> &LatencySketch {
         &self.fleet_latency
+    }
+
+    /// Distribution of per-body worst p95 latency across the fleet (exact
+    /// count/min/max, quantiles within the sketch bound).
+    #[must_use]
+    pub fn body_p95_distribution(&self) -> &LatencySketch {
+        &self.body_p95
     }
 
     /// Total discrete events processed across the fleet.
@@ -295,26 +494,52 @@ impl FleetReport {
         DataVolume::from_bytes(self.total_delivered_bytes as f64) / self.horizon
     }
 
-    /// Exact `q`-quantile (nearest-rank) across bodies of the per-body worst
-    /// p95 latency — the "how bad is the unluckiest body" fleet SLO curve.
+    /// Memory-footprint proxy of the retained aggregation state (see
+    /// [`FleetAggregator::state_buckets`]).
     #[must_use]
-    pub fn body_worst_p95_quantile(&self, q: f64) -> TimeSpan {
-        let mut values: Vec<TimeSpan> =
-            self.summaries.iter().map(|s| s.worst_p95_latency).collect();
-        if values.is_empty() {
-            return TimeSpan::ZERO;
-        }
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
-        values[hidwa_netsim::sketch::nearest_rank_index(values.len(), q)]
+    pub fn aggregation_state_buckets(&self) -> usize {
+        state_buckets_of(&self.fleet_latency, &self.body_p95, &self.worst)
     }
 
-    /// Smallest per-body delivery ratio in the fleet.
+    /// The `q`-quantile (nearest-rank, `q` clamped to `[0, 1]`) across bodies
+    /// of the per-body worst p95 latency — the "how bad is the unluckiest
+    /// body" fleet SLO curve.
+    ///
+    /// Exactness follows the bounded aggregation state: ranks that land in
+    /// the retained top-K tail (always including `q = 1.0`) and `q = 0.0`
+    /// (the sketch's exact minimum) are **exact**; interior quantiles come
+    /// from the per-body p95 sketch and may over-report by at most
+    /// [`hidwa_netsim::sketch::RELATIVE_ERROR_BOUND`], never under-report.
+    /// The curve is monotone in `q`: interior results are capped by the
+    /// smallest retained tail value (a valid upper bound for every interior
+    /// rank), so the sketch's overshoot can never lift an interior point
+    /// above the exact tail that follows it.
+    #[must_use]
+    pub fn body_worst_p95_quantile(&self, q: f64) -> TimeSpan {
+        if self.bodies == 0 {
+            return TimeSpan::ZERO;
+        }
+        // Rank in the ascending per-body ordering.
+        let index = sketch::nearest_rank_index(self.bodies, q);
+        if index == 0 {
+            return self.body_p95.min();
+        }
+        // `worst` holds the top `worst.len()` ascending positions
+        // `bodies - worst.len() ..= bodies - 1`, worst first.
+        if index >= self.bodies - self.worst.len() {
+            return self.worst[self.bodies - 1 - index].worst_p95_latency;
+        }
+        let interior = self.body_p95.quantile(q);
+        self.worst
+            .last()
+            .map_or(interior, |tail| interior.min(tail.worst_p95_latency))
+    }
+
+    /// Smallest per-body delivery ratio in the fleet (1.0 for an empty
+    /// fleet).
     #[must_use]
     pub fn min_body_delivery_ratio(&self) -> f64 {
-        self.summaries
-            .iter()
-            .map(|s| s.delivery_ratio)
-            .fold(1.0, f64::min)
+        self.min_body_delivery_ratio
     }
 }
 
@@ -333,10 +558,12 @@ mod tests {
         }
         // Derivation is pure: same index, same seed.
         assert_eq!(fleet.seed_for_body(2), fleet.seed_for_body(2));
+        // And the scenario layer agrees with the fleet layer.
+        assert_eq!(fleet.scenario_for_body(2).seed(), fleet.seed_for_body(2));
     }
 
     #[test]
-    fn fleet_aggregates_are_identical_across_thread_widths() {
+    fn fleet_aggregates_are_identical_across_thread_widths_and_chunks() {
         let fleet = FleetConfig::new(32)
             .with_base_seed(99)
             .with_horizon(TimeSpan::from_seconds(2.0));
@@ -344,33 +571,72 @@ mod tests {
         let wide = fleet.run(&SweepRunner::with_threads(4));
         assert_eq!(serial, wide);
         assert_eq!(serial.bodies(), 32);
+        // Chunk size is an execution detail, not an output knob.
+        let chunked = fleet
+            .clone()
+            .with_chunk_size(5)
+            .run(&SweepRunner::with_threads(3));
+        assert_eq!(serial, chunked);
     }
 
     #[test]
-    fn fleet_totals_match_the_sum_of_bodies() {
+    fn heterogeneous_fleet_is_deterministic_and_bounded() {
+        let fleet = FleetConfig::new(48)
+            .with_population(PopulationModel::mixed_default())
+            .with_base_seed(2024)
+            .with_horizon(TimeSpan::from_seconds(1.0))
+            .with_top_k(4);
+        let serial = fleet.run(&SweepRunner::serial());
+        let wide = fleet
+            .clone()
+            .with_chunk_size(7)
+            .run(&SweepRunner::with_threads(4));
+        assert_eq!(serial, wide);
+        assert_eq!(serial.bodies(), 48);
+        assert_eq!(serial.worst_bodies().len(), 4);
+        // Worst-first ordering with deterministic tie-breaks.
+        for pair in serial.worst_bodies().windows(2) {
+            assert!(pair[0].worst_p95_latency >= pair[1].worst_p95_latency);
+        }
+        // Multiple archetypes actually showed up in the stream.
+        let sampled: Vec<&str> = (0..48)
+            .map(|i| fleet.scenario_for_body(i))
+            .map(|s| {
+                if s.archetype() == "health-patch" {
+                    "h"
+                } else {
+                    "o"
+                }
+            })
+            .collect();
+        assert!(sampled.contains(&"h") && sampled.contains(&"o"));
+    }
+
+    #[test]
+    fn fleet_totals_match_a_manual_fold() {
         let fleet = FleetConfig::new(5).with_horizon(TimeSpan::from_seconds(3.0));
         let report = fleet.run(&SweepRunner::serial());
-        let bytes: usize = report.summaries().iter().map(|s| s.delivered_bytes).sum();
-        assert_eq!(report.delivered_bytes(), bytes);
-        let events: u64 = report.summaries().iter().map(|s| s.events_processed).sum();
-        assert_eq!(report.events_processed(), events);
+        // Re-derive the same totals by folding the five bodies by hand.
+        let links = LinkCache::for_population(fleet.population());
+        let mut aggregator = FleetAggregator::new(fleet.horizon(), FleetConfig::DEFAULT_TOP_K);
+        for i in 0..5 {
+            aggregator.ingest(fleet.simulate_body(i, &links));
+        }
+        let manual = aggregator.finish();
+        assert_eq!(report, manual);
         assert!(report.delivery_ratio() > 0.9);
         assert!(report.total_energy() > Energy::ZERO);
         assert!(report.aggregate_throughput() > DataRate::ZERO);
-        // Each body saw different traffic (bursty-free bodies still differ in
-        // nothing, so compare sketch counts only loosely): every body did work.
-        assert!(report.summaries().iter().all(|s| s.delivered_frames > 0));
-        // The fleet sketch merges every body's samples.
-        let sample_count: u64 = report.summaries().iter().map(|s| s.latency.count()).sum();
-        assert_eq!(report.fleet_latency().count(), sample_count);
-        assert_eq!(
-            report.fleet_latency().count(),
-            report
-                .summaries()
-                .iter()
-                .map(|s| s.delivered_frames as u64)
-                .sum::<u64>()
-        );
+        // With K ≥ bodies, every body is retained and the sketch merged all
+        // delivered frames.
+        assert_eq!(report.worst_bodies().len(), 5);
+        let delivered: u64 = report
+            .worst_bodies()
+            .iter()
+            .map(|s| s.delivered_frames as u64)
+            .sum();
+        assert_eq!(report.fleet_latency().count(), delivered);
+        assert_eq!(report.body_p95_distribution().count(), 5);
     }
 
     #[test]
@@ -382,7 +648,104 @@ mod tests {
         let worst = report.body_worst_p95_quantile(1.0);
         assert!(p50 <= p95 && p95 <= worst);
         assert!(worst > TimeSpan::ZERO);
+        // q = 1.0 is exact: it is the retained worst body.
+        assert_eq!(worst, report.worst_bodies()[0].worst_p95_latency);
         assert!(report.min_body_delivery_ratio() > 0.5);
-        assert_eq!(FleetConfig::new(0).run(&SweepRunner::serial()).bodies(), 0);
+    }
+
+    #[test]
+    fn zero_body_fleet_reports_identities() {
+        let report = FleetConfig::new(0).run(&SweepRunner::serial());
+        assert_eq!(report.bodies(), 0);
+        assert!(report.worst_bodies().is_empty());
+        assert_eq!(report.events_processed(), 0);
+        assert_eq!(report.delivered_bytes(), 0);
+        assert_eq!(report.delivery_ratio(), 1.0);
+        assert_eq!(report.total_energy(), Energy::ZERO);
+        assert_eq!(report.aggregate_throughput(), DataRate::ZERO);
+        assert_eq!(report.min_body_delivery_ratio(), 1.0);
+        assert_eq!(report.body_worst_p95_quantile(0.0), TimeSpan::ZERO);
+        assert_eq!(report.body_worst_p95_quantile(0.5), TimeSpan::ZERO);
+        assert_eq!(report.body_worst_p95_quantile(1.0), TimeSpan::ZERO);
+        assert_eq!(report.fleet_latency().count(), 0);
+    }
+
+    #[test]
+    fn single_body_fleet_is_its_own_quantile() {
+        let fleet = FleetConfig::new(1).with_horizon(TimeSpan::from_seconds(2.0));
+        let report = fleet.run(&SweepRunner::serial());
+        assert_eq!(report.bodies(), 1);
+        assert_eq!(report.worst_bodies().len(), 1);
+        let only = report.worst_bodies()[0].worst_p95_latency;
+        // With one body every quantile is that body — and exact, because the
+        // single ascending position is inside the retained tail.
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(report.body_worst_p95_quantile(q), only);
+        }
+        assert!(only > TimeSpan::ZERO);
+    }
+
+    #[test]
+    fn boundary_quantiles_are_exact_even_beyond_top_k() {
+        // 12 bodies, top-K of 2: interior quantiles go through the sketch,
+        // but q = 0.0 (exact min) and q = 1.0 (retained worst) stay exact.
+        let fleet = FleetConfig::new(12)
+            .with_population(PopulationModel::mixed_default())
+            .with_horizon(TimeSpan::from_seconds(1.0))
+            .with_top_k(2);
+        let report = fleet.run(&SweepRunner::serial());
+        assert_eq!(report.worst_bodies().len(), 2);
+        // Exact per-body p95 values, recomputed independently.
+        let links = LinkCache::for_population(fleet.population());
+        let mut p95s: Vec<TimeSpan> = (0..12)
+            .map(|i| fleet.simulate_body(i, &links).worst_p95_latency)
+            .collect();
+        p95s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+        assert_eq!(report.body_worst_p95_quantile(0.0), p95s[0]);
+        assert_eq!(report.body_worst_p95_quantile(1.0), p95s[11]);
+        // The second-worst is also in the retained tail, hence exact.
+        let q_second = 10.0 / 11.0;
+        assert_eq!(report.body_worst_p95_quantile(q_second), p95s[10]);
+        // Interior quantiles respect the sketch bound relative to exact.
+        for q in [0.25, 0.5, 0.75] {
+            let exact = p95s[sketch::nearest_rank_index(12, q)];
+            let got = report.body_worst_p95_quantile(q);
+            assert!(got >= exact);
+            assert!(
+                got.as_seconds()
+                    <= exact.as_seconds() * (1.0 + sketch::RELATIVE_ERROR_BOUND) + 1e-15
+            );
+        }
+        // The SLO curve is monotone in q — including across the
+        // sketch-interior → exact-tail boundary, where the interior result
+        // is capped by the smallest retained tail value.
+        let curve: Vec<TimeSpan> = (0..=100)
+            .map(|i| report.body_worst_p95_quantile(i as f64 / 100.0))
+            .collect();
+        for pair in curve.windows(2) {
+            assert!(pair[0] <= pair[1], "SLO curve dipped: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn aggregator_state_is_independent_of_body_count() {
+        let run = |bodies: usize| {
+            FleetConfig::new(bodies)
+                .with_population(PopulationModel::mixed_default())
+                .with_horizon(TimeSpan::from_seconds(1.0))
+                .run(&SweepRunner::serial())
+        };
+        let small = run(20);
+        let large = run(200);
+        // 10× the bodies must not grow retained state 10×: the sketch window
+        // may widen a little as rarer latencies appear, but stays in the
+        // same O(K + buckets) class.
+        assert!(
+            large.aggregation_state_buckets() <= small.aggregation_state_buckets() * 2 + 64,
+            "state grew with fleet size: {} -> {}",
+            small.aggregation_state_buckets(),
+            large.aggregation_state_buckets()
+        );
+        assert_eq!(large.worst_bodies().len(), FleetConfig::DEFAULT_TOP_K);
     }
 }

@@ -20,9 +20,13 @@
 //! * [`sweep`] — the parallel sweep runner that fans figure-scale grids
 //!   (model × context × objective, multi-seed simulation batches) across
 //!   threads with deterministic, serial-identical output ordering.
-//! * [`fleet`] — fleet-scale batching of independent body networks over the
-//!   sweep runner: per-body seeds, bounded per-body summaries and
-//!   thread-width-independent aggregation (the millions-of-users direction).
+//! * [`population`] — weighted body archetypes (leaf sets, traffic mixes,
+//!   radios, MAC policies) sampled deterministically into per-body scenarios:
+//!   heterogeneous fleets as a pure function of `(base_seed, body_index)`.
+//! * [`fleet`] — streaming fleet simulation of independent body networks over
+//!   the sweep runner: per-body seeds, bounded per-body summaries and a
+//!   bounded-memory aggregator whose state is independent of fleet size (the
+//!   millions-of-users direction).
 //!
 //! # Caching and ownership model
 //!
@@ -63,6 +67,7 @@ pub mod devices;
 mod error;
 pub mod fleet;
 pub mod partition;
+pub mod population;
 pub mod projection;
 pub mod scenario;
 pub mod sweep;

@@ -1,0 +1,746 @@
+//! Population models: deterministic sampling of heterogeneous per-body
+//! scenarios.
+//!
+//! The paper's vision is a planet-scale population of body networks, and real
+//! populations are not clones: different wearers carry different sensor
+//! suites, run different traffic mixes and connect over different radios.  A
+//! [`PopulationModel`] captures that spread as weighted [`BodyArchetype`]s
+//! (each a distribution over leaf sets, per-leaf [`TrafficMix`]es, radio
+//! technology and MAC policy), and [`PopulationModel::sample`] draws one
+//! concrete [`BodyScenario`] per body.
+//!
+//! # Determinism model
+//!
+//! Body `i`'s scenario is a **pure function of `(base_seed, i)`**: sampling
+//! seeds a fresh SplitMix64-backed RNG from the per-body seed (the same
+//! [`body_seed`] finaliser the fleet layer uses for simulation seeds, domain-
+//! separated by a constant), draws the archetype, per-leaf presence and
+//! per-leaf traffic in a fixed order, and never touches shared state.  Two
+//! consequences the fleet layer builds on:
+//!
+//! * a body's scenario is byte-identical no matter which thread materialises
+//!   it, at any [`SweepRunner`](crate::sweep::SweepRunner) width, and
+//! * scenarios never need to be stored — any body can be re-derived on
+//!   demand, which is what lets a 10k-body stream run with O(1) scenario
+//!   memory.
+//!
+//! # Example
+//!
+//! ```
+//! use hidwa_core::population::PopulationModel;
+//!
+//! let population = PopulationModel::mixed_default();
+//! let a = population.sample(42, 7);
+//! let b = population.sample(42, 7);
+//! assert_eq!(a.leaves().len(), b.leaves().len());
+//! assert_eq!(a.archetype(), b.archetype());
+//! // Different bodies draw (statistically) different scenarios.
+//! assert!((0..64).any(|i| population.sample(42, i).archetype() != a.archetype()));
+//! ```
+
+use crate::scenario::{self, LeafSpec};
+use hidwa_eqs::body::BodySite;
+use hidwa_netsim::mac::MacPolicy;
+use hidwa_netsim::node::{LinkParams, NodeConfig};
+use hidwa_netsim::sim::Simulation;
+use hidwa_netsim::traffic::{self, TrafficMix, TrafficPattern};
+use hidwa_phy::RadioTechnology;
+use hidwa_units::{DataRate, Power, TimeSpan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// SplitMix64 finaliser decorrelating per-body seeds: adjacent body indices
+/// map to statistically independent streams even for `base_seed = 0`.  The
+/// fleet layer feeds the result to each body's simulation; scenario sampling
+/// re-finalises it under a domain-separation constant so the two streams
+/// never alias.
+#[must_use]
+pub fn body_seed(base_seed: u64, body_index: u64) -> u64 {
+    let mut z =
+        base_seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(body_index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Domain-separation constant between a body's simulation RNG stream and its
+/// scenario-sampling RNG stream.
+const SCENARIO_DOMAIN: u64 = 0x5CE7_A810_D0AB_1E55;
+
+/// One leaf slot of an archetype: the base [`LeafSpec`], how likely the leaf
+/// is to be worn at all, and the [`TrafficMix`] its traffic pattern is drawn
+/// from.
+#[derive(Debug, Clone)]
+pub struct LeafArchetype {
+    spec: LeafSpec,
+    presence: f64,
+    traffic: TrafficMix,
+}
+
+impl LeafArchetype {
+    /// A leaf present on every body of the archetype, always running the
+    /// spec's own traffic pattern — the homogeneous building block
+    /// [`PopulationModel::uniform`] is made of.
+    #[must_use]
+    pub fn fixed(spec: LeafSpec) -> Self {
+        let traffic = TrafficMix::fixed(spec.traffic.clone());
+        Self {
+            spec,
+            presence: 1.0,
+            traffic,
+        }
+    }
+
+    /// A leaf worn with probability `presence` (clamped to `[0, 1]`) whose
+    /// traffic pattern is drawn from `traffic` per body.
+    #[must_use]
+    pub fn new(spec: LeafSpec, presence: f64, traffic: TrafficMix) -> Self {
+        Self {
+            spec,
+            presence: presence.clamp(0.0, 1.0),
+            traffic,
+        }
+    }
+
+    /// The base leaf specification (site, modality, compute power).
+    #[must_use]
+    pub fn spec(&self) -> &LeafSpec {
+        &self.spec
+    }
+
+    /// Probability the leaf is present on a sampled body.
+    #[must_use]
+    pub fn presence(&self) -> f64 {
+        self.presence
+    }
+
+    /// The traffic mix the leaf's pattern is drawn from.
+    #[must_use]
+    pub fn traffic(&self) -> &TrafficMix {
+        &self.traffic
+    }
+}
+
+/// A weighted class of wearers: which leaves they carry (each with a presence
+/// probability and a traffic mix), over which radio, under which MAC policy.
+#[derive(Debug, Clone)]
+pub struct BodyArchetype {
+    name: Arc<str>,
+    weight: f64,
+    technology: RadioTechnology,
+    policy: MacPolicy,
+    leaves: Vec<LeafArchetype>,
+}
+
+impl BodyArchetype {
+    /// Creates an archetype.  Non-finite or negative weights are clamped to
+    /// zero (a zero-weight archetype is never sampled unless every weight is
+    /// zero, in which case the first archetype wins).
+    #[must_use]
+    pub fn new(
+        name: impl AsRef<str>,
+        weight: f64,
+        technology: RadioTechnology,
+        policy: MacPolicy,
+        leaves: Vec<LeafArchetype>,
+    ) -> Self {
+        Self {
+            name: Arc::from(name.as_ref()),
+            weight: if weight.is_finite() && weight > 0.0 {
+                weight
+            } else {
+                0.0
+            },
+            technology,
+            policy,
+            leaves,
+        }
+    }
+
+    /// Archetype label (interned; shared by every scenario drawn from it).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Relative weight of the archetype in the population.
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Radio technology connecting this archetype's leaves to the hub.
+    #[must_use]
+    pub fn technology(&self) -> RadioTechnology {
+        self.technology
+    }
+
+    /// MAC policy on this archetype's shared medium.
+    #[must_use]
+    pub fn policy(&self) -> MacPolicy {
+        self.policy
+    }
+
+    /// The leaf slots bodies of this archetype draw from.
+    #[must_use]
+    pub fn leaves(&self) -> &[LeafArchetype] {
+        &self.leaves
+    }
+}
+
+/// A distribution over body networks: weighted archetypes, sampled per body.
+#[derive(Debug, Clone)]
+pub struct PopulationModel {
+    archetypes: Vec<BodyArchetype>,
+}
+
+impl PopulationModel {
+    /// Creates a population from explicit archetypes.
+    ///
+    /// # Panics
+    /// Panics if `archetypes` is empty — a population must describe at least
+    /// one body class.
+    #[must_use]
+    pub fn new(archetypes: Vec<BodyArchetype>) -> Self {
+        assert!(
+            !archetypes.is_empty(),
+            "PopulationModel needs at least one archetype"
+        );
+        Self { archetypes }
+    }
+
+    /// The homogeneous population: every body carries exactly `leaves` with
+    /// their own traffic patterns over one radio and MAC policy.  This is the
+    /// old `FleetConfig` behaviour expressed as a (degenerate) population —
+    /// sampling it yields the identical scenario for every body.
+    #[must_use]
+    pub fn uniform(technology: RadioTechnology, leaves: Vec<LeafSpec>, policy: MacPolicy) -> Self {
+        Self::new(vec![BodyArchetype::new(
+            "uniform",
+            1.0,
+            technology,
+            policy,
+            leaves.into_iter().map(LeafArchetype::fixed).collect(),
+        )])
+    }
+
+    /// A paper-flavoured heterogeneous default: health-patch wearers
+    /// (ECG-centric, Wi-R), AR-assistant wearers (audio + vision heavy,
+    /// Wi-R) and a legacy BLE minimal-tracker class.  Used by the
+    /// heterogeneous-fleet benches and `examples/fleet.rs`.
+    #[must_use]
+    pub fn mixed_default() -> Self {
+        use hidwa_energy::sensing::SensorModality;
+        let leaf = |name: &'static str,
+                    site: BodySite,
+                    modality: SensorModality,
+                    traffic: TrafficPattern,
+                    compute_uw: f64| LeafSpec {
+            name,
+            site,
+            modality,
+            traffic,
+            compute_power: Power::from_micro_watts(compute_uw),
+        };
+        let health_patch = BodyArchetype::new(
+            "health-patch",
+            0.5,
+            RadioTechnology::WiR,
+            MacPolicy::Polling,
+            vec![
+                LeafArchetype::new(
+                    leaf(
+                        "ecg-patch",
+                        BodySite::Chest,
+                        SensorModality::Biopotential,
+                        TrafficPattern::periodic(TimeSpan::from_seconds(1.0), 512),
+                        5.0,
+                    ),
+                    1.0,
+                    TrafficMix::new(vec![
+                        // Routine monitoring vs a high-rate capture mode.
+                        (
+                            0.7,
+                            TrafficPattern::periodic(TimeSpan::from_seconds(1.0), 512),
+                        ),
+                        (
+                            0.3,
+                            TrafficPattern::periodic(TimeSpan::from_millis(250.0), 512),
+                        ),
+                    ]),
+                ),
+                LeafArchetype::new(
+                    leaf(
+                        "smart-ring",
+                        BodySite::Finger,
+                        SensorModality::Environmental,
+                        TrafficPattern::periodic(TimeSpan::from_seconds(10.0), 128),
+                        1.0,
+                    ),
+                    0.8,
+                    TrafficMix::fixed(TrafficPattern::periodic(TimeSpan::from_seconds(10.0), 128)),
+                ),
+                LeafArchetype::new(
+                    leaf(
+                        "imu-wristband",
+                        BodySite::Wrist,
+                        SensorModality::Inertial,
+                        TrafficPattern::streaming(DataRate::from_kbps(13.0), 512),
+                        5.0,
+                    ),
+                    0.9,
+                    TrafficMix::new(vec![
+                        (
+                            0.6,
+                            TrafficPattern::streaming(DataRate::from_kbps(13.0), 512),
+                        ),
+                        (
+                            0.4,
+                            TrafficPattern::periodic(TimeSpan::from_seconds(1.0), 256),
+                        ),
+                    ]),
+                ),
+            ],
+        );
+        let ar_assistant = BodyArchetype::new(
+            "ar-assistant",
+            0.3,
+            RadioTechnology::WiR,
+            MacPolicy::Polling,
+            vec![
+                LeafArchetype::new(
+                    leaf(
+                        "earbuds-audio",
+                        BodySite::Ear,
+                        SensorModality::Audio,
+                        TrafficPattern::streaming(DataRate::from_kbps(256.0), 1024),
+                        50.0,
+                    ),
+                    1.0,
+                    TrafficMix::new(vec![
+                        (
+                            0.7,
+                            TrafficPattern::streaming(DataRate::from_kbps(256.0), 1024),
+                        ),
+                        (
+                            0.3,
+                            TrafficPattern::streaming(DataRate::from_kbps(128.0), 1024),
+                        ),
+                    ]),
+                ),
+                LeafArchetype::new(
+                    leaf(
+                        "camera-glasses",
+                        BodySite::Face,
+                        SensorModality::Vision,
+                        TrafficPattern::streaming(DataRate::from_mbps(2.0), 4096),
+                        500.0,
+                    ),
+                    1.0,
+                    TrafficMix::new(vec![
+                        (
+                            0.5,
+                            TrafficPattern::streaming(DataRate::from_mbps(2.0), 4096),
+                        ),
+                        (
+                            0.3,
+                            TrafficPattern::streaming(DataRate::from_mbps(1.0), 4096),
+                        ),
+                        // Event-driven capture (scene changes).
+                        (
+                            0.2,
+                            TrafficPattern::bursty(TimeSpan::from_millis(50.0), 4096),
+                        ),
+                    ]),
+                ),
+                LeafArchetype::new(
+                    leaf(
+                        "imu-wristband",
+                        BodySite::Wrist,
+                        SensorModality::Inertial,
+                        TrafficPattern::streaming(DataRate::from_kbps(13.0), 512),
+                        5.0,
+                    ),
+                    0.7,
+                    TrafficMix::fixed(TrafficPattern::streaming(DataRate::from_kbps(13.0), 512)),
+                ),
+            ],
+        );
+        let ble_minimal = BodyArchetype::new(
+            "ble-minimal",
+            0.2,
+            RadioTechnology::Ble,
+            MacPolicy::Tdma,
+            vec![
+                LeafArchetype::new(
+                    leaf(
+                        "smart-ring",
+                        BodySite::Finger,
+                        SensorModality::Environmental,
+                        TrafficPattern::periodic(TimeSpan::from_seconds(10.0), 128),
+                        1.0,
+                    ),
+                    1.0,
+                    TrafficMix::new(vec![
+                        (
+                            0.8,
+                            TrafficPattern::periodic(TimeSpan::from_seconds(10.0), 128),
+                        ),
+                        (
+                            0.2,
+                            TrafficPattern::periodic(TimeSpan::from_seconds(2.0), 128),
+                        ),
+                    ]),
+                ),
+                LeafArchetype::new(
+                    leaf(
+                        "fitness-band",
+                        BodySite::Wrist,
+                        SensorModality::Inertial,
+                        TrafficPattern::periodic(TimeSpan::from_seconds(1.0), 256),
+                        2.0,
+                    ),
+                    0.9,
+                    TrafficMix::new(vec![
+                        (
+                            0.6,
+                            TrafficPattern::periodic(TimeSpan::from_seconds(1.0), 256),
+                        ),
+                        (
+                            0.4,
+                            TrafficPattern::streaming(DataRate::from_kbps(13.0), 512),
+                        ),
+                    ]),
+                ),
+            ],
+        );
+        Self::new(vec![health_patch, ar_assistant, ble_minimal])
+    }
+
+    /// The archetypes of the population.
+    #[must_use]
+    pub fn archetypes(&self) -> &[BodyArchetype] {
+        &self.archetypes
+    }
+
+    /// Sets the radio technology on **every** archetype — the homogeneous
+    /// `FleetConfig::with_technology` knob expressed against a population.
+    #[must_use]
+    pub fn with_technology(mut self, technology: RadioTechnology) -> Self {
+        for archetype in &mut self.archetypes {
+            archetype.technology = technology;
+        }
+        self
+    }
+
+    /// Sets the MAC policy on **every** archetype.
+    #[must_use]
+    pub fn with_policy(mut self, policy: MacPolicy) -> Self {
+        for archetype in &mut self.archetypes {
+            archetype.policy = policy;
+        }
+        self
+    }
+
+    /// Replaces **every** archetype's leaf set with the given always-present,
+    /// fixed-traffic leaves — the homogeneous `FleetConfig::with_leaves` knob.
+    #[must_use]
+    pub fn with_leaves(mut self, leaves: Vec<LeafSpec>) -> Self {
+        for archetype in &mut self.archetypes {
+            archetype.leaves = leaves.iter().cloned().map(LeafArchetype::fixed).collect();
+        }
+        self
+    }
+
+    /// Samples body `body_index`'s scenario — a pure function of
+    /// `(base_seed, body_index)` (see the module docs), so the result is
+    /// byte-identical wherever and whenever it is materialised.
+    #[must_use]
+    pub fn sample(&self, base_seed: u64, body_index: u64) -> BodyScenario {
+        let sim_seed = body_seed(base_seed, body_index);
+        let mut rng = StdRng::seed_from_u64(sim_seed ^ SCENARIO_DOMAIN);
+        // Archetype draw: one uniform over cumulative weights (the shared
+        // `weighted_index` helper, so mix and archetype draws stay in sync).
+        // A degenerate all-zero-weight population still consumes its draw
+        // and falls back to the first archetype.
+        let archetype =
+            &self.archetypes[traffic::weighted_index(&mut rng, self.archetypes.len(), |i| {
+                self.archetypes[i].weight
+            })
+            .unwrap_or(0)];
+        // Per-leaf draws, in leaf order: presence, then traffic.  Every leaf
+        // consumes exactly two draws whether or not it is present, so adding
+        // a leaf to an archetype never perturbs the draws of later leaves'
+        // siblings on *other* archetypes (each body re-seeds, so cross-body
+        // alignment is moot, but keeping draw counts shape-independent makes
+        // scenarios stable under presence-probability tweaks).
+        let mut leaves = Vec::with_capacity(archetype.leaves.len());
+        for slot in &archetype.leaves {
+            let present = rng.gen_bool(slot.presence);
+            let traffic = slot.traffic.sample(&mut rng).clone();
+            if present {
+                let mut spec = slot.spec.clone();
+                spec.traffic = traffic;
+                leaves.push(spec);
+            }
+        }
+        BodyScenario {
+            body_index,
+            seed: sim_seed,
+            archetype: Arc::clone(&archetype.name),
+            technology: archetype.technology,
+            policy: archetype.policy,
+            leaves,
+        }
+    }
+
+    /// The distinct `(technology, body site)` pairs any scenario sampled from
+    /// this population can require — the domain a [`LinkCache`] precomputes.
+    #[must_use]
+    pub fn link_domain(&self) -> Vec<(RadioTechnology, BodySite)> {
+        let mut pairs: Vec<(RadioTechnology, BodySite)> = Vec::new();
+        for archetype in &self.archetypes {
+            for slot in &archetype.leaves {
+                let pair = (archetype.technology, slot.spec.site);
+                if !pairs.contains(&pair) {
+                    pairs.push(pair);
+                }
+            }
+        }
+        pairs
+    }
+}
+
+/// One concrete body drawn from a population: the leaf set (with sampled
+/// traffic patterns), radio, MAC policy and the seed its simulation runs
+/// under.
+#[derive(Debug, Clone)]
+pub struct BodyScenario {
+    body_index: u64,
+    seed: u64,
+    archetype: Arc<str>,
+    technology: RadioTechnology,
+    policy: MacPolicy,
+    leaves: Vec<LeafSpec>,
+}
+
+impl BodyScenario {
+    /// Position of the body in the fleet.
+    #[must_use]
+    pub fn body_index(&self) -> u64 {
+        self.body_index
+    }
+
+    /// Seed the body's simulation runs under.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Name of the archetype the body was drawn from.
+    #[must_use]
+    pub fn archetype(&self) -> &str {
+        &self.archetype
+    }
+
+    /// Interned archetype label (cheap to propagate into summaries).
+    #[must_use]
+    pub fn archetype_label(&self) -> &Arc<str> {
+        &self.archetype
+    }
+
+    /// Radio technology of the body's star network.
+    #[must_use]
+    pub fn technology(&self) -> RadioTechnology {
+        self.technology
+    }
+
+    /// MAC policy of the body's shared medium.
+    #[must_use]
+    pub fn policy(&self) -> MacPolicy {
+        self.policy
+    }
+
+    /// The body's sampled leaves (traffic patterns already drawn).
+    #[must_use]
+    pub fn leaves(&self) -> &[LeafSpec] {
+        &self.leaves
+    }
+
+    /// Materialises the scenario as a ready-to-run [`Simulation`], resolving
+    /// each leaf's link through `links` (so the expensive channel-model
+    /// derivation is shared across every body of the fleet).
+    #[must_use]
+    pub fn build_simulation(&self, links: &LinkCache) -> Simulation {
+        let nodes: Vec<NodeConfig> = self
+            .leaves
+            .iter()
+            .map(|leaf| scenario::leaf_node(leaf, links.get(self.technology, leaf.site)))
+            .collect();
+        Simulation::with_nodes(self.policy, nodes).with_seed(self.seed)
+    }
+}
+
+/// Memoised channel-model link derivation per `(technology, body site)`.
+///
+/// Deriving [`LinkParams`] walks the EQS channel/capacity stack — by far the
+/// most expensive part of constructing a body.  A fleet run derives each
+/// distinct pair **once** up front and every body resolves its leaves with a
+/// (tiny) linear lookup, so heterogeneous fleets pay the channel model
+/// O(distinct pairs), not O(bodies × leaves).
+#[derive(Debug, Clone)]
+pub struct LinkCache {
+    hub_site: BodySite,
+    entries: Vec<((RadioTechnology, BodySite), LinkParams)>,
+}
+
+impl LinkCache {
+    /// Precomputes the cache for every pair `population` can sample.
+    #[must_use]
+    pub fn for_population(population: &PopulationModel) -> Self {
+        let hub_site = BodySite::Waist;
+        let entries = population
+            .link_domain()
+            .into_iter()
+            .map(|(technology, site)| {
+                (
+                    (technology, site),
+                    scenario::link_params_for(technology, site, hub_site),
+                )
+            })
+            .collect();
+        Self { hub_site, entries }
+    }
+
+    /// Link parameters for a leaf at `site` over `technology`; pairs outside
+    /// the precomputed domain are derived on the fly (correct, just not
+    /// cached).
+    #[must_use]
+    pub fn get(&self, technology: RadioTechnology, site: BodySite) -> LinkParams {
+        self.entries
+            .iter()
+            .find(|((t, s), _)| *t == technology && *s == site)
+            .map_or_else(
+                || scenario::link_params_for(technology, site, self.hub_site),
+                |(_, link)| *link,
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_population_reproduces_the_homogeneous_scenario() {
+        let leaves = scenario::standard_leaf_set();
+        let population =
+            PopulationModel::uniform(RadioTechnology::WiR, leaves.clone(), MacPolicy::Polling);
+        for body in [0u64, 1, 1000] {
+            let scenario = population.sample(0xF1EE7, body);
+            assert_eq!(scenario.archetype(), "uniform");
+            assert_eq!(scenario.technology(), RadioTechnology::WiR);
+            assert_eq!(scenario.policy(), MacPolicy::Polling);
+            assert_eq!(scenario.leaves().len(), leaves.len());
+            for (sampled, original) in scenario.leaves().iter().zip(&leaves) {
+                assert_eq!(sampled.name, original.name);
+                assert_eq!(sampled.traffic, original.traffic);
+            }
+            // The simulation seed matches the fleet layer's per-body seed.
+            assert_eq!(scenario.seed(), body_seed(0xF1EE7, body));
+        }
+    }
+
+    #[test]
+    fn sampling_is_a_pure_function_of_seed_and_index() {
+        let population = PopulationModel::mixed_default();
+        for body in 0..32u64 {
+            let a = population.sample(99, body);
+            let b = population.sample(99, body);
+            assert_eq!(a.archetype(), b.archetype());
+            assert_eq!(a.seed(), b.seed());
+            assert_eq!(a.technology(), b.technology());
+            assert_eq!(a.policy(), b.policy());
+            assert_eq!(a.leaves().len(), b.leaves().len());
+            for (x, y) in a.leaves().iter().zip(b.leaves()) {
+                assert_eq!(x.name, y.name);
+                assert_eq!(x.site, y.site);
+                assert_eq!(x.traffic, y.traffic);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_population_actually_mixes() {
+        let population = PopulationModel::mixed_default();
+        let mut archetype_names = Vec::new();
+        let mut node_counts = Vec::new();
+        for body in 0..256u64 {
+            let s = population.sample(7, body);
+            if !archetype_names.contains(&s.archetype().to_string()) {
+                archetype_names.push(s.archetype().to_string());
+            }
+            if !node_counts.contains(&s.leaves().len()) {
+                node_counts.push(s.leaves().len());
+            }
+            assert!(!s.leaves().is_empty(), "body {body} sampled zero leaves");
+        }
+        assert_eq!(archetype_names.len(), 3, "saw {archetype_names:?}");
+        assert!(node_counts.len() >= 2, "node counts never varied");
+        // Archetype frequencies roughly track the 0.5 / 0.3 / 0.2 weights.
+        let health = (0..2000u64)
+            .filter(|&i| population.sample(7, i).archetype() == "health-patch")
+            .count();
+        let fraction = health as f64 / 2000.0;
+        assert!((fraction - 0.5).abs() < 0.05, "health fraction {fraction}");
+    }
+
+    #[test]
+    fn scenarios_build_runnable_simulations() {
+        let population = PopulationModel::mixed_default();
+        let links = LinkCache::for_population(&population);
+        for body in 0..8u64 {
+            let scenario = population.sample(3, body);
+            let mut sim = scenario.build_simulation(&links);
+            assert_eq!(sim.nodes().len(), scenario.leaves().len());
+            let report = sim.run(TimeSpan::from_seconds(1.0));
+            assert!(report.delivery_ratio() > 0.5);
+        }
+    }
+
+    #[test]
+    fn link_cache_matches_direct_derivation() {
+        let population = PopulationModel::mixed_default();
+        let links = LinkCache::for_population(&population);
+        for (technology, site) in population.link_domain() {
+            let direct = scenario::link_params_for(technology, site, BodySite::Waist);
+            assert_eq!(links.get(technology, site), direct);
+        }
+        // Out-of-domain pairs fall back to on-the-fly derivation.
+        let fallback = links.get(RadioTechnology::WiR, BodySite::Ankle);
+        assert_eq!(
+            fallback,
+            scenario::link_params_for(RadioTechnology::WiR, BodySite::Ankle, BodySite::Waist)
+        );
+    }
+
+    #[test]
+    fn population_knobs_apply_to_every_archetype() {
+        let population = PopulationModel::mixed_default()
+            .with_technology(RadioTechnology::WiR)
+            .with_policy(MacPolicy::Tdma);
+        for archetype in population.archetypes() {
+            assert_eq!(archetype.technology(), RadioTechnology::WiR);
+            assert_eq!(archetype.policy(), MacPolicy::Tdma);
+        }
+        let releaved = population.with_leaves(scenario::standard_leaf_set());
+        for archetype in releaved.archetypes() {
+            assert_eq!(archetype.leaves().len(), 5);
+            assert!(archetype
+                .leaves()
+                .iter()
+                .all(|l| (l.presence() - 1.0).abs() < 1e-12));
+        }
+    }
+}

@@ -144,6 +144,18 @@ pub fn standard_leaf_set() -> Vec<LeafSpec> {
     ]
 }
 
+/// Materialises one leaf as a simulator [`NodeConfig`] over a pre-derived
+/// link: sensing power from the modality's typical sensor, compute power and
+/// traffic from the spec.  Shared by [`body_network`] and the population
+/// layer's [`BodyScenario`](crate::population::BodyScenario).
+#[must_use]
+pub fn leaf_node(leaf: &LeafSpec, link: LinkParams) -> NodeConfig {
+    NodeConfig::leaf(leaf.name, leaf.site, link)
+        .with_sensing_power(Sensor::typical(leaf.modality).power())
+        .with_compute_power(leaf.compute_power)
+        .with_traffic(leaf.traffic.clone())
+}
+
 /// Builds a star-topology body network over the given radio technology.
 ///
 /// The hub sits at the waist (smartphone / wearable-brain position); every
@@ -159,12 +171,7 @@ pub fn body_network(
     let mut sim = Simulation::new(policy);
     for leaf in leaves {
         let link = link_params_for(technology, leaf.site, hub_site);
-        let sensing = Sensor::typical(leaf.modality).power();
-        let node = NodeConfig::leaf(leaf.name, leaf.site, link)
-            .with_sensing_power(sensing)
-            .with_compute_power(leaf.compute_power)
-            .with_traffic(leaf.traffic.clone());
-        sim.add_node(node);
+        sim.add_node(leaf_node(leaf, link));
     }
     sim
 }

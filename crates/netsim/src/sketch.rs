@@ -174,6 +174,16 @@ impl LatencySketch {
         self.count
     }
 
+    /// Number of live histogram buckets — the sketch's memory footprint in
+    /// `u64` counters.  Bounded by the log-bucket resolution of the observed
+    /// value range (not by the sample count), which is what fleet-scale
+    /// aggregation relies on; `bench_netsim` records it as the streaming
+    /// aggregator's peak-memory proxy.
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
     /// Exact mean of the recorded samples ([`TimeSpan::ZERO`] when empty).
     #[must_use]
     pub fn mean(&self) -> TimeSpan {

@@ -122,6 +122,128 @@ impl TrafficPattern {
     }
 }
 
+/// Draws an index in `0..len` by cumulative weight using a **single**
+/// uniform sample, so every call consumes exactly one RNG draw regardless of
+/// `len` — the reproducibility contract both [`TrafficMix::sample`] and the
+/// population layer's archetype draw rely on.
+///
+/// Weights are read through `weight(i)`; non-finite or negative weights count
+/// as zero.  Returns `None` when every weight is zero (the draw is still
+/// consumed, keeping downstream draws aligned).  Float rounding that leaves
+/// the target at ~0 after the last entry resolves to the last positively
+/// weighted index.
+pub fn weighted_index<R, F>(rng: &mut R, len: usize, weight: F) -> Option<usize>
+where
+    R: Rng + ?Sized,
+    F: Fn(usize) -> f64,
+{
+    let clamped = |i: usize| {
+        let w = weight(i);
+        if w.is_finite() && w > 0.0 {
+            w
+        } else {
+            0.0
+        }
+    };
+    let total: f64 = (0..len).map(clamped).sum();
+    let mut target = rng.gen_range(0.0..1.0) * total;
+    if total <= 0.0 {
+        return None;
+    }
+    for i in 0..len {
+        target -= clamped(i);
+        if target < 0.0 {
+            return Some(i);
+        }
+    }
+    (0..len).rev().find(|&i| clamped(i) > 0.0)
+}
+
+/// A weighted mix of [`TrafficPattern`]s for one leaf class.
+///
+/// Real populations do not run one traffic shape per sensor: the same IMU
+/// wristband streams continuously on one wearer and batches periodically on
+/// another.  A `TrafficMix` captures that spread as `(weight, pattern)`
+/// entries; the population layer draws one pattern per body with a single
+/// uniform sample, so the draw is a pure function of the RNG state (and
+/// therefore of the per-body seed).
+///
+/// # Example
+///
+/// ```
+/// use hidwa_netsim::traffic::{TrafficMix, TrafficPattern};
+/// use hidwa_units::{DataRate, TimeSpan};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mix = TrafficMix::new(vec![
+///     (3.0, TrafficPattern::periodic(TimeSpan::from_seconds(1.0), 512)),
+///     (1.0, TrafficPattern::streaming(DataRate::from_kbps(13.0), 512)),
+/// ]);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let drawn = mix.sample(&mut rng);
+/// assert!(mix.entries().iter().any(|(_, p)| p == drawn));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMix {
+    /// `(weight, pattern)` entries; weights need not be normalised.
+    entries: Vec<(f64, TrafficPattern)>,
+}
+
+impl TrafficMix {
+    /// Creates a mix from `(weight, pattern)` entries.
+    ///
+    /// Non-finite or negative weights are clamped to zero.  An empty mix (or
+    /// one whose weights are all zero) always samples [`TrafficPattern::Silent`]
+    /// — it never panics, so degenerate configurations stay simulable.
+    #[must_use]
+    pub fn new(entries: Vec<(f64, TrafficPattern)>) -> Self {
+        let entries = entries
+            .into_iter()
+            .map(|(w, p)| (if w.is_finite() && w > 0.0 { w } else { 0.0 }, p))
+            .collect();
+        Self { entries }
+    }
+
+    /// A mix that always yields the one given pattern.
+    #[must_use]
+    pub fn fixed(pattern: TrafficPattern) -> Self {
+        Self {
+            entries: vec![(1.0, pattern)],
+        }
+    }
+
+    /// The `(weight, pattern)` entries of the mix.
+    #[must_use]
+    pub fn entries(&self) -> &[(f64, TrafficPattern)] {
+        &self.entries
+    }
+
+    /// Weight-averaged long-run application data rate of the mix — the
+    /// expected offered load of a leaf drawn from it.
+    #[must_use]
+    pub fn expected_rate(&self) -> DataRate {
+        let total: f64 = self.entries.iter().map(|(w, _)| w).sum();
+        if total <= 0.0 {
+            return DataRate::ZERO;
+        }
+        let bps: f64 = self
+            .entries
+            .iter()
+            .map(|(w, p)| w * p.average_rate().as_bps())
+            .sum();
+        DataRate::from_bps(bps / total)
+    }
+
+    /// Draws one pattern via [`weighted_index`] (one uniform sample per call,
+    /// degenerate mixes yield [`TrafficPattern::Silent`]).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &TrafficPattern {
+        static SILENT: TrafficPattern = TrafficPattern::Silent;
+        weighted_index(rng, self.entries.len(), |i| self.entries[i].0)
+            .map_or(&SILENT, |i| &self.entries[i].1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,5 +303,74 @@ mod tests {
             TrafficPattern::bursty(TimeSpan::ZERO, 100).average_rate(),
             DataRate::ZERO
         );
+    }
+
+    #[test]
+    fn mix_sampling_tracks_weights() {
+        let periodic = TrafficPattern::periodic(TimeSpan::from_seconds(1.0), 512);
+        let streaming = TrafficPattern::streaming(DataRate::from_kbps(13.0), 512);
+        let mix = TrafficMix::new(vec![(3.0, periodic.clone()), (1.0, streaming.clone())]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let periodic_draws = (0..n).filter(|_| *mix.sample(&mut rng) == periodic).count();
+        let fraction = periodic_draws as f64 / f64::from(n);
+        assert!((fraction - 0.75).abs() < 0.02, "fraction {fraction}");
+        // Expected rate is the weight-blended average.
+        let expected = 0.75 * periodic.average_rate().as_bps() + 0.25 * 13_000.0;
+        assert!((mix.expected_rate().as_bps() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mix_sampling_is_pure_in_the_rng_state() {
+        let mix = TrafficMix::new(vec![
+            (
+                1.0,
+                TrafficPattern::periodic(TimeSpan::from_seconds(1.0), 128),
+            ),
+            (
+                1.0,
+                TrafficPattern::bursty(TimeSpan::from_seconds(2.0), 256),
+            ),
+            (1.0, TrafficPattern::Silent),
+        ]);
+        let draw = |seed| mix.sample(&mut StdRng::seed_from_u64(seed)).clone();
+        for seed in 0..50 {
+            assert_eq!(draw(seed), draw(seed));
+        }
+    }
+
+    #[test]
+    fn degenerate_mixes_sample_silent_and_consume_one_draw() {
+        let empty = TrafficMix::new(Vec::new());
+        let zeroed = TrafficMix::new(vec![
+            (
+                0.0,
+                TrafficPattern::periodic(TimeSpan::from_seconds(1.0), 64),
+            ),
+            (f64::NAN, TrafficPattern::Silent),
+            (-3.0, TrafficPattern::Silent),
+        ]);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(*empty.sample(&mut rng), TrafficPattern::Silent);
+        assert_eq!(*zeroed.sample(&mut rng), TrafficPattern::Silent);
+        assert_eq!(empty.expected_rate(), DataRate::ZERO);
+        // The degenerate sample still consumed exactly one draw: a fresh RNG
+        // advanced by one uniform matches the post-sample stream.
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let _ = empty.sample(&mut a);
+        let _: f64 = b.gen_range(0.0..1.0);
+        assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+    }
+
+    #[test]
+    fn fixed_mix_always_yields_its_pattern() {
+        let pattern = TrafficPattern::streaming(DataRate::from_kbps(256.0), 1024);
+        let mix = TrafficMix::fixed(pattern.clone());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(*mix.sample(&mut rng), pattern);
+        }
+        assert_eq!(mix.expected_rate(), pattern.average_rate());
     }
 }

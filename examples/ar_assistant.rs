@@ -7,7 +7,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p hidwa-core --example ar_assistant
+//! cargo run --release --example ar_assistant
 //! ```
 
 use hidwa_core::partition::{Objective, PartitionContext, PartitionOptimizer};

@@ -7,7 +7,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p hidwa-core --example body_network
+//! cargo run --release --example body_network
 //! ```
 
 use hidwa_core::scenario;

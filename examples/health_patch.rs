@@ -7,7 +7,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p hidwa-core --example health_patch
+//! cargo run --release --example health_patch
 //! ```
 
 use hidwa_core::partition::{Objective, PartitionContext, PartitionOptimizer};

@@ -4,7 +4,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p hidwa-core --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use hidwa_core::arch::{NodeArchitecture, WorkloadSpec};
