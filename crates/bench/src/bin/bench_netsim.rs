@@ -26,9 +26,15 @@
 //!   fleet-size spread (no materialised per-body vector anywhere), and that
 //!   a ≥1000-body heterogeneous fleet aggregates byte-identically at thread
 //!   widths 1 and 4.
+//! * `shard_fleet` — the same 1000-body heterogeneous stream folded under
+//!   several [`ShardPlan`] layouts (even and ragged), each row asserting the
+//!   merged partials are **byte-identical** to the single-stream fold (via
+//!   the checkpoint codec, so identical means identical limbs and buckets,
+//!   not merely equal reports), plus a mid-stream checkpoint/save/load/
+//!   resume identity check.
 //!
 //! Exits non-zero if the two engine paths disagree on any exact statistic or
-//! if any determinism / memory-bound check fails.
+//! if any determinism / memory-bound / shard-identity check fails.
 //!
 //! Knobs: `HIDWA_BENCH_SAMPLES` (default 5 timing samples per path, best
 //! taken), `HIDWA_BENCH_HORIZON_S` (default 3600 s engine horizon — an hour
@@ -37,11 +43,12 @@
 //! (default 5 s per-body horizon), `HIDWA_BENCH_STREAM_BODIES` (default
 //! 10000 bodies in the largest heterogeneous stream),
 //! `HIDWA_BENCH_STREAM_HORIZON_S` (default 2 s per-body horizon for the
-//! heterogeneous rows).
+//! heterogeneous rows), `HIDWA_BENCH_SHARD_BODIES` (default 1000 bodies in
+//! the shard-identity section).
 
 use hidwa_bench::env_f64;
 use hidwa_bench::json;
-use hidwa_core::fleet::FleetConfig;
+use hidwa_core::fleet::{FleetCheckpoint, FleetConfig, ShardPlan};
 use hidwa_core::population::PopulationModel;
 use hidwa_core::sweep::SweepRunner;
 use hidwa_eqs::body::BodySite;
@@ -118,6 +125,27 @@ hidwa_bench::json_struct!(HeteroRow {
     delivery_ratio,
 });
 
+struct ShardRow {
+    layout: String,
+    shards: usize,
+    bodies: usize,
+    horizon_s: f64,
+    wall_ms: f64,
+    bodies_per_sec: f64,
+    /// Merged-partial state bytes equal the single-stream fold's bytes.
+    identical_to_single_stream: bool,
+}
+
+hidwa_bench::json_struct!(ShardRow {
+    layout,
+    shards,
+    bodies,
+    horizon_s,
+    wall_ms,
+    bodies_per_sec,
+    identical_to_single_stream,
+});
+
 struct BenchNetsim {
     engine: Vec<EngineRow>,
     fleet: Vec<FleetRow>,
@@ -127,6 +155,9 @@ struct BenchNetsim {
     hetero_memory_bounded: bool,
     hetero_determinism_bodies: usize,
     hetero_determinism_ok: bool,
+    shard_fleet: Vec<ShardRow>,
+    shard_identity_ok: bool,
+    checkpoint_resume_ok: bool,
 }
 
 hidwa_bench::json_struct!(BenchNetsim {
@@ -138,6 +169,9 @@ hidwa_bench::json_struct!(BenchNetsim {
     hetero_memory_bounded,
     hetero_determinism_bodies,
     hetero_determinism_ok,
+    shard_fleet,
+    shard_identity_ok,
+    checkpoint_resume_ok,
 });
 
 /// The 10-node body the engine comparison runs: two periodic vitals patches
@@ -403,6 +437,104 @@ fn main() {
         }
     );
 
+    // --- Sharded ingestion: merged partials vs the single stream ------------
+    let shard_bodies = (env_f64("HIDWA_BENCH_SHARD_BODIES", 1000.0) as usize).max(100);
+    let shard_config = FleetConfig::new(shard_bodies)
+        .with_population(PopulationModel::mixed_default())
+        .with_base_seed(0x5AAD)
+        .with_horizon(stream_horizon);
+    println!("\nsharded ingestion ({shard_bodies} heterogeneous bodies, merged vs single stream)");
+    println!(
+        "{:<22} {:>7} {:>10} {:>12} {:>10}",
+        "layout", "shards", "wall ms", "bodies/s", "identical"
+    );
+    let single_start = Instant::now();
+    let single_checkpoint = shard_config.run_until(&runner, shard_bodies);
+    let single_wall_ms = single_start.elapsed().as_secs_f64() * 1e3;
+    let single_state = single_checkpoint.save().to_vec();
+    let mut shard_rows = vec![ShardRow {
+        layout: "single-stream".to_string(),
+        shards: 1,
+        bodies: shard_bodies,
+        horizon_s: stream_horizon.as_seconds(),
+        wall_ms: single_wall_ms,
+        bodies_per_sec: shard_bodies as f64 / (single_wall_ms / 1e3),
+        identical_to_single_stream: true,
+    }];
+    println!(
+        "{:<22} {:>7} {:>10.1} {:>12.1} {:>10}",
+        "single-stream", 1, single_wall_ms, shard_rows[0].bodies_per_sec, "-"
+    );
+    let ragged = [1, shard_bodies / 3, shard_bodies - 2];
+    let layouts: Vec<(String, ShardPlan)> = [2usize, 4, 8]
+        .iter()
+        .map(|&n| {
+            (
+                format!("split-{n}"),
+                ShardPlan::split(shard_config.clone(), n),
+            )
+        })
+        .chain(std::iter::once((
+            "ragged-boundaries".to_string(),
+            ShardPlan::from_boundaries(shard_config.clone(), &ragged)
+                .expect("sorted, in-range boundaries"),
+        )))
+        .collect();
+    let mut shard_identity_ok = true;
+    for (layout, plan) in layouts {
+        let start = Instant::now();
+        let merged = plan.fold(&runner);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let merged_state = FleetCheckpoint::capture(&shard_config, &merged, shard_bodies)
+            .save()
+            .to_vec();
+        let identical = merged_state == single_state;
+        shard_identity_ok &= identical;
+        let row = ShardRow {
+            layout,
+            shards: plan.shard_count(),
+            bodies: shard_bodies,
+            horizon_s: stream_horizon.as_seconds(),
+            wall_ms,
+            bodies_per_sec: shard_bodies as f64 / (wall_ms / 1e3),
+            identical_to_single_stream: identical,
+        };
+        println!(
+            "{:<22} {:>7} {:>10.1} {:>12.1} {:>10}",
+            row.layout,
+            row.shards,
+            row.wall_ms,
+            row.bodies_per_sec,
+            if row.identical_to_single_stream {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+        shard_rows.push(row);
+    }
+
+    // Mid-stream interruption: checkpoint at the halfway body, serialize,
+    // reload, resume — byte-identical to the uninterrupted fold.
+    let half = shard_config.run_until(&runner, shard_bodies / 2).save();
+    let checkpoint_resume_ok = match FleetCheckpoint::load(&half) {
+        Ok(restored) => match shard_config.resume(&runner, restored) {
+            Ok(resumed) => resumed == single_checkpoint.into_parts().0.finish(),
+            Err(_) => false,
+        },
+        Err(_) => false,
+    };
+    println!(
+        "checkpoint at body {} -> save ({} bytes) -> load -> resume: {}",
+        shard_bodies / 2,
+        half.len(),
+        if checkpoint_resume_ok {
+            "byte-identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+
     let results = BenchNetsim {
         engine,
         fleet: fleet_rows,
@@ -412,6 +544,9 @@ fn main() {
         hetero_memory_bounded: memory_bounded,
         hetero_determinism_bodies,
         hetero_determinism_ok: hetero_deterministic,
+        shard_fleet: shard_rows,
+        shard_identity_ok,
+        checkpoint_resume_ok,
     };
     let out_dir = std::env::var("HIDWA_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
     let path = std::path::Path::new(&out_dir).join("BENCH_netsim.json");
@@ -427,6 +562,14 @@ fn main() {
     assert!(
         memory_bounded,
         "aggregation state grew with fleet size: {state_small} -> {state_large} buckets"
+    );
+    assert!(
+        shard_identity_ok,
+        "a shard layout diverged from the single-stream fold"
+    );
+    assert!(
+        checkpoint_resume_ok,
+        "checkpoint/resume diverged from the uninterrupted fold"
     );
 
     // Perf-trajectory guard: the tracked target is >=2x (see

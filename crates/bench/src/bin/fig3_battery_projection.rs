@@ -1,44 +1,16 @@
 //! Experiment E3 — Fig. 3: projected battery life of Wi-R-connected wearable
 //! nodes versus data rate (1000 mAh cell, 100 pJ/bit Wi-R, survey sensing
 //! model, compute neglected), with the paper's device-class markers.
+//!
+//! The curve and marker grids run over the [`SweepRunner`]
+//! (`hidwa_bench::figs`), byte-identical serial vs parallel — asserted in
+//! `tests/fig_grid.rs`.
 
+use hidwa_bench::figs::{fig3_curve_grid, fig3_marker_grid};
 use hidwa_bench::{fmt_lifetime, fmt_power, header, write_json};
 use hidwa_core::projection::Fig3Projector;
-use hidwa_units::DataRate;
-
-struct Point {
-    rate_bps: f64,
-    sensing_uw: f64,
-    communication_uw: f64,
-    total_uw: f64,
-    battery_life_days: f64,
-    band: String,
-}
-
-hidwa_bench::json_struct!(Point {
-    rate_bps,
-    sensing_uw,
-    communication_uw,
-    total_uw,
-    battery_life_days,
-    band,
-});
-
-struct Marker {
-    label: String,
-    rate_bps: f64,
-    projected_life_days: f64,
-    projected_band: String,
-    paper_band: String,
-}
-
-hidwa_bench::json_struct!(Marker {
-    label,
-    rate_bps,
-    projected_life_days,
-    projected_band,
-    paper_band,
-});
+use hidwa_core::sweep::SweepRunner;
+use hidwa_units::{DataRate, Power, TimeSpan};
 
 fn main() {
     header(
@@ -47,31 +19,35 @@ fn main() {
     );
 
     let projector = Fig3Projector::paper_defaults();
-    let sweep = projector.sweep(DataRate::from_bps(10.0), DataRate::from_mbps(10.0), 4);
+    let runner = SweepRunner::new();
+    let points = fig3_curve_grid(
+        &runner,
+        &projector,
+        DataRate::from_bps(10.0),
+        DataRate::from_mbps(10.0),
+        4,
+    );
 
     println!(
-        "{:>14} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "data rate", "sensing", "Wi-R comm", "total", "battery life", "band"
+        "{:>14} {:>12} {:>12} {:>12} {:>12} {:>12}   ({} runner threads)",
+        "data rate",
+        "sensing",
+        "Wi-R comm",
+        "total",
+        "battery life",
+        "band",
+        runner.threads()
     );
-    let mut points = Vec::new();
-    for p in &sweep {
+    for p in &points {
         println!(
             "{:>11.2} kbps {:>12} {:>12} {:>12} {:>12} {:>12}",
-            p.rate.as_kbps(),
-            fmt_power(p.sensing_power),
-            fmt_power(p.communication_power),
-            fmt_power(p.total_power),
-            fmt_lifetime(p.battery_life),
-            p.band.label(),
+            p.rate_bps / 1e3,
+            fmt_power(Power::from_micro_watts(p.sensing_uw)),
+            fmt_power(Power::from_micro_watts(p.communication_uw)),
+            fmt_power(Power::from_micro_watts(p.total_uw)),
+            fmt_lifetime(TimeSpan::from_hours(p.battery_life_days * 24.0)),
+            p.band,
         );
-        points.push(Point {
-            rate_bps: p.rate.as_bps(),
-            sensing_uw: p.sensing_power.as_micro_watts(),
-            communication_uw: p.communication_power.as_micro_watts(),
-            total_uw: p.total_power.as_micro_watts(),
-            battery_life_days: p.battery_life.as_days(),
-            band: p.band.label().to_string(),
-        });
     }
 
     println!(
@@ -80,24 +56,16 @@ fn main() {
     );
 
     println!("\nDevice-class markers (projected vs paper):");
-    let mut markers = Vec::new();
-    for marker in Fig3Projector::device_markers() {
-        let p = projector.project_rate(marker.rate);
+    let markers = fig3_marker_grid(&runner, &projector);
+    for marker in &markers {
         println!(
             "  {:<52} {:>10.1} kbps -> {:>10} ({}, paper: {})",
             marker.label,
-            marker.rate.as_kbps(),
-            fmt_lifetime(p.battery_life),
-            p.band.label(),
-            marker.paper_band.label(),
+            marker.rate_bps / 1e3,
+            fmt_lifetime(TimeSpan::from_hours(marker.projected_life_days * 24.0)),
+            marker.projected_band,
+            marker.paper_band,
         );
-        markers.push(Marker {
-            label: marker.label.to_string(),
-            rate_bps: marker.rate.as_bps(),
-            projected_life_days: p.battery_life.as_days(),
-            projected_band: p.band.label().to_string(),
-            paper_band: marker.paper_band.label().to_string(),
-        });
     }
 
     write_json("fig3_curve", &points);

@@ -1,0 +1,113 @@
+//! Figure-bin grids ported onto the [`SweepRunner`], as a library so the
+//! binaries and the serial-vs-parallel equivalence tests share one
+//! implementation (the ROADMAP "SweepRunner adoption" contract, following
+//! [`crate::harvest`]).
+//!
+//! First port: the Fig. 3 battery-projection curve and device markers.  Each
+//! grid cell is a pure function of its inputs (the projector is stateless),
+//! so fanning the rate axis across threads produces byte-identical rows to
+//! the serial loop — asserted in `tests/fig_grid.rs`.
+
+use crate::json_struct;
+use hidwa_core::projection::Fig3Projector;
+use hidwa_core::sweep::SweepRunner;
+use hidwa_units::DataRate;
+
+/// One point of the Fig. 3 battery-life-vs-rate curve.
+pub struct Fig3CurveRow {
+    /// Data rate of the point, bits per second.
+    pub rate_bps: f64,
+    /// Sensing power at the rate, µW.
+    pub sensing_uw: f64,
+    /// Wi-R communication power at the rate, µW.
+    pub communication_uw: f64,
+    /// Total node power, µW.
+    pub total_uw: f64,
+    /// Projected battery life, days.
+    pub battery_life_days: f64,
+    /// Operating band label the projection lands in.
+    pub band: String,
+}
+
+json_struct!(Fig3CurveRow {
+    rate_bps,
+    sensing_uw,
+    communication_uw,
+    total_uw,
+    battery_life_days,
+    band,
+});
+
+/// One device-class marker of Fig. 3.
+pub struct Fig3MarkerRow {
+    /// Marker label from the paper.
+    pub label: String,
+    /// Device data rate, bits per second.
+    pub rate_bps: f64,
+    /// Projected battery life at that rate, days.
+    pub projected_life_days: f64,
+    /// Band the projection lands in.
+    pub projected_band: String,
+    /// Band the paper annotates.
+    pub paper_band: String,
+}
+
+json_struct!(Fig3MarkerRow {
+    label,
+    rate_bps,
+    projected_life_days,
+    projected_band,
+    paper_band,
+});
+
+/// The rate axis of the Fig. 3 sweep — a thin delegation to
+/// [`Fig3Projector::sweep_axis`], the single definition of the x-axis, so
+/// the serial `sweep` path and this parallel grid can never drift apart.
+#[must_use]
+pub fn fig3_rate_axis(
+    min_rate: DataRate,
+    max_rate: DataRate,
+    points_per_decade: usize,
+) -> Vec<DataRate> {
+    Fig3Projector::sweep_axis(min_rate, max_rate, points_per_decade)
+}
+
+/// Projects the Fig. 3 curve over `runner`, one grid cell per rate point, in
+/// rate order.  Serial and parallel runners produce byte-identical rows.
+#[must_use]
+pub fn fig3_curve_grid(
+    runner: &SweepRunner,
+    projector: &Fig3Projector,
+    min_rate: DataRate,
+    max_rate: DataRate,
+    points_per_decade: usize,
+) -> Vec<Fig3CurveRow> {
+    let rates = fig3_rate_axis(min_rate, max_rate, points_per_decade);
+    runner.map(&rates, |&rate| {
+        let point = projector.project_rate(rate);
+        Fig3CurveRow {
+            rate_bps: point.rate.as_bps(),
+            sensing_uw: point.sensing_power.as_micro_watts(),
+            communication_uw: point.communication_power.as_micro_watts(),
+            total_uw: point.total_power.as_micro_watts(),
+            battery_life_days: point.battery_life.as_days(),
+            band: point.band.label().to_string(),
+        }
+    })
+}
+
+/// Projects the paper's device-class markers over `runner`, in marker order.
+#[must_use]
+pub fn fig3_marker_grid(runner: &SweepRunner, projector: &Fig3Projector) -> Vec<Fig3MarkerRow> {
+    let markers = Fig3Projector::device_markers();
+    runner.map(&markers, |marker| {
+        let point = projector.project_rate(marker.rate);
+        Fig3MarkerRow {
+            label: marker.label.to_string(),
+            rate_bps: marker.rate.as_bps(),
+            projected_life_days: point.battery_life.as_days(),
+            projected_band: point.band.label().to_string(),
+            paper_band: marker.paper_band.label().to_string(),
+        }
+    })
+}

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod figs;
 pub mod harvest;
 pub mod json;
 pub mod reference;

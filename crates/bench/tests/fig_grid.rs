@@ -1,0 +1,49 @@
+//! Serial-vs-parallel equivalence for the Fig. 3 projection grids ported
+//! onto the `SweepRunner` (the ROADMAP "SweepRunner adoption" contract,
+//! mirroring `tests/harvest_grid.rs`).
+
+use hidwa_bench::figs::{fig3_curve_grid, fig3_marker_grid, fig3_rate_axis};
+use hidwa_bench::json;
+use hidwa_core::projection::Fig3Projector;
+use hidwa_core::sweep::SweepRunner;
+use hidwa_units::DataRate;
+
+#[test]
+fn fig3_curve_is_byte_identical_serial_vs_parallel() {
+    let projector = Fig3Projector::paper_defaults();
+    let (lo, hi) = (DataRate::from_bps(10.0), DataRate::from_mbps(10.0));
+    let serial = fig3_curve_grid(&SweepRunner::serial(), &projector, lo, hi, 4);
+    let parallel = fig3_curve_grid(&SweepRunner::with_threads(4), &projector, lo, hi, 4);
+    assert!(!serial.is_empty());
+    assert_eq!(serial.len(), fig3_rate_axis(lo, hi, 4).len());
+    // Byte-identical: the machine-readable encodings compare equal, row for
+    // row and bit for bit.
+    assert_eq!(
+        json::to_string_pretty(&serial),
+        json::to_string_pretty(&parallel)
+    );
+    // Total power is monotone in rate (communication grows, sensing never
+    // shrinks), so battery life never improves with rate.
+    for pair in serial.windows(2) {
+        assert!(pair[0].rate_bps < pair[1].rate_bps);
+        assert!(pair[0].battery_life_days >= pair[1].battery_life_days);
+    }
+}
+
+#[test]
+fn fig3_markers_are_byte_identical_serial_vs_parallel() {
+    let projector = Fig3Projector::paper_defaults();
+    let serial = fig3_marker_grid(&SweepRunner::serial(), &projector);
+    let parallel = fig3_marker_grid(&SweepRunner::with_threads(3), &projector);
+    assert!(!serial.is_empty());
+    assert_eq!(
+        json::to_string_pretty(&serial),
+        json::to_string_pretty(&parallel)
+    );
+    // Marker projections agree with projecting the marker rate directly.
+    for row in &serial {
+        let direct = projector.project_rate(DataRate::from_bps(row.rate_bps));
+        assert_eq!(direct.battery_life.as_days(), row.projected_life_days);
+        assert_eq!(direct.band.label(), row.projected_band);
+    }
+}

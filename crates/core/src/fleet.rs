@@ -19,12 +19,25 @@
 //! independent of fleet size — so a 10k-body (or 10M-body) stream runs in
 //! the memory of a single chunk.
 //!
-//! # Determinism
+//! # Determinism and the merge algebra
 //!
 //! Scenario sampling is a pure per-body function, chunks are folded in body
 //! order, and the fold itself is deterministic, so the final [`FleetReport`]
 //! is byte-identical at any thread width and any chunk size (asserted by the
 //! tests below and, at ≥1000 heterogeneous bodies, by `bench_netsim`).
+//!
+//! PR 4 extends the determinism contract with a third axis: **shard
+//! layout**.  [`FleetAggregator`] is a commutative monoid under
+//! [`FleetAggregator::merge`] — every non-associative piece of state (the
+//! f64 running sums) is kept in an [`ExactSum`] fixed-point accumulator, the
+//! sketches merge bucket-wise, and the exact top-K worst list merges
+//! union-then-truncate under the total order (p95 desc, body index asc).
+//! Consequently any partition of `0..bodies` into contiguous shards (see
+//! [`ShardPlan`]), folded independently — on other threads, processes or
+//! machines — and merged in any grouping, finishes byte-identical to the
+//! single-stream fold.  [`FleetCheckpoint`] serializes a partial fold so an
+//! interrupted ingestion resumes mid-stream ([`FleetConfig::run_until`] /
+//! [`FleetConfig::resume`]) with the same guarantee.
 //!
 //! # Example
 //!
@@ -44,13 +57,19 @@ use crate::population::{BodyScenario, LinkCache, PopulationModel};
 use crate::scenario;
 use crate::sweep::SweepRunner;
 use hidwa_netsim::mac::MacPolicy;
-use hidwa_netsim::sketch::{self, LatencySketch};
+use hidwa_netsim::sketch::{self, ExactSum, LatencySketch};
 use hidwa_phy::RadioTechnology;
 use hidwa_units::{DataRate, DataVolume, Energy, TimeSpan};
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 use std::sync::Arc;
 
+pub mod checkpoint;
+pub mod shard;
+
 pub use crate::population::body_seed;
+pub use checkpoint::{CheckpointError, FleetCheckpoint};
+pub use shard::{ShardError, ShardPlan, ShardRunner};
 
 /// A fleet of body networks drawn from a population model.
 ///
@@ -156,6 +175,18 @@ impl FleetConfig {
         self.bodies
     }
 
+    /// Base seed per-body seeds and scenarios derive from.
+    #[must_use]
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// How many worst bodies the aggregator keeps exactly.
+    #[must_use]
+    pub fn top_k(&self) -> usize {
+        self.top_k
+    }
+
     /// Simulated horizon per body.
     #[must_use]
     pub fn horizon(&self) -> TimeSpan {
@@ -220,23 +251,77 @@ impl FleetConfig {
     #[must_use]
     pub fn run(&self, runner: &SweepRunner) -> FleetReport {
         let links = LinkCache::for_population(&self.population);
+        let mut aggregator = FleetAggregator::new(self.horizon, self.top_k);
+        self.fold_range(runner, &links, &mut aggregator, 0..self.bodies);
+        aggregator.finish()
+    }
+
+    /// Folds bodies `range` (in body order) into `aggregator` — the one
+    /// streaming loop behind [`run`](Self::run), the shard runners and
+    /// checkpoint resume.  Chunk boundaries are an execution detail: the
+    /// fold ingests per body in index order, so the resulting state depends
+    /// only on which bodies were folded, never on how they were chunked or
+    /// which thread simulated them.
+    fn fold_range(
+        &self,
+        runner: &SweepRunner,
+        links: &LinkCache,
+        aggregator: &mut FleetAggregator,
+        range: Range<usize>,
+    ) {
         let chunk_size = self
             .chunk_size
             .unwrap_or_else(|| (runner.threads() * 4).max(64));
-        let mut aggregator = FleetAggregator::new(self.horizon, self.top_k);
-        let mut chunk: Vec<usize> = Vec::with_capacity(chunk_size.min(self.bodies));
-        let mut start = 0;
-        while start < self.bodies {
-            let end = (start + chunk_size).min(self.bodies);
+        let mut chunk: Vec<usize> = Vec::with_capacity(chunk_size.min(range.len()));
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + chunk_size).min(range.end);
             chunk.clear();
             chunk.extend(start..end);
-            for summary in runner.map(&chunk, |&body_index| self.simulate_body(body_index, &links))
-            {
+            for summary in runner.map(&chunk, |&body_index| self.simulate_body(body_index, links)) {
                 aggregator.ingest(summary);
             }
             start = end;
         }
-        aggregator.finish()
+    }
+
+    /// Runs the fold for bodies `0..stop` (clamped to the fleet size) and
+    /// captures the partial state as a resumable [`FleetCheckpoint`] — the
+    /// "interrupted mid-stream" half of fault-tolerant ingestion.
+    #[must_use]
+    pub fn run_until(&self, runner: &SweepRunner, stop: usize) -> FleetCheckpoint {
+        let stop = stop.min(self.bodies);
+        let links = LinkCache::for_population(&self.population);
+        let mut aggregator = FleetAggregator::new(self.horizon, self.top_k);
+        self.fold_range(runner, &links, &mut aggregator, 0..stop);
+        FleetCheckpoint::capture(self, &aggregator, stop)
+    }
+
+    /// Resumes an interrupted fold from `checkpoint` and finishes the fleet:
+    /// the result is byte-identical to an uninterrupted [`run`](Self::run)
+    /// (property-tested at every body boundary in
+    /// `tests/fleet_checkpoint.rs`).
+    ///
+    /// # Errors
+    /// [`CheckpointError::ConfigMismatch`] if the checkpoint was captured
+    /// under a different fleet configuration (bodies, base seed, horizon or
+    /// top-K); [`CheckpointError::NotResumable`] if it is a shard partial
+    /// (its aggregator did not ingest the full `0..next_body` prefix — such
+    /// partials merge via [`ShardPlan::merge_checkpoints`], they do not
+    /// resume).
+    pub fn resume(
+        &self,
+        runner: &SweepRunner,
+        checkpoint: FleetCheckpoint,
+    ) -> Result<FleetReport, CheckpointError> {
+        checkpoint.verify_config(self)?;
+        if checkpoint.bodies_ingested() != checkpoint.next_body() {
+            return Err(CheckpointError::NotResumable);
+        }
+        let (mut aggregator, next_body) = checkpoint.into_parts();
+        let links = LinkCache::for_population(&self.population);
+        self.fold_range(runner, &links, &mut aggregator, next_body..self.bodies);
+        Ok(aggregator.finish())
     }
 }
 
@@ -281,9 +366,16 @@ pub struct BodySummary {
 /// * the top-K worst bodies by p95, kept exactly (worst first, ties broken
 ///   toward the earlier body).
 ///
-/// Ingestion order **is** the determinism contract: fold summaries in body
-/// order and the result is byte-identical regardless of which threads
-/// produced them.  [`FleetConfig::run`] does exactly that.
+/// Ingestion order is **no longer** load-bearing: every piece of state
+/// merges through an associative, commutative operation (integer adds,
+/// [`ExactSum`] fixed-point sums, bucket-wise sketch merges, min/max
+/// lattices, and a top-K union ordered by `(p95 desc, body index asc)`), so
+/// the aggregator is a commutative monoid under [`merge`](Self::merge) with
+/// [`FleetAggregator::new`] as the identity.  Fold any contiguous shards
+/// independently, merge the partials in any grouping, and the state is
+/// byte-identical to the single-stream body-order fold — the contract the
+/// shard and checkpoint layers are built on (property-tested in
+/// `tests/fleet_shards.rs`).
 #[derive(Debug, Clone)]
 pub struct FleetAggregator {
     horizon: TimeSpan,
@@ -291,7 +383,9 @@ pub struct FleetAggregator {
     bodies: usize,
     fleet_latency: LatencySketch,
     body_p95: LatencySketch,
-    total_energy: Energy,
+    /// Fleet-wide energy in joules, accumulated exactly so merging partial
+    /// folds reproduces the single-stream low bits.
+    total_energy: ExactSum,
     total_generated: usize,
     total_delivered: usize,
     total_delivered_bytes: usize,
@@ -310,7 +404,7 @@ impl FleetAggregator {
             bodies: 0,
             fleet_latency: LatencySketch::new(),
             body_p95: LatencySketch::new(),
-            total_energy: Energy::ZERO,
+            total_energy: ExactSum::new(),
             total_generated: 0,
             total_delivered: 0,
             total_delivered_bytes: 0,
@@ -332,7 +426,7 @@ impl FleetAggregator {
         self.bodies += 1;
         self.fleet_latency.merge(&summary.latency);
         self.body_p95.record(summary.worst_p95_latency);
-        self.total_energy += summary.total_energy;
+        self.total_energy.add(summary.total_energy.as_joules());
         self.total_generated += summary.generated_frames;
         self.total_delivered += summary.delivered_frames;
         self.total_delivered_bytes += summary.delivered_bytes;
@@ -368,6 +462,65 @@ impl FleetAggregator {
         state_buckets_of(&self.fleet_latency, &self.body_p95, &self.worst)
     }
 
+    /// Merges another partial fold into this one — the commutative-monoid
+    /// operation of the fleet algebra.
+    ///
+    /// Every field combines through an associative, commutative operation:
+    /// counts and totals are integer additions, the latency and per-body-p95
+    /// sketches merge bucket-wise with [`ExactSum`] sums, the minimum
+    /// delivery ratio is a lattice meet, and the exact worst-body lists
+    /// merge union-then-truncate under the total order `(p95 descending,
+    /// body index ascending)` — the same order single-stream ingestion
+    /// maintains, and a total order because body indices are unique.  Hence
+    /// for any partition of the fleet into contiguous shards, folding each
+    /// shard independently and merging the partials (in **any** grouping or
+    /// order) is byte-identical to the single-stream fold.
+    ///
+    /// Truncation loses nothing: a body in the merged top-K is in the top-K
+    /// of whichever partial ingested it, so per-shard truncation before the
+    /// merge preserves the global top-K — which is what makes the operation
+    /// associative despite the bound.
+    ///
+    /// # Panics
+    /// Panics if the two partials disagree on the horizon or top-K — merging
+    /// folds of different fleet configurations is a programming error.
+    pub fn merge(&mut self, other: FleetAggregator) {
+        assert_eq!(
+            self.horizon.as_seconds().to_bits(),
+            other.horizon.as_seconds().to_bits(),
+            "merging fleet partials with different horizons"
+        );
+        assert_eq!(
+            self.top_k, other.top_k,
+            "merging fleet partials with different top-K"
+        );
+        self.bodies += other.bodies;
+        self.fleet_latency.merge(&other.fleet_latency);
+        self.body_p95.merge(&other.body_p95);
+        self.total_energy.add_sum(&other.total_energy);
+        self.total_generated += other.total_generated;
+        self.total_delivered += other.total_delivered;
+        self.total_delivered_bytes += other.total_delivered_bytes;
+        self.total_events += other.total_events;
+        self.min_body_delivery_ratio = self
+            .min_body_delivery_ratio
+            .min(other.min_body_delivery_ratio);
+        let mut left = std::mem::take(&mut self.worst).into_iter().peekable();
+        let mut right = other.worst.into_iter().peekable();
+        let mut merged = Vec::with_capacity(self.top_k.min(left.len() + right.len()));
+        while merged.len() < self.top_k {
+            let take_left = match (left.peek(), right.peek()) {
+                (Some(a), Some(b)) => ranks_before(a, b),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let next = if take_left { left.next() } else { right.next() };
+            merged.extend(next);
+        }
+        self.worst = merged;
+    }
+
     /// Finalises the fold into a [`FleetReport`].
     #[must_use]
     pub fn finish(self) -> FleetReport {
@@ -377,7 +530,7 @@ impl FleetAggregator {
             bodies: self.bodies,
             fleet_latency: self.fleet_latency,
             body_p95: self.body_p95,
-            total_energy: self.total_energy,
+            total_energy: Energy::from_joules(self.total_energy.to_f64()),
             total_generated: self.total_generated,
             total_delivered: self.total_delivered,
             total_delivered_bytes: self.total_delivered_bytes,
@@ -386,6 +539,15 @@ impl FleetAggregator {
             worst: self.worst,
         }
     }
+}
+
+/// The total order the worst-body lists are kept and merged in: p95 latency
+/// descending, ties broken toward the earlier body index.  Body indices are
+/// unique across a fleet, so this is a strict total order — which is what
+/// makes the top-K union in [`FleetAggregator::merge`] order-insensitive.
+fn ranks_before(a: &BodySummary, b: &BodySummary) -> bool {
+    a.worst_p95_latency > b.worst_p95_latency
+        || (a.worst_p95_latency == b.worst_p95_latency && a.body_index < b.body_index)
 }
 
 /// The one definition of the aggregation-state memory proxy: live sketch

@@ -1,0 +1,416 @@
+//! Versioned, std-only binary checkpoints of a fleet fold.
+//!
+//! A [`FleetCheckpoint`] snapshots a partial [`FleetAggregator`] — merged
+//! latency sketches with their exact fixed-point sums, running totals, the
+//! exact top-K worst bodies — plus the index of the next body to fold and a
+//! fingerprint of the [`FleetConfig`] it belongs to.  Because scenario
+//! sampling is a pure function of `(base_seed, body_index)` and the
+//! aggregator is a commutative merge monoid, a checkpoint is all the state a
+//! resume (or another machine) needs: [`FleetConfig::resume`] finishes the
+//! fold byte-identical to an uninterrupted run, and completed shard
+//! checkpoints merge into the same bytes the single stream produces.
+//!
+//! # Wire format (version 1)
+//!
+//! Big-endian throughout, written with the `bytes` cursors.  The layout is
+//! documented normatively in `ARCHITECTURE.md`; in short:
+//!
+//! ```text
+//! magic  b"HIDWAFLT"              8 bytes
+//! version u16                     (currently 1)
+//! config fingerprint              base_seed u64 · bodies u64 ·
+//!                                 horizon f64-bits · top_k u32
+//! next_body u64
+//! aggregator state                bodies u64 · generated u64 ·
+//!                                 delivered u64 · delivered_bytes u64 ·
+//!                                 events u64 · min_delivery_ratio f64 ·
+//!                                 energy ExactSum · fleet sketch ·
+//!                                 body-p95 sketch · worst list
+//! checksum u64                    FNV-1a 64 over every preceding byte
+//! ```
+//!
+//! Sketches and [`ExactSum`]s use their own codecs in
+//! [`hidwa_netsim::sketch`].  [`FleetCheckpoint::load`] **never panics**:
+//! truncated, bit-flipped, version-bumped or otherwise malformed bytes come
+//! back as a typed [`CheckpointError`], and structural invariants (bucket
+//! counts summing to sample counts, a sorted worst list, the per-body-p95
+//! count matching the ingested body count) are re-validated so a checkpoint
+//! that passes the checksum but violates the algebra is still rejected.
+
+use super::{ranks_before, BodySummary, FleetAggregator, FleetConfig};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hidwa_netsim::sketch::{ExactSum, LatencySketch, SketchCodecError};
+use hidwa_units::{Energy, TimeSpan};
+use std::sync::Arc;
+
+/// Leading magic of every checkpoint blob.
+const MAGIC: &[u8; 8] = b"HIDWAFLT";
+
+/// Current checkpoint format version.
+const VERSION: u16 = 1;
+
+/// Bytes of envelope that must exist before payload decoding can start:
+/// magic + version + trailing checksum.
+const ENVELOPE: usize = MAGIC.len() + 2 + 8;
+
+/// Why checkpoint bytes failed to load, or a loaded checkpoint failed to
+/// resume.  Loading never panics and never silently mis-restores: every
+/// malformed input maps to one of these variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The input ended before the encoded structure was complete.
+    Truncated,
+    /// The leading magic is not `b"HIDWAFLT"` — not a fleet checkpoint.
+    BadMagic,
+    /// The format version is one this build does not understand.
+    UnsupportedVersion(u16),
+    /// The bytes are structurally complete but fail the checksum or violate
+    /// an aggregator invariant.
+    Corrupt(&'static str),
+    /// The checkpoint belongs to a different [`FleetConfig`] than the one
+    /// asked to resume (or merge) it.
+    ConfigMismatch(&'static str),
+    /// The checkpoint is a shard partial (its ingested body count does not
+    /// equal its next-body cursor, so it does not describe a `0..next_body`
+    /// prefix) — mergeable via
+    /// [`ShardPlan::merge_checkpoints`](super::ShardPlan::merge_checkpoints),
+    /// but not resumable.
+    NotResumable,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "checkpoint bytes truncated"),
+            Self::BadMagic => write!(f, "not a fleet checkpoint (bad magic)"),
+            Self::UnsupportedVersion(version) => {
+                write!(f, "unsupported checkpoint version {version}")
+            }
+            Self::Corrupt(what) => write!(f, "checkpoint corrupt: {what}"),
+            Self::ConfigMismatch(what) => {
+                write!(f, "checkpoint belongs to a different fleet config: {what}")
+            }
+            Self::NotResumable => write!(
+                f,
+                "checkpoint is a shard partial, not a resumable 0..n prefix"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<SketchCodecError> for CheckpointError {
+    fn from(error: SketchCodecError) -> Self {
+        match error {
+            SketchCodecError::Truncated => Self::Truncated,
+            SketchCodecError::Corrupt(what) => Self::Corrupt(what),
+        }
+    }
+}
+
+/// A resumable snapshot of a fleet fold: the partial aggregator, the next
+/// body index, and the fingerprint of the configuration that produced it.
+#[derive(Debug, Clone)]
+pub struct FleetCheckpoint {
+    base_seed: u64,
+    bodies: u64,
+    horizon: TimeSpan,
+    top_k: u32,
+    next_body: u64,
+    aggregator: FleetAggregator,
+}
+
+impl FleetCheckpoint {
+    /// Captures the state of a fold over `config` with `aggregator` having
+    /// ingested bodies up to (exclusive) `next_body`.
+    #[must_use]
+    pub fn capture(config: &FleetConfig, aggregator: &FleetAggregator, next_body: usize) -> Self {
+        Self {
+            base_seed: config.base_seed,
+            bodies: config.bodies as u64,
+            horizon: config.horizon,
+            top_k: config.top_k as u32,
+            next_body: next_body.min(config.bodies) as u64,
+            aggregator: aggregator.clone(),
+        }
+    }
+
+    /// Index of the first body the resumed fold will simulate.
+    #[must_use]
+    pub fn next_body(&self) -> usize {
+        self.next_body as usize
+    }
+
+    /// Bodies the captured aggregator has already ingested.
+    #[must_use]
+    pub fn bodies_ingested(&self) -> usize {
+        self.aggregator.bodies()
+    }
+
+    /// The captured partial aggregator.
+    #[must_use]
+    pub fn aggregator(&self) -> &FleetAggregator {
+        &self.aggregator
+    }
+
+    /// Consumes the checkpoint into `(aggregator, next_body)`.
+    #[must_use]
+    pub fn into_parts(self) -> (FleetAggregator, usize) {
+        (self.aggregator, self.next_body as usize)
+    }
+
+    /// Checks that the checkpoint was captured under `config`.
+    ///
+    /// # Errors
+    /// [`CheckpointError::ConfigMismatch`] naming the first disagreeing
+    /// field (bodies, base seed, horizon or top-K).
+    pub fn verify_config(&self, config: &FleetConfig) -> Result<(), CheckpointError> {
+        if self.bodies != config.bodies as u64 {
+            return Err(CheckpointError::ConfigMismatch("fleet size differs"));
+        }
+        if self.base_seed != config.base_seed {
+            return Err(CheckpointError::ConfigMismatch("base seed differs"));
+        }
+        if self.horizon.as_seconds().to_bits() != config.horizon.as_seconds().to_bits() {
+            return Err(CheckpointError::ConfigMismatch("horizon differs"));
+        }
+        if self.top_k != config.top_k as u32 {
+            return Err(CheckpointError::ConfigMismatch("top-K differs"));
+        }
+        Ok(())
+    }
+
+    /// Serializes the checkpoint into a self-validating binary blob (see the
+    /// module docs for the layout).
+    #[must_use]
+    pub fn save(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        out.put_slice(MAGIC);
+        out.put_u16(VERSION);
+        out.put_u64(self.base_seed);
+        out.put_u64(self.bodies);
+        out.put_f64(self.horizon.as_seconds());
+        out.put_u32(self.top_k);
+        out.put_u64(self.next_body);
+        let aggregator = &self.aggregator;
+        out.put_u64(aggregator.bodies as u64);
+        out.put_u64(aggregator.total_generated as u64);
+        out.put_u64(aggregator.total_delivered as u64);
+        out.put_u64(aggregator.total_delivered_bytes as u64);
+        out.put_u64(aggregator.total_events);
+        out.put_f64(aggregator.min_body_delivery_ratio);
+        aggregator.total_energy.encode(&mut out);
+        aggregator.fleet_latency.encode(&mut out);
+        aggregator.body_p95.encode(&mut out);
+        out.put_u32(aggregator.worst.len() as u32);
+        for summary in &aggregator.worst {
+            encode_summary(summary, &mut out);
+        }
+        let checksum = fnv1a64(&out);
+        out.put_u64(checksum);
+        out.freeze()
+    }
+
+    /// Decodes and validates a checkpoint previously written by
+    /// [`save`](Self::save).
+    ///
+    /// # Errors
+    /// * [`CheckpointError::Truncated`] — the blob ends early,
+    /// * [`CheckpointError::BadMagic`] — not a fleet checkpoint,
+    /// * [`CheckpointError::UnsupportedVersion`] — written by a different
+    ///   format revision,
+    /// * [`CheckpointError::Corrupt`] — checksum mismatch, trailing bytes,
+    ///   or any violated aggregator invariant (bit flips that survive the
+    ///   checksum cannot survive the invariants).
+    pub fn load(raw: &[u8]) -> Result<Self, CheckpointError> {
+        if raw.len() < ENVELOPE {
+            return Err(CheckpointError::Truncated);
+        }
+        if &raw[..MAGIC.len()] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = u16::from_be_bytes([raw[MAGIC.len()], raw[MAGIC.len() + 1]]);
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let (body, tail) = raw.split_at(raw.len() - 8);
+        let stored = u64::from_be_bytes(tail.try_into().expect("8-byte tail"));
+        if fnv1a64(body) != stored {
+            return Err(CheckpointError::Corrupt("checksum mismatch"));
+        }
+        let mut input = Bytes::from(body[MAGIC.len() + 2..].to_vec());
+        let base_seed = take_u64(&mut input)?;
+        let bodies = take_u64(&mut input)?;
+        let horizon_seconds = take_f64(&mut input)?;
+        if !(horizon_seconds.is_finite() && horizon_seconds >= 0.0) {
+            return Err(CheckpointError::Corrupt("horizon not a finite duration"));
+        }
+        let top_k = take_u32(&mut input)?;
+        if top_k == 0 {
+            return Err(CheckpointError::Corrupt("top-K of zero"));
+        }
+        let next_body = take_u64(&mut input)?;
+        if next_body > bodies {
+            return Err(CheckpointError::Corrupt("next body beyond the fleet"));
+        }
+        let ingested = take_u64(&mut input)?;
+        let total_generated = take_u64(&mut input)?;
+        let total_delivered = take_u64(&mut input)?;
+        let total_delivered_bytes = take_u64(&mut input)?;
+        let total_events = take_u64(&mut input)?;
+        let min_body_delivery_ratio = take_f64(&mut input)?;
+        if !min_body_delivery_ratio.is_finite() || !(0.0..=1.0).contains(&min_body_delivery_ratio) {
+            return Err(CheckpointError::Corrupt("delivery ratio out of range"));
+        }
+        let total_energy = ExactSum::decode(&mut input)?;
+        let fleet_latency = LatencySketch::decode(&mut input)?;
+        let body_p95 = LatencySketch::decode(&mut input)?;
+        let worst_len = take_u32(&mut input)? as usize;
+        if worst_len > top_k as usize || worst_len as u64 > ingested {
+            return Err(CheckpointError::Corrupt("worst list longer than allowed"));
+        }
+        let mut worst = Vec::with_capacity(worst_len);
+        for _ in 0..worst_len {
+            worst.push(decode_summary(&mut input)?);
+        }
+        if input.remaining() != 0 {
+            return Err(CheckpointError::Corrupt("trailing bytes after payload"));
+        }
+        // Cross-field invariants of the fold algebra.
+        if body_p95.count() != ingested {
+            return Err(CheckpointError::Corrupt(
+                "per-body p95 count does not match ingested bodies",
+            ));
+        }
+        if ingested > next_body {
+            return Err(CheckpointError::Corrupt("more bodies ingested than folded"));
+        }
+        for pair in worst.windows(2) {
+            if !ranks_before(&pair[0], &pair[1]) {
+                return Err(CheckpointError::Corrupt("worst list out of order"));
+            }
+        }
+        for summary in &worst {
+            if summary.body_index as u64 >= bodies {
+                return Err(CheckpointError::Corrupt("worst body outside the fleet"));
+            }
+        }
+        let mut aggregator =
+            FleetAggregator::new(TimeSpan::from_seconds(horizon_seconds), top_k as usize);
+        aggregator.bodies = ingested as usize;
+        aggregator.total_generated = total_generated as usize;
+        aggregator.total_delivered = total_delivered as usize;
+        aggregator.total_delivered_bytes = total_delivered_bytes as usize;
+        aggregator.total_events = total_events;
+        aggregator.min_body_delivery_ratio = min_body_delivery_ratio;
+        aggregator.total_energy = total_energy;
+        aggregator.fleet_latency = fleet_latency;
+        aggregator.body_p95 = body_p95;
+        aggregator.worst = worst;
+        Ok(Self {
+            base_seed,
+            bodies,
+            horizon: TimeSpan::from_seconds(horizon_seconds),
+            top_k,
+            next_body,
+            aggregator,
+        })
+    }
+}
+
+fn encode_summary(summary: &BodySummary, out: &mut BytesMut) {
+    out.put_u64(summary.body_index as u64);
+    out.put_u64(summary.seed);
+    let label = summary.archetype.as_bytes();
+    out.put_u32(label.len() as u32);
+    out.put_slice(label);
+    out.put_u64(summary.nodes as u64);
+    out.put_u64(summary.generated_frames as u64);
+    out.put_u64(summary.delivered_frames as u64);
+    out.put_u64(summary.delivered_bytes as u64);
+    out.put_u64(summary.events_processed);
+    out.put_f64(summary.delivery_ratio);
+    out.put_f64(summary.total_energy.as_joules());
+    out.put_f64(summary.worst_p95_latency.as_seconds());
+    summary.latency.encode(out);
+}
+
+fn decode_summary(input: &mut Bytes) -> Result<BodySummary, CheckpointError> {
+    let body_index = take_u64(input)?;
+    let seed = take_u64(input)?;
+    let label_len = take_u32(input)? as usize;
+    if label_len > input.remaining() {
+        return Err(CheckpointError::Truncated);
+    }
+    let label_bytes = input.split_to(label_len).to_vec();
+    let label = String::from_utf8(label_bytes)
+        .map_err(|_| CheckpointError::Corrupt("archetype label not UTF-8"))?;
+    let nodes = take_u64(input)?;
+    let generated_frames = take_u64(input)?;
+    let delivered_frames = take_u64(input)?;
+    let delivered_bytes = take_u64(input)?;
+    let events_processed = take_u64(input)?;
+    let delivery_ratio = take_f64(input)?;
+    if !delivery_ratio.is_finite() || !(0.0..=1.0).contains(&delivery_ratio) {
+        return Err(CheckpointError::Corrupt("body delivery ratio out of range"));
+    }
+    let energy_joules = take_f64(input)?;
+    if !energy_joules.is_finite() || energy_joules < 0.0 {
+        return Err(CheckpointError::Corrupt("body energy not a finite amount"));
+    }
+    let worst_p95_seconds = take_f64(input)?;
+    if !worst_p95_seconds.is_finite() || worst_p95_seconds < 0.0 {
+        return Err(CheckpointError::Corrupt("body p95 not a finite latency"));
+    }
+    let latency = LatencySketch::decode(input)?;
+    if latency.count() != delivered_frames {
+        return Err(CheckpointError::Corrupt(
+            "body sketch count does not match delivered frames",
+        ));
+    }
+    Ok(BodySummary {
+        body_index: body_index as usize,
+        seed,
+        archetype: Arc::from(label.as_str()),
+        nodes: nodes as usize,
+        generated_frames: generated_frames as usize,
+        delivered_frames: delivered_frames as usize,
+        delivered_bytes: delivered_bytes as usize,
+        events_processed,
+        delivery_ratio,
+        total_energy: Energy::from_joules(energy_joules),
+        worst_p95_latency: TimeSpan::from_seconds(worst_p95_seconds),
+        latency,
+    })
+}
+
+/// FNV-1a 64-bit digest — the checkpoint's corruption seal.  Not
+/// cryptographic (the threat model is bit rot and truncation, not forgery),
+/// but any single-bit flip anywhere in the blob changes it.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn take_u32(input: &mut Bytes) -> Result<u32, CheckpointError> {
+    if input.remaining() < 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    Ok(input.get_u32())
+}
+
+fn take_u64(input: &mut Bytes) -> Result<u64, CheckpointError> {
+    if input.remaining() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    Ok(input.get_u64())
+}
+
+fn take_f64(input: &mut Bytes) -> Result<f64, CheckpointError> {
+    Ok(f64::from_bits(take_u64(input)?))
+}

@@ -18,11 +18,22 @@
 //! per-leaf traffic in a fixed order, and never touches shared state.  Two
 //! consequences the fleet layer builds on:
 //!
-//! * a body's scenario is byte-identical no matter which thread materialises
-//!   it, at any [`SweepRunner`](crate::sweep::SweepRunner) width, and
+//! * a body's scenario is byte-identical no matter which thread **or
+//!   machine** materialises it, at any
+//!   [`SweepRunner`](crate::sweep::SweepRunner) width — the property the
+//!   fleet layer's shard runners ([`ShardPlan`](crate::fleet::ShardPlan))
+//!   and checkpoint resume rely on to re-derive any body without
+//!   coordination, and
 //! * scenarios never need to be stored — any body can be re-derived on
 //!   demand, which is what lets a 10k-body stream run with O(1) scenario
 //!   memory.
+//!
+//! Two further guarantees are load-bearing for the fleet algebra (and
+//! regression-tested in `tests/population_edges.rs`): an archetype with zero
+//! (or clamped-to-zero) weight is **never** sampled while any positive
+//! weight exists (the degenerate all-zero population falls back to its first
+//! archetype), and a single-archetype population reproduces
+//! [`PopulationModel::uniform`]'s output exactly, whatever its weight.
 //!
 //! # Example
 //!

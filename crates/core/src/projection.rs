@@ -106,9 +106,35 @@ impl Fig3Projector {
         }
     }
 
+    /// The logarithmically spaced rate axis of the Fig. 3 sweep:
+    /// `points_per_decade` samples per decade from `min_rate` to `max_rate`
+    /// (degenerate inputs collapse to the single `min_rate` point).  The one
+    /// definition of the x-axis, shared by [`sweep`](Self::sweep) and the
+    /// `SweepRunner`-parallel grid in `hidwa_bench::figs`, so the two paths
+    /// cannot drift apart.
+    #[must_use]
+    pub fn sweep_axis(
+        min_rate: DataRate,
+        max_rate: DataRate,
+        points_per_decade: usize,
+    ) -> Vec<DataRate> {
+        let lo = min_rate.as_bps().max(1.0).log10();
+        let hi = max_rate.as_bps().max(1.0).log10();
+        if hi <= lo || points_per_decade == 0 {
+            return vec![min_rate];
+        }
+        let total_points = ((hi - lo) * points_per_decade as f64).ceil() as usize + 1;
+        (0..total_points)
+            .map(|i| {
+                let exp = lo + (hi - lo) * i as f64 / (total_points - 1) as f64;
+                DataRate::from_bps(10f64.powf(exp))
+            })
+            .collect()
+    }
+
     /// Projects a full sweep of logarithmically spaced rates from
     /// `min_rate` to `max_rate` with `points_per_decade` samples per decade —
-    /// the Fig. 3 x-axis.
+    /// the Fig. 3 x-axis ([`sweep_axis`](Self::sweep_axis)).
     #[must_use]
     pub fn sweep(
         &self,
@@ -116,17 +142,9 @@ impl Fig3Projector {
         max_rate: DataRate,
         points_per_decade: usize,
     ) -> Vec<ProjectionPoint> {
-        let lo = min_rate.as_bps().max(1.0).log10();
-        let hi = max_rate.as_bps().max(1.0).log10();
-        if hi <= lo || points_per_decade == 0 {
-            return vec![self.project_rate(min_rate)];
-        }
-        let total_points = ((hi - lo) * points_per_decade as f64).ceil() as usize + 1;
-        (0..total_points)
-            .map(|i| {
-                let exp = lo + (hi - lo) * i as f64 / (total_points - 1) as f64;
-                self.project_rate(DataRate::from_bps(10f64.powf(exp)))
-            })
+        Self::sweep_axis(min_rate, max_rate, points_per_decade)
+            .into_iter()
+            .map(|rate| self.project_rate(rate))
             .collect()
     }
 

@@ -1,0 +1,176 @@
+//! Checkpoint round-trip and corruption tests: a fold interrupted at any
+//! body boundary resumes byte-identical, and truncated / bit-flipped /
+//! version-bumped / mismatched checkpoints come back as typed errors — never
+//! a panic, never a silent mis-restore.
+
+use hidwa_core::fleet::{CheckpointError, FleetCheckpoint, FleetConfig};
+use hidwa_core::population::PopulationModel;
+use hidwa_core::sweep::SweepRunner;
+use hidwa_units::TimeSpan;
+
+fn fleet() -> FleetConfig {
+    FleetConfig::new(100)
+        .with_population(PopulationModel::mixed_default())
+        .with_base_seed(424242)
+        .with_horizon(TimeSpan::from_seconds(0.5))
+        .with_top_k(6)
+}
+
+/// Re-implementation of the documented FNV-1a 64 seal (ARCHITECTURE.md wire
+/// format), so tests can mint structurally valid blobs with chosen fields.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[test]
+fn resume_from_every_body_boundary_is_byte_identical() {
+    let config = fleet();
+    let serial = SweepRunner::serial();
+    let single = config.run(&serial);
+    let final_state = config.run_until(&serial, 100).save().to_vec();
+    for stop in 0..=100 {
+        let blob = config.run_until(&serial, stop).save();
+        let restored = FleetCheckpoint::load(&blob).unwrap_or_else(|e| {
+            panic!("checkpoint at body {stop} failed to load: {e}");
+        });
+        assert_eq!(restored.next_body(), stop);
+        assert_eq!(restored.bodies_ingested(), stop);
+        // Saving the reloaded checkpoint reproduces the bytes exactly.
+        assert_eq!(restored.save().to_vec(), blob.to_vec());
+        let resumed = config.resume(&serial, restored).expect("same config");
+        assert_eq!(resumed, single, "resume from body {stop} diverged");
+    }
+    // The final state of an interrupted+resumed fold equals the
+    // uninterrupted one at the byte level, not just through PartialEq.
+    let half = FleetCheckpoint::load(&config.run_until(&serial, 50).save()).unwrap();
+    let resumed_report = config.resume(&serial, half).unwrap();
+    assert_eq!(resumed_report, single);
+    assert_eq!(config.run_until(&serial, 100).save().to_vec(), final_state);
+}
+
+#[test]
+fn truncated_checkpoints_error_at_every_cut() {
+    let config = fleet();
+    let blob = config.run_until(&SweepRunner::serial(), 37).save().to_vec();
+    for cut in 0..blob.len() {
+        match FleetCheckpoint::load(&blob[..cut]) {
+            Err(_) => {}
+            Ok(_) => panic!(
+                "a {cut}-byte prefix of a {}-byte checkpoint loaded",
+                blob.len()
+            ),
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    let config = fleet();
+    let blob = config.run_until(&SweepRunner::serial(), 23).save().to_vec();
+    // One flip per byte position (rotating the bit index so all eight bit
+    // lanes are exercised): the FNV seal catches every single-bit flip by
+    // construction, and this sweep proves no code path panics or accepts one.
+    for position in 0..blob.len() {
+        let bit = position % 8;
+        let mut tampered = blob.clone();
+        tampered[position] ^= 1 << bit;
+        assert!(
+            FleetCheckpoint::load(&tampered).is_err(),
+            "bit {bit} of byte {position} flipped and the checkpoint still loaded"
+        );
+    }
+}
+
+#[test]
+fn version_and_magic_mismatches_are_typed() {
+    let config = fleet();
+    let blob = config.run_until(&SweepRunner::serial(), 9).save().to_vec();
+
+    // A future version with a correct checksum must be refused as
+    // UnsupportedVersion, not mis-parsed.
+    let mut future = blob.clone();
+    future[9] = 2; // version u16 big-endian at offset 8..10
+    let body_len = future.len() - 8;
+    let reseal = fnv1a64(&future[..body_len]);
+    future[body_len..].copy_from_slice(&reseal.to_be_bytes());
+    assert_eq!(
+        FleetCheckpoint::load(&future).unwrap_err(),
+        CheckpointError::UnsupportedVersion(2)
+    );
+
+    let mut alien = blob.clone();
+    alien[..8].copy_from_slice(b"NOTAFLT!");
+    assert_eq!(
+        FleetCheckpoint::load(&alien).unwrap_err(),
+        CheckpointError::BadMagic
+    );
+
+    assert_eq!(
+        FleetCheckpoint::load(&[]).unwrap_err(),
+        CheckpointError::Truncated
+    );
+    assert_eq!(
+        FleetCheckpoint::load(&blob[..12]).unwrap_err(),
+        CheckpointError::Truncated
+    );
+
+    // Arbitrary garbage of plausible length errors instead of panicking.
+    let garbage: Vec<u8> = (0..blob.len()).map(|i| (i * 131 + 7) as u8).collect();
+    assert!(FleetCheckpoint::load(&garbage).is_err());
+}
+
+#[test]
+fn resume_under_a_different_config_is_refused() {
+    let config = fleet();
+    let serial = SweepRunner::serial();
+    let blob = config.run_until(&serial, 40).save();
+    let load = || FleetCheckpoint::load(&blob).expect("valid blob");
+
+    let other_seed = config.clone().with_base_seed(7);
+    assert!(matches!(
+        other_seed.resume(&serial, load()),
+        Err(CheckpointError::ConfigMismatch(_))
+    ));
+    let other_bodies = FleetConfig::new(99)
+        .with_population(PopulationModel::mixed_default())
+        .with_base_seed(424242)
+        .with_horizon(TimeSpan::from_seconds(0.5))
+        .with_top_k(6);
+    assert!(matches!(
+        other_bodies.resume(&serial, load()),
+        Err(CheckpointError::ConfigMismatch(_))
+    ));
+    let other_horizon = config.clone().with_horizon(TimeSpan::from_seconds(1.0));
+    assert!(matches!(
+        other_horizon.resume(&serial, load()),
+        Err(CheckpointError::ConfigMismatch(_))
+    ));
+    let other_top_k = config.clone().with_top_k(2);
+    assert!(matches!(
+        other_top_k.resume(&serial, load()),
+        Err(CheckpointError::ConfigMismatch(_))
+    ));
+    // The original config still resumes fine.
+    assert!(config.resume(&serial, load()).is_ok());
+}
+
+#[test]
+fn checkpoint_errors_render_useful_messages() {
+    let rendered = [
+        CheckpointError::Truncated.to_string(),
+        CheckpointError::BadMagic.to_string(),
+        CheckpointError::UnsupportedVersion(9).to_string(),
+        CheckpointError::Corrupt("checksum mismatch").to_string(),
+        CheckpointError::ConfigMismatch("base seed differs").to_string(),
+    ];
+    assert!(rendered[0].contains("truncated"));
+    assert!(rendered[1].contains("magic"));
+    assert!(rendered[2].contains('9'));
+    assert!(rendered[3].contains("checksum"));
+    assert!(rendered[4].contains("base seed"));
+}

@@ -53,6 +53,7 @@
 //! assert!(p95.as_seconds() <= exact.as_seconds() * (1.0 + RELATIVE_ERROR_BOUND));
 //! ```
 
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hidwa_units::TimeSpan;
 use serde::{Deserialize, Serialize};
 
@@ -99,13 +100,284 @@ pub fn nearest_rank_index(len: usize, q: f64) -> usize {
     index.min(len - 1)
 }
 
+/// Number of 64-bit limbs in an [`ExactSum`]: a fixed-point window from
+/// `2^-1074` (the smallest subnormal double) up past `2^1088` — every finite
+/// nonnegative `f64` plus 64 bits of carry headroom, so even `2^64` additions
+/// of `f64::MAX`-scale values cannot overflow the accumulator.
+const SUM_LIMBS: usize = 34;
+
+/// Exact, order-independent accumulator for nonnegative finite `f64` sums.
+///
+/// Floating-point addition is not associative, which is fatal for a merge
+/// algebra: a sharded fold that combines partial sums `(a + b) + (c + d)`
+/// produces different low bits than the single-stream `((a + b) + c) + d`.
+/// `ExactSum` sidesteps the problem by accumulating into a 2176-bit
+/// fixed-point integer (34 × 64-bit limbs, least-significant first, LSB
+/// weight `2^-1074`): every `f64` is a 53-bit mantissa shifted by its
+/// exponent, so each [`add`](Self::add) is an exact integer addition.
+/// Addition of integers **is** associative and commutative, which makes any
+/// merge tree over [`add_sum`](Self::add_sum) byte-identical to the serial
+/// fold — the property the fleet layer's shard/checkpoint determinism
+/// contract rests on.
+///
+/// [`to_f64`](Self::to_f64) rounds the exact value to the nearest `f64`
+/// (ties to even), so two accumulators holding the same multiset of samples
+/// report bit-identical totals no matter how the samples were grouped.
+///
+/// Inputs outside the supported domain (negative, NaN, infinite) are treated
+/// as zero, mirroring [`LatencySketch::record`]'s sample hygiene.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ExactSum {
+    limbs: [u64; SUM_LIMBS],
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ExactSum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExactSum")
+            .field("value", &self.to_f64())
+            .finish()
+    }
+}
+
+impl ExactSum {
+    /// The empty (zero) sum.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            limbs: [0; SUM_LIMBS],
+        }
+    }
+
+    /// Whether no nonzero value has been accumulated.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&limb| limb == 0)
+    }
+
+    /// Adds one `f64` exactly.  Negative, NaN and infinite inputs contribute
+    /// zero.
+    pub fn add(&mut self, value: f64) {
+        if !value.is_finite() || value <= 0.0 {
+            return;
+        }
+        let bits = value.to_bits();
+        let exponent = ((bits >> 52) & 0x7FF) as u32;
+        let fraction = bits & ((1u64 << 52) - 1);
+        // value = mantissa · 2^(bit_position - 1074), mantissa < 2^53.
+        let (mantissa, bit_position) = if exponent == 0 {
+            (fraction, 0)
+        } else {
+            (fraction | (1 << 52), exponent - 1)
+        };
+        let limb = (bit_position / 64) as usize;
+        let shift = bit_position % 64;
+        let wide = u128::from(mantissa) << shift;
+        self.add_limb(limb, wide as u64);
+        self.add_limb(limb + 1, (wide >> 64) as u64);
+    }
+
+    /// Adds another accumulator exactly (limb-wise integer addition) —
+    /// associative and commutative by construction.
+    pub fn add_sum(&mut self, other: &ExactSum) {
+        let mut carry = false;
+        for (mine, &theirs) in self.limbs.iter_mut().zip(&other.limbs) {
+            let (sum, overflow_a) = mine.overflowing_add(theirs);
+            let (sum, overflow_b) = sum.overflowing_add(u64::from(carry));
+            *mine = sum;
+            carry = overflow_a || overflow_b;
+        }
+        debug_assert!(!carry, "ExactSum overflow (beyond 2^64 x f64::MAX)");
+    }
+
+    fn add_limb(&mut self, mut index: usize, value: u64) {
+        if value == 0 {
+            return;
+        }
+        let (sum, mut carry) = self.limbs[index].overflowing_add(value);
+        self.limbs[index] = sum;
+        while carry {
+            // The 64-bit headroom above the largest finite double makes
+            // running off the top limb unreachable for physical workloads;
+            // indexing would panic if it ever happened.
+            index += 1;
+            let (sum, overflow) = self.limbs[index].overflowing_add(1);
+            self.limbs[index] = sum;
+            carry = overflow;
+        }
+    }
+
+    /// The accumulated value, rounded to the nearest `f64` (ties to even).
+    ///
+    /// Deterministic function of the limbs alone: equal sums — however their
+    /// samples were grouped across shards or checkpoints — convert to
+    /// bit-identical doubles.
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        let Some(top_limb) = self.limbs.iter().rposition(|&limb| limb != 0) else {
+            return 0.0;
+        };
+        let top_bit = top_limb * 64 + (63 - self.limbs[top_limb].leading_zeros() as usize);
+        if top_bit <= 52 {
+            // At most 53 significant bits in the bottom limb: the value
+            // N · 2^-1074 is exactly representable (subnormal or the first
+            // normal binade), and both conversions below are exact.
+            return self.limbs[0] as f64 * pow2(-1074);
+        }
+        // Round the 53 bits below the MSB with guard + sticky.
+        let mut mantissa = self.extract_53(top_bit - 52);
+        let round = self.bit(top_bit - 53);
+        let sticky = self.any_set_below(top_bit - 53);
+        let mut exponent = top_bit as i64 - 52 - 1074;
+        if round && (sticky || mantissa & 1 == 1) {
+            mantissa += 1;
+            if mantissa == 1 << 53 {
+                mantissa >>= 1;
+                exponent += 1;
+            }
+        }
+        // `mantissa` has its top bit at position 52, so the product is a
+        // normal double and both factors are exact: no double rounding.
+        mantissa as f64 * pow2(exponent as i32)
+    }
+
+    /// Bits `start .. start + 53` as an integer (MSB-aligned mantissa).
+    fn extract_53(&self, start: usize) -> u64 {
+        let limb = start / 64;
+        let offset = start % 64;
+        let mut value = self.limbs[limb] >> offset;
+        if offset != 0 && limb + 1 < SUM_LIMBS {
+            value |= self.limbs[limb + 1] << (64 - offset);
+        }
+        value & ((1u64 << 53) - 1)
+    }
+
+    fn bit(&self, index: usize) -> bool {
+        (self.limbs[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    fn any_set_below(&self, index: usize) -> bool {
+        let limb = index / 64;
+        let offset = index % 64;
+        self.limbs[..limb].iter().any(|&l| l != 0)
+            || (offset != 0 && self.limbs[limb] & ((1u64 << offset) - 1) != 0)
+    }
+
+    /// Serializes the limbs (sparse window encoding: offset, length, then the
+    /// nonzero span) into `out`.
+    pub fn encode(&self, out: &mut BytesMut) {
+        let first = self.limbs.iter().position(|&l| l != 0).unwrap_or(0);
+        let last = self
+            .limbs
+            .iter()
+            .rposition(|&l| l != 0)
+            .map_or(0, |i| i + 1);
+        let span = &self.limbs[first.min(last)..last];
+        out.put_u32(first.min(last) as u32);
+        out.put_u32(span.len() as u32);
+        for &limb in span {
+            out.put_u64(limb);
+        }
+    }
+
+    /// Decodes an accumulator previously written by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    /// [`SketchCodecError::Truncated`] if `input` runs out;
+    /// [`SketchCodecError::Corrupt`] if the window is out of range or not in
+    /// the canonical (trimmed) form `encode` produces.
+    pub fn decode(input: &mut Bytes) -> Result<Self, SketchCodecError> {
+        let first = take_u32(input)? as usize;
+        let len = take_u32(input)? as usize;
+        if first + len > SUM_LIMBS {
+            return Err(SketchCodecError::Corrupt("ExactSum window out of range"));
+        }
+        let mut sum = Self::new();
+        for limb in &mut sum.limbs[first..first + len] {
+            *limb = take_u64(input)?;
+        }
+        // Enforce the canonical form `encode` produces (zero sums are
+        // `(0, 0)`, nonzero windows end on nonzero limbs) so decode→encode
+        // is always byte-identity.
+        let canonical = if len == 0 {
+            first == 0
+        } else {
+            sum.limbs[first] != 0 && sum.limbs[first + len - 1] != 0
+        };
+        if !canonical {
+            return Err(SketchCodecError::Corrupt("ExactSum window not trimmed"));
+        }
+        Ok(sum)
+    }
+}
+
+/// `2^exponent` as an exact `f64`, for `exponent` in `[-1074, 1023]`.
+fn pow2(exponent: i32) -> f64 {
+    debug_assert!((-1074..=1023).contains(&exponent));
+    if exponent >= -1022 {
+        f64::from_bits(((exponent + 1023) as u64) << 52)
+    } else {
+        f64::from_bits(1u64 << (exponent + 1074))
+    }
+}
+
+/// Why a serialized sketch (or [`ExactSum`]) failed to decode.
+///
+/// Decoding **never panics**: truncated, bit-flipped or otherwise malformed
+/// bytes surface as one of these variants (the fleet checkpoint layer wraps
+/// them with its own envelope checks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchCodecError {
+    /// The input ended before the encoded structure was complete.
+    Truncated,
+    /// The bytes are structurally complete but violate a sketch invariant.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for SketchCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "sketch bytes truncated"),
+            Self::Corrupt(what) => write!(f, "sketch bytes corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SketchCodecError {}
+
+fn take_u32(input: &mut Bytes) -> Result<u32, SketchCodecError> {
+    if input.remaining() < 4 {
+        return Err(SketchCodecError::Truncated);
+    }
+    Ok(input.get_u32())
+}
+
+fn take_u64(input: &mut Bytes) -> Result<u64, SketchCodecError> {
+    if input.remaining() < 8 {
+        return Err(SketchCodecError::Truncated);
+    }
+    Ok(input.get_u64())
+}
+
+fn take_f64(input: &mut Bytes) -> Result<f64, SketchCodecError> {
+    Ok(f64::from_bits(take_u64(input)?))
+}
+
 /// Streaming percentile sketch over latency samples.
 ///
 /// See the [module docs](self) for the bucketing scheme and the error bound.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct LatencySketch {
     count: u64,
-    sum_seconds: f64,
+    /// Exact fixed-point sum of the samples (see [`ExactSum`]): makes the
+    /// mean correctly rounded and — crucially — makes [`merge`](Self::merge)
+    /// associative, so sharded folds are byte-identical to serial ones.
+    sum_seconds: ExactSum,
     min_seconds: f64,
     max_seconds: f64,
     /// Key offset of `buckets[0]` relative to [`base_key()`]; meaningful
@@ -126,7 +398,7 @@ impl LatencySketch {
     pub fn new() -> Self {
         Self {
             count: 0,
-            sum_seconds: 0.0,
+            sum_seconds: ExactSum::new(),
             min_seconds: f64::INFINITY,
             max_seconds: 0.0,
             first_index: 0,
@@ -146,7 +418,7 @@ impl LatencySketch {
             seconds = 0.0;
         }
         self.count += 1;
-        self.sum_seconds += seconds;
+        self.sum_seconds.add(seconds);
         self.min_seconds = self.min_seconds.min(seconds);
         self.max_seconds = self.max_seconds.max(seconds);
         let index = key_of(seconds) - base_key();
@@ -184,13 +456,16 @@ impl LatencySketch {
         self.buckets.len()
     }
 
-    /// Exact mean of the recorded samples ([`TimeSpan::ZERO`] when empty).
+    /// Exact mean of the recorded samples ([`TimeSpan::ZERO`] when empty):
+    /// the correctly rounded sum (see [`ExactSum`]) divided by the count, so
+    /// the result is independent of the order — or sharding — in which the
+    /// samples were accumulated.
     #[must_use]
     pub fn mean(&self) -> TimeSpan {
         if self.count == 0 {
             return TimeSpan::ZERO;
         }
-        TimeSpan::from_seconds(self.sum_seconds / self.count as f64)
+        TimeSpan::from_seconds(self.sum_seconds.to_f64() / self.count as f64)
     }
 
     /// Exact minimum recorded sample ([`TimeSpan::ZERO`] when empty).
@@ -242,12 +517,17 @@ impl LatencySketch {
 
     /// Merges another sketch into this one (exact counts add; min/max/sum
     /// combine exactly), enabling deterministic fleet-wide aggregation.
+    ///
+    /// Merge is **associative and commutative**: counts, buckets and the
+    /// [`ExactSum`] are integer additions, min/max are lattice operations.
+    /// Any merge tree over the same sketches yields a byte-identical result —
+    /// the algebra `hidwa_core`'s sharded fleet fold is built on.
     pub fn merge(&mut self, other: &LatencySketch) {
         if other.count == 0 {
             return;
         }
         self.count += other.count;
-        self.sum_seconds += other.sum_seconds;
+        self.sum_seconds.add_sum(&other.sum_seconds);
         self.min_seconds = self.min_seconds.min(other.min_seconds);
         self.max_seconds = self.max_seconds.max(other.max_seconds);
         if self.buckets.is_empty() {
@@ -270,6 +550,90 @@ impl LatencySketch {
         for (mine, theirs) in self.buckets[offset..].iter_mut().zip(&other.buckets) {
             *mine += theirs;
         }
+    }
+
+    /// Serializes the full sketch state — count, exact sum, extrema, bucket
+    /// window — into `out` (big-endian, fixed layout; see the fleet
+    /// checkpoint format in ARCHITECTURE.md).  `decode` restores a
+    /// byte-identical sketch: the pair is the transport for checkpoint/resume
+    /// and cross-machine shard merges.
+    pub fn encode(&self, out: &mut BytesMut) {
+        out.put_u64(self.count);
+        self.sum_seconds.encode(out);
+        out.put_f64(self.min_seconds);
+        out.put_f64(self.max_seconds);
+        out.put_u64(self.first_index);
+        out.put_u64(self.buckets.len() as u64);
+        for &bucket in &self.buckets {
+            out.put_u64(bucket);
+        }
+    }
+
+    /// Decodes a sketch previously written by [`encode`](Self::encode),
+    /// validating every structural invariant so corrupt bytes are rejected
+    /// rather than silently mis-restored.
+    ///
+    /// # Errors
+    /// [`SketchCodecError::Truncated`] when `input` ends early;
+    /// [`SketchCodecError::Corrupt`] when the bytes violate a sketch
+    /// invariant (bucket counts must sum to `count`, the window must be
+    /// trimmed, an empty sketch must be canonical, extrema must be ordered).
+    pub fn decode(input: &mut Bytes) -> Result<Self, SketchCodecError> {
+        let count = take_u64(input)?;
+        let sum_seconds = ExactSum::decode(input)?;
+        let min_seconds = take_f64(input)?;
+        let max_seconds = take_f64(input)?;
+        let first_index = take_u64(input)?;
+        let bucket_len = take_u64(input)?;
+        // A length prefix larger than the bytes behind it is truncation (or a
+        // flipped length bit) — reject before allocating.
+        if bucket_len > input.remaining() as u64 / 8 {
+            return Err(SketchCodecError::Truncated);
+        }
+        let mut buckets = Vec::with_capacity(bucket_len as usize);
+        for _ in 0..bucket_len {
+            buckets.push(take_u64(input)?);
+        }
+        if count == 0 {
+            let empty = buckets.is_empty()
+                && sum_seconds.is_zero()
+                && min_seconds == f64::INFINITY
+                && max_seconds == 0.0
+                && first_index == 0;
+            if !empty {
+                return Err(SketchCodecError::Corrupt("empty sketch not canonical"));
+            }
+            return Ok(Self::new());
+        }
+        if buckets.is_empty() || *buckets.first().unwrap() == 0 || *buckets.last().unwrap() == 0 {
+            return Err(SketchCodecError::Corrupt("bucket window not trimmed"));
+        }
+        let bucket_total: u64 = buckets
+            .iter()
+            .try_fold(0u64, |acc, &b| acc.checked_add(b))
+            .ok_or(SketchCodecError::Corrupt("bucket counts overflow"))?;
+        if bucket_total != count {
+            return Err(SketchCodecError::Corrupt(
+                "bucket counts do not sum to count",
+            ));
+        }
+        if !(min_seconds.is_finite() && max_seconds.is_finite() && min_seconds <= max_seconds) {
+            return Err(SketchCodecError::Corrupt("extrema out of order"));
+        }
+        if min_seconds < 0.0 {
+            return Err(SketchCodecError::Corrupt("negative minimum"));
+        }
+        if first_index > key_of(MAX_TRACKED) - base_key() {
+            return Err(SketchCodecError::Corrupt("bucket window out of range"));
+        }
+        Ok(Self {
+            count,
+            sum_seconds,
+            min_seconds,
+            max_seconds,
+            first_index,
+            buckets,
+        })
     }
 }
 
@@ -378,16 +742,148 @@ mod tests {
         }
         a.merge(&b);
         a.merge(&LatencySketch::new());
-        // Counts, extrema and buckets combine exactly; the sum is the same
-        // set of f64 additions in a different order, so compare the mean to
-        // rounding noise rather than bit-for-bit.
-        assert_eq!(a.count(), all.count());
-        assert_eq!(a.min(), all.min());
-        assert_eq!(a.max(), all.max());
-        assert_eq!(a.buckets, all.buckets);
-        assert!((a.mean().as_seconds() - all.mean().as_seconds()).abs() < 1e-12);
+        // Counts, extrema, buckets AND the sum combine exactly (the sum is
+        // an ExactSum fixed-point accumulator, so regrouping the additions
+        // cannot perturb low bits): the merged sketch is byte-identical to
+        // the single-stream one.
+        assert_eq!(a, all);
+        assert_eq!(a.mean(), all.mean());
         for q in [0.1, 0.5, 0.9, 0.99] {
             assert_eq!(a.quantile(q), all.quantile(q));
         }
+    }
+
+    #[test]
+    fn exact_sum_is_order_and_grouping_independent() {
+        let values: Vec<f64> = (1..=400)
+            .map(|i| 1e-7 * (i as f64) * (1.0 + (i as f64).sin().abs() * 1e6))
+            .collect();
+        let mut forward = ExactSum::new();
+        for &v in &values {
+            forward.add(v);
+        }
+        let mut backward = ExactSum::new();
+        for &v in values.iter().rev() {
+            backward.add(v);
+        }
+        assert_eq!(forward, backward);
+        // Any grouping of partial sums merges to the same accumulator.
+        for split in [1, 37, 199, 399] {
+            let mut left = ExactSum::new();
+            let mut right = ExactSum::new();
+            for &v in &values[..split] {
+                left.add(v);
+            }
+            for &v in &values[split..] {
+                right.add(v);
+            }
+            left.add_sum(&right);
+            assert_eq!(left, forward);
+            assert_eq!(left.to_f64().to_bits(), forward.to_f64().to_bits());
+        }
+        // The rounded readout agrees with naive summation to within its
+        // accumulated rounding error.
+        let naive: f64 = values.iter().sum();
+        assert!((forward.to_f64() - naive).abs() <= naive * 1e-12);
+    }
+
+    #[test]
+    fn exact_sum_readout_is_correctly_rounded() {
+        // Values exactly representable in a shared binade: the sum is exact
+        // in f64 too, so to_f64 must reproduce it bit for bit.
+        let mut sum = ExactSum::new();
+        for i in 1u64..=1000 {
+            sum.add(i as f64 * 0.5f64.powi(20));
+        }
+        let expected = (1000 * 1001 / 2) as f64 * 0.5f64.powi(20);
+        assert_eq!(sum.to_f64().to_bits(), expected.to_bits());
+        // A sticky tail far below the mantissa must round up across a tie.
+        let mut tie = ExactSum::new();
+        tie.add(1.0);
+        tie.add(f64::EPSILON / 2.0); // exactly halfway to the next double
+        assert_eq!(tie.to_f64(), 1.0); // ties to even: mantissa stays even
+        tie.add(f64::MIN_POSITIVE * f64::EPSILON); // any sticky bit breaks the tie
+        assert_eq!(tie.to_f64(), 1.0 + f64::EPSILON);
+        // Degenerate inputs contribute zero.
+        let mut hygiene = ExactSum::new();
+        hygiene.add(f64::NAN);
+        hygiene.add(f64::NEG_INFINITY);
+        hygiene.add(-5.0);
+        assert!(hygiene.is_zero());
+        assert_eq!(hygiene.to_f64(), 0.0);
+        // Subnormals accumulate exactly.
+        let mut tiny = ExactSum::new();
+        for _ in 0..3 {
+            tiny.add(f64::from_bits(1));
+        }
+        assert_eq!(tiny.to_f64().to_bits(), f64::from_bits(3).to_bits());
+    }
+
+    #[test]
+    fn sketch_codec_round_trips_byte_identically() {
+        use bytes::BytesMut;
+        let mut sketch = LatencySketch::new();
+        for i in 0..3000 {
+            sketch.record(TimeSpan::from_micros(10.0 + (i as f64) * 7.3));
+        }
+        let mut out = BytesMut::new();
+        sketch.encode(&mut out);
+        let encoded = out.freeze();
+        let mut input = encoded.clone();
+        let decoded = LatencySketch::decode(&mut input).expect("round trip");
+        assert_eq!(decoded, sketch);
+        assert_eq!(input.remaining(), 0);
+        // Re-encoding the decoded sketch reproduces the bytes exactly.
+        let mut again = BytesMut::new();
+        decoded.encode(&mut again);
+        assert_eq!(again.freeze().to_vec(), encoded.to_vec());
+        // Empty sketches round-trip too.
+        let mut empty_out = BytesMut::new();
+        LatencySketch::new().encode(&mut empty_out);
+        let mut empty_in = empty_out.freeze();
+        assert_eq!(
+            LatencySketch::decode(&mut empty_in).expect("empty"),
+            LatencySketch::new()
+        );
+    }
+
+    #[test]
+    fn sketch_codec_rejects_truncated_and_corrupt_bytes() {
+        use bytes::BytesMut;
+        let mut sketch = LatencySketch::new();
+        for ms in 1..=64 {
+            sketch.record(TimeSpan::from_millis(ms as f64));
+        }
+        let mut out = BytesMut::new();
+        sketch.encode(&mut out);
+        let encoded = out.freeze().to_vec();
+        // Every proper prefix is truncated, never a panic or a bad sketch.
+        for cut in 0..encoded.len() {
+            let mut input = bytes::Bytes::from(encoded[..cut].to_vec());
+            assert!(
+                LatencySketch::decode(&mut input).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // A flipped bucket count breaks the sum-to-count invariant.
+        let mut tampered = encoded.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0x01;
+        let mut input = bytes::Bytes::from(tampered);
+        assert!(matches!(
+            LatencySketch::decode(&mut input),
+            Err(SketchCodecError::Corrupt(_))
+        ));
+        // A zero-length ExactSum window with a nonzero offset is complete
+        // but non-canonical: decode must reject it, never re-encode
+        // different bytes than it consumed.
+        let mut crooked = BytesMut::new();
+        crooked.put_u32(5);
+        crooked.put_u32(0);
+        let mut input = crooked.freeze();
+        assert!(matches!(
+            ExactSum::decode(&mut input),
+            Err(SketchCodecError::Corrupt(_))
+        ));
     }
 }

@@ -158,6 +158,30 @@ pub trait Buf {
         let lo = self.get_u8();
         u16::from_be_bytes([hi, lo])
     }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        for byte in &mut raw {
+            *byte = self.get_u8();
+        }
+        u32::from_be_bytes(raw)
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        for byte in &mut raw {
+            *byte = self.get_u8();
+        }
+        u64::from_be_bytes(raw)
+    }
+
+    /// Reads a big-endian `f64` (IEEE-754 bit pattern, so every value —
+    /// infinities and NaN payloads included — round-trips exactly).
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
 }
 
 impl Buf for Bytes {
@@ -190,6 +214,22 @@ pub trait BufMut {
     fn put_u16(&mut self, value: u16) {
         self.put_slice(&value.to_be_bytes());
     }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, value: u32) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, value: u64) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian `f64` (IEEE-754 bit pattern; lossless for every
+    /// value).
+    fn put_f64(&mut self, value: f64) {
+        self.put_u64(value.to_bits());
+    }
 }
 
 impl BufMut for BytesMut {
@@ -221,6 +261,22 @@ mod tests {
         let head = bytes.split_to(2);
         assert_eq!(head.to_vec(), vec![1, 2]);
         assert_eq!(bytes.to_vec(), vec![3]);
+    }
+
+    #[test]
+    fn wide_integers_and_floats_round_trip() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(0x0123_4567_89AB_CDEF);
+        buf.put_f64(-1234.5678e-12);
+        buf.put_f64(f64::INFINITY);
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.len(), 4 + 8 + 8 + 8);
+        assert_eq!(bytes.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(bytes.get_f64().to_bits(), (-1234.5678e-12f64).to_bits());
+        assert_eq!(bytes.get_f64(), f64::INFINITY);
+        assert_eq!(bytes.remaining(), 0);
     }
 
     #[test]
