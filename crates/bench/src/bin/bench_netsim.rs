@@ -32,6 +32,14 @@
 //!   the checkpoint codec, so identical means identical limbs and buckets,
 //!   not merely equal reports), plus a mid-stream checkpoint/save/load/
 //!   resume identity check.
+//! * `driver_fleet` — the multi-process driver
+//!   ([`hidwa_core::fleet::driver`]): the same heterogeneous stream run by
+//!   the [`FleetDriver`] coordinator with **worker processes** (this binary
+//!   re-invoked as `bench_netsim --worker …`) shipping checkpoint blobs
+//!   over a spool directory, versus the in-process executor and the plain
+//!   single-stream fold.  Every row asserts the merged state bytes are
+//!   identical to the single stream — the process boundary must be
+//!   invisible in the result.
 //!
 //! Exits non-zero if the two engine paths disagree on any exact statistic or
 //! if any determinism / memory-bound / shard-identity check fails.
@@ -44,10 +52,15 @@
 //! 10000 bodies in the largest heterogeneous stream),
 //! `HIDWA_BENCH_STREAM_HORIZON_S` (default 2 s per-body horizon for the
 //! heterogeneous rows), `HIDWA_BENCH_SHARD_BODIES` (default 1000 bodies in
-//! the shard-identity section).
+//! the shard-identity section), `HIDWA_BENCH_DRIVER_BODIES` (default 400
+//! bodies in the multi-process driver section).
 
 use hidwa_bench::env_f64;
 use hidwa_bench::json;
+use hidwa_core::fleet::driver::{
+    DriverFleetSpec, FleetDriver, InProcessExecutor, PopulationSpec, ProcessExecutor, Transport,
+    WorkerCommand,
+};
 use hidwa_core::fleet::{FleetCheckpoint, FleetConfig, ShardPlan};
 use hidwa_core::population::PopulationModel;
 use hidwa_core::sweep::SweepRunner;
@@ -146,6 +159,33 @@ hidwa_bench::json_struct!(ShardRow {
     identical_to_single_stream,
 });
 
+struct DriverRow {
+    mode: String,
+    workers: usize,
+    bodies: usize,
+    horizon_s: f64,
+    wall_ms: f64,
+    bodies_per_sec: f64,
+    /// Blobs reused from a previous run over the same spool (resume).
+    reused_shards: usize,
+    /// Worker executions (processes spawned / in-process folds) this run.
+    worker_attempts: usize,
+    /// Merged blob state bytes equal the single-stream fold's bytes.
+    identical_to_single_stream: bool,
+}
+
+hidwa_bench::json_struct!(DriverRow {
+    mode,
+    workers,
+    bodies,
+    horizon_s,
+    wall_ms,
+    bodies_per_sec,
+    reused_shards,
+    worker_attempts,
+    identical_to_single_stream,
+});
+
 struct BenchNetsim {
     engine: Vec<EngineRow>,
     fleet: Vec<FleetRow>,
@@ -158,6 +198,8 @@ struct BenchNetsim {
     shard_fleet: Vec<ShardRow>,
     shard_identity_ok: bool,
     checkpoint_resume_ok: bool,
+    driver_fleet: Vec<DriverRow>,
+    driver_identity_ok: bool,
 }
 
 hidwa_bench::json_struct!(BenchNetsim {
@@ -172,6 +214,8 @@ hidwa_bench::json_struct!(BenchNetsim {
     shard_fleet,
     shard_identity_ok,
     checkpoint_resume_ok,
+    driver_fleet,
+    driver_identity_ok,
 });
 
 /// The 10-node body the engine comparison runs: two periodic vitals patches
@@ -242,7 +286,13 @@ fn time_engines(
     )
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    // Worker mode: the driver_fleet section spawns this binary per shard.
+    let mut argv = std::env::args().skip(1);
+    if argv.next().as_deref() == Some("--worker") {
+        return hidwa_core::fleet::driver::worker_main(argv);
+    }
+
     let samples = (env_f64("HIDWA_BENCH_SAMPLES", 5.0) as usize).max(1);
     let horizon = TimeSpan::from_seconds(env_f64("HIDWA_BENCH_HORIZON_S", 3600.0).max(1.0));
     let fleet_horizon =
@@ -535,6 +585,96 @@ fn main() {
         }
     );
 
+    // --- Multi-process driver: shard workers + spool checkpoint transport --
+    let driver_bodies = (env_f64("HIDWA_BENCH_DRIVER_BODIES", 400.0) as usize).max(50);
+    let driver_spec = DriverFleetSpec::new(driver_bodies)
+        .with_population(PopulationSpec::Mixed)
+        .with_base_seed(0xD21)
+        .with_horizon(stream_horizon);
+    let driver_config = driver_spec.to_config();
+    println!("\nmulti-process driver ({driver_bodies} heterogeneous bodies, spool transport)");
+    println!(
+        "{:<16} {:>8} {:>10} {:>12} {:>7} {:>9} {:>10}",
+        "mode", "workers", "wall ms", "bodies/s", "reused", "attempts", "identical"
+    );
+    let driver_single_start = Instant::now();
+    let driver_single = driver_config.run_until(&runner, driver_bodies);
+    let driver_single_ms = driver_single_start.elapsed().as_secs_f64() * 1e3;
+    let driver_single_state = driver_single.save().to_vec();
+    let driver_single_report = driver_single.aggregator().clone().finish();
+    let mut driver_rows = vec![DriverRow {
+        mode: "single-stream".to_string(),
+        workers: 1,
+        bodies: driver_bodies,
+        horizon_s: stream_horizon.as_seconds(),
+        wall_ms: driver_single_ms,
+        bodies_per_sec: driver_bodies as f64 / (driver_single_ms / 1e3),
+        reused_shards: 0,
+        worker_attempts: 0,
+        identical_to_single_stream: true,
+    }];
+    println!(
+        "{:<16} {:>8} {:>10.1} {:>12.1} {:>7} {:>9} {:>10}",
+        "single-stream", 1, driver_single_ms, driver_rows[0].bodies_per_sec, "-", "-", "-"
+    );
+    let spool_root =
+        std::env::temp_dir().join(format!("hidwa-bench-driver-{}", std::process::id()));
+    let mut driver_identity_ok = true;
+    for (mode, workers, multiprocess) in [
+        ("in-process", 2usize, false),
+        ("multi-process", 2, true),
+        ("multi-process", 4, true),
+    ] {
+        let driver = FleetDriver::new(driver_spec.clone(), workers);
+        let spool = driver.spool_in(&spool_root).expect("create spool dir");
+        // Equal layouts share a fingerprint: clear leftovers so every row
+        // times a full fold, not a resume.
+        for shard in 0..driver.shard_count() {
+            spool.discard(shard).expect("clear spool");
+        }
+        let start = Instant::now();
+        let run = if multiprocess {
+            let worker = WorkerCommand::current_exe_worker().expect("current exe");
+            driver.run(&ProcessExecutor::new(worker), &spool)
+        } else {
+            driver.run(&InProcessExecutor::serial(), &spool)
+        }
+        .expect("driver run");
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        // Byte-level identity: the merged blob state (limbs, buckets, low
+        // bits) must equal the single stream's.
+        let identical =
+            run.state_bytes() == driver_single_state && run.report() == &driver_single_report;
+        driver_identity_ok &= identical;
+        let row = DriverRow {
+            mode: mode.to_string(),
+            workers,
+            bodies: driver_bodies,
+            horizon_s: stream_horizon.as_seconds(),
+            wall_ms,
+            bodies_per_sec: driver_bodies as f64 / (wall_ms / 1e3),
+            reused_shards: run.reused_shards(),
+            worker_attempts: run.total_attempts(),
+            identical_to_single_stream: identical,
+        };
+        println!(
+            "{:<16} {:>8} {:>10.1} {:>12.1} {:>7} {:>9} {:>10}",
+            row.mode,
+            row.workers,
+            row.wall_ms,
+            row.bodies_per_sec,
+            row.reused_shards,
+            row.worker_attempts,
+            if row.identical_to_single_stream {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+        driver_rows.push(row);
+    }
+    std::fs::remove_dir_all(&spool_root).ok();
+
     let results = BenchNetsim {
         engine,
         fleet: fleet_rows,
@@ -547,6 +687,8 @@ fn main() {
         shard_fleet: shard_rows,
         shard_identity_ok,
         checkpoint_resume_ok,
+        driver_fleet: driver_rows,
+        driver_identity_ok,
     };
     let out_dir = std::env::var("HIDWA_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
     let path = std::path::Path::new(&out_dir).join("BENCH_netsim.json");
@@ -571,6 +713,10 @@ fn main() {
         checkpoint_resume_ok,
         "checkpoint/resume diverged from the uninterrupted fold"
     );
+    assert!(
+        driver_identity_ok,
+        "a multi-process driver run diverged from the single-stream fold"
+    );
 
     // Perf-trajectory guard: the tracked target is >=2x (see
     // ARCHITECTURE.md); the enforced floor is lower so shared-runner timing
@@ -583,4 +729,5 @@ fn main() {
         speedup >= floor,
         "streaming engine regressed: {speedup:.2}x < {floor}x floor"
     );
+    std::process::ExitCode::SUCCESS
 }

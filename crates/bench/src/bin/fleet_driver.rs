@@ -1,0 +1,254 @@
+//! Coordinator CLI for distributed fleet runs: spawn shard worker
+//! processes, collect their checkpoint blobs from a spool directory, merge
+//! through the exact fleet algebra, and report.
+//!
+//! This is the operator's front door to `hidwa_core::fleet::driver` (the
+//! walkthroughs in `DEPLOYMENT.md` are written against this binary and run
+//! in CI).  By default it re-invokes **itself** as the worker (`fleet_driver
+//! --worker …`), so a single binary is a complete distributed run; point
+//! `--worker-bin` at `shard_worker` to spawn the standalone worker instead,
+//! exactly as you would on a multi-machine spool.
+//!
+//! ```text
+//! fleet_driver --bodies 1000 --shards 4 --population mixed --spool-root spool
+//! ```
+//!
+//! Fault drills: `--inject-kill <shard>` makes that shard's first worker die
+//! mid-fold (the driver detects and re-runs it); deleting or truncating a
+//! blob under `spool/<fingerprint>/` before a re-run exercises the same
+//! recovery, as the `DEPLOYMENT.md` walkthrough shows.
+//! `--verify-single-stream` re-folds the whole fleet in-process and asserts
+//! the distributed result is **byte-identical** (exit 1 if not — CI runs
+//! this on every push).  `--plan` prints the fingerprint, spool path and the
+//! exact per-shard `shard_worker` command lines **without running anything**
+//! — the starting point for multi-machine runs.
+
+use hidwa_core::fleet::driver::{
+    DriverFleetSpec, FleetDriver, PopulationSpec, ProcessExecutor, WorkerCommand,
+};
+use hidwa_core::sweep::SweepRunner;
+use hidwa_units::TimeSpan;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: fleet_driver --bodies <n> [--shards <k> | --boundaries <a,b,..>]
+                    [--base-seed <u64>] [--horizon-s <f64>] [--top-k <n>]
+                    [--population <uniform|mixed>] [--spool-root <dir>]
+                    [--worker-bin <path>] [--worker-threads <n>]
+                    [--max-attempts <n>] [--inject-kill <shard>]
+                    [--verify-single-stream] [--plan]
+       fleet_driver --worker <worker flags...>   (internal worker mode)";
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("{message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("--worker") {
+        return hidwa_core::fleet::driver::worker_main(args.skip(1));
+    }
+
+    let mut bodies = None;
+    let mut shards = 2usize;
+    let mut boundaries: Option<Vec<usize>> = None;
+    let mut base_seed = None;
+    let mut horizon_s = None;
+    let mut top_k = None;
+    let mut population = PopulationSpec::Uniform;
+    let mut spool_root = "spool".to_string();
+    let mut worker_bin: Option<String> = None;
+    let mut worker_threads = 1usize;
+    let mut max_attempts = FleetDriver::DEFAULT_MAX_ATTEMPTS;
+    let mut inject_kill = None;
+    let mut verify = false;
+    let mut plan_only = false;
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--bodies" => bodies = Some(parse(&value("--bodies")?)?),
+                "--shards" => shards = parse(&value("--shards")?)?,
+                "--boundaries" => {
+                    boundaries = Some(
+                        value("--boundaries")?
+                            .split(',')
+                            .filter(|part| !part.is_empty())
+                            .map(parse)
+                            .collect::<Result<_, _>>()?,
+                    );
+                }
+                "--base-seed" => base_seed = Some(parse(&value("--base-seed")?)?),
+                "--horizon-s" => horizon_s = Some(parse(&value("--horizon-s")?)?),
+                "--top-k" => top_k = Some(parse(&value("--top-k")?)?),
+                "--population" => {
+                    population = PopulationSpec::parse(&value("--population")?)
+                        .map_err(|error| error.to_string())?;
+                }
+                "--spool-root" => spool_root = value("--spool-root")?,
+                "--worker-bin" => worker_bin = Some(value("--worker-bin")?),
+                "--worker-threads" => worker_threads = parse(&value("--worker-threads")?)?,
+                "--max-attempts" => max_attempts = parse(&value("--max-attempts")?)?,
+                "--inject-kill" => inject_kill = Some(parse(&value("--inject-kill")?)?),
+                "--verify-single-stream" => verify = true,
+                "--plan" => plan_only = true,
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+            Ok(())
+        })();
+        if let Err(message) = result {
+            return usage_error(&message);
+        }
+    }
+    let Some(bodies) = bodies else {
+        return usage_error("--bodies is required");
+    };
+
+    let mut spec = DriverFleetSpec::new(bodies).with_population(population);
+    if let Some(base_seed) = base_seed {
+        spec = spec.with_base_seed(base_seed);
+    }
+    if let Some(seconds) = horizon_s {
+        spec = spec.with_horizon(TimeSpan::from_seconds(seconds));
+    }
+    if let Some(top_k) = top_k {
+        spec = spec.with_top_k(top_k);
+    }
+
+    let driver = match &boundaries {
+        Some(boundaries) => match FleetDriver::with_boundaries(spec.clone(), boundaries) {
+            Ok(driver) => driver,
+            Err(error) => return usage_error(&format!("--boundaries: {error}")),
+        },
+        None => FleetDriver::new(spec.clone(), shards),
+    }
+    .with_max_attempts(max_attempts);
+
+    if plan_only {
+        // Dry run: print everything a multi-machine operator needs — the
+        // fingerprint, the spool path, and the exact worker command per
+        // shard — without folding a single body (see DEPLOYMENT.md
+        // walkthrough 3).
+        println!("fingerprint : {}", driver.fingerprint());
+        println!("spool dir   : {spool_root}/{}", driver.fingerprint());
+        println!("worker commands (run anywhere that mounts the spool):");
+        for shard in 0..driver.shard_count() {
+            let assignment = driver.assignment(shard);
+            println!(
+                "  shard_worker {} --spool {spool_root}/{}",
+                spec.worker_args(&assignment).join(" "),
+                driver.fingerprint()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut worker = match worker_bin {
+        Some(path) => WorkerCommand::new(path),
+        None => match WorkerCommand::current_exe_worker() {
+            Ok(worker) => worker,
+            Err(error) => {
+                eprintln!("cannot resolve the current executable: {error}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    if worker_threads > 1 {
+        worker = worker.arg("--threads").arg(worker_threads.to_string());
+    }
+    let mut executor = ProcessExecutor::new(worker);
+    if let Some(shard) = inject_kill {
+        executor = executor.with_injected_kill(shard);
+    }
+    let spool = match driver.spool_in(&spool_root) {
+        Ok(spool) => spool,
+        Err(error) => {
+            eprintln!("cannot open spool under {spool_root}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    hidwa_bench::header(
+        "fleet_driver",
+        "Multi-process fleet run: shard workers + spool-directory checkpoint transport.",
+    );
+    println!("fingerprint : {}", driver.fingerprint());
+    println!("spool dir   : {}", spool.dir().display());
+    println!(
+        "fleet       : {} bodies, population {}, {} shard(s)",
+        bodies,
+        spec.population(),
+        driver.shard_count()
+    );
+
+    let started = std::time::Instant::now();
+    let run = match driver.run(&executor, &spool) {
+        Ok(run) => run,
+        Err(error) => {
+            eprintln!("driver run failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    println!(
+        "\n{:<7} {:>12} {:>8} {:>9}  recovered faults",
+        "shard", "bodies", "reused", "attempts"
+    );
+    for outcome in run.shards() {
+        println!(
+            "{:<7} {:>5}..{:<5} {:>8} {:>9}  {}",
+            outcome.shard.index,
+            outcome.shard.start,
+            outcome.shard.end,
+            if outcome.reused { "yes" } else { "no" },
+            outcome.attempts,
+            if outcome.recovered.is_empty() {
+                "-".to_string()
+            } else {
+                outcome.recovered.join("; ")
+            }
+        );
+    }
+    let report = run.report();
+    println!(
+        "\nmerged report: {} bodies, delivery {:.4}, fleet p95 {:.3} ms, energy {:.3} J ({wall_ms:.0} ms wall)",
+        report.bodies(),
+        report.delivery_ratio(),
+        report.fleet_latency().quantile(0.95).as_seconds() * 1e3,
+        report.total_energy().as_joules(),
+    );
+
+    if verify {
+        let config = spec.to_config();
+        let single = config.run_until(&SweepRunner::new(), bodies);
+        let identical_state = run.state_bytes() == single.save().to_vec();
+        let identical_report = report == &single.into_parts().0.finish();
+        println!(
+            "verify vs single stream: state bytes {}, report {}",
+            if identical_state {
+                "byte-identical"
+            } else {
+                "MISMATCH"
+            },
+            if identical_report {
+                "identical"
+            } else {
+                "MISMATCH"
+            }
+        );
+        if !(identical_state && identical_report) {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse<T: std::str::FromStr>(value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("could not parse {value:?}"))
+}

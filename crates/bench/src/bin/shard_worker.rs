@@ -1,0 +1,22 @@
+//! Standalone shard worker: fold one contiguous body range of a fleet and
+//! publish the resulting checkpoint blob.
+//!
+//! This is the production worker entry point of the multi-process fleet
+//! driver (`hidwa_core::fleet::driver`) — the binary a coordinator spawns
+//! per shard, or an operator runs by hand on another machine against a
+//! shared spool directory.  The whole CLI protocol lives in
+//! [`hidwa_core::fleet::driver::WorkerRequest`]; see `DEPLOYMENT.md` for
+//! the normative flag reference and operational walkthroughs.
+//!
+//! ```text
+//! shard_worker --bodies 1000 --population mixed --base-seed 7 \
+//!     --shard-index 0 --shard-start 0 --shard-end 250 --spool spool/<fp>
+//! ```
+//!
+//! Exit codes: 0 — blob published; 2 — usage error (usage printed to
+//! stderr); 13 — injected crash (`--fail-after-bodies`, fault-injection
+//! testing only); 1 — runtime failure.
+
+fn main() -> std::process::ExitCode {
+    hidwa_core::fleet::driver::worker_main(std::env::args().skip(1))
+}

@@ -39,6 +39,12 @@
 //! interrupted ingestion resumes mid-stream ([`FleetConfig::run_until`] /
 //! [`FleetConfig::resume`]) with the same guarantee.
 //!
+//! PR 5 adds the fourth axis: the **process boundary**.  [`driver`] is a
+//! coordinator/worker runtime that spawns shard worker *processes*, ships
+//! their partials as checkpoint blobs over a spool directory or local
+//! socket, re-runs killed or corrupted shards, and merges — byte-identical
+//! to the single-stream fold through every recovery path.
+//!
 //! # Example
 //!
 //! ```
@@ -65,10 +71,12 @@ use std::ops::Range;
 use std::sync::Arc;
 
 pub mod checkpoint;
+pub mod driver;
 pub mod shard;
 
 pub use crate::population::body_seed;
 pub use checkpoint::{CheckpointError, FleetCheckpoint};
+pub use driver::{DriverError, DriverFleetSpec, FleetDriver};
 pub use shard::{ShardError, ShardPlan, ShardRunner};
 
 /// A fleet of body networks drawn from a population model.

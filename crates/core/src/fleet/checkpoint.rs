@@ -385,10 +385,11 @@ fn decode_summary(input: &mut Bytes) -> Result<BodySummary, CheckpointError> {
     })
 }
 
-/// FNV-1a 64-bit digest — the checkpoint's corruption seal.  Not
-/// cryptographic (the threat model is bit rot and truncation, not forgery),
-/// but any single-bit flip anywhere in the blob changes it.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a 64-bit digest — the checkpoint's corruption seal, also reused by
+/// the driver's run fingerprints.  Not cryptographic (the threat model is
+/// bit rot and truncation, not forgery), but any single-bit flip anywhere in
+/// the blob changes it.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = 0xCBF2_9CE4_8422_2325u64;
     for &byte in bytes {
         hash ^= u64::from(byte);

@@ -1,0 +1,1365 @@
+//! Multi-process fleet driver: a coordinator that spawns shard **worker
+//! processes**, ships their partial folds back as checkpoint blobs, and
+//! merges them through the exact fleet algebra.
+//!
+//! PR 4 made [`FleetAggregator`] a commutative merge monoid and gave shard
+//! partials a self-validating wire format ([`FleetCheckpoint`]); this module
+//! is the runtime that actually crosses the process boundary with them:
+//!
+//! * [`DriverFleetSpec`] — the subset of a [`FleetConfig`] that can cross a
+//!   process boundary as CLI flags (bodies, base seed, horizon *bits*,
+//!   top-K, a named population).  Both sides of the protocol rebuild the
+//!   exact same config from it, which is what makes a multi-process run
+//!   byte-identical to the in-process fold.
+//! * [`WorkerRequest`] — the normative worker CLI protocol: parse flags,
+//!   fold the assigned contiguous body range, publish the checkpoint blob
+//!   through a [`Transport`].  [`worker_main`] wraps it into a ready-made
+//!   binary entry point (`shard_worker` in the bench crate, and the
+//!   `--worker` modes of `fleet_driver`, `bench_netsim` and the
+//!   `distributed_fleet` example all delegate here).
+//! * [`FleetDriver`] — the coordinator: assigns contiguous ranges, runs
+//!   shards through a [`ShardExecutor`] ([`ProcessExecutor`] spawns worker
+//!   processes via [`std::process::Command`]; [`InProcessExecutor`] folds in
+//!   the calling process, for tests and as the bench baseline), validates
+//!   every returned blob (checksum, config fingerprint, range), re-runs
+//!   missing / corrupt / killed shards, and merges the survivors via
+//!   [`ShardPlan::merge_checkpoints`].
+//!
+//! # Fault tolerance and resume
+//!
+//! The driver treats the transport as the source of truth: before running
+//! anything it fetches whatever blobs already exist, keeps the valid ones
+//! and re-runs the rest.  Consequently a coordinator that crashes and is
+//! re-run over the same spool directory resumes from the surviving blobs —
+//! and a worker killed at *any* point leaves either nothing (publication is
+//! atomic) or a complete valid blob, never a partial one.  Every recovered
+//! fault is recorded in the [`DriverRun`]'s per-shard outcomes; a shard that
+//! stays broken after [`max_attempts`](FleetDriver::with_max_attempts)
+//! executions fails the run with a typed [`DriverError`].
+//!
+//! Determinism: which process folded a shard, how often it was re-run, and
+//! which transport carried the blob are all invisible in the result — the
+//! merged report is byte-identical to [`FleetConfig::run`] on the same
+//! spec (property-tested in `crates/core/tests/fleet_driver.rs` across
+//! random shard layouts × kill points × resumes, and asserted against real
+//! killed processes in `crates/bench/tests/driver_process.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use hidwa_core::fleet::driver::{DriverFleetSpec, FleetDriver, InProcessExecutor};
+//! use hidwa_core::sweep::SweepRunner;
+//! use hidwa_units::TimeSpan;
+//!
+//! let spec = DriverFleetSpec::new(6).with_horizon(TimeSpan::from_seconds(0.5));
+//! let driver = FleetDriver::new(spec.clone(), 2);
+//! let root = std::env::temp_dir().join(format!("hidwa-driver-doc-{}", std::process::id()));
+//! let spool = driver.spool_in(&root).unwrap();
+//!
+//! let run = driver.run(&InProcessExecutor::serial(), &spool).unwrap();
+//! assert_eq!(run.report().bodies(), 6);
+//! // Byte-identical to the plain single-stream fold of the same spec.
+//! assert_eq!(run.report(), &spec.to_config().run(&SweepRunner::serial()));
+//! // A second coordinator over the same spool resumes: all blobs reused.
+//! let resumed = driver.run(&InProcessExecutor::serial(), &spool).unwrap();
+//! assert_eq!(resumed.reused_shards(), 2);
+//! std::fs::remove_dir_all(&root).ok();
+//! ```
+
+use super::checkpoint::{fnv1a64, CheckpointError, FleetCheckpoint};
+use super::shard::ShardPlan;
+use super::{FleetAggregator, FleetConfig, FleetReport};
+use crate::population::{LinkCache, PopulationModel};
+use crate::sweep::SweepRunner;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+pub mod transport;
+
+pub use transport::{SocketHub, SocketPublisher, SpoolTransport, Transport, TransportError};
+
+/// Exit code a worker process uses for an **injected** crash
+/// (`--fail-after-bodies`), distinct from real failures so tests can tell
+/// "simulated kill" from "bug".
+pub const SIMULATED_CRASH_EXIT: u8 = 13;
+
+/// Usage text for the normative worker CLI (printed by worker binaries on
+/// argument errors; the flag reference lives in `DEPLOYMENT.md`).
+pub const WORKER_USAGE: &str = "\
+usage: shard_worker --bodies <n> --shard-index <i> --shard-start <a> --shard-end <b>
+                    (--spool <dir> | --connect <host:port>)
+                    [--base-seed <u64>] [--horizon-s <f64> | --horizon-bits <u64>]
+                    [--top-k <n>] [--population <uniform|mixed>] [--threads <n>]
+                    [--fail-after-bodies <n>] [--fail-with-partial]";
+
+/// Why a driver run (or a worker invocation) failed.
+///
+/// Blob-level problems ([`Blob`](Self::Blob), [`Missing`](Self::Missing))
+/// and worker-level problems ([`Spawn`](Self::Spawn),
+/// [`Worker`](Self::Worker)) are *recoverable*: the driver records them and
+/// re-runs the shard.  Only [`Exhausted`](Self::Exhausted) (recovery budget
+/// spent), [`Transport`](Self::Transport) (the transport itself broke),
+/// [`Merge`](Self::Merge) (validated blobs that still do not tile the
+/// fleet) and [`Usage`](Self::Usage) (malformed CLI) abort a run.
+#[derive(Debug)]
+pub enum DriverError {
+    /// The worker CLI arguments were malformed (see [`WORKER_USAGE`]).
+    Usage(String),
+    /// The transport failed mechanically (I/O, protocol violation).
+    Transport(TransportError),
+    /// A worker process could not be spawned at all.
+    Spawn {
+        /// Shard whose worker failed to spawn.
+        shard: usize,
+        /// Operating-system error message.
+        message: String,
+    },
+    /// A worker process exited unsuccessfully (killed, crashed, or failed).
+    Worker {
+        /// Shard the worker was folding.
+        shard: usize,
+        /// Exit code, if the process exited (rather than being signalled).
+        code: Option<i32>,
+        /// Trailing stderr of the worker, for the operator.
+        stderr: String,
+    },
+    /// A published blob failed validation (checksum, config fingerprint, or
+    /// an implied body range that does not match the shard's assignment).
+    Blob {
+        /// Shard whose blob was rejected.
+        shard: usize,
+        /// The underlying checkpoint rejection.
+        source: CheckpointError,
+    },
+    /// A worker reported success but no blob became visible.
+    Missing {
+        /// Shard whose blob never appeared.
+        shard: usize,
+    },
+    /// A shard still had no valid blob after the recovery budget.
+    Exhausted {
+        /// The failing shard.
+        shard: usize,
+        /// Worker executions attempted for it this run.
+        attempts: usize,
+        /// The last recorded failure.
+        last: Box<DriverError>,
+    },
+    /// Validated blobs that nevertheless do not merge into the fleet (e.g.
+    /// ranges that no longer tile `0..bodies` after a plan change).
+    Merge(CheckpointError),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Usage(what) => write!(f, "invalid worker arguments: {what}"),
+            Self::Transport(error) => write!(f, "{error}"),
+            Self::Spawn { shard, message } => {
+                write!(f, "shard {shard}: failed to spawn worker: {message}")
+            }
+            Self::Worker {
+                shard,
+                code,
+                stderr,
+            } => {
+                write!(f, "shard {shard}: worker ")?;
+                match code {
+                    Some(code) => write!(f, "exited with code {code}")?,
+                    None => write!(f, "was terminated by a signal")?,
+                }
+                if stderr.is_empty() {
+                    Ok(())
+                } else {
+                    write!(f, " (stderr: {})", stderr.trim_end())
+                }
+            }
+            Self::Blob { shard, source } => {
+                write!(f, "shard {shard}: published blob rejected: {source}")
+            }
+            Self::Missing { shard } => {
+                write!(f, "shard {shard}: worker succeeded but published no blob")
+            }
+            Self::Exhausted {
+                shard,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "shard {shard}: no valid blob after {attempts} worker attempt(s); last error: {last}"
+            ),
+            Self::Merge(error) => write!(f, "merging shard blobs failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Transport(error) => Some(error),
+            Self::Blob { source, .. } | Self::Merge(source) => Some(source),
+            Self::Exhausted { last, .. } => Some(last),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransportError> for DriverError {
+    fn from(error: TransportError) -> Self {
+        Self::Transport(error)
+    }
+}
+
+/// The populations a [`DriverFleetSpec`] can name across a process boundary.
+///
+/// A [`PopulationModel`] is arbitrary data and cannot ride on CLI flags, so
+/// the worker protocol restricts itself to named populations both sides can
+/// rebuild bit-identically.  Custom populations still shard fine — within
+/// one process via [`ShardPlan`], or by extending this enum alongside the
+/// worker flag table in `DEPLOYMENT.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopulationSpec {
+    /// The homogeneous default: every body the standard five-leaf Wi-R
+    /// polling network ([`FleetConfig::new`]'s population).
+    Uniform,
+    /// [`PopulationModel::mixed_default`]: health-patch / AR-assistant /
+    /// BLE-minimal archetypes.
+    Mixed,
+}
+
+impl PopulationSpec {
+    /// The flag value naming this population (`--population <tag>`).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Self::Uniform => "uniform",
+            Self::Mixed => "mixed",
+        }
+    }
+
+    /// Parses a `--population` flag value.
+    ///
+    /// # Errors
+    /// [`DriverError::Usage`] for an unknown tag.
+    pub fn parse(tag: &str) -> Result<Self, DriverError> {
+        match tag {
+            "uniform" => Ok(Self::Uniform),
+            "mixed" => Ok(Self::Mixed),
+            other => Err(DriverError::Usage(format!(
+                "unknown population {other:?} (expected \"uniform\" or \"mixed\")"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for PopulationSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// The process-boundary-safe description of a fleet: everything a worker
+/// needs to rebuild the coordinator's exact [`FleetConfig`] from CLI flags.
+///
+/// The horizon crosses the boundary as raw `f64` **bits**, so the rebuilt
+/// config is bit-identical even for horizons with no short decimal form —
+/// the checkpoint fingerprint compares horizon bits, so anything less would
+/// make workers' blobs unmergeable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriverFleetSpec {
+    bodies: usize,
+    base_seed: u64,
+    horizon_bits: u64,
+    top_k: usize,
+    population: PopulationSpec,
+}
+
+impl DriverFleetSpec {
+    /// A spec with [`FleetConfig::new`]'s defaults: uniform population,
+    /// base seed `0xF1EE7`, 60 s horizon, top-K of 8.
+    #[must_use]
+    pub fn new(bodies: usize) -> Self {
+        let defaults = FleetConfig::new(bodies);
+        Self {
+            bodies,
+            base_seed: defaults.base_seed(),
+            horizon_bits: defaults.horizon().as_seconds().to_bits(),
+            top_k: defaults.top_k(),
+            population: PopulationSpec::Uniform,
+        }
+    }
+
+    /// Sets the base seed per-body scenarios derive from.
+    #[must_use]
+    pub fn with_base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Sets the simulated horizon per body.
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: hidwa_units::TimeSpan) -> Self {
+        self.horizon_bits = horizon.as_seconds().to_bits();
+        self
+    }
+
+    /// Sets how many worst bodies the aggregator keeps exactly.
+    #[must_use]
+    pub fn with_top_k(mut self, top_k: usize) -> Self {
+        self.top_k = top_k.max(1);
+        self
+    }
+
+    /// Selects the named population bodies are drawn from.
+    #[must_use]
+    pub fn with_population(mut self, population: PopulationSpec) -> Self {
+        self.population = population;
+        self
+    }
+
+    /// Number of bodies in the fleet.
+    #[must_use]
+    pub fn bodies(&self) -> usize {
+        self.bodies
+    }
+
+    /// The named population bodies are drawn from.
+    #[must_use]
+    pub fn population(&self) -> PopulationSpec {
+        self.population
+    }
+
+    /// Builds the [`FleetConfig`] this spec describes — the same one on
+    /// every machine that evaluates it.
+    #[must_use]
+    pub fn to_config(&self) -> FleetConfig {
+        let config = FleetConfig::new(self.bodies)
+            .with_base_seed(self.base_seed)
+            .with_horizon(hidwa_units::TimeSpan::from_seconds(f64::from_bits(
+                self.horizon_bits,
+            )))
+            .with_top_k(self.top_k);
+        match self.population {
+            PopulationSpec::Uniform => config,
+            PopulationSpec::Mixed => config.with_population(PopulationModel::mixed_default()),
+        }
+    }
+
+    /// The standard worker CLI flags for folding `shard` of this fleet —
+    /// transport flags (see [`Transport::worker_flags`]) come on top.
+    #[must_use]
+    pub fn worker_args(&self, shard: &ShardAssignment) -> Vec<String> {
+        vec![
+            "--base-seed".into(),
+            self.base_seed.to_string(),
+            "--bodies".into(),
+            self.bodies.to_string(),
+            "--horizon-bits".into(),
+            self.horizon_bits.to_string(),
+            "--top-k".into(),
+            self.top_k.to_string(),
+            "--population".into(),
+            self.population.tag().into(),
+            "--shard-index".into(),
+            shard.index.to_string(),
+            "--shard-start".into(),
+            shard.start.to_string(),
+            "--shard-end".into(),
+            shard.end.to_string(),
+        ]
+    }
+}
+
+/// One contiguous body range assigned to a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAssignment {
+    /// Position of the shard in the plan (names the blob: `shard-<index>`).
+    pub index: usize,
+    /// First body (inclusive) the worker folds.
+    pub start: usize,
+    /// End body (exclusive) the worker folds.
+    pub end: usize,
+}
+
+impl ShardAssignment {
+    /// The assignment's body range.
+    #[must_use]
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// Which transport end a worker should construct (from `--spool` /
+/// `--connect`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerTransport {
+    /// Publish into a spool directory (atomic write-to-temp + rename).
+    Spool(PathBuf),
+    /// Connect to a coordinator's [`SocketHub`] at `host:port`.
+    Connect(String),
+}
+
+/// What a worker invocation did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerOutcome {
+    /// The shard folded and its blob was durably published.
+    Completed {
+        /// Bodies the shard folded.
+        bodies: usize,
+        /// Size of the published checkpoint blob.
+        blob_bytes: usize,
+    },
+    /// Fault injection (`--fail-after-bodies`) stopped the worker before it
+    /// published anything; the binary exits with [`SIMULATED_CRASH_EXIT`].
+    SimulatedCrash,
+}
+
+/// A parsed worker invocation: the normative CLI protocol of the
+/// coordinator/worker boundary (flag reference in `DEPLOYMENT.md`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerRequest {
+    /// The fleet the shard belongs to.
+    pub spec: DriverFleetSpec,
+    /// The shard this worker folds.
+    pub shard: ShardAssignment,
+    /// Where the checkpoint blob goes.
+    pub transport: WorkerTransport,
+    /// Thread width of the worker's internal [`SweepRunner`] (default 1:
+    /// parallelism normally comes from running many workers).
+    pub threads: usize,
+    /// Fault injection: fold only this many bodies, then exit without
+    /// publishing — a deterministic stand-in for `kill -9`.
+    pub fail_after: Option<usize>,
+    /// Fault injection: additionally leave a partial temp blob in the spool
+    /// (requires `--spool`), as a worker killed mid-write would.
+    pub fail_with_partial: bool,
+}
+
+impl WorkerRequest {
+    /// Parses the worker CLI flags (everything after the program name /
+    /// `--worker` subcommand).
+    ///
+    /// # Errors
+    /// [`DriverError::Usage`] describing the first malformed, missing or
+    /// unknown flag.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, DriverError> {
+        let mut args = args.into_iter();
+        let mut bodies = None;
+        let mut base_seed = None;
+        let mut horizon_bits = None;
+        let mut top_k = None;
+        let mut population = None;
+        let mut shard_index = None;
+        let mut shard_start = None;
+        let mut shard_end = None;
+        let mut spool: Option<PathBuf> = None;
+        let mut connect: Option<String> = None;
+        let mut threads = 1usize;
+        let mut fail_after = None;
+        let mut fail_with_partial = false;
+        while let Some(flag) = args.next() {
+            match flag.as_str() {
+                "--bodies" => bodies = Some(parse_value(&flag, args.next())?),
+                "--base-seed" => base_seed = Some(parse_value(&flag, args.next())?),
+                "--horizon-bits" => horizon_bits = Some(parse_value(&flag, args.next())?),
+                "--horizon-s" => {
+                    let seconds: f64 = parse_value(&flag, args.next())?;
+                    if !(seconds.is_finite() && seconds >= 0.0) {
+                        return Err(DriverError::Usage(
+                            "--horizon-s must be a finite non-negative duration".into(),
+                        ));
+                    }
+                    horizon_bits = Some(seconds.to_bits());
+                }
+                "--top-k" => top_k = Some(parse_value(&flag, args.next())?),
+                "--population" => {
+                    population = Some(PopulationSpec::parse(&require_value(&flag, args.next())?)?);
+                }
+                "--shard-index" => shard_index = Some(parse_value(&flag, args.next())?),
+                "--shard-start" => shard_start = Some(parse_value(&flag, args.next())?),
+                "--shard-end" => shard_end = Some(parse_value(&flag, args.next())?),
+                "--spool" => spool = Some(PathBuf::from(require_value(&flag, args.next())?)),
+                "--connect" => connect = Some(require_value(&flag, args.next())?),
+                "--threads" => threads = parse_value::<usize>(&flag, args.next())?.max(1),
+                "--fail-after-bodies" => fail_after = Some(parse_value(&flag, args.next())?),
+                "--fail-with-partial" => fail_with_partial = true,
+                other => {
+                    return Err(DriverError::Usage(format!("unknown flag {other:?}")));
+                }
+            }
+        }
+        let bodies = bodies.ok_or_else(|| DriverError::Usage("--bodies is required".into()))?;
+        let mut spec = DriverFleetSpec::new(bodies);
+        if let Some(base_seed) = base_seed {
+            spec = spec.with_base_seed(base_seed);
+        }
+        if let Some(bits) = horizon_bits {
+            let seconds = f64::from_bits(bits);
+            if !(seconds.is_finite() && seconds >= 0.0) {
+                return Err(DriverError::Usage(
+                    "--horizon-bits do not encode a finite non-negative duration".into(),
+                ));
+            }
+            spec.horizon_bits = bits;
+        }
+        if let Some(top_k) = top_k {
+            spec = spec.with_top_k(top_k);
+        }
+        if let Some(population) = population {
+            spec = spec.with_population(population);
+        }
+        let shard = ShardAssignment {
+            index: shard_index
+                .ok_or_else(|| DriverError::Usage("--shard-index is required".into()))?,
+            start: shard_start
+                .ok_or_else(|| DriverError::Usage("--shard-start is required".into()))?,
+            end: shard_end.ok_or_else(|| DriverError::Usage("--shard-end is required".into()))?,
+        };
+        if shard.start > shard.end || shard.end > bodies {
+            return Err(DriverError::Usage(format!(
+                "shard range {}..{} does not fit the {bodies}-body fleet",
+                shard.start, shard.end
+            )));
+        }
+        let transport = match (spool, connect) {
+            (Some(dir), None) => WorkerTransport::Spool(dir),
+            (None, Some(addr)) => WorkerTransport::Connect(addr),
+            (None, None) => {
+                return Err(DriverError::Usage(
+                    "one of --spool or --connect is required".into(),
+                ));
+            }
+            (Some(_), Some(_)) => {
+                return Err(DriverError::Usage(
+                    "--spool and --connect are mutually exclusive".into(),
+                ));
+            }
+        };
+        if fail_with_partial && !matches!(transport, WorkerTransport::Spool(_)) {
+            return Err(DriverError::Usage(
+                "--fail-with-partial requires --spool".into(),
+            ));
+        }
+        Ok(Self {
+            spec,
+            shard,
+            transport,
+            threads,
+            fail_after,
+            fail_with_partial,
+        })
+    }
+
+    /// Folds the assigned range and publishes the checkpoint blob.
+    ///
+    /// # Errors
+    /// [`DriverError`] when the spool/socket transport cannot be constructed
+    /// or the publish fails.
+    pub fn run(&self) -> Result<WorkerOutcome, DriverError> {
+        let runner = SweepRunner::with_threads(self.threads);
+        let config = self.spec.to_config();
+        let links = LinkCache::for_population(config.population());
+        let mut partial = FleetAggregator::new(config.horizon(), config.top_k());
+        if let Some(fail_after) = self.fail_after {
+            // Deterministic stand-in for a mid-shard kill: fold a prefix,
+            // publish nothing complete, die with the simulated-crash code.
+            let stop = (self.shard.start + fail_after).min(self.shard.end);
+            config.fold_range(&runner, &links, &mut partial, self.shard.start..stop);
+            if self.fail_with_partial {
+                if let WorkerTransport::Spool(dir) = &self.transport {
+                    let spool = SpoolTransport::create(dir).map_err(TransportError::Io)?;
+                    let blob = FleetCheckpoint::capture(&config, &partial, stop).save();
+                    spool
+                        .write_partial(self.shard.index, &blob)
+                        .map_err(TransportError::Io)?;
+                }
+            }
+            return Ok(WorkerOutcome::SimulatedCrash);
+        }
+        config.fold_range(&runner, &links, &mut partial, self.shard.range());
+        let blob = FleetCheckpoint::capture(&config, &partial, self.shard.end).save();
+        match &self.transport {
+            WorkerTransport::Spool(dir) => {
+                let spool = SpoolTransport::create(dir).map_err(TransportError::Io)?;
+                spool.publish(self.shard.index, &blob)?;
+            }
+            WorkerTransport::Connect(addr) => {
+                SocketPublisher::new(addr.clone()).publish(self.shard.index, &blob)?;
+            }
+        }
+        Ok(WorkerOutcome::Completed {
+            bodies: self.shard.end - self.shard.start,
+            blob_bytes: blob.len(),
+        })
+    }
+}
+
+fn require_value(flag: &str, value: Option<String>) -> Result<String, DriverError> {
+    value.ok_or_else(|| DriverError::Usage(format!("{flag} needs a value")))
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, DriverError> {
+    let value = require_value(flag, value)?;
+    value
+        .parse()
+        .map_err(|_| DriverError::Usage(format!("{flag} could not parse {value:?}")))
+}
+
+/// Ready-made `main` body for worker binaries: parse, run, map outcomes to
+/// exit codes (0 success, [`SIMULATED_CRASH_EXIT`] for an injected crash, 2
+/// for usage errors, 1 for runtime failures).
+///
+/// ```no_run
+/// fn main() -> std::process::ExitCode {
+///     hidwa_core::fleet::driver::worker_main(std::env::args().skip(1))
+/// }
+/// ```
+pub fn worker_main(args: impl IntoIterator<Item = String>) -> std::process::ExitCode {
+    let request = match WorkerRequest::parse(args) {
+        Ok(request) => request,
+        Err(error) => {
+            eprintln!("{error}");
+            eprintln!("{WORKER_USAGE}");
+            return std::process::ExitCode::from(2);
+        }
+    };
+    match request.run() {
+        Ok(WorkerOutcome::Completed { bodies, blob_bytes }) => {
+            println!(
+                "shard {}: folded {bodies} bodies ({}..{}), published {blob_bytes}-byte checkpoint",
+                request.shard.index, request.shard.start, request.shard.end
+            );
+            std::process::ExitCode::SUCCESS
+        }
+        Ok(WorkerOutcome::SimulatedCrash) => {
+            eprintln!(
+                "shard {}: simulated crash after {} bodies (fault injection)",
+                request.shard.index,
+                request.fail_after.unwrap_or(0)
+            );
+            std::process::ExitCode::from(SIMULATED_CRASH_EXIT)
+        }
+        Err(error) => {
+            eprintln!("{error}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+/// How the coordinator runs one shard to (attempted) completion.
+///
+/// The driver calls [`execute`](Self::execute) and then looks for the blob
+/// on the transport — an executor's only obligation is to *try* to make the
+/// shard's blob appear.  `attempt` counts prior executions of this shard in
+/// this run, so executors can vary behaviour across retries (the
+/// fault-injecting executors in the tests, [`ProcessExecutor`]'s
+/// `--fail-after` injection for recovery demos).
+///
+/// The driver executes a round's pending shards on concurrent coordinator
+/// threads (so worker processes overlap), hence the `Sync` bound —
+/// `execute` may be called for *different* shards at the same time.
+pub trait ShardExecutor: Sync {
+    /// Attempts to fold `shard` of `spec` and publish its blob on
+    /// `transport`.
+    ///
+    /// # Errors
+    /// Any [`DriverError`]; the driver records it and may retry.
+    fn execute(
+        &self,
+        spec: &DriverFleetSpec,
+        shard: &ShardAssignment,
+        attempt: usize,
+        transport: &dyn Transport,
+    ) -> Result<(), DriverError>;
+}
+
+/// Folds shards inside the coordinator process — the baseline the
+/// multi-process path is benchmarked against, and the executor the
+/// in-process fault tests drive.
+#[derive(Debug, Clone)]
+pub struct InProcessExecutor {
+    threads: usize,
+}
+
+impl InProcessExecutor {
+    /// Serial in-process execution.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// In-process execution with a `threads`-wide [`SweepRunner`] per shard.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl ShardExecutor for InProcessExecutor {
+    fn execute(
+        &self,
+        spec: &DriverFleetSpec,
+        shard: &ShardAssignment,
+        _attempt: usize,
+        transport: &dyn Transport,
+    ) -> Result<(), DriverError> {
+        WorkerRequest {
+            spec: spec.clone(),
+            shard: shard.clone(),
+            // The request publishes through `transport` below, not through
+            // a parsed transport spec; give it a placeholder it never uses.
+            transport: WorkerTransport::Spool(PathBuf::new()),
+            threads: self.threads,
+            fail_after: None,
+            fail_with_partial: false,
+        }
+        .fold_and_publish_on(transport)
+    }
+}
+
+impl WorkerRequest {
+    /// Folds the range and publishes on an already-constructed transport
+    /// (the in-process path; [`run`](Self::run) is the CLI path that builds
+    /// the transport from flags).
+    fn fold_and_publish_on(&self, transport: &dyn Transport) -> Result<(), DriverError> {
+        let runner = SweepRunner::with_threads(self.threads);
+        let config = self.spec.to_config();
+        let links = LinkCache::for_population(config.population());
+        let mut partial = FleetAggregator::new(config.horizon(), config.top_k());
+        config.fold_range(&runner, &links, &mut partial, self.shard.range());
+        let blob = FleetCheckpoint::capture(&config, &partial, self.shard.end).save();
+        transport.publish(self.shard.index, &blob)?;
+        Ok(())
+    }
+}
+
+/// The worker command a [`ProcessExecutor`] spawns: a program plus leading
+/// arguments (e.g. a `--worker` subcommand for self-re-invoking binaries);
+/// the executor appends the standard per-shard and transport flags.
+#[derive(Debug, Clone)]
+pub struct WorkerCommand {
+    program: PathBuf,
+    args: Vec<String>,
+}
+
+impl WorkerCommand {
+    /// A worker launched as `program` (the bench crate's `shard_worker`
+    /// binary, typically).
+    #[must_use]
+    pub fn new(program: impl Into<PathBuf>) -> Self {
+        Self {
+            program: program.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// The current executable re-invoked with a leading `--worker` flag —
+    /// the self-contained pattern `fleet_driver`, `bench_netsim` and the
+    /// `distributed_fleet` example use.
+    ///
+    /// # Errors
+    /// [`std::io::Error`] when the current executable path is unavailable.
+    pub fn current_exe_worker() -> std::io::Result<Self> {
+        Ok(Self::new(std::env::current_exe()?).arg("--worker"))
+    }
+
+    /// Appends a fixed leading argument.
+    #[must_use]
+    pub fn arg(mut self, arg: impl Into<String>) -> Self {
+        self.args.push(arg.into());
+        self
+    }
+
+    /// The program this command spawns.
+    #[must_use]
+    pub fn program(&self) -> &Path {
+        &self.program
+    }
+}
+
+/// Spawns one OS process per shard attempt via [`std::process::Command`].
+///
+/// Worker stdout/stderr are captured; a failing worker's trailing stderr is
+/// surfaced in the [`DriverError::Worker`] record so the operator sees why.
+#[derive(Debug, Clone)]
+pub struct ProcessExecutor {
+    worker: WorkerCommand,
+    inject_kill: Option<usize>,
+}
+
+impl ProcessExecutor {
+    /// An executor spawning `worker` for every shard attempt.
+    #[must_use]
+    pub fn new(worker: WorkerCommand) -> Self {
+        Self {
+            worker,
+            inject_kill: None,
+        }
+    }
+
+    /// Fault injection for recovery demos: the **first** attempt of `shard`
+    /// gets `--fail-after-bodies 1`, so its worker dies mid-shard without
+    /// publishing and the driver must detect and re-run it.
+    #[must_use]
+    pub fn with_injected_kill(mut self, shard: usize) -> Self {
+        self.inject_kill = Some(shard);
+        self
+    }
+}
+
+impl ShardExecutor for ProcessExecutor {
+    fn execute(
+        &self,
+        spec: &DriverFleetSpec,
+        shard: &ShardAssignment,
+        attempt: usize,
+        transport: &dyn Transport,
+    ) -> Result<(), DriverError> {
+        let mut command = Command::new(&self.worker.program);
+        command
+            .args(&self.worker.args)
+            .args(spec.worker_args(shard))
+            .args(transport.worker_flags());
+        if self.inject_kill == Some(shard.index) && attempt == 0 {
+            command.args(["--fail-after-bodies", "1"]);
+        }
+        let output = command.output().map_err(|error| DriverError::Spawn {
+            shard: shard.index,
+            message: error.to_string(),
+        })?;
+        if !output.status.success() {
+            let stderr = String::from_utf8_lossy(&output.stderr);
+            let tail: String = stderr
+                .lines()
+                .rev()
+                .take(3)
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect::<Vec<_>>()
+                .join(" | ");
+            return Err(DriverError::Worker {
+                shard: shard.index,
+                code: output.status.code(),
+                stderr: tail,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What happened to one shard over a driver run.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// The shard's position and body range.
+    pub shard: ShardAssignment,
+    /// A valid blob already existed on the transport before any execution
+    /// this run (i.e. the shard was *resumed*, not re-folded).
+    pub reused: bool,
+    /// Worker executions attempted for this shard this run.
+    pub attempts: usize,
+    /// Human-readable records of every fault recovered along the way.
+    pub recovered: Vec<String>,
+}
+
+/// The result of a completed driver run: the merged fleet report, the
+/// merged aggregator state, and the per-shard fault/reuse accounting.
+#[derive(Debug, Clone)]
+pub struct DriverRun {
+    report: FleetReport,
+    merged_state: FleetCheckpoint,
+    fingerprint: String,
+    shards: Vec<ShardOutcome>,
+}
+
+impl DriverRun {
+    /// The merged fleet report — byte-identical to the single-stream fold.
+    #[must_use]
+    pub fn report(&self) -> &FleetReport {
+        &self.report
+    }
+
+    /// The merged aggregator state as a checkpoint over the whole fleet —
+    /// what the published blobs combine to, ready for byte-identity checks
+    /// against [`FleetConfig::run_until`]'s single-stream capture.
+    #[must_use]
+    pub fn merged_checkpoint(&self) -> &FleetCheckpoint {
+        &self.merged_state
+    }
+
+    /// The merged aggregator state serialized — equal, byte for byte, to
+    /// `spec.to_config().run_until(runner, bodies).save()` of the same
+    /// fleet (asserted by `fleet_driver --verify-single-stream`, the
+    /// `distributed_fleet` example and `bench_netsim`'s `driver_fleet`
+    /// rows).
+    #[must_use]
+    pub fn state_bytes(&self) -> Vec<u8> {
+        self.merged_state.save().to_vec()
+    }
+
+    /// The run fingerprint (names the spool subdirectory).
+    #[must_use]
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// Per-shard outcomes, in shard order.
+    #[must_use]
+    pub fn shards(&self) -> &[ShardOutcome] {
+        &self.shards
+    }
+
+    /// Shards whose existing blob was reused (resume, not re-fold).
+    #[must_use]
+    pub fn reused_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.reused).count()
+    }
+
+    /// Total worker executions across all shards this run.
+    #[must_use]
+    pub fn total_attempts(&self) -> usize {
+        self.shards.iter().map(|s| s.attempts).sum()
+    }
+
+    /// Total recovered faults (corrupt blobs discarded, failed workers
+    /// retried) across all shards this run.
+    #[must_use]
+    pub fn recovered_faults(&self) -> usize {
+        self.shards.iter().map(|s| s.recovered.len()).sum()
+    }
+}
+
+/// The run fingerprint: a 16-hex-digit FNV-1a 64 digest of the spec and the
+/// shard layout.  Runs that differ in *any* input that could change blob
+/// contents (bodies, seed, horizon bits, top-K, population, boundaries) get
+/// different fingerprints, so spooling them under
+/// `<spool_root>/<fingerprint>/` keeps incompatible blobs apart by
+/// construction.
+#[must_use]
+pub fn run_fingerprint(spec: &DriverFleetSpec, interior_boundaries: &[usize]) -> String {
+    let mut bytes = Vec::with_capacity(64);
+    bytes.extend_from_slice(&(spec.bodies as u64).to_be_bytes());
+    bytes.extend_from_slice(&spec.base_seed.to_be_bytes());
+    bytes.extend_from_slice(&spec.horizon_bits.to_be_bytes());
+    bytes.extend_from_slice(&(spec.top_k as u64).to_be_bytes());
+    bytes.extend_from_slice(spec.population.tag().as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(&(interior_boundaries.len() as u64).to_be_bytes());
+    for &boundary in interior_boundaries {
+        bytes.extend_from_slice(&(boundary as u64).to_be_bytes());
+    }
+    format!("{:016x}", fnv1a64(&bytes))
+}
+
+/// The coordinator: assigns contiguous shards of a [`DriverFleetSpec`],
+/// drives them through an executor/transport pair, recovers faults, and
+/// merges the blobs into a [`FleetReport`].
+#[derive(Debug, Clone)]
+pub struct FleetDriver {
+    spec: DriverFleetSpec,
+    /// Interior shard boundaries (exclusive of 0 and `bodies`), as
+    /// [`ShardPlan::from_boundaries`] takes them.
+    boundaries: Vec<usize>,
+    max_attempts: usize,
+}
+
+impl FleetDriver {
+    /// Default worker executions per shard before the run gives up.
+    pub const DEFAULT_MAX_ATTEMPTS: usize = 3;
+
+    /// A driver splitting the fleet into `shards` near-equal contiguous
+    /// ranges ([`ShardPlan::split`] semantics).
+    #[must_use]
+    pub fn new(spec: DriverFleetSpec, shards: usize) -> Self {
+        let plan = ShardPlan::split(spec.to_config(), shards);
+        let boundaries = (0..plan.shard_count().saturating_sub(1))
+            .map(|shard| plan.range(shard).end)
+            .collect();
+        Self {
+            spec,
+            boundaries,
+            max_attempts: Self::DEFAULT_MAX_ATTEMPTS,
+        }
+    }
+
+    /// A driver over explicit interior boundaries (ragged shards fine).
+    ///
+    /// # Errors
+    /// [`super::ShardError`] for unsorted or out-of-range boundaries.
+    pub fn with_boundaries(
+        spec: DriverFleetSpec,
+        boundaries: &[usize],
+    ) -> Result<Self, super::ShardError> {
+        // Validate through the same path the run will use.
+        ShardPlan::from_boundaries(spec.to_config(), boundaries)?;
+        Ok(Self {
+            spec,
+            boundaries: boundaries.to_vec(),
+            max_attempts: Self::DEFAULT_MAX_ATTEMPTS,
+        })
+    }
+
+    /// Sets the per-shard recovery budget (minimum 1).
+    #[must_use]
+    pub fn with_max_attempts(mut self, max_attempts: usize) -> Self {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// The fleet spec this driver coordinates.
+    #[must_use]
+    pub fn spec(&self) -> &DriverFleetSpec {
+        &self.spec
+    }
+
+    /// Number of shards in the plan.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// The assignment of shard `shard`.
+    ///
+    /// # Panics
+    /// Panics if `shard >= shard_count()`.
+    #[must_use]
+    pub fn assignment(&self, shard: usize) -> ShardAssignment {
+        assert!(shard < self.shard_count(), "shard out of range");
+        let start = if shard == 0 {
+            0
+        } else {
+            self.boundaries[shard - 1]
+        };
+        let end = self
+            .boundaries
+            .get(shard)
+            .copied()
+            .unwrap_or(self.spec.bodies);
+        ShardAssignment {
+            index: shard,
+            start,
+            end,
+        }
+    }
+
+    /// This run's fingerprint (see [`run_fingerprint`]).
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        run_fingerprint(&self.spec, &self.boundaries)
+    }
+
+    /// Opens the conventional spool transport for this run:
+    /// `<root>/<fingerprint>/`.
+    ///
+    /// # Errors
+    /// [`std::io::Error`] when the directory cannot be created.
+    pub fn spool_in(&self, root: impl AsRef<Path>) -> std::io::Result<SpoolTransport> {
+        SpoolTransport::create(root.as_ref().join(self.fingerprint()))
+    }
+
+    /// Validates a fetched blob for `shard`: self-validating load, config
+    /// fingerprint, and the implied body range against the assignment (so a
+    /// blob from an older layout or foreign run is rejected, not merged).
+    fn validate_blob(
+        &self,
+        config: &FleetConfig,
+        shard: &ShardAssignment,
+        bytes: &[u8],
+    ) -> Result<FleetCheckpoint, CheckpointError> {
+        let checkpoint = FleetCheckpoint::load(bytes)?;
+        checkpoint.verify_config(config)?;
+        if checkpoint.next_body() != shard.end
+            || checkpoint.bodies_ingested() != shard.end - shard.start
+        {
+            return Err(CheckpointError::ConfigMismatch(
+                "blob's body range does not match the shard assignment",
+            ));
+        }
+        Ok(checkpoint)
+    }
+
+    /// Runs the fleet to completion: reuse valid blobs already on the
+    /// transport, execute missing shards, validate and re-run on any fault,
+    /// merge.  See the module docs for the recovery model.
+    ///
+    /// Within each recovery round the pending shards execute
+    /// **concurrently** (one coordinator thread per shard, so worker
+    /// processes actually overlap); validation and merging stay in shard
+    /// order, so concurrency is invisible in the result like every other
+    /// execution axis.
+    ///
+    /// # Errors
+    /// [`DriverError::Exhausted`] when a shard stays invalid past the
+    /// recovery budget; [`DriverError::Transport`] / [`DriverError::Merge`]
+    /// for non-recoverable failures.
+    pub fn run(
+        &self,
+        executor: &dyn ShardExecutor,
+        transport: &dyn Transport,
+    ) -> Result<DriverRun, DriverError> {
+        let config = self.spec.to_config();
+        let count = self.shard_count();
+        let mut blobs: Vec<Option<FleetCheckpoint>> = (0..count).map(|_| None).collect();
+        let mut outcomes: Vec<ShardOutcome> = (0..count)
+            .map(|shard| ShardOutcome {
+                shard: self.assignment(shard),
+                reused: false,
+                attempts: 0,
+                recovered: Vec::new(),
+            })
+            .collect();
+        let mut last_error: Vec<Option<DriverError>> = (0..count).map(|_| None).collect();
+        for _ in 0..self.max_attempts {
+            // 1. Reuse whatever the transport already holds, if valid.  (No
+            //    blob at all needs no record — a prior failed attempt
+            //    already recorded why it is missing.)
+            for shard in 0..count {
+                if blobs[shard].is_some() {
+                    continue;
+                }
+                let assignment = self.assignment(shard);
+                if let Some(bytes) = transport.fetch(shard)? {
+                    match self.validate_blob(&config, &assignment, &bytes) {
+                        Ok(checkpoint) => {
+                            if outcomes[shard].attempts == 0 {
+                                outcomes[shard].reused = true;
+                            }
+                            blobs[shard] = Some(checkpoint);
+                        }
+                        Err(source) => {
+                            let fault = DriverError::Blob { shard, source };
+                            outcomes[shard].recovered.push(fault.to_string());
+                            transport.discard(shard)?;
+                            last_error[shard] = Some(fault);
+                        }
+                    }
+                }
+            }
+            let pending: Vec<usize> = (0..count).filter(|&s| blobs[s].is_none()).collect();
+            if pending.is_empty() {
+                break;
+            }
+            // 2. Execute every still-missing shard, concurrently.
+            let spec = &self.spec;
+            let results: Vec<(usize, Result<(), DriverError>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = pending
+                    .iter()
+                    .map(|&shard| {
+                        let assignment = self.assignment(shard);
+                        let attempt = outcomes[shard].attempts;
+                        scope.spawn(move || {
+                            (
+                                shard,
+                                executor.execute(spec, &assignment, attempt, transport),
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("shard execution thread panicked"))
+                    .collect()
+            });
+            // 3. Validate what the attempts published, in shard order.
+            for (shard, result) in results {
+                outcomes[shard].attempts += 1;
+                let assignment = self.assignment(shard);
+                match result {
+                    Ok(()) => match transport.fetch(shard)? {
+                        Some(bytes) => match self.validate_blob(&config, &assignment, &bytes) {
+                            Ok(checkpoint) => {
+                                blobs[shard] = Some(checkpoint);
+                            }
+                            Err(source) => {
+                                let fault = DriverError::Blob { shard, source };
+                                outcomes[shard].recovered.push(fault.to_string());
+                                transport.discard(shard)?;
+                                last_error[shard] = Some(fault);
+                            }
+                        },
+                        None => {
+                            let fault = DriverError::Missing { shard };
+                            outcomes[shard].recovered.push(fault.to_string());
+                            last_error[shard] = Some(fault);
+                        }
+                    },
+                    Err(fault) => {
+                        outcomes[shard].recovered.push(fault.to_string());
+                        last_error[shard] = Some(fault);
+                    }
+                }
+            }
+            if blobs.iter().all(Option::is_some) {
+                break;
+            }
+        }
+        for shard in 0..count {
+            if blobs[shard].is_none() {
+                return Err(DriverError::Exhausted {
+                    shard,
+                    attempts: outcomes[shard].attempts,
+                    last: Box::new(
+                        last_error[shard]
+                            .take()
+                            .unwrap_or(DriverError::Missing { shard }),
+                    ),
+                });
+            }
+        }
+        // Every recovered fault in `outcomes[_].recovered` was followed by a
+        // successful re-run; the merge below is over validated blobs only.
+        let parts: Vec<FleetCheckpoint> = blobs.into_iter().flatten().collect();
+        let plan = ShardPlan::from_boundaries(config.clone(), &self.boundaries)
+            .expect("boundaries validated at construction");
+        let report = plan
+            .merge_checkpoints(parts.iter().cloned())
+            .map_err(DriverError::Merge)?;
+        // Keep the merged state around so callers can check byte-identity
+        // without re-fetching and re-merging the blobs themselves.
+        let mut merged = FleetAggregator::new(config.horizon(), config.top_k());
+        for part in parts {
+            merged.merge(part.into_parts().0);
+        }
+        let merged_state = FleetCheckpoint::capture(&config, &merged, self.spec.bodies);
+        Ok(DriverRun {
+            report,
+            merged_state,
+            fingerprint: self.fingerprint(),
+            shards: outcomes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_args_round_trip_through_the_parser() {
+        let spec = DriverFleetSpec::new(100)
+            .with_base_seed(42)
+            .with_horizon(hidwa_units::TimeSpan::from_seconds(1.25))
+            .with_top_k(3)
+            .with_population(PopulationSpec::Mixed);
+        let shard = ShardAssignment {
+            index: 2,
+            start: 50,
+            end: 75,
+        };
+        let mut args = spec.worker_args(&shard);
+        args.extend(["--spool".to_string(), "/tmp/somewhere".to_string()]);
+        let request = WorkerRequest::parse(args).expect("canonical args parse");
+        assert_eq!(request.spec, spec);
+        assert_eq!(request.shard, shard);
+        assert_eq!(
+            request.transport,
+            WorkerTransport::Spool(PathBuf::from("/tmp/somewhere"))
+        );
+        assert_eq!(request.threads, 1);
+        assert_eq!(request.fail_after, None);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_invocations() {
+        let usage = |args: &[&str]| {
+            let parsed = WorkerRequest::parse(args.iter().map(ToString::to_string));
+            assert!(
+                matches!(parsed, Err(DriverError::Usage(_))),
+                "expected usage error for {args:?}, got {parsed:?}"
+            );
+        };
+        usage(&[]); // --bodies missing
+        usage(&["--bodies", "10"]); // shard flags missing
+        usage(&[
+            "--bodies",
+            "10",
+            "--shard-index",
+            "0",
+            "--shard-start",
+            "0",
+            "--shard-end",
+            "5",
+        ]); // transport missing
+        usage(&[
+            "--bodies",
+            "10",
+            "--shard-index",
+            "0",
+            "--shard-start",
+            "6",
+            "--shard-end",
+            "5",
+            "--spool",
+            "/tmp/x",
+        ]); // inverted range
+        usage(&[
+            "--bodies",
+            "10",
+            "--shard-index",
+            "0",
+            "--shard-start",
+            "0",
+            "--shard-end",
+            "11",
+            "--spool",
+            "/tmp/x",
+        ]); // range past the fleet
+        usage(&["--frobnicate"]); // unknown flag
+        usage(&["--bodies", "ten"]); // unparsable value
+        usage(&[
+            "--bodies",
+            "10",
+            "--shard-index",
+            "0",
+            "--shard-start",
+            "0",
+            "--shard-end",
+            "5",
+            "--spool",
+            "/tmp/x",
+            "--connect",
+            "127.0.0.1:1",
+        ]); // both transports
+    }
+
+    #[test]
+    fn fingerprints_separate_incompatible_runs() {
+        let spec = DriverFleetSpec::new(64);
+        let base = run_fingerprint(&spec, &[32]);
+        assert_eq!(base.len(), 16);
+        assert_ne!(base, run_fingerprint(&spec, &[31]));
+        assert_ne!(
+            base,
+            run_fingerprint(&spec.clone().with_base_seed(1), &[32])
+        );
+        assert_ne!(base, run_fingerprint(&spec.clone().with_top_k(2), &[32]));
+        assert_ne!(
+            base,
+            run_fingerprint(&spec.clone().with_population(PopulationSpec::Mixed), &[32])
+        );
+        assert_ne!(base, run_fingerprint(&DriverFleetSpec::new(65), &[32]));
+        // Same inputs, same fingerprint — resumability depends on it.
+        assert_eq!(base, run_fingerprint(&DriverFleetSpec::new(64), &[32]));
+    }
+
+    #[test]
+    fn driver_assignments_tile_the_fleet() {
+        let spec = DriverFleetSpec::new(10);
+        let driver = FleetDriver::new(spec.clone(), 3);
+        assert_eq!(driver.shard_count(), 3);
+        let mut cursor = 0;
+        for shard in 0..driver.shard_count() {
+            let assignment = driver.assignment(shard);
+            assert_eq!(assignment.start, cursor);
+            cursor = assignment.end;
+        }
+        assert_eq!(cursor, 10);
+        // Ragged with empty shards is accepted, bad boundaries are not.
+        assert!(FleetDriver::with_boundaries(spec.clone(), &[0, 4, 4, 10]).is_ok());
+        assert!(FleetDriver::with_boundaries(spec.clone(), &[7, 3]).is_err());
+        assert!(FleetDriver::with_boundaries(spec, &[11]).is_err());
+    }
+}

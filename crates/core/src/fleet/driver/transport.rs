@@ -1,0 +1,413 @@
+//! Checkpoint transports: how shard workers ship
+//! [`FleetCheckpoint`](super::super::FleetCheckpoint) blobs back to the
+//! coordinator.
+//!
+//! A transport is the *only* thing that crosses the process boundary — the
+//! blobs themselves are the self-validating binary checkpoints of
+//! [`super::super::checkpoint`], so a transport needs no understanding of
+//! their contents.  Two implementations ship:
+//!
+//! * [`SpoolTransport`] — a spool **directory** on a filesystem both sides
+//!   can reach.  Publication is atomic (write to a temp name, `fsync`,
+//!   `rename` into place), so a reader either sees a complete blob or no
+//!   blob at all; a worker killed mid-write leaves only an ignored temp
+//!   file.  This is the default, and the only transport whose blobs survive
+//!   a coordinator restart — which is what makes driver runs resumable.
+//! * [`SocketHub`] / [`SocketPublisher`] — a loopback TCP hub the
+//!   coordinator binds and workers connect to, for runs where no shared
+//!   filesystem exists.  Blobs land in coordinator memory; a restarted
+//!   coordinator starts empty.
+//!
+//! Both sides of each transport implement the same [`Transport`] trait, and
+//! [`Transport::worker_flags`] closes the loop: a transport knows which CLI
+//! flags a spawned worker needs to construct its own end (see the worker
+//! protocol in [`super`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hidwa_core::fleet::driver::transport::{SpoolTransport, Transport};
+//!
+//! let dir = std::env::temp_dir().join(format!("hidwa-spool-doc-{}", std::process::id()));
+//! let spool = SpoolTransport::create(&dir).unwrap();
+//! assert!(spool.fetch(0).unwrap().is_none());
+//! spool.publish(0, b"blob bytes").unwrap();
+//! assert_eq!(spool.fetch(0).unwrap().as_deref(), Some(&b"blob bytes"[..]));
+//! assert_eq!(spool.worker_flags(), vec!["--spool".to_string(), dir.display().to_string()]);
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Largest blob a [`SocketHub`] will accept (a fleet checkpoint is a few
+/// kilobytes; anything near this cap is garbage, not a checkpoint).
+pub const MAX_SOCKET_BLOB: u64 = 256 * 1024 * 1024;
+
+/// Why a transport operation failed.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The underlying filesystem or socket operation failed.
+    Io(std::io::Error),
+    /// The remote end violated the framing protocol (socket transport).
+    Protocol(&'static str),
+    /// The operation is not meaningful on this side of the transport (e.g.
+    /// fetching through a worker-side [`SocketPublisher`]).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(error) => write!(f, "transport I/O error: {error}"),
+            Self::Protocol(what) => write!(f, "transport protocol violation: {what}"),
+            Self::Unsupported(what) => write!(f, "transport operation unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(error: std::io::Error) -> Self {
+        Self::Io(error)
+    }
+}
+
+/// How checkpoint blobs move between shard workers and the coordinator.
+///
+/// The contract every implementation must honour:
+///
+/// * **Atomic publication** — a concurrent [`fetch`](Self::fetch) returns
+///   either the complete blob or `None`, never a prefix.  A publisher killed
+///   mid-[`publish`](Self::publish) must leave nothing a `fetch` can see.
+/// * **Last write wins** — re-publishing a shard replaces its blob.
+/// * **No interpretation** — blobs are opaque bytes; validation (checksum,
+///   config fingerprint, range) is the coordinator's job, which is why a
+///   corrupt blob is a *recoverable* driver event, not a transport error.
+pub trait Transport: Send + Sync {
+    /// Makes `blob` visible to the coordinator as shard `shard`'s result.
+    ///
+    /// # Errors
+    /// [`TransportError`] when the blob could not be durably published; the
+    /// shard then counts as missing and the driver re-runs it.
+    fn publish(&self, shard: usize, blob: &[u8]) -> Result<(), TransportError>;
+
+    /// Returns shard `shard`'s published blob, or `None` if none is visible.
+    ///
+    /// # Errors
+    /// [`TransportError`] on I/O failure (distinct from "no blob yet").
+    fn fetch(&self, shard: usize) -> Result<Option<Vec<u8>>, TransportError>;
+
+    /// Removes shard `shard`'s published blob (used by the coordinator to
+    /// drop a corrupt or stale blob before re-running the shard).  Removing
+    /// a blob that does not exist is not an error.
+    ///
+    /// # Errors
+    /// [`TransportError`] on I/O failure.
+    fn discard(&self, shard: usize) -> Result<(), TransportError>;
+
+    /// The CLI flags a spawned worker process needs to construct its end of
+    /// this transport (`--spool <dir>` or `--connect <addr>`; see the
+    /// normative worker protocol in [`super`]).
+    fn worker_flags(&self) -> Vec<String>;
+}
+
+/// Filesystem spool-directory transport.
+///
+/// Layout inside the directory (normative, also documented in
+/// `ARCHITECTURE.md` and `DEPLOYMENT.md`):
+///
+/// * `shard-<index>.ckpt` — a complete, published checkpoint blob.
+/// * `shard-<index>.ckpt.tmp-<pid>` — an in-flight write.  Readers must
+///   ignore every name that is not exactly `shard-<index>.ckpt`; the writer
+///   renames the temp file into place only after the bytes are written and
+///   synced, and `rename(2)` within one directory is atomic on POSIX
+///   filesystems.
+///
+/// The coordinator conventionally places the directory at
+/// `<spool_root>/<run_fingerprint>/` (see
+/// [`FleetDriver::spool_in`](super::FleetDriver::spool_in)) so blobs from a
+/// differently-configured run can never collide with the current one.
+#[derive(Debug, Clone)]
+pub struct SpoolTransport {
+    dir: PathBuf,
+}
+
+impl SpoolTransport {
+    /// Opens (creating if needed) the spool directory `dir`.
+    ///
+    /// # Errors
+    /// [`std::io::Error`] when the directory cannot be created.
+    pub fn create(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The spool directory blobs are published into.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of shard `shard`'s published blob (`shard-<index>.ckpt`).
+    #[must_use]
+    pub fn blob_path(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("shard-{shard}.ckpt"))
+    }
+
+    fn temp_path(&self, shard: usize) -> PathBuf {
+        self.dir
+            .join(format!("shard-{shard}.ckpt.tmp-{}", std::process::id()))
+    }
+
+    /// Fault-injection helper: writes the temp file a killed-mid-write
+    /// worker would leave behind, **without** renaming it into place.  A
+    /// [`fetch`](Transport::fetch) must not see it — which the fault
+    /// tests assert.  Returns the temp path so tests can clean it up.
+    ///
+    /// # Errors
+    /// [`std::io::Error`] when the temp file cannot be written.
+    pub fn write_partial(&self, shard: usize, blob: &[u8]) -> std::io::Result<PathBuf> {
+        let temp = self.temp_path(shard);
+        std::fs::write(&temp, blob)?;
+        Ok(temp)
+    }
+}
+
+impl Transport for SpoolTransport {
+    fn publish(&self, shard: usize, blob: &[u8]) -> Result<(), TransportError> {
+        let temp = self.temp_path(shard);
+        {
+            let mut file = std::fs::File::create(&temp)?;
+            file.write_all(blob)?;
+            // Durability before visibility: the rename must never expose a
+            // name whose bytes could still be lost to a crash.
+            file.sync_all()?;
+        }
+        std::fs::rename(&temp, self.blob_path(shard))?;
+        Ok(())
+    }
+
+    fn fetch(&self, shard: usize) -> Result<Option<Vec<u8>>, TransportError> {
+        match std::fs::read(self.blob_path(shard)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(error) if error.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(error) => Err(error.into()),
+        }
+    }
+
+    fn discard(&self, shard: usize) -> Result<(), TransportError> {
+        match std::fs::remove_file(self.blob_path(shard)) {
+            Ok(()) => Ok(()),
+            Err(error) if error.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(error) => Err(error.into()),
+        }
+    }
+
+    fn worker_flags(&self) -> Vec<String> {
+        vec!["--spool".to_string(), self.dir.display().to_string()]
+    }
+}
+
+/// Coordinator side of the loopback-socket transport: binds an ephemeral
+/// `127.0.0.1` TCP port, accepts worker connections on a background thread
+/// and collects their framed blobs in memory.
+///
+/// Frame format (big-endian): `shard u64 · blob length u64 · blob bytes`;
+/// the hub replies with a single `0x06` acknowledgement byte once the blob
+/// is stored, and the worker treats the publish as durable only after
+/// reading it.  Connections that violate the framing (or exceed
+/// [`MAX_SOCKET_BLOB`]) are dropped without storing anything — the shard
+/// simply stays missing and is re-run.
+///
+/// # Example
+///
+/// ```
+/// use hidwa_core::fleet::driver::transport::{SocketHub, SocketPublisher, Transport};
+///
+/// let hub = SocketHub::bind().unwrap();
+/// let publisher = SocketPublisher::new(hub.addr().to_string());
+/// publisher.publish(3, b"shard three").unwrap();
+/// assert_eq!(hub.fetch(3).unwrap().as_deref(), Some(&b"shard three"[..]));
+/// ```
+#[derive(Debug)]
+pub struct SocketHub {
+    addr: SocketAddr,
+    blobs: Arc<Mutex<HashMap<usize, Vec<u8>>>>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SocketHub {
+    /// Binds a hub on an ephemeral loopback port and starts accepting.
+    ///
+    /// # Errors
+    /// [`std::io::Error`] when the loopback listener cannot be bound.
+    pub fn bind() -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let blobs: Arc<Mutex<HashMap<usize, Vec<u8>>>> = Arc::new(Mutex::new(HashMap::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let blobs = Arc::clone(&blobs);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // Ingest is serial: one worker publishes a few KiB and
+                    // disconnects, so fairness is a non-issue and a stalled
+                    // client is bounded by the read timeout.
+                    let _ = Self::ingest(stream, &blobs);
+                }
+            })
+        };
+        Ok(Self {
+            addr,
+            blobs,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address workers should `--connect` to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn ingest(
+        mut stream: TcpStream,
+        blobs: &Mutex<HashMap<usize, Vec<u8>>>,
+    ) -> std::io::Result<()> {
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let mut header = [0u8; 16];
+        stream.read_exact(&mut header)?;
+        let shard = u64::from_be_bytes(header[..8].try_into().expect("8-byte half"));
+        let len = u64::from_be_bytes(header[8..].try_into().expect("8-byte half"));
+        if len > MAX_SOCKET_BLOB {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "blob larger than the hub cap",
+            ));
+        }
+        let mut blob = vec![0u8; usize::try_from(len).expect("cap fits usize")];
+        stream.read_exact(&mut blob)?;
+        blobs
+            .lock()
+            .expect("hub blob map poisoned")
+            .insert(usize::try_from(shard).unwrap_or(usize::MAX), blob);
+        stream.write_all(&[0x06])?;
+        stream.flush()
+    }
+}
+
+impl Drop for SocketHub {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection, then join it.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Transport for SocketHub {
+    fn publish(&self, shard: usize, blob: &[u8]) -> Result<(), TransportError> {
+        // Coordinator-local publish (e.g. an in-process executor running
+        // over the hub) skips the socket and stores directly.
+        self.blobs
+            .lock()
+            .expect("hub blob map poisoned")
+            .insert(shard, blob.to_vec());
+        Ok(())
+    }
+
+    fn fetch(&self, shard: usize) -> Result<Option<Vec<u8>>, TransportError> {
+        Ok(self
+            .blobs
+            .lock()
+            .expect("hub blob map poisoned")
+            .get(&shard)
+            .cloned())
+    }
+
+    fn discard(&self, shard: usize) -> Result<(), TransportError> {
+        self.blobs
+            .lock()
+            .expect("hub blob map poisoned")
+            .remove(&shard);
+        Ok(())
+    }
+
+    fn worker_flags(&self) -> Vec<String> {
+        vec!["--connect".to_string(), self.addr.to_string()]
+    }
+}
+
+/// Worker side of the loopback-socket transport: connects to a
+/// [`SocketHub`] per publish and streams one framed blob.
+#[derive(Debug, Clone)]
+pub struct SocketPublisher {
+    addr: String,
+}
+
+impl SocketPublisher {
+    /// A publisher that will connect to `addr` (`host:port`).
+    #[must_use]
+    pub fn new(addr: String) -> Self {
+        Self { addr }
+    }
+}
+
+impl Transport for SocketPublisher {
+    fn publish(&self, shard: usize, blob: &[u8]) -> Result<(), TransportError> {
+        let mut stream = TcpStream::connect(self.addr.as_str())?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.write_all(&(shard as u64).to_be_bytes())?;
+        stream.write_all(&(blob.len() as u64).to_be_bytes())?;
+        stream.write_all(blob)?;
+        stream.flush()?;
+        let mut ack = [0u8; 1];
+        stream
+            .read_exact(&mut ack)
+            .map_err(|_| TransportError::Protocol("hub closed before acknowledging the blob"))?;
+        if ack[0] != 0x06 {
+            return Err(TransportError::Protocol("hub sent an unexpected ack byte"));
+        }
+        Ok(())
+    }
+
+    fn fetch(&self, _shard: usize) -> Result<Option<Vec<u8>>, TransportError> {
+        Err(TransportError::Unsupported(
+            "worker-side socket transport cannot fetch blobs",
+        ))
+    }
+
+    fn discard(&self, _shard: usize) -> Result<(), TransportError> {
+        Err(TransportError::Unsupported(
+            "worker-side socket transport cannot discard blobs",
+        ))
+    }
+
+    fn worker_flags(&self) -> Vec<String> {
+        vec!["--connect".to_string(), self.addr.clone()]
+    }
+}

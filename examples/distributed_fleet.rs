@@ -1,0 +1,121 @@
+//! Distributed fleet demo: a coordinator spawning real shard **worker
+//! processes** (this example re-invokes itself with `--worker`), shipping
+//! checkpoint blobs through a spool directory, surviving a mid-shard worker
+//! kill plus operator-inflicted blob damage, and finishing **byte-identical**
+//! to the in-process single-stream fold.
+//!
+//! The walkthrough mirrors `DEPLOYMENT.md`'s failure-recovery drill:
+//!
+//! 1. run the fleet with two workers, one of which is killed mid-shard on
+//!    its first attempt (the driver detects the death and re-runs it);
+//! 2. damage the spool the way operators do — delete one blob, truncate
+//!    another — and re-run the coordinator, which reuses nothing invalid,
+//!    re-folds only what is broken, and reports every recovered fault;
+//! 3. re-fold the whole fleet in-process and assert the distributed result
+//!    is byte-identical (the example exits non-zero otherwise — CI runs it).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example distributed_fleet
+//! ```
+//! The spool lands in `./spool` (or `$HIDWA_SPOOL_DIR`) so you can inspect
+//! `spool/<fingerprint>/shard-<i>.ckpt` afterwards.
+
+use hidwa_core::fleet::driver::{
+    DriverFleetSpec, FleetDriver, PopulationSpec, ProcessExecutor, Transport, WorkerCommand,
+};
+use hidwa_core::sweep::SweepRunner;
+use hidwa_units::TimeSpan;
+use std::process::ExitCode;
+
+fn print_outcomes(run: &hidwa_core::fleet::driver::DriverRun) {
+    for outcome in run.shards() {
+        println!(
+            "  shard {} ({:>3}..{:<3}) reused={} attempts={} {}",
+            outcome.shard.index,
+            outcome.shard.start,
+            outcome.shard.end,
+            if outcome.reused { "yes" } else { "no " },
+            outcome.attempts,
+            if outcome.recovered.is_empty() {
+                String::new()
+            } else {
+                format!("recovered: {}", outcome.recovered.join("; "))
+            }
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    // Worker mode: the coordinator below spawns `<this exe> --worker …`.
+    let mut args = std::env::args().skip(1);
+    if args.next().as_deref() == Some("--worker") {
+        return hidwa_core::fleet::driver::worker_main(args);
+    }
+
+    let bodies = 120;
+    let spec = DriverFleetSpec::new(bodies)
+        .with_base_seed(2026)
+        .with_horizon(TimeSpan::from_seconds(0.5))
+        .with_population(PopulationSpec::Mixed);
+    // Ragged on purpose: 50 bodies for worker 0, 70 for worker 1.
+    let driver = FleetDriver::with_boundaries(spec.clone(), &[50]).expect("sorted boundaries");
+    let spool_root = std::env::var("HIDWA_SPOOL_DIR").unwrap_or_else(|_| "spool".to_string());
+    let spool = driver
+        .spool_in(&spool_root)
+        .expect("create spool directory");
+    let worker = WorkerCommand::current_exe_worker().expect("current exe");
+
+    println!("== Distributed fleet: {bodies} heterogeneous bodies, 2 worker processes ==");
+    println!("run fingerprint : {}", driver.fingerprint());
+    println!("spool directory : {}", spool.dir().display());
+
+    // Fresh drill every run: a stale spool would (correctly) just resume.
+    for shard in 0..driver.shard_count() {
+        spool.discard(shard).expect("clear spool");
+    }
+
+    // --- Act 1: one worker is killed mid-shard on its first attempt -------
+    println!("\n[1] run with worker 1 killed mid-shard on its first attempt:");
+    let killer = ProcessExecutor::new(worker.clone()).with_injected_kill(1);
+    let run = driver
+        .run(&killer, &spool)
+        .expect("driver recovers the kill");
+    print_outcomes(&run);
+    assert!(
+        run.shards()[1].attempts >= 2,
+        "the killed shard must have been re-run"
+    );
+
+    // --- Act 2: operator damage — delete one blob, truncate the other -----
+    println!("\n[2] delete shard 0's blob, truncate shard 1's, re-run the coordinator:");
+    std::fs::remove_file(spool.blob_path(0)).expect("delete blob 0");
+    let blob1 = spool.fetch(1).expect("fetch").expect("blob 1 present");
+    std::fs::write(spool.blob_path(1), &blob1[..blob1.len() / 3]).expect("truncate blob 1");
+    let run = driver
+        .run(&ProcessExecutor::new(worker), &spool)
+        .expect("driver recovers the damage");
+    print_outcomes(&run);
+    assert_eq!(run.reused_shards(), 0, "neither damaged blob was reusable");
+
+    // --- Act 3: byte-identity against the in-process single stream --------
+    println!("\n[3] verify against the in-process single-stream fold:");
+    let config = spec.to_config();
+    let single = config.run_until(&SweepRunner::new(), bodies);
+    assert_eq!(
+        run.state_bytes(),
+        single.save().to_vec(),
+        "distributed state bytes must equal the single stream"
+    );
+    let single_report = single.into_parts().0.finish();
+    assert_eq!(run.report(), &single_report);
+    println!(
+        "  byte-identical: {} bodies, delivery {:.4}, fleet p95 {:.3} ms, energy {:.3} J",
+        single_report.bodies(),
+        single_report.delivery_ratio(),
+        single_report.fleet_latency().quantile(0.95).as_seconds() * 1e3,
+        single_report.total_energy().as_joules(),
+    );
+    println!("\nkill a worker, damage the spool — the algebra does not care.");
+    ExitCode::SUCCESS
+}
