@@ -718,12 +718,13 @@ fn main() -> std::process::ExitCode {
         "a multi-process driver run diverged from the single-stream fold"
     );
 
-    // Perf-trajectory guard: the tracked target is >=2x (see
-    // ARCHITECTURE.md); the enforced floor is lower so shared-runner timing
-    // noise cannot flake CI, overridable via HIDWA_BENCH_MIN_SPEEDUP.
-    let floor = env_f64("HIDWA_BENCH_MIN_SPEEDUP", 1.5);
-    if speedup < 2.0 {
-        eprintln!("WARNING: streaming speedup {speedup:.2}x below the 2x trajectory target");
+    // Perf-trajectory guard: since the struct-of-arrays rework the tracked
+    // target is >=2.4x over the exact reference (see ARCHITECTURE.md, "Hot
+    // path memory layout"); the enforced floor is lower so shared-runner
+    // timing noise cannot flake CI, overridable via HIDWA_BENCH_MIN_SPEEDUP.
+    let floor = env_f64("HIDWA_BENCH_MIN_SPEEDUP", 2.0);
+    if speedup < 2.4 {
+        eprintln!("WARNING: streaming speedup {speedup:.2}x below the 2.4x trajectory target");
     }
     assert!(
         speedup >= floor,

@@ -1,29 +1,19 @@
 //! Experiment E1 — Fig. 1: per-node power breakdown of today's IoB node
 //! (sensor + CPU + radio) versus the human-inspired node (sensor + ISA +
 //! Wi-R), for the four wearable AI workload classes.
+//!
+//! The (workload × architecture) matrix is evaluated through
+//! [`hidwa_bench::figs::fig1_power_grid`] on a [`SweepRunner`]; the
+//! serial-vs-parallel byte-identity contract lives in `tests/fig_grid.rs`.
 
-use hidwa_bench::{fmt_power, header, write_json};
-use hidwa_core::arch::{NodeArchitecture, WorkloadSpec};
+use hidwa_bench::figs::fig1_power_grid;
+use hidwa_bench::{header, write_json};
+use hidwa_core::sweep::SweepRunner;
+use hidwa_units::Power;
 
-struct Row {
-    workload: String,
-    architecture: &'static str,
-    sensing_uw: f64,
-    compute_uw: f64,
-    communication_uw: f64,
-    total_uw: f64,
-    reduction_factor: f64,
+fn fmt_uw(micro_watts: f64) -> String {
+    hidwa_bench::fmt_power(Power::from_micro_watts(micro_watts))
 }
-
-hidwa_bench::json_struct!(Row {
-    workload,
-    architecture,
-    sensing_uw,
-    compute_uw,
-    communication_uw,
-    total_uw,
-    reduction_factor,
-});
 
 fn main() {
     header(
@@ -31,41 +21,28 @@ fn main() {
         "Today's IoB node (CPU + BLE) vs the human-inspired node (ISA + Wi-R)",
     );
 
-    let mut rows = Vec::new();
+    let rows = fig1_power_grid(&SweepRunner::new());
+
     println!(
         "{:<16} {:<34} {:>12} {:>12} {:>12} {:>12}",
         "workload", "architecture", "sensing", "compute", "comm", "total"
     );
-    for workload in WorkloadSpec::paper_set() {
-        let reduction = NodeArchitecture::reduction_factor(&workload);
-        for arch in [
-            NodeArchitecture::conventional(),
-            NodeArchitecture::human_inspired(),
-        ] {
-            let b = arch.power_breakdown(&workload);
+    // Rows come workload-major, two architectures per workload.
+    for pair in rows.chunks(2) {
+        for row in pair {
             println!(
                 "{:<16} {:<34} {:>12} {:>12} {:>12} {:>12}",
-                workload.name(),
-                arch.name(),
-                fmt_power(b.sensing),
-                fmt_power(b.compute),
-                fmt_power(b.communication),
-                fmt_power(b.total()),
+                row.workload,
+                row.architecture,
+                fmt_uw(row.sensing_uw),
+                fmt_uw(row.compute_uw),
+                fmt_uw(row.communication_uw),
+                fmt_uw(row.total_uw),
             );
-            rows.push(Row {
-                workload: workload.name().to_string(),
-                architecture: arch.name(),
-                sensing_uw: b.sensing.as_micro_watts(),
-                compute_uw: b.compute.as_micro_watts(),
-                communication_uw: b.communication.as_micro_watts(),
-                total_uw: b.total().as_micro_watts(),
-                reduction_factor: reduction,
-            });
         }
         println!(
             "{:<16} -> human-inspired reduction: {:.0}x\n",
-            workload.name(),
-            reduction
+            pair[0].workload, pair[0].reduction_factor
         );
     }
 

@@ -1,31 +1,15 @@
 //! Experiment E2 — Fig. 2: battery life of today's wearable device classes
 //! (pre-2024 and 2024 wearable-AI devices), derived from representative
 //! battery capacities and platform power budgets.
+//!
+//! The per-class derivations run through
+//! [`hidwa_bench::figs::fig2_battery_grid`] on a [`SweepRunner`]; the
+//! serial-vs-parallel byte-identity contract lives in `tests/fig_grid.rs`.
 
+use hidwa_bench::figs::fig2_battery_grid;
 use hidwa_bench::{fmt_lifetime, fmt_power, header, write_json};
-use hidwa_core::devices::{self, DeviceEra};
-
-struct Row {
-    class: String,
-    era: &'static str,
-    battery_mah: f64,
-    average_power_mw: f64,
-    derived_life_hours: f64,
-    derived_band: String,
-    paper_band: String,
-    matches_paper: bool,
-}
-
-hidwa_bench::json_struct!(Row {
-    class,
-    era,
-    battery_mah,
-    average_power_mw,
-    derived_life_hours,
-    derived_band,
-    paper_band,
-    matches_paper,
-});
+use hidwa_core::sweep::SweepRunner;
+use hidwa_units::{Power, TimeSpan};
 
 fn main() {
     header(
@@ -33,39 +17,28 @@ fn main() {
         "Derived from representative battery capacity and platform power per class",
     );
 
-    let mut rows = Vec::new();
-    for era in [DeviceEra::Pre2024, DeviceEra::WearableAi2024] {
-        let era_name = match era {
-            DeviceEra::Pre2024 => "pre-2024 wearables",
-            DeviceEra::WearableAi2024 => "2024 wearable-AI boom",
-        };
-        println!("\n-- {era_name} --");
-        println!(
-            "{:<24} {:>10} {:>12} {:>12} {:>12} {:>12}",
-            "device class", "battery", "avg power", "life", "derived", "paper"
-        );
-        for profile in devices::catalog().into_iter().filter(|p| p.era() == era) {
-            let life = profile.derived_battery_life();
+    let rows = fig2_battery_grid(&SweepRunner::new());
+
+    // Rows come era-major; print an era banner whenever the label changes.
+    let mut current_era = "";
+    for row in &rows {
+        if row.era != current_era {
+            current_era = row.era;
+            println!("\n-- {current_era} --");
             println!(
-                "{:<24} {:>7.0} mAh {:>12} {:>12} {:>12} {:>12}",
-                profile.class().name(),
-                profile.battery().capacity().as_milli_amp_hours(),
-                fmt_power(profile.average_power()),
-                fmt_lifetime(life),
-                profile.derived_band().label(),
-                profile.paper_band().label(),
+                "{:<24} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                "device class", "battery", "avg power", "life", "derived", "paper"
             );
-            rows.push(Row {
-                class: profile.class().name().to_string(),
-                era: era_name,
-                battery_mah: profile.battery().capacity().as_milli_amp_hours(),
-                average_power_mw: profile.average_power().as_milli_watts(),
-                derived_life_hours: life.as_hours(),
-                derived_band: profile.derived_band().label().to_string(),
-                paper_band: profile.paper_band().label().to_string(),
-                matches_paper: profile.band_matches_paper(),
-            });
         }
+        println!(
+            "{:<24} {:>7.0} mAh {:>12} {:>12} {:>12} {:>12}",
+            row.class,
+            row.battery_mah,
+            fmt_power(Power::from_milli_watts(row.average_power_mw)),
+            fmt_lifetime(TimeSpan::from_hours(row.derived_life_hours)),
+            row.derived_band,
+            row.paper_band,
+        );
     }
 
     let matches = rows.iter().filter(|r| r.matches_paper).count();

@@ -1,29 +1,16 @@
 //! Experiment E5 — physical-layer security: attacker SNR versus distance for
 //! the EQS-HBC signal and the BLE signal (§I personal-bubble containment,
 //! §III-B 5–10 m RF radiation claim).
+//!
+//! The distance sweep runs through
+//! [`hidwa_bench::figs::security_leakage_grid`] on a [`SweepRunner`]; the
+//! serial-vs-parallel byte-identity contract lives in `tests/fig_grid.rs`.
 
+use hidwa_bench::figs::{security_distance_axis, security_leakage_grid, security_paper_comparison};
 use hidwa_bench::{header, write_json};
-use hidwa_eqs::body::BodyModel;
-use hidwa_eqs::channel::{EqsChannel, Termination};
+use hidwa_core::sweep::SweepRunner;
 use hidwa_eqs::rf::RfLink;
-use hidwa_eqs::security::SecurityComparison;
-use hidwa_units::{dbm_to_power, Distance, Frequency, Voltage};
-
-struct Row {
-    distance_m: f64,
-    eqs_snr_db: f64,
-    ble_snr_db: f64,
-    eqs_decodable: bool,
-    ble_decodable: bool,
-}
-
-hidwa_bench::json_struct!(Row {
-    distance_m,
-    eqs_snr_db,
-    ble_snr_db,
-    eqs_decodable,
-    ble_decodable,
-});
+use hidwa_units::dbm_to_power;
 
 fn main() {
     header(
@@ -31,43 +18,21 @@ fn main() {
         "Paper claims: EQS is contained in a personal bubble; RF radiates 5-10 m",
     );
 
-    let comparison = SecurityComparison::new(
-        EqsChannel::new(BodyModel::adult(), Termination::HighImpedance),
-        RfLink::ble_1m(),
-    );
-    let distances: Vec<Distance> = [0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0]
-        .iter()
-        .map(|&m| Distance::from_meters(m))
-        .collect();
-    let points = comparison.sweep(
-        Voltage::from_volts(1.0),
-        dbm_to_power(0.0),
-        Distance::from_meters(1.4),
-        Frequency::from_mega_hertz(4.0),
-        &distances,
+    let rows = security_leakage_grid(
+        &SweepRunner::new(),
+        &security_paper_comparison(),
+        &security_distance_axis(),
     );
 
     println!(
         "{:>10} {:>14} {:>14} {:>14} {:>14}",
         "distance", "EQS SNR", "BLE SNR", "EQS decodable", "BLE decodable"
     );
-    let mut rows = Vec::new();
-    for p in &points {
+    for row in &rows {
         println!(
             "{:>8.2} m {:>11.1} dB {:>11.1} dB {:>14} {:>14}",
-            p.distance.as_meters(),
-            p.eqs_snr_db,
-            p.rf_snr_db,
-            p.eqs_decodable,
-            p.rf_decodable
+            row.distance_m, row.eqs_snr_db, row.ble_snr_db, row.eqs_decodable, row.ble_decodable
         );
-        rows.push(Row {
-            distance_m: p.distance.as_meters(),
-            eqs_snr_db: p.eqs_snr_db,
-            ble_snr_db: p.rf_snr_db,
-            eqs_decodable: p.eqs_decodable,
-            ble_decodable: p.rf_decodable,
-        });
     }
 
     let rf = RfLink::ble_1m();

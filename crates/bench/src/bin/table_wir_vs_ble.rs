@@ -1,26 +1,18 @@
 //! Experiment E4 — the paper's headline Wi-R vs BLE comparison (§I, §IV):
 //! data rate, power at matched application rates, and energy per bit,
 //! together with the cited EQS-HBC literature operating points.
+//!
+//! The matched-rate power table runs through
+//! [`hidwa_bench::figs::wir_vs_ble_grid`] on a [`SweepRunner`]; the
+//! serial-vs-parallel byte-identity contract lives in `tests/fig_grid.rs`.
 
+use hidwa_bench::figs::{wir_vs_ble_grid, wir_vs_ble_rate_axis};
 use hidwa_bench::{fmt_power, header, write_json};
+use hidwa_core::sweep::SweepRunner;
 use hidwa_phy::ble::BleTransceiver;
 use hidwa_phy::wir::WiRTransceiver;
 use hidwa_phy::Transceiver;
-use hidwa_units::DataRate;
-
-struct RateRow {
-    app_rate_kbps: f64,
-    wir_power_uw: f64,
-    ble_power_uw: f64,
-    power_ratio: f64,
-}
-
-hidwa_bench::json_struct!(RateRow {
-    app_rate_kbps,
-    wir_power_uw,
-    ble_power_uw,
-    power_ratio,
-});
+use hidwa_units::{DataRate, Power};
 
 fn main() {
     header(
@@ -66,25 +58,15 @@ fn main() {
         "{:>14} {:>14} {:>14} {:>10}",
         "app rate", "Wi-R", "BLE 1M", "ratio"
     );
-    let mut rows = Vec::new();
-    for kbps in [1.0, 10.0, 100.0, 250.0, 500.0] {
-        let rate = DataRate::from_kbps(kbps);
-        let p_wir = wir.average_power(rate);
-        let p_ble = ble.average_power(rate);
-        let ratio = p_ble.as_watts() / p_wir.as_watts();
+    let rows = wir_vs_ble_grid(&SweepRunner::new(), &wir_vs_ble_rate_axis());
+    for row in &rows {
         println!(
             "{:>11.0} kbps {:>14} {:>14} {:>9.0}x",
-            kbps,
-            fmt_power(p_wir),
-            fmt_power(p_ble),
-            ratio
+            row.app_rate_kbps,
+            fmt_power(Power::from_micro_watts(row.wir_power_uw)),
+            fmt_power(Power::from_micro_watts(row.ble_power_uw)),
+            row.power_ratio
         );
-        rows.push(RateRow {
-            app_rate_kbps: kbps,
-            wir_power_uw: p_wir.as_micro_watts(),
-            ble_power_uw: p_ble.as_micro_watts(),
-            power_ratio: ratio,
-        });
     }
 
     println!("\nEQS-HBC literature operating points reproduced by the model:");

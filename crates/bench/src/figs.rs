@@ -3,15 +3,26 @@
 //! implementation (the ROADMAP "SweepRunner adoption" contract, following
 //! [`crate::harvest`]).
 //!
-//! First port: the Fig. 3 battery-projection curve and device markers.  Each
-//! grid cell is a pure function of its inputs (the projector is stateless),
-//! so fanning the rate axis across threads produces byte-identical rows to
-//! the serial loop — asserted in `tests/fig_grid.rs`.
+//! Every grid cell is a pure function of its inputs (the models are
+//! stateless), so fanning a grid across threads produces byte-identical rows
+//! to the serial loop — asserted per grid in `tests/fig_grid.rs`.  Ported
+//! grids: the Fig. 3 battery-projection curve and device markers, the Fig. 1
+//! power-breakdown matrix, the Fig. 2 device-class battery table, the
+//! security-leakage distance sweep and the Wi-R-vs-BLE rate table.
 
 use crate::json_struct;
+use hidwa_core::arch::{NodeArchitecture, WorkloadSpec};
+use hidwa_core::devices::{self, DeviceEra, DeviceProfile};
 use hidwa_core::projection::Fig3Projector;
 use hidwa_core::sweep::SweepRunner;
-use hidwa_units::DataRate;
+use hidwa_eqs::body::BodyModel;
+use hidwa_eqs::channel::{EqsChannel, Termination};
+use hidwa_eqs::rf::RfLink;
+use hidwa_eqs::security::SecurityComparison;
+use hidwa_phy::ble::BleTransceiver;
+use hidwa_phy::wir::WiRTransceiver;
+use hidwa_phy::Transceiver;
+use hidwa_units::{dbm_to_power, DataRate, Distance, Frequency, Voltage};
 
 /// One point of the Fig. 3 battery-life-vs-rate curve.
 pub struct Fig3CurveRow {
@@ -108,6 +119,248 @@ pub fn fig3_marker_grid(runner: &SweepRunner, projector: &Fig3Projector) -> Vec<
             projected_life_days: point.battery_life.as_days(),
             projected_band: point.band.label().to_string(),
             paper_band: marker.paper_band.label().to_string(),
+        }
+    })
+}
+
+/// One (workload × architecture) cell of the Fig. 1 power-breakdown matrix.
+pub struct Fig1PowerRow {
+    /// Workload class name.
+    pub workload: String,
+    /// Architecture name (conventional or human-inspired).
+    pub architecture: &'static str,
+    /// Sensing power, µW.
+    pub sensing_uw: f64,
+    /// Compute power, µW.
+    pub compute_uw: f64,
+    /// Communication power, µW.
+    pub communication_uw: f64,
+    /// Total node power, µW.
+    pub total_uw: f64,
+    /// Conventional-over-human-inspired total-power reduction for the
+    /// workload (repeated on both of its rows).
+    pub reduction_factor: f64,
+}
+
+json_struct!(Fig1PowerRow {
+    workload,
+    architecture,
+    sensing_uw,
+    compute_uw,
+    communication_uw,
+    total_uw,
+    reduction_factor,
+});
+
+/// Evaluates the Fig. 1 (workload × architecture) power matrix over
+/// `runner`, workload-major with the conventional node first — the same
+/// order as the serial nested loop.
+#[must_use]
+pub fn fig1_power_grid(runner: &SweepRunner) -> Vec<Fig1PowerRow> {
+    let workloads = WorkloadSpec::paper_set();
+    let combos: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..2).map(move |a| (w, a)))
+        .collect();
+    runner.map(&combos, |&(w, a)| {
+        let workload = &workloads[w];
+        let arch = if a == 0 {
+            NodeArchitecture::conventional()
+        } else {
+            NodeArchitecture::human_inspired()
+        };
+        let breakdown = arch.power_breakdown(workload);
+        Fig1PowerRow {
+            workload: workload.name().to_string(),
+            architecture: arch.name(),
+            sensing_uw: breakdown.sensing.as_micro_watts(),
+            compute_uw: breakdown.compute.as_micro_watts(),
+            communication_uw: breakdown.communication.as_micro_watts(),
+            total_uw: breakdown.total().as_micro_watts(),
+            reduction_factor: NodeArchitecture::reduction_factor(workload),
+        }
+    })
+}
+
+/// One device class of the Fig. 2 battery-life table.
+pub struct Fig2BatteryRow {
+    /// Device class name.
+    pub class: String,
+    /// Era label (see [`fig2_era_name`]).
+    pub era: &'static str,
+    /// Representative battery capacity, mAh.
+    pub battery_mah: f64,
+    /// Average platform power, mW.
+    pub average_power_mw: f64,
+    /// Battery life derived from capacity and power, hours.
+    pub derived_life_hours: f64,
+    /// Operating band the derived life lands in.
+    pub derived_band: String,
+    /// Band the paper annotates for the class.
+    pub paper_band: String,
+    /// `true` when derived and paper bands agree.
+    pub matches_paper: bool,
+}
+
+json_struct!(Fig2BatteryRow {
+    class,
+    era,
+    battery_mah,
+    average_power_mw,
+    derived_life_hours,
+    derived_band,
+    paper_band,
+    matches_paper,
+});
+
+/// Human-readable label for a device era, shared by the Fig. 2 binary and
+/// grid rows.
+#[must_use]
+pub fn fig2_era_name(era: DeviceEra) -> &'static str {
+    match era {
+        DeviceEra::Pre2024 => "pre-2024 wearables",
+        DeviceEra::WearableAi2024 => "2024 wearable-AI boom",
+    }
+}
+
+/// Derives the Fig. 2 battery-life table over `runner`, era-major in catalog
+/// order — the same order as the serial per-era loop.
+#[must_use]
+pub fn fig2_battery_grid(runner: &SweepRunner) -> Vec<Fig2BatteryRow> {
+    let profiles: Vec<DeviceProfile> = [DeviceEra::Pre2024, DeviceEra::WearableAi2024]
+        .into_iter()
+        .flat_map(|era| {
+            devices::catalog()
+                .into_iter()
+                .filter(move |profile| profile.era() == era)
+        })
+        .collect();
+    runner.map(&profiles, |profile| {
+        let life = profile.derived_battery_life();
+        Fig2BatteryRow {
+            class: profile.class().name().to_string(),
+            era: fig2_era_name(profile.era()),
+            battery_mah: profile.battery().capacity().as_milli_amp_hours(),
+            average_power_mw: profile.average_power().as_milli_watts(),
+            derived_life_hours: life.as_hours(),
+            derived_band: profile.derived_band().label().to_string(),
+            paper_band: profile.paper_band().label().to_string(),
+            matches_paper: profile.band_matches_paper(),
+        }
+    })
+}
+
+/// One attacker distance of the security-leakage sweep.
+pub struct SecurityLeakageRow {
+    /// Attacker distance from the body, metres.
+    pub distance_m: f64,
+    /// Attacker SNR on the leaked EQS-HBC field, dB.
+    pub eqs_snr_db: f64,
+    /// Attacker SNR on the radiated BLE signal, dB.
+    pub ble_snr_db: f64,
+    /// Whether the EQS signal clears the decode threshold.
+    pub eqs_decodable: bool,
+    /// Whether the BLE signal clears the decode threshold.
+    pub ble_decodable: bool,
+}
+
+json_struct!(SecurityLeakageRow {
+    distance_m,
+    eqs_snr_db,
+    ble_snr_db,
+    eqs_decodable,
+    ble_decodable,
+});
+
+/// The paper's security comparison: an adult-body high-impedance EQS channel
+/// against a 1M-PHY BLE link — one constructor shared by the binary and the
+/// equivalence test.
+#[must_use]
+pub fn security_paper_comparison() -> SecurityComparison {
+    SecurityComparison::new(
+        EqsChannel::new(BodyModel::adult(), Termination::HighImpedance),
+        RfLink::ble_1m(),
+    )
+}
+
+/// The attacker-distance axis of the security sweep (§III-B's 5–10 m RF
+/// radiation claim brackets the tail).
+#[must_use]
+pub fn security_distance_axis() -> Vec<Distance> {
+    [0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0]
+        .iter()
+        .map(|&m| Distance::from_meters(m))
+        .collect()
+}
+
+/// Evaluates the security-leakage sweep over `runner`, one cell per attacker
+/// distance, in distance order, at the paper's operating point (1 V EQS
+/// swing, 0 dBm BLE, 1.4 m on-body channel, 4 MHz bandwidth).  Each cell
+/// re-evaluates [`SecurityComparison::sweep`] on its single distance, which
+/// computes exactly the serial sweep's per-distance arithmetic.
+#[must_use]
+pub fn security_leakage_grid(
+    runner: &SweepRunner,
+    comparison: &SecurityComparison,
+    distances: &[Distance],
+) -> Vec<SecurityLeakageRow> {
+    runner.map(distances, |&distance| {
+        let point = &comparison.sweep(
+            Voltage::from_volts(1.0),
+            dbm_to_power(0.0),
+            Distance::from_meters(1.4),
+            Frequency::from_mega_hertz(4.0),
+            core::slice::from_ref(&distance),
+        )[0];
+        SecurityLeakageRow {
+            distance_m: point.distance.as_meters(),
+            eqs_snr_db: point.eqs_snr_db,
+            ble_snr_db: point.rf_snr_db,
+            eqs_decodable: point.eqs_decodable,
+            ble_decodable: point.rf_decodable,
+        }
+    })
+}
+
+/// One matched application rate of the Wi-R-vs-BLE power table.
+pub struct WirVsBleRateRow {
+    /// Application data rate, kbps.
+    pub app_rate_kbps: f64,
+    /// Wi-R average transmit-side power at the rate, µW.
+    pub wir_power_uw: f64,
+    /// BLE (1M PHY) average transmit-side power at the rate, µW.
+    pub ble_power_uw: f64,
+    /// BLE-over-Wi-R power ratio.
+    pub power_ratio: f64,
+}
+
+json_struct!(WirVsBleRateRow {
+    app_rate_kbps,
+    wir_power_uw,
+    ble_power_uw,
+    power_ratio,
+});
+
+/// The matched-application-rate axis of the Wi-R-vs-BLE table, kbps.
+#[must_use]
+pub fn wir_vs_ble_rate_axis() -> Vec<f64> {
+    vec![1.0, 10.0, 100.0, 250.0, 500.0]
+}
+
+/// Evaluates the Wi-R-vs-BLE matched-rate power table over `runner`, one
+/// cell per application rate, in rate order.
+#[must_use]
+pub fn wir_vs_ble_grid(runner: &SweepRunner, rates_kbps: &[f64]) -> Vec<WirVsBleRateRow> {
+    runner.map(rates_kbps, |&kbps| {
+        let wir = WiRTransceiver::ixana_class();
+        let ble = BleTransceiver::phy_1m();
+        let rate = DataRate::from_kbps(kbps);
+        let p_wir = wir.average_power(rate);
+        let p_ble = ble.average_power(rate);
+        WirVsBleRateRow {
+            app_rate_kbps: kbps,
+            wir_power_uw: p_wir.as_micro_watts(),
+            ble_power_uw: p_ble.as_micro_watts(),
+            power_ratio: p_ble.as_watts() / p_wir.as_watts(),
         }
     })
 }

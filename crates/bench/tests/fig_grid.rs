@@ -1,9 +1,15 @@
-//! Serial-vs-parallel equivalence for the Fig. 3 projection grids ported
-//! onto the `SweepRunner` (the ROADMAP "SweepRunner adoption" contract,
-//! mirroring `tests/harvest_grid.rs`).
+//! Serial-vs-parallel equivalence for the figure grids ported onto the
+//! `SweepRunner` (the ROADMAP "SweepRunner adoption" contract, mirroring
+//! `tests/harvest_grid.rs`): the Fig. 3 projection grids plus the Fig. 1,
+//! Fig. 2, security-leakage and Wi-R-vs-BLE bins.
 
-use hidwa_bench::figs::{fig3_curve_grid, fig3_marker_grid, fig3_rate_axis};
+use hidwa_bench::figs::{
+    fig1_power_grid, fig2_battery_grid, fig2_era_name, fig3_curve_grid, fig3_marker_grid,
+    fig3_rate_axis, security_distance_axis, security_leakage_grid, security_paper_comparison,
+    wir_vs_ble_grid, wir_vs_ble_rate_axis,
+};
 use hidwa_bench::json;
+use hidwa_core::devices::DeviceEra;
 use hidwa_core::projection::Fig3Projector;
 use hidwa_core::sweep::SweepRunner;
 use hidwa_units::DataRate;
@@ -45,5 +51,86 @@ fn fig3_markers_are_byte_identical_serial_vs_parallel() {
         let direct = projector.project_rate(DataRate::from_bps(row.rate_bps));
         assert_eq!(direct.battery_life.as_days(), row.projected_life_days);
         assert_eq!(direct.band.label(), row.projected_band);
+    }
+}
+
+#[test]
+fn fig1_power_matrix_is_byte_identical_serial_vs_parallel() {
+    let serial = fig1_power_grid(&SweepRunner::serial());
+    let parallel = fig1_power_grid(&SweepRunner::with_threads(4));
+    assert_eq!(
+        json::to_string_pretty(&serial),
+        json::to_string_pretty(&parallel)
+    );
+    // Workload-major pairs: conventional first, then human-inspired, with a
+    // shared reduction factor that the totals actually realise.
+    assert_eq!(serial.len() % 2, 0);
+    assert!(!serial.is_empty());
+    for pair in serial.chunks(2) {
+        assert_eq!(pair[0].workload, pair[1].workload);
+        assert_ne!(pair[0].architecture, pair[1].architecture);
+        assert_eq!(pair[0].reduction_factor, pair[1].reduction_factor);
+        let realized = pair[0].total_uw / pair[1].total_uw;
+        assert!(
+            (realized - pair[0].reduction_factor).abs() / pair[0].reduction_factor < 1e-9,
+            "{}: realized {realized} vs recorded {}",
+            pair[0].workload,
+            pair[0].reduction_factor
+        );
+    }
+}
+
+#[test]
+fn fig2_battery_table_is_byte_identical_serial_vs_parallel() {
+    let serial = fig2_battery_grid(&SweepRunner::serial());
+    let parallel = fig2_battery_grid(&SweepRunner::with_threads(3));
+    assert_eq!(
+        json::to_string_pretty(&serial),
+        json::to_string_pretty(&parallel)
+    );
+    // Era-major: every pre-2024 class precedes every wearable-AI class.
+    let boundary = serial
+        .iter()
+        .position(|row| row.era == fig2_era_name(DeviceEra::WearableAi2024))
+        .expect("both eras present");
+    assert!(boundary > 0);
+    assert!(serial[..boundary]
+        .iter()
+        .all(|row| row.era == fig2_era_name(DeviceEra::Pre2024)));
+    assert!(serial[boundary..]
+        .iter()
+        .all(|row| row.era == fig2_era_name(DeviceEra::WearableAi2024)));
+}
+
+#[test]
+fn security_sweep_is_byte_identical_serial_vs_parallel() {
+    let comparison = security_paper_comparison();
+    let distances = security_distance_axis();
+    let serial = security_leakage_grid(&SweepRunner::serial(), &comparison, &distances);
+    let parallel = security_leakage_grid(&SweepRunner::with_threads(4), &comparison, &distances);
+    assert_eq!(serial.len(), distances.len());
+    assert_eq!(
+        json::to_string_pretty(&serial),
+        json::to_string_pretty(&parallel)
+    );
+    // The paper's containment claim: the EQS signal dies within the personal
+    // bubble while BLE stays decodable metres away.
+    assert!(!serial.last().unwrap().eqs_decodable);
+    assert!(serial.last().unwrap().ble_decodable);
+}
+
+#[test]
+fn wir_vs_ble_table_is_byte_identical_serial_vs_parallel() {
+    let rates = wir_vs_ble_rate_axis();
+    let serial = wir_vs_ble_grid(&SweepRunner::serial(), &rates);
+    let parallel = wir_vs_ble_grid(&SweepRunner::with_threads(4), &rates);
+    assert_eq!(serial.len(), rates.len());
+    assert_eq!(
+        json::to_string_pretty(&serial),
+        json::to_string_pretty(&parallel)
+    );
+    // The paper's headline power claim holds at every matched rate.
+    for row in &serial {
+        assert!(row.power_ratio > 10.0, "rate {}", row.app_rate_kbps);
     }
 }

@@ -65,16 +65,26 @@ pub struct Arbiter {
     policy: MacPolicy,
     node_count: usize,
     next: usize,
+    /// `node_count` low bits set (saturated at 64) — hoisted out of
+    /// [`grant_masked`](Self::grant_masked) so the per-event path does no
+    /// mask rebuild, only an `and`.
+    valid_mask: u64,
 }
 
 impl Arbiter {
     /// Creates an arbiter over `node_count` leaves.
     #[must_use]
     pub fn new(policy: MacPolicy, node_count: usize) -> Self {
+        let valid_mask = match node_count {
+            0 => 0,
+            1..=63 => (1u64 << node_count) - 1,
+            _ => u64::MAX,
+        };
         Self {
             policy,
             node_count,
             next: 0,
+            valid_mask,
         }
     }
 
@@ -110,16 +120,12 @@ impl Arbiter {
     /// maintains the mask incrementally, so per-event arbitration no longer
     /// touches every node.  Returns `None` for networks larger than 64 nodes
     /// (callers fall back to the slice form).
+    #[inline]
     pub fn grant_masked(&mut self, ready: u64) -> Option<usize> {
         if self.node_count == 0 || self.node_count > 64 {
             return None;
         }
-        let mask = if self.node_count == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.node_count) - 1
-        };
-        let ready = ready & mask;
+        let ready = ready & self.valid_mask;
         if ready == 0 {
             return None;
         }
@@ -130,7 +136,74 @@ impl Arbiter {
         } else {
             ready.trailing_zeros() as usize
         };
-        self.next = (candidate + 1) % self.node_count;
+        // candidate < node_count, so the wrap needs a compare, not a `%`.
+        let advanced = candidate + 1;
+        self.next = if advanced == self.node_count {
+            0
+        } else {
+            advanced
+        };
+        Some(candidate)
+    }
+
+    /// Multi-word extension of [`Arbiter::grant_masked`] for networks larger
+    /// than 64 nodes: bit `i % 64` of `ready[i / 64]` set means node `i` has
+    /// queued data, and `ready` must hold exactly `⌈node_count / 64⌉` words.
+    ///
+    /// Grants the same node and advances the cursor identically to the slice
+    /// form (`words_grant_matches_slice_grant` below), but the scan is per
+    /// 64-node word instead of per node, and the caller maintains the words
+    /// incrementally — this is what removes the O(n) readiness-vector rebuild
+    /// the simulator previously paid per arbitration beyond the mask width.
+    #[inline]
+    pub fn grant_words(&mut self, ready: &[u64]) -> Option<usize> {
+        let words = self.node_count.div_ceil(64);
+        if words == 0 || ready.len() != words {
+            return None;
+        }
+        // Bits at or above `node_count` in the last word are ignored, so a
+        // stale caller bit cannot grant a nonexistent node.
+        let tail_bits = self.node_count - (words - 1) * 64;
+        let tail_mask = if tail_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << tail_bits) - 1
+        };
+        let valid = |index: usize| {
+            if index == words - 1 {
+                ready[index] & tail_mask
+            } else {
+                ready[index]
+            }
+        };
+        let start_word = self.next / 64;
+        let start_bit = (self.next % 64) as u32;
+        // First the cursor's own word at or after the cursor bit, then whole
+        // words wrapping around, finally the cursor word below the cursor.
+        let at_or_after = valid(start_word) & (u64::MAX << start_bit);
+        let candidate = if at_or_after != 0 {
+            start_word * 64 + at_or_after.trailing_zeros() as usize
+        } else {
+            let mut found = None;
+            for offset in 1..=words {
+                let index = (start_word + offset) % words;
+                let mut word = valid(index);
+                if index == start_word {
+                    word &= (1u64 << start_bit) - 1;
+                }
+                if word != 0 {
+                    found = Some(index * 64 + word.trailing_zeros() as usize);
+                    break;
+                }
+            }
+            found?
+        };
+        let advanced = candidate + 1;
+        self.next = if advanced == self.node_count {
+            0
+        } else {
+            advanced
+        };
         Some(candidate)
     }
 }
@@ -204,6 +277,47 @@ mod tests {
         // Out-of-range node counts fall back to None.
         assert_eq!(Arbiter::new(MacPolicy::Tdma, 65).grant_masked(1), None);
         assert_eq!(Arbiter::new(MacPolicy::Tdma, 0).grant_masked(1), None);
+    }
+
+    #[test]
+    fn words_grant_matches_slice_grant() {
+        // Word counts straddling every boundary the scan cares about: one
+        // word, exactly two, partial tails, and a multi-word middle.
+        for node_count in [1usize, 5, 63, 64, 65, 70, 127, 128, 129, 200] {
+            let words = node_count.div_ceil(64);
+            let mut slice_arb = Arbiter::new(MacPolicy::Polling, node_count);
+            let mut words_arb = Arbiter::new(MacPolicy::Polling, node_count);
+            let mut state = 0x243F6A8885A308D3u64;
+            for round in 0..300 {
+                let mut ready = vec![0u64; words];
+                for word in ready.iter_mut() {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    *word = match round % 5 {
+                        0 => 0,
+                        1 => u64::MAX,
+                        _ => state,
+                    };
+                }
+                let has_data: Vec<bool> = (0..node_count)
+                    .map(|i| ready[i / 64] >> (i % 64) & 1 == 1)
+                    .collect();
+                assert_eq!(
+                    slice_arb.grant(&has_data),
+                    words_arb.grant_words(&ready),
+                    "count {node_count} round {round}"
+                );
+            }
+            // Stale bits above node_count must never be granted.
+            let mut stale = vec![0u64; words];
+            let tail_bits = node_count - (words - 1) * 64;
+            if tail_bits < 64 {
+                stale[words - 1] = u64::MAX << tail_bits;
+                assert_eq!(words_arb.grant_words(&stale), None, "count {node_count}");
+            }
+        }
+        // A word slice of the wrong length (or an empty arbiter) is rejected.
+        assert_eq!(Arbiter::new(MacPolicy::Tdma, 70).grant_words(&[1]), None);
+        assert_eq!(Arbiter::new(MacPolicy::Tdma, 0).grant_words(&[]), None);
     }
 
     #[test]

@@ -182,6 +182,45 @@ impl ExactSum {
         self.add_limb(limb + 1, (wide >> 64) as u64);
     }
 
+    /// Adds `value` exactly `count` times — bit-identical to calling
+    /// [`add`](Self::add) `count` times, in O(1) per 1024 repetitions
+    /// instead of O(count).
+    ///
+    /// The 53-bit mantissa is multiplied by chunks of at most 1024
+    /// repetitions, keeping every product below `2^63` so the same two-limb
+    /// shifted addition `add` uses stays exact; integer multiplication *is*
+    /// repeated integer addition, so the accumulator lands on the identical
+    /// limbs.  This is the batched-drain path of
+    /// [`LatencySketch::record_run`]: the streaming engine run-length
+    /// compresses equal consecutive latencies and flushes each run with one
+    /// call.
+    pub fn add_scaled(&mut self, value: f64, count: u64) {
+        if !value.is_finite() || value <= 0.0 || count == 0 {
+            return;
+        }
+        let bits = value.to_bits();
+        let exponent = ((bits >> 52) & 0x7FF) as u32;
+        let fraction = bits & ((1u64 << 52) - 1);
+        let (mantissa, bit_position) = if exponent == 0 {
+            (fraction, 0)
+        } else {
+            (fraction | (1 << 52), exponent - 1)
+        };
+        let limb = (bit_position / 64) as usize;
+        let shift = bit_position % 64;
+        let mut remaining = count;
+        while remaining > 0 {
+            // mantissa < 2^53 and chunk ≤ 2^10, so the product < 2^63 and the
+            // shifted value spans at most two limbs — the invariant `add`'s
+            // fast path is built on.
+            let chunk = remaining.min(1024);
+            remaining -= chunk;
+            let wide = u128::from(mantissa * chunk) << shift;
+            self.add_limb(limb, wide as u64);
+            self.add_limb(limb + 1, (wide >> 64) as u64);
+        }
+    }
+
     /// Adds another accumulator exactly (limb-wise integer addition) —
     /// associative and commutative by construction.
     pub fn add_sum(&mut self, other: &ExactSum) {
@@ -437,6 +476,47 @@ impl LatencySketch {
                 self.buckets.resize(relative + 1, 0);
             }
             self.buckets[relative] += 1;
+        }
+    }
+
+    /// Records `count` identical latency samples in O(1) — bit-identical to
+    /// calling [`record`](Self::record) `count` times.
+    ///
+    /// Every per-sample update is exact under batching: the count and the
+    /// target bucket gain integer `count`, the [`ExactSum`] takes the scaled
+    /// addition ([`ExactSum::add_scaled`], exactly `count` repeated adds),
+    /// and min/max are idempotent over equal values.  This is the flush
+    /// half of the streaming engine's run-length latency batching: steady
+    /// periodic traffic produces long runs of the exact same latency double,
+    /// and each run costs one call instead of one per frame.
+    #[inline]
+    pub fn record_run(&mut self, latency: TimeSpan, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let mut seconds = latency.as_seconds();
+        if !seconds.is_finite() || seconds < 0.0 {
+            seconds = 0.0;
+        }
+        self.count += count;
+        self.sum_seconds.add_scaled(seconds, count);
+        self.min_seconds = self.min_seconds.min(seconds);
+        self.max_seconds = self.max_seconds.max(seconds);
+        let index = key_of(seconds) - base_key();
+        if self.buckets.is_empty() {
+            self.first_index = index;
+            self.buckets.push(count);
+        } else if index < self.first_index {
+            let shift = (self.first_index - index) as usize;
+            self.buckets.splice(0..0, std::iter::repeat_n(0, shift));
+            self.first_index = index;
+            self.buckets[0] += count;
+        } else {
+            let relative = (index - self.first_index) as usize;
+            if relative >= self.buckets.len() {
+                self.buckets.resize(relative + 1, 0);
+            }
+            self.buckets[relative] += count;
         }
     }
 
@@ -817,6 +897,67 @@ mod tests {
             tiny.add(f64::from_bits(1));
         }
         assert_eq!(tiny.to_f64().to_bits(), f64::from_bits(3).to_bits());
+    }
+
+    #[test]
+    fn record_run_matches_repeated_record_bit_for_bit() {
+        // Runs spanning the 1024-repetition chunk boundary, subnormals,
+        // degenerate inputs and multi-magnitude mixes: the batched path must
+        // land on the identical sketch state (PartialEq covers count, exact
+        // sum limbs, extrema, window offset and every bucket).
+        let runs: &[(f64, u64)] = &[
+            (1.3e-3, 1),
+            (1.3e-3, 1023),
+            (2.75e-4, 1024),
+            (9.9e-1, 1025),
+            (1.3e-3, 4096),
+            (f64::from_bits(3), 2500), // subnormal
+            (-1.0, 7),                 // clamped to zero, like record
+            (f64::NAN, 3),
+            (5.0e2, 2047),
+        ];
+        let mut batched = LatencySketch::new();
+        let mut looped = LatencySketch::new();
+        for &(value, count) in runs {
+            batched.record_run(TimeSpan::from_seconds(value), count);
+            for _ in 0..count {
+                looped.record(TimeSpan::from_seconds(value));
+            }
+        }
+        assert_eq!(batched, looped);
+        assert_eq!(
+            batched.mean().as_seconds().to_bits(),
+            looped.mean().as_seconds().to_bits()
+        );
+        // Zero-count runs are no-ops.
+        let before = batched.clone();
+        batched.record_run(TimeSpan::from_seconds(1.0), 0);
+        assert_eq!(batched, before);
+    }
+
+    #[test]
+    fn add_scaled_matches_repeated_add() {
+        for &(value, count) in &[
+            (0.1, 1u64),
+            (0.1, 1024),
+            (1.0 + f64::EPSILON, 100_000),
+            (f64::from_bits(1), 3000),
+            (6.626e-34, 2049),
+        ] {
+            let mut scaled = ExactSum::new();
+            scaled.add_scaled(value, count);
+            let mut repeated = ExactSum::new();
+            for _ in 0..count {
+                repeated.add(value);
+            }
+            assert_eq!(scaled, repeated, "value {value} count {count}");
+        }
+        // Degenerate values and zero counts contribute nothing.
+        let mut hygiene = ExactSum::new();
+        hygiene.add_scaled(f64::NAN, 10);
+        hygiene.add_scaled(-2.0, 10);
+        hygiene.add_scaled(1.0, 0);
+        assert!(hygiene.is_zero());
     }
 
     #[test]

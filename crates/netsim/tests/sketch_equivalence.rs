@@ -122,3 +122,57 @@ proptest! {
         prop_assert!(reference.latency_sketches().iter().all(|s| s.count() == 0));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The struct-of-arrays engine against the exact reference across node
+    /// counts on **both sides of the 64-node mask boundary** (single-word
+    /// ready mask vs the word-array path) with all three traffic shapes
+    /// mixed inside one body: every exact statistic bit-equal, the p95
+    /// within the sketch bound.
+    #[test]
+    fn engines_agree_across_node_counts_and_mixes(
+        node_count in prop::sample::select(vec![2usize, 9, 70]),
+        period_ms in 20.0..120.0f64,
+        rate_kbps in 16.0..128.0f64,
+        frame_bytes in 64usize..1024,
+        seed in 0u64..500,
+    ) {
+        let traffic_for = |i: usize| match i % 3 {
+            0 => TrafficPattern::periodic(TimeSpan::from_millis(period_ms), frame_bytes),
+            1 => TrafficPattern::bursty(TimeSpan::from_millis(period_ms * 1.5), frame_bytes),
+            _ => TrafficPattern::streaming(DataRate::from_kbps(rate_kbps), frame_bytes),
+        };
+        let build = |reference: bool| {
+            let mut sim = Simulation::new(MacPolicy::Polling)
+                .with_seed(seed)
+                .with_reference_engine(reference);
+            for i in 0..node_count {
+                sim.add_node(
+                    NodeConfig::leaf(format!("n{i}"), BodySite::Wrist, wir_link())
+                        .with_traffic(traffic_for(i)),
+                );
+            }
+            sim.run(TimeSpan::from_seconds(4.0))
+        };
+        let reference = build(true);
+        let streaming = build(false);
+        prop_assert_eq!(reference.events_processed(), streaming.events_processed());
+        for (r, s) in reference.node_stats().iter().zip(streaming.node_stats()) {
+            prop_assert_eq!(r.generated_frames, s.generated_frames);
+            prop_assert_eq!(r.delivered_frames, s.delivered_frames);
+            prop_assert_eq!(r.delivered_bytes, s.delivered_bytes);
+            prop_assert_eq!(r.backlog_frames, s.backlog_frames);
+            prop_assert_eq!(r.radio_energy, s.radio_energy);
+            prop_assert_eq!(r.mean_latency, s.mean_latency);
+            prop_assert_eq!(r.max_latency, s.max_latency);
+            prop_assert!(s.p95_latency >= r.p95_latency);
+            prop_assert!(
+                s.p95_latency.as_seconds()
+                    <= r.p95_latency.as_seconds() * (1.0 + RELATIVE_ERROR_BOUND) + 1e-15,
+                "p95 {} vs exact {}", s.p95_latency, r.p95_latency
+            );
+        }
+    }
+}
