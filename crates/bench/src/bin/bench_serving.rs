@@ -1,0 +1,199 @@
+//! Perf-trajectory runner for the plan-serving front-end.
+//!
+//! Boots an in-process [`PlanServer`] on an ephemeral loopback port, replays
+//! a deterministic mixed query log (every zoo model over Wi-R, BLE and a
+//! site-resolved link, all three objectives, plus Fig. 3 projections) from
+//! concurrent TCP clients, and reports end-to-end round-trip performance:
+//!
+//! * `rps` — aggregate served requests per second;
+//! * `p50_us` / `p99_us` — round-trip latency quantiles, recorded through
+//!   the same [`LatencySketch`] the simulator uses;
+//! * `hit_rate` — plan-cache hit rate for the scenario.
+//!
+//! Scenarios cover cache on/off and single-query versus batched frames, so
+//! the row set captures both memoization and framing amortisation.  Writes
+//! `BENCH_serving.json` (to `$HIDWA_BENCH_OUT` or the current directory) so
+//! successive PRs can track the trajectory.
+//!
+//! Knobs: `HIDWA_BENCH_CLIENTS` (default 4), `HIDWA_BENCH_REQUESTS` round
+//! trips per client (default 1500), `HIDWA_SWEEP_THREADS` for the server's
+//! runner width.
+
+use hidwa_bench::json;
+use hidwa_core::partition::Objective;
+use hidwa_core::serve::codec::{
+    ModelId, PlanRequest, ProjectionRequest, Request, WireContext, WireLink,
+};
+use hidwa_core::serve::{PlanClient, PlanServer, PlanService};
+use hidwa_eqs::body::BodySite;
+use hidwa_netsim::sketch::LatencySketch;
+use hidwa_phy::RadioTechnology;
+use hidwa_units::TimeSpan;
+use std::time::Instant;
+
+struct ScenarioResult {
+    scenario: String,
+    clients: usize,
+    batch: usize,
+    requests: u64,
+    elapsed_s: f64,
+    rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    hit_rate: f64,
+}
+
+hidwa_bench::json_struct!(ScenarioResult {
+    scenario,
+    clients,
+    batch,
+    requests,
+    elapsed_s,
+    rps,
+    p50_us,
+    p99_us,
+    hit_rate,
+});
+
+/// The replayed log: 5 models × 3 links × 3 objectives plus projections —
+/// 50 distinct queries, so the cached scenarios converge to a high hit rate
+/// while still exercising every evaluation path (including infeasible
+/// video-over-BLE answers).
+fn query_log() -> Vec<Request> {
+    let links = [
+        WireLink::WiR,
+        WireLink::Ble,
+        WireLink::Site(RadioTechnology::WiR, BodySite::Wrist),
+    ];
+    let objectives = [
+        Objective::LeafEnergy,
+        Objective::Latency,
+        Objective::EnergyDelayProduct,
+    ];
+    let mut log = Vec::new();
+    for model in ModelId::ALL {
+        for (j, link) in links.into_iter().enumerate() {
+            log.push(Request::Plan(PlanRequest {
+                model,
+                context: WireContext::of(link),
+                objective: objectives[j],
+            }));
+        }
+        log.push(Request::Projection(ProjectionRequest {
+            rate_bps: 1000.0 * (model.index() + 1) as f64,
+        }));
+    }
+    log
+}
+
+/// One scenario: `clients` threads each issue `rounds` frames of `batch`
+/// queries against a fresh server; returns the merged round-trip sketch and
+/// the server's final stats.
+fn run_scenario(
+    cache: bool,
+    clients: usize,
+    rounds: usize,
+    batch: usize,
+) -> (LatencySketch, hidwa_core::serve::ServeStats, f64, u64) {
+    let server = PlanServer::bind(PlanService::new().with_cache(cache)).expect("bind loopback");
+    let addr = server.addr();
+    let log = query_log();
+
+    let start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|worker| {
+            let log = log.clone();
+            std::thread::spawn(move || {
+                let mut client = PlanClient::connect(addr).expect("connect");
+                let mut sketch = LatencySketch::new();
+                let mut served = 0u64;
+                let mut cursor = worker; // stagger starting offsets
+                for _ in 0..rounds {
+                    let frame: Vec<Request> =
+                        (0..batch).map(|i| log[(cursor + i) % log.len()]).collect();
+                    cursor = (cursor + batch) % log.len();
+                    let sent = Instant::now();
+                    let answers = client.query(&frame).expect("served answers");
+                    sketch.record(TimeSpan::from_seconds(sent.elapsed().as_secs_f64()));
+                    served += answers.len() as u64;
+                }
+                (sketch, served)
+            })
+        })
+        .collect();
+
+    let mut sketch = LatencySketch::new();
+    let mut served = 0u64;
+    for worker in workers {
+        let (worker_sketch, worker_served) = worker.join().expect("client thread");
+        sketch.merge(&worker_sketch);
+        served += worker_served;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = server.service().stats();
+    (sketch, stats, elapsed, served)
+}
+
+fn main() {
+    let clients = hidwa_bench::env_usize("HIDWA_BENCH_CLIENTS", 4);
+    let rounds = hidwa_bench::env_usize("HIDWA_BENCH_REQUESTS", 1500);
+
+    hidwa_bench::header(
+        "bench_serving",
+        "end-to-end plan-server round trips: rps, latency quantiles, cache hit rate",
+    );
+
+    let scenarios: [(&str, bool, usize); 4] = [
+        ("single_cached", true, 1),
+        ("single_uncached", false, 1),
+        ("batch16_cached", true, 16),
+        ("batch16_uncached", false, 16),
+    ];
+
+    println!(
+        "{:<18} {:>7} {:>5} {:>9} {:>10} {:>10} {:>10} {:>9}",
+        "scenario", "clients", "batch", "requests", "rps", "p50", "p99", "hit rate"
+    );
+    let mut results = Vec::new();
+    for (name, cache, batch) in scenarios {
+        // Batched scenarios answer `batch` queries per frame: scale the
+        // frame count down so every scenario serves comparable query totals.
+        let frames = (rounds / batch).max(1);
+        let (sketch, stats, elapsed_s, served) = run_scenario(cache, clients, frames, batch);
+        assert_eq!(served, stats.requests, "served answers must match counters");
+        let rps = served as f64 / elapsed_s;
+        let p50_us = sketch.quantile(0.5).as_seconds() * 1e6;
+        let p99_us = sketch.quantile(0.99).as_seconds() * 1e6;
+        let hit_rate = stats.hit_rate();
+        println!(
+            "{name:<18} {clients:>7} {batch:>5} {served:>9} {rps:>10.0} {p50_us:>7.0} µs {p99_us:>7.0} µs {:>8.1}%",
+            hit_rate * 100.0
+        );
+        results.push(ScenarioResult {
+            scenario: name.to_string(),
+            clients,
+            batch,
+            requests: served,
+            elapsed_s,
+            rps,
+            p50_us,
+            p99_us,
+            hit_rate,
+        });
+    }
+
+    let out_dir = std::env::var("HIDWA_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&out_dir).join("BENCH_serving.json");
+    std::fs::write(&path, json::to_string_pretty(&results)).expect("write BENCH_serving.json");
+    println!("[written {}]", path.display());
+
+    // Sanity floor rather than a flaky perf wall: a warm cached server on
+    // loopback must comfortably clear 1k requests/sec.
+    let floor = hidwa_bench::env_f64("HIDWA_BENCH_MIN_RPS", 1000.0);
+    let cached_single = &results[0];
+    assert!(
+        cached_single.rps >= floor,
+        "cached single-query serving fell below {floor} rps: {:.0}",
+        cached_single.rps
+    );
+}

@@ -1,0 +1,87 @@
+//! Standalone plan server: the partition optimiser and Fig. 3 projector as
+//! a long-running TCP service.
+//!
+//! Binds the requested address (an ephemeral loopback port by default),
+//! prints `listening on <addr>` to stdout — scripts parse this line, CI's
+//! smoke test included — and serves [`hidwa_core::serve`] traffic until a
+//! client sends the wire-level shutdown envelope, then prints a final
+//! counter summary and exits 0.
+//!
+//! ```text
+//! plan_server [--addr <host:port>] [--no-cache] [--threads <n>]
+//! ```
+//!
+//! Shutdown is part of the protocol rather than a signal: a std-only binary
+//! cannot install signal handlers without extra dependencies, so any client
+//! (e.g. `examples/plan_client.rs` with `--shutdown`) can stop the server
+//! cleanly, and the acknowledgement (`Bye`) confirms the counters printed
+//! below are final.
+
+use hidwa_core::serve::{PlanServer, PlanService};
+use hidwa_core::sweep::SweepRunner;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: plan_server [--addr <host:port>] [--no-cache] [--threads <n>]";
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut cache = true;
+    let mut threads: Option<usize> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => match args.next() {
+                Some(value) => addr = value,
+                None => return usage_error("--addr needs a value"),
+            },
+            "--no-cache" => cache = false,
+            "--threads" => match args.next().and_then(|raw| raw.parse().ok()) {
+                Some(value) => threads = Some(value),
+                None => return usage_error("--threads needs a positive integer"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown flag {other}")),
+        }
+    }
+
+    let mut service = PlanService::new().with_cache(cache);
+    if let Some(threads) = threads {
+        service = service.with_runner(SweepRunner::with_threads(threads));
+    }
+
+    let server = match PlanServer::bind_addr(addr.as_str(), service) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("plan_server: cannot bind {addr}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    println!("cache: {}", if cache { "on" } else { "off" });
+
+    // Blocks until a client sends the shutdown envelope.
+    let service = server.wait();
+    let stats = service.stats();
+    println!("shutdown acknowledged; final counters:");
+    println!("  requests            {}", stats.requests);
+    println!("  plan queries        {}", stats.plan_queries);
+    println!("  projection queries  {}", stats.projection_queries);
+    println!(
+        "  plan cache          {} hits / {} misses ({:.1}% hit rate, {} entries)",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.hit_rate() * 100.0,
+        stats.cached_plans
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("plan_server: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}

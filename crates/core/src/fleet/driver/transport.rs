@@ -37,6 +37,7 @@
 //! std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+use crate::wire::{self, FrameError};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -227,12 +228,12 @@ impl Transport for SpoolTransport {
 /// `127.0.0.1` TCP port, accepts worker connections on a background thread
 /// and collects their framed blobs in memory.
 ///
-/// Frame format (big-endian): `shard u64 · blob length u64 · blob bytes`;
-/// the hub replies with a single `0x06` acknowledgement byte once the blob
-/// is stored, and the worker treats the publish as durable only after
-/// reading it.  Connections that violate the framing (or exceed
-/// [`MAX_SOCKET_BLOB`]) are dropped without storing anything — the shard
-/// simply stays missing and is re-run.
+/// Frames use the shared [`wire`] framing (big-endian
+/// `shard u64 · blob length u64 · blob bytes`); the hub replies with a
+/// single [`wire::ACK`] byte once the blob is stored, and the worker treats
+/// the publish as durable only after reading it.  Connections that violate
+/// the framing (or exceed [`MAX_SOCKET_BLOB`]) are dropped without storing
+/// anything — the shard simply stays missing and is re-run.
 ///
 /// # Example
 ///
@@ -295,26 +296,16 @@ impl SocketHub {
     fn ingest(
         mut stream: TcpStream,
         blobs: &Mutex<HashMap<usize, Vec<u8>>>,
-    ) -> std::io::Result<()> {
+    ) -> Result<(), FrameError> {
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        let mut header = [0u8; 16];
-        stream.read_exact(&mut header)?;
-        let shard = u64::from_be_bytes(header[..8].try_into().expect("8-byte half"));
-        let len = u64::from_be_bytes(header[8..].try_into().expect("8-byte half"));
-        if len > MAX_SOCKET_BLOB {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "blob larger than the hub cap",
-            ));
-        }
-        let mut blob = vec![0u8; usize::try_from(len).expect("cap fits usize")];
-        stream.read_exact(&mut blob)?;
+        let (shard, blob) = wire::read_frame(&mut stream, MAX_SOCKET_BLOB)?;
         blobs
             .lock()
             .expect("hub blob map poisoned")
             .insert(usize::try_from(shard).unwrap_or(usize::MAX), blob);
-        stream.write_all(&[0x06])?;
-        stream.flush()
+        stream.write_all(&[wire::ACK])?;
+        stream.flush()?;
+        Ok(())
     }
 }
 
@@ -381,15 +372,12 @@ impl Transport for SocketPublisher {
     fn publish(&self, shard: usize, blob: &[u8]) -> Result<(), TransportError> {
         let mut stream = TcpStream::connect(self.addr.as_str())?;
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        stream.write_all(&(shard as u64).to_be_bytes())?;
-        stream.write_all(&(blob.len() as u64).to_be_bytes())?;
-        stream.write_all(blob)?;
-        stream.flush()?;
+        wire::write_frame(&mut stream, shard as u64, blob)?;
         let mut ack = [0u8; 1];
         stream
             .read_exact(&mut ack)
             .map_err(|_| TransportError::Protocol("hub closed before acknowledging the blob"))?;
-        if ack[0] != 0x06 {
+        if ack[0] != wire::ACK {
             return Err(TransportError::Protocol("hub sent an unexpected ack byte"));
         }
         Ok(())

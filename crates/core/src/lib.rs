@@ -27,6 +27,12 @@
 //!   the sweep runner: per-body seeds, bounded per-body summaries and a
 //!   bounded-memory aggregator whose state is independent of fleet size (the
 //!   millions-of-users direction).
+//! * [`wire`] — the length-prefixed socket framing shared by the fleet blob
+//!   transport and the plan server (one implementation, capped reads, typed
+//!   errors).
+//! * [`serve`] — the partition optimiser and Fig. 3 projector as a warm,
+//!   long-running TCP service: sealed binary codec, exact interned-key plan
+//!   cache, std-only thread-per-connection front-end and matching client.
 //!
 //! # Caching and ownership model
 //!
@@ -70,6 +76,8 @@ pub mod partition;
 pub mod population;
 pub mod projection;
 pub mod scenario;
+pub mod serve;
 pub mod sweep;
+pub mod wire;
 
 pub use error::CoreError;

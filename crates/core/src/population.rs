@@ -624,6 +624,32 @@ impl LinkCache {
         Self { hub_site, entries }
     }
 
+    /// Precomputes the cache for every (supported technology × body site)
+    /// pair — the warm link table the [`serve`](crate::serve) front-end
+    /// holds so site-resolved plan queries never walk the EQS channel stack
+    /// at request time.  ([`RadioTechnology::Nfmi`] / [`RadioTechnology::WiFi`]
+    /// fall back to BLE-class parameters inside the channel model, so Wi-R
+    /// and BLE cover the distinct derivations.)
+    #[must_use]
+    pub fn warm() -> Self {
+        let hub_site = BodySite::Waist;
+        let entries = [RadioTechnology::WiR, RadioTechnology::Ble]
+            .into_iter()
+            .flat_map(|technology| {
+                BodySite::ALL
+                    .into_iter()
+                    .map(move |site| (technology, site))
+            })
+            .map(|(technology, site)| {
+                (
+                    (technology, site),
+                    scenario::link_params_for(technology, site, hub_site),
+                )
+            })
+            .collect();
+        Self { hub_site, entries }
+    }
+
     /// Link parameters for a leaf at `site` over `technology`; pairs outside
     /// the precomputed domain are derived on the fly (correct, just not
     /// cached).

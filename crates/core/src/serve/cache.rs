@@ -1,0 +1,142 @@
+//! Interned-key memoization of served partition plans.
+//!
+//! A plan answer is a pure function of `(model, resolved-and-quantized
+//! context, objective)` — the service canonicalizes every query on admission
+//! (link defaults resolved, continuous overrides quantized, see
+//! [`codec::quantize_f64`](super::codec::quantize_f64)), so the cache key
+//! can be an exact, `Copy`, hash-friendly tuple of the canonical bits and a
+//! hit is *guaranteed* to be byte-identical to recomputation.  The cache
+//! never approximates: two keys differ iff the optimiser could be asked two
+//! different questions.
+//!
+//! Hit/miss counters follow serial replay semantics regardless of how many
+//! connections hammer the service: the service holds the cache lock across
+//! a batch's scan-evaluate-insert cycle, so `misses` is exactly the number
+//! of distinct keys ever asked and `hits + misses` the number of plan
+//! queries served (see the cache-equivalence tests).
+
+use super::codec::Response;
+use std::collections::HashMap;
+
+/// Canonical identity of a plan query: the zoo index, the objective wire
+/// byte, the resolved link operating point as IEEE-754 bit patterns
+/// (quantized on admission), and the activation-quantization flag.
+///
+/// Two queries with equal keys are the *same question* by construction —
+/// the interned form is what makes memoization exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Wire id of the model (zoo index).
+    pub model: u8,
+    /// Wire byte of the objective.
+    pub objective: u8,
+    /// Resolved, quantized delivered energy per bit, as `f64::to_bits`.
+    pub energy_per_bit_bits: u64,
+    /// Resolved, quantized goodput, as `f64::to_bits`.
+    pub goodput_bits: u64,
+    /// Whether activations are int8-quantized before transmission.
+    pub quantize_activations: bool,
+}
+
+/// Memoized plan answers plus replay-exact hit/miss counters.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    entries: HashMap<PlanKey, Response>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The memoized answer for `key`, counting a hit when present and a
+    /// miss when absent.
+    pub fn lookup(&mut self, key: PlanKey) -> Option<Response> {
+        match self.entries.get(&key) {
+            Some(response) => {
+                self.hits += 1;
+                Some(response.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// The memoized answer for `key` **without** touching the counters —
+    /// used by the batch path, which counts an in-batch duplicate of a
+    /// pending key as a hit (exactly what a serial replay would record).
+    #[must_use]
+    pub fn peek(&self, key: PlanKey) -> Option<&Response> {
+        self.entries.get(&key)
+    }
+
+    /// Records a hit the batch path resolved without [`lookup`](Self::lookup)
+    /// (a duplicate of a key evaluated earlier in the same batch).
+    pub fn record_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Memoizes the freshly computed answer for `key`.
+    pub fn insert(&mut self, key: PlanKey, response: Response) {
+        self.entries.insert(key, response);
+    }
+
+    /// Distinct keys currently memoized.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is memoized yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups that found a memoized answer.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that required a fresh optimisation.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(model: u8) -> PlanKey {
+        PlanKey {
+            model,
+            objective: 0,
+            energy_per_bit_bits: 42.0f64.to_bits(),
+            goodput_bits: 1.0e6f64.to_bits(),
+            quantize_activations: true,
+        }
+    }
+
+    #[test]
+    fn counters_follow_serial_replay_semantics() {
+        let mut cache = PlanCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(key(0)), None);
+        cache.insert(key(0), Response::Error("stub".into()));
+        assert_eq!(cache.lookup(key(0)), Some(Response::Error("stub".into())));
+        assert_eq!(cache.lookup(key(1)), None);
+        cache.insert(key(1), Response::Error("other".into()));
+        assert_eq!(cache.lookup(key(0)), Some(Response::Error("stub".into())));
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -1,0 +1,271 @@
+//! The std-only, thread-per-connection TCP front-end and its client.
+//!
+//! Transport is the shared [`wire`] framing (`tag u64 BE ·
+//! length u64 BE · payload`) that also carries fleet checkpoint blobs; the
+//! payloads are the sealed [`codec`] envelopes.  One frame
+//! carries one request batch; the reply frame echoes the request tag so a
+//! client can detect crossed wires.
+//!
+//! Error containment is per-layer:
+//!
+//! * A **frame** violation (oversized length, truncated header, I/O error)
+//!   drops the connection — framing is the resynchronization boundary, and
+//!   a stream that lied about a length cannot be trusted about the next
+//!   header.  The server itself stays up.
+//! * A **codec** violation (bad magic, bad seal, malformed body) is
+//!   answered with a single [`Response::Error`] batch and the connection
+//!   *stays open* — the frame boundary was intact, so the next frame is
+//!   still well-delimited.
+//! * A **semantic** error (infeasible workload) is a normal, typed answer.
+//!
+//! Shutdown is wire-level: any client may send the
+//! [`RequestEnvelope::Shutdown`] envelope; the server answers `Bye`, stops
+//! accepting, and [`PlanServer::wait`] returns.  (A std-only binary cannot
+//! install signal handlers without extra dependencies, so the protocol owns
+//! clean shutdown — the `plan_server` binary documents this.)
+
+use super::codec::{
+    self, Request, RequestEnvelope, Response, ResponseEnvelope, WireCodecError, MAX_SERVE_FRAME,
+};
+use super::PlanService;
+use crate::wire::{self, FrameError};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+/// A running plan server: an acceptor thread plus one detached thread per
+/// live connection, all answering out of one shared [`PlanService`].
+#[derive(Debug)]
+pub struct PlanServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    service: Arc<PlanService>,
+}
+
+impl PlanServer {
+    /// Binds an ephemeral loopback port and starts serving.
+    pub fn bind(service: PlanService) -> io::Result<Self> {
+        Self::bind_addr("127.0.0.1:0", service)
+    }
+
+    /// Binds `addr` and starts serving.
+    pub fn bind_addr(addr: impl ToSocketAddrs, service: PlanService) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let service = Arc::new(service);
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let service = Arc::clone(&service);
+            thread::spawn(move || accept_loop(&listener, addr, &stop, &service))
+        };
+        Ok(Self {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            service,
+        })
+    }
+
+    /// The bound address (useful after an ephemeral bind).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (for counter snapshots).
+    #[must_use]
+    pub fn service(&self) -> &PlanService {
+        &self.service
+    }
+
+    /// Blocks until a client-initiated shutdown stops the acceptor, then
+    /// returns the service for a final counter snapshot.
+    pub fn wait(mut self) -> Arc<PlanService> {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        Arc::clone(&self.service)
+    }
+
+    /// Stops the acceptor from the owning side (idempotent; also run by
+    /// `Drop`).  Live connections finish their current frame and notice the
+    /// flag on the next accept — in-flight answers are never truncated.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            // Poke the blocking `accept` so the loop observes the flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for PlanServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    addr: SocketAddr,
+    stop: &Arc<AtomicBool>,
+    service: &Arc<PlanService>,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Request/response ping-pong: Nagle buys nothing and costs 40 ms
+        // stalls when a reply spans segments.
+        let _ = stream.set_nodelay(true);
+        let stop = Arc::clone(stop);
+        let service = Arc::clone(service);
+        thread::spawn(move || {
+            // Per-connection errors stay on the connection.
+            let _ = serve_connection(stream, addr, &stop, &service);
+        });
+    }
+}
+
+/// Answers frames on one connection until the peer disconnects, violates
+/// framing, or requests shutdown.
+fn serve_connection(
+    mut stream: TcpStream,
+    addr: SocketAddr,
+    stop: &AtomicBool,
+    service: &PlanService,
+) -> Result<(), FrameError> {
+    loop {
+        let (tag, payload) = wire::read_frame(&mut stream, MAX_SERVE_FRAME)?;
+        match codec::decode_request(&payload) {
+            Ok(RequestEnvelope::Queries(requests)) => {
+                let answers = service.answer_batch(&requests);
+                let reply = codec::encode_responses(&answers);
+                wire::write_frame(&mut stream, tag, &reply)?;
+            }
+            Ok(RequestEnvelope::Shutdown) => {
+                wire::write_frame(&mut stream, tag, &codec::encode_bye())?;
+                stop.store(true, Ordering::SeqCst);
+                // Poke the acceptor out of its blocking `accept`.
+                let _ = TcpStream::connect(addr);
+                return Ok(());
+            }
+            Err(error) => {
+                // The frame was well-delimited, so the stream is still in
+                // sync: answer with a typed error and keep the connection.
+                let reply =
+                    codec::encode_responses(&[Response::Error(format!("bad request: {error}"))]);
+                wire::write_frame(&mut stream, tag, &reply)?;
+            }
+        }
+    }
+}
+
+/// A client-side protocol violation.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (I/O error, oversized or truncated frame).
+    Frame(FrameError),
+    /// The server's payload failed to decode.
+    Codec(WireCodecError),
+    /// The server answered with a well-formed but unexpected envelope.
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Frame(error) => write!(f, "transport: {error}"),
+            Self::Codec(error) => write!(f, "codec: {error}"),
+            Self::Protocol(message) => write!(f, "protocol: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(error: FrameError) -> Self {
+        Self::Frame(error)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(error: io::Error) -> Self {
+        Self::Frame(FrameError::Io(error))
+    }
+}
+
+impl From<WireCodecError> for ClientError {
+    fn from(error: WireCodecError) -> Self {
+        Self::Codec(error)
+    }
+}
+
+/// A blocking plan-server client over one TCP connection.
+#[derive(Debug)]
+pub struct PlanClient {
+    stream: TcpStream,
+    next_tag: u64,
+}
+
+impl PlanClient {
+    /// Connects to a running [`PlanServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            next_tag: 1,
+        })
+    }
+
+    /// Sends one request batch and returns the positional answers.
+    pub fn query(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        let payload = codec::encode_requests(requests);
+        let answers = match self.round_trip(&payload)? {
+            ResponseEnvelope::Answers(answers) => answers,
+            ResponseEnvelope::Bye => return Err(ClientError::Protocol("unsolicited bye")),
+        };
+        if answers.len() != requests.len() {
+            return Err(ClientError::Protocol("answer count mismatch"));
+        }
+        Ok(answers)
+    }
+
+    /// Sends one query (a batch of one).
+    pub fn ask(&mut self, request: Request) -> Result<Response, ClientError> {
+        Ok(self
+            .query(std::slice::from_ref(&request))?
+            .pop()
+            .expect("one answer per query"))
+    }
+
+    /// Requests a server shutdown and consumes the connection; returns once
+    /// the server acknowledged with `Bye`.
+    pub fn shutdown(mut self) -> Result<(), ClientError> {
+        match self.round_trip(&codec::encode_shutdown())? {
+            ResponseEnvelope::Bye => Ok(()),
+            ResponseEnvelope::Answers(_) => {
+                Err(ClientError::Protocol("answers to a shutdown request"))
+            }
+        }
+    }
+
+    fn round_trip(&mut self, payload: &[u8]) -> Result<ResponseEnvelope, ClientError> {
+        let tag = self.next_tag;
+        self.next_tag = self.next_tag.wrapping_add(1);
+        wire::write_frame(&mut self.stream, tag, payload)?;
+        let (reply_tag, reply) = wire::read_frame(&mut self.stream, MAX_SERVE_FRAME)?;
+        if reply_tag != tag {
+            return Err(ClientError::Protocol("reply tag mismatch"));
+        }
+        Ok(codec::decode_response(&reply)?)
+    }
+}

@@ -1,0 +1,182 @@
+//! Length-prefixed TCP framing shared by the fleet blob transport and the
+//! plan server.
+//!
+//! Both long-running socket endpoints in the repo move opaque payloads in the
+//! same shape — the fleet coordinator's
+//! [`SocketHub`](crate::fleet::driver::transport::SocketHub) receives
+//! checkpoint blobs, and the [`serve`](crate::serve) front-end exchanges
+//! request/response batches — so the frame layer lives here exactly once:
+//!
+//! ```text
+//! tag      u64 big-endian   (shard index / request correlation id)
+//! length   u64 big-endian   (payload bytes that follow)
+//! payload  `length` bytes   (opaque to this layer)
+//! ```
+//!
+//! A frame says nothing about what the payload *means*; validation (checkpoint
+//! checksums, request codecs) belongs to the layer above, which is why a
+//! malformed payload is a recoverable application event while a malformed
+//! *frame* tears down the connection — after a framing violation there is no
+//! way to know where the next frame starts.
+//!
+//! Readers must pass a payload cap: a length prefix is attacker-(or bit-rot-)
+//! controlled input, and the cap is what turns "allocate 2^63 bytes" into a
+//! typed [`FrameError::Oversized`].
+//!
+//! # Example
+//!
+//! ```
+//! use hidwa_core::wire::{read_frame, write_frame};
+//!
+//! let mut pipe: Vec<u8> = Vec::new();
+//! write_frame(&mut pipe, 7, b"payload").unwrap();
+//! let (tag, payload) = read_frame(&mut pipe.as_slice(), 1024).unwrap();
+//! assert_eq!((tag, payload.as_slice()), (7, &b"payload"[..]));
+//! ```
+
+use std::io::{Read, Write};
+
+/// The single-byte acknowledgement endpoints send after durably storing a
+/// frame's payload (used by the blob transport's publish/ack exchange).
+pub const ACK: u8 = 0x06;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket or stream operation failed (including EOF in
+    /// the middle of a header or payload).
+    Io(std::io::Error),
+    /// The length prefix exceeds the reader's payload cap — the peer is not
+    /// speaking this protocol (or the stream is corrupt), so the connection
+    /// cannot be resynchronised.
+    Oversized {
+        /// Length the prefix claimed.
+        len: u64,
+        /// Cap the reader enforces.
+        cap: u64,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(error) => write!(f, "frame I/O error: {error}"),
+            Self::Oversized { len, cap } => {
+                write!(f, "frame payload of {len} bytes exceeds the {cap}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(error) => Some(error),
+            Self::Oversized { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(error: std::io::Error) -> Self {
+        Self::Io(error)
+    }
+}
+
+/// Writes one `tag · length · payload` frame and flushes the writer.
+///
+/// Header and payload go out as a single `write_all`: request/response
+/// frames are latency-sensitive, and three small writes on a TCP stream
+/// interact pathologically with Nagle's algorithm and delayed ACKs
+/// (~40 ms stalls per round trip).
+///
+/// # Errors
+/// [`std::io::Error`] when the writer fails; a frame is only considered sent
+/// once the flush returns.
+pub fn write_frame(writer: &mut impl Write, tag: u64, payload: &[u8]) -> std::io::Result<()> {
+    let mut frame = Vec::with_capacity(16 + payload.len());
+    frame.extend_from_slice(&tag.to_be_bytes());
+    frame.extend_from_slice(&(payload.len() as u64).to_be_bytes());
+    frame.extend_from_slice(payload);
+    writer.write_all(&frame)?;
+    writer.flush()
+}
+
+/// Reads one frame, enforcing `cap` on the payload length *before*
+/// allocating anything.
+///
+/// # Errors
+/// * [`FrameError::Io`] — the stream failed or ended mid-frame,
+/// * [`FrameError::Oversized`] — the length prefix exceeds `cap`.
+pub fn read_frame(reader: &mut impl Read, cap: u64) -> Result<(u64, Vec<u8>), FrameError> {
+    let mut header = [0u8; 16];
+    reader.read_exact(&mut header)?;
+    let tag = u64::from_be_bytes(header[..8].try_into().expect("8-byte half"));
+    let len = u64::from_be_bytes(header[8..].try_into().expect("8-byte half"));
+    if len > cap {
+        return Err(FrameError::Oversized { len, cap });
+    }
+    let mut payload = vec![0u8; usize::try_from(len).expect("cap fits usize")];
+    reader.read_exact(&mut payload)?;
+    Ok((tag, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let mut pipe: Vec<u8> = Vec::new();
+        write_frame(&mut pipe, 1, b"first").unwrap();
+        write_frame(&mut pipe, u64::MAX, b"").unwrap();
+        write_frame(&mut pipe, 2, &[0xAB; 300]).unwrap();
+        let mut reader = pipe.as_slice();
+        assert_eq!(
+            read_frame(&mut reader, 1024).unwrap(),
+            (1, b"first".to_vec())
+        );
+        assert_eq!(read_frame(&mut reader, 1024).unwrap(), (u64::MAX, vec![]));
+        assert_eq!(read_frame(&mut reader, 1024).unwrap(), (2, vec![0xAB; 300]));
+        assert!(matches!(
+            read_frame(&mut reader, 1024),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut pipe: Vec<u8> = Vec::new();
+        pipe.extend_from_slice(&3u64.to_be_bytes());
+        pipe.extend_from_slice(&u64::MAX.to_be_bytes());
+        match read_frame(&mut pipe.as_slice(), 1024) {
+            Err(FrameError::Oversized { len, cap }) => {
+                assert_eq!((len, cap), (u64::MAX, 1024));
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_header_and_payload_error() {
+        // Header cut short.
+        assert!(matches!(
+            read_frame(&mut &[1u8, 2, 3][..], 1024),
+            Err(FrameError::Io(_))
+        ));
+        // Payload cut short.
+        let mut pipe: Vec<u8> = Vec::new();
+        write_frame(&mut pipe, 9, b"whole payload").unwrap();
+        pipe.truncate(pipe.len() - 4);
+        assert!(matches!(
+            read_frame(&mut pipe.as_slice(), 1024),
+            Err(FrameError::Io(_))
+        ));
+        let shown = format!(
+            "{} / {}",
+            FrameError::Oversized { len: 9, cap: 4 },
+            FrameError::from(std::io::Error::other("boom"))
+        );
+        assert!(shown.contains("9 bytes") && shown.contains("boom"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Server battery: N concurrent clients receive byte-identical responses to
+//! a serial linked-in optimiser (cache on and off), and the server survives
+//! malformed frames, oversized frames and mid-request disconnects without
+//! taking down other connections.
+
+use hidwa_core::partition::Objective;
+use hidwa_core::serve::codec::{
+    self, ModelId, PlanRequest, ProjectionRequest, Request, Response, WireContext, WireLink,
+};
+use hidwa_core::serve::{PlanClient, PlanServer, PlanService};
+use hidwa_core::wire;
+use hidwa_eqs::body::BodySite;
+use hidwa_phy::RadioTechnology;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::thread;
+
+const OBJECTIVES: [Objective; 3] = [
+    Objective::LeafEnergy,
+    Objective::Latency,
+    Objective::EnergyDelayProduct,
+];
+
+/// A deterministic query log exercising plans (all models, several links,
+/// all objectives, including infeasible combinations) and projections.
+fn query_log() -> Vec<Request> {
+    let mut log = Vec::new();
+    let links = [
+        WireLink::WiR,
+        WireLink::Ble,
+        WireLink::Site(RadioTechnology::WiR, BodySite::Ear),
+    ];
+    for (i, model) in ModelId::ALL.into_iter().enumerate() {
+        for (j, link) in links.into_iter().enumerate() {
+            log.push(Request::Plan(PlanRequest {
+                model,
+                context: WireContext::of(link),
+                objective: OBJECTIVES[(i + j) % 3],
+            }));
+        }
+        log.push(Request::Projection(ProjectionRequest {
+            rate_bps: 500.0 * (i + 1) as f64,
+        }));
+    }
+    log
+}
+
+/// The reference: the same log answered serially by a fresh linked-in
+/// service, encoded to response-envelope bytes.
+fn serial_reference(log: &[Request]) -> Vec<u8> {
+    let service = PlanService::new().with_cache(false);
+    codec::encode_responses(&service.answer_batch(log)).to_vec()
+}
+
+fn served_bytes_match_serial(cache_enabled: bool) {
+    const CLIENTS: usize = 8;
+    let log = query_log();
+    let reference = serial_reference(&log);
+    let server =
+        PlanServer::bind(PlanService::new().with_cache(cache_enabled)).expect("bind loopback");
+    let addr = server.addr();
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let log = log.clone();
+            thread::spawn(move || {
+                let mut client = PlanClient::connect(addr).expect("connect");
+                // Each client replays the log twice: batched, then singly.
+                let batch = client.query(&log).expect("batched answers");
+                let mut singles = Vec::with_capacity(log.len());
+                for request in &log {
+                    singles.push(client.ask(*request).expect("single answer"));
+                }
+                (
+                    codec::encode_responses(&batch).to_vec(),
+                    codec::encode_responses(&singles).to_vec(),
+                )
+            })
+        })
+        .collect();
+
+    for worker in workers {
+        let (batch, singles) = worker.join().expect("client thread");
+        assert_eq!(
+            batch, reference,
+            "batched served bytes diverged from serial"
+        );
+        assert_eq!(
+            singles, reference,
+            "single served bytes diverged from serial"
+        );
+    }
+
+    let stats = server.service().stats();
+    let plan_queries_per_pass = log
+        .iter()
+        .filter(|request| matches!(request, Request::Plan(_)))
+        .count() as u64;
+    assert_eq!(
+        stats.plan_queries,
+        plan_queries_per_pass * 2 * CLIENTS as u64
+    );
+    if cache_enabled {
+        // Replay-exact counters even under concurrency: misses = distinct
+        // keys, regardless of which client got there first.
+        assert_eq!(stats.cache_misses, plan_queries_per_pass);
+        assert_eq!(
+            stats.cache_hits,
+            plan_queries_per_pass * (2 * CLIENTS as u64 - 1)
+        );
+    } else {
+        assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+    }
+}
+
+#[test]
+fn concurrent_clients_get_serial_identical_bytes_with_cache() {
+    served_bytes_match_serial(true);
+}
+
+#[test]
+fn concurrent_clients_get_serial_identical_bytes_without_cache() {
+    served_bytes_match_serial(false);
+}
+
+#[test]
+fn malformed_payload_gets_typed_error_and_connection_survives() {
+    let server = PlanServer::bind(PlanService::new()).expect("bind");
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+
+    // A well-framed frame whose payload is not a serve envelope.
+    wire::write_frame(&mut stream, 7, b"definitely not an envelope").expect("send");
+    let (tag, payload) = wire::read_frame(&mut stream, codec::MAX_SERVE_FRAME).expect("reply");
+    assert_eq!(tag, 7, "reply echoes the request tag");
+    match codec::decode_response(&payload).expect("reply decodes") {
+        codec::ResponseEnvelope::Answers(answers) => {
+            assert_eq!(answers.len(), 1);
+            assert!(
+                matches!(&answers[0], Response::Error(message) if message.contains("bad request"))
+            );
+        }
+        other => panic!("expected an error batch, got {other:?}"),
+    }
+
+    // The same connection still answers real queries afterwards.
+    let request = Request::Projection(ProjectionRequest { rate_bps: 4000.0 });
+    wire::write_frame(&mut stream, 8, &codec::encode_requests(&[request])).expect("send");
+    let (tag, payload) = wire::read_frame(&mut stream, codec::MAX_SERVE_FRAME).expect("reply");
+    assert_eq!(tag, 8);
+    match codec::decode_response(&payload).expect("reply decodes") {
+        codec::ResponseEnvelope::Answers(answers) => {
+            assert!(matches!(answers[0], Response::Projection(_)));
+        }
+        other => panic!("expected answers, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_frame_drops_the_connection_but_not_the_server() {
+    let server = PlanServer::bind(PlanService::new()).expect("bind");
+
+    // A header announcing a payload far beyond MAX_SERVE_FRAME: the server
+    // must refuse to allocate and drop the connection.
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut header = Vec::new();
+    header.extend_from_slice(&1u64.to_be_bytes());
+    header.extend_from_slice(&(codec::MAX_SERVE_FRAME + 1).to_be_bytes());
+    stream.write_all(&header).expect("send header");
+    stream.flush().expect("flush");
+    let mut probe = [0u8; 1];
+    assert_eq!(
+        stream.read(&mut probe).expect("read EOF"),
+        0,
+        "server should close an oversized-frame connection"
+    );
+
+    // The server itself stays up for new clients.
+    let mut client = PlanClient::connect(server.addr()).expect("reconnect");
+    let answer = client
+        .ask(Request::Projection(ProjectionRequest { rate_bps: 1000.0 }))
+        .expect("answer after oversized-frame peer");
+    assert!(matches!(answer, Response::Projection(_)));
+}
+
+#[test]
+fn mid_request_disconnects_leave_the_server_serving() {
+    let server = PlanServer::bind(PlanService::new()).expect("bind");
+
+    // Half a header, then disconnect.
+    {
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.write_all(&[0xAB; 7]).expect("partial header");
+    }
+    // A full header, half a payload, then disconnect.
+    {
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut partial = Vec::new();
+        partial.extend_from_slice(&3u64.to_be_bytes());
+        partial.extend_from_slice(&64u64.to_be_bytes());
+        partial.extend_from_slice(&[0u8; 10]);
+        stream.write_all(&partial).expect("partial payload");
+    }
+
+    let mut client = PlanClient::connect(server.addr()).expect("connect");
+    let answer = client
+        .ask(Request::Plan(PlanRequest {
+            model: ModelId::VitalsTrend,
+            context: WireContext::of(WireLink::WiR),
+            objective: Objective::LeafEnergy,
+        }))
+        .expect("answer after disconnected peers");
+    assert!(matches!(answer, Response::Plan(_)));
+}
+
+#[test]
+fn client_initiated_shutdown_is_acknowledged_and_stops_the_acceptor() {
+    let server = PlanServer::bind(PlanService::new()).expect("bind");
+    let addr = server.addr();
+
+    let mut client = PlanClient::connect(addr).expect("connect");
+    let answer = client
+        .ask(Request::Projection(ProjectionRequest { rate_bps: 2000.0 }))
+        .expect("answer");
+    assert!(matches!(answer, Response::Projection(_)));
+    client.shutdown().expect("bye acknowledged");
+
+    // `wait` returns because the shutdown request stopped the acceptor.
+    let service = server.wait();
+    assert_eq!(service.stats().projection_queries, 1);
+}

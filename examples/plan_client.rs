@@ -1,0 +1,139 @@
+//! Plan-server client walkthrough: query partition plans and battery-life
+//! projections over the serve wire protocol.
+//!
+//! Run self-contained (boots an in-process server on an ephemeral port,
+//! queries it over real TCP, shuts it down):
+//! ```text
+//! cargo run --release --example plan_client
+//! ```
+//!
+//! Or against a running `plan_server`:
+//! ```text
+//! cargo run --release -p hidwa-bench --bin plan_server -- --addr 127.0.0.1:7464
+//! cargo run --release --example plan_client -- --connect 127.0.0.1:7464
+//! cargo run --release --example plan_client -- --connect 127.0.0.1:7464 --shutdown
+//! ```
+//!
+//! `--shutdown` sends the wire-level shutdown envelope after the queries —
+//! the server acknowledges with `Bye` and exits cleanly (this is how CI's
+//! smoke test stops the server it started).
+
+use hidwa_core::partition::Objective;
+use hidwa_core::serve::codec::{
+    ModelId, PlanRequest, ProjectionRequest, Request, Response, WireContext, WireLink,
+};
+use hidwa_core::serve::{PlanClient, PlanServer, PlanService};
+use hidwa_eqs::body::BodySite;
+use hidwa_phy::RadioTechnology;
+
+fn main() {
+    let mut connect: Option<String> = None;
+    let mut shutdown = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--connect" => connect = Some(args.next().expect("--connect needs host:port")),
+            "--shutdown" => shutdown = true,
+            other => panic!("unknown flag {other} (try --connect <host:port> / --shutdown)"),
+        }
+    }
+
+    // Self-contained mode boots its own server and always shuts it down.
+    let embedded = if connect.is_none() {
+        let server = PlanServer::bind(PlanService::new()).expect("bind loopback");
+        shutdown = true;
+        Some(server)
+    } else {
+        None
+    };
+    let addr = connect.unwrap_or_else(|| {
+        embedded
+            .as_ref()
+            .expect("embedded server in self-contained mode")
+            .addr()
+            .to_string()
+    });
+
+    println!("== plan_client: querying {addr} ==\n");
+    let mut client = PlanClient::connect(addr.as_str()).expect("connect to plan server");
+
+    // One batched frame: every zoo model over Wi-R, minimising leaf energy.
+    let batch: Vec<Request> = ModelId::ALL
+        .into_iter()
+        .map(|model| {
+            Request::Plan(PlanRequest {
+                model,
+                context: WireContext::of(WireLink::WiR),
+                objective: Objective::LeafEnergy,
+            })
+        })
+        .collect();
+    let answers = client.query(&batch).expect("served answers");
+    println!("Wi-R leaf-energy plans (one batched frame):");
+    println!(
+        "{:<18} {:>4} {:>14} {:>12} {:>12}",
+        "model", "cut", "leaf energy", "latency", "leaf power"
+    );
+    for (request, answer) in batch.iter().zip(&answers) {
+        let Request::Plan(plan) = request else {
+            unreachable!("batch is all plans")
+        };
+        match answer {
+            Response::Plan(wire) => println!(
+                "{:<18} {:>4} {:>11.2} µJ {:>9.2} ms {:>9.1} µW",
+                format!("{:?}", plan.model),
+                wire.cut_index,
+                wire.leaf_energy_j * 1e6,
+                wire.latency_s * 1e3,
+                wire.leaf_power_w * 1e6
+            ),
+            Response::Infeasible(reason) => {
+                println!("{:<18} infeasible: {reason}", format!("{:?}", plan.model));
+            }
+            other => println!("{:<18} unexpected: {other:?}", format!("{:?}", plan.model)),
+        }
+    }
+
+    // Single queries: a site-resolved link, an infeasible workload, and a
+    // Fig. 3 projection.
+    let wrist = client
+        .ask(Request::Plan(PlanRequest {
+            model: ModelId::KeywordSpotting,
+            context: WireContext::of(WireLink::Site(RadioTechnology::WiR, BodySite::Wrist)),
+            objective: Objective::Latency,
+        }))
+        .expect("wrist answer");
+    println!("\nKeyword spotting, Wi-R wrist leaf, latency objective: {wrist:?}");
+
+    let video_ble = client
+        .ask(Request::Plan(PlanRequest {
+            model: ModelId::VideoFeature,
+            context: WireContext::of(WireLink::Ble),
+            objective: Objective::LeafEnergy,
+        }))
+        .expect("video answer");
+    match video_ble {
+        Response::Infeasible(reason) => println!("Video over BLE: infeasible ({reason})"),
+        other => println!("Video over BLE: {other:?}"),
+    }
+
+    let projection = client
+        .ask(Request::Projection(ProjectionRequest { rate_bps: 4000.0 }))
+        .expect("projection answer");
+    if let Response::Projection(point) = projection {
+        println!(
+            "Fig. 3 at 4 kbps: {:.1} µW total, {:.1} years battery life",
+            point.total_power_w * 1e6,
+            point.battery_life_s / (365.25 * 24.0 * 3600.0)
+        );
+    }
+
+    if shutdown {
+        client.shutdown().expect("server acknowledged shutdown");
+        println!("\nserver acknowledged shutdown (bye)");
+        if let Some(server) = embedded {
+            server.wait();
+        }
+    }
+    println!("done");
+}
