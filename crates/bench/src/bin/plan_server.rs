@@ -8,8 +8,16 @@
 //! counter summary and exits 0.
 //!
 //! ```text
-//! plan_server [--addr <host:port>] [--no-cache] [--threads <n>]
+//! plan_server [--addr <host:port>] [--no-cache] [--cache-capacity <n>]
+//!             [--threads <n|legacy>] [--runner <n>] [--idle-timeout-ms <n>]
 //! ```
+//!
+//! `--threads` picks the connection-driving model: a positive integer runs
+//! that many epoll event loops (the Linux default), `legacy` runs the
+//! thread-per-connection escape hatch.  `--runner` sizes the sweep runner
+//! that evaluates cache misses, `--cache-capacity` bounds the plan cache
+//! with CLOCK eviction, and `--idle-timeout-ms` tunes (or `0` disables) the
+//! mid-frame stall guard that drops slow-loris connections.
 //!
 //! Shutdown is part of the protocol rather than a signal: a std-only binary
 //! cannot install signal handlers without extra dependencies, so any client
@@ -17,16 +25,21 @@
 //! cleanly, and the acknowledgement (`Bye`) confirms the counters printed
 //! below are final.
 
-use hidwa_core::serve::{PlanServer, PlanService};
+use hidwa_core::serve::{PlanServer, PlanService, ServeConfig, ThreadModel};
 use hidwa_core::sweep::SweepRunner;
 use std::process::ExitCode;
+use std::time::Duration;
 
-const USAGE: &str = "usage: plan_server [--addr <host:port>] [--no-cache] [--threads <n>]";
+const USAGE: &str = "usage: plan_server [--addr <host:port>] [--no-cache] \
+                     [--cache-capacity <n>] [--threads <n|legacy>] [--runner <n>] \
+                     [--idle-timeout-ms <n>]";
 
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:0".to_string();
     let mut cache = true;
-    let mut threads: Option<usize> = None;
+    let mut cache_capacity: Option<usize> = None;
+    let mut runner: Option<usize> = None;
+    let mut config = ServeConfig::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -36,9 +49,26 @@ fn main() -> ExitCode {
                 None => return usage_error("--addr needs a value"),
             },
             "--no-cache" => cache = false,
-            "--threads" => match args.next().and_then(|raw| raw.parse().ok()) {
-                Some(value) => threads = Some(value),
-                None => return usage_error("--threads needs a positive integer"),
+            "--cache-capacity" => match args.next().and_then(|raw| raw.parse().ok()) {
+                Some(value) => cache_capacity = Some(value),
+                None => return usage_error("--cache-capacity needs a positive integer"),
+            },
+            "--threads" => match args.next().as_deref() {
+                Some("legacy") => config.threads = ThreadModel::Legacy,
+                Some(raw) => match raw.parse::<usize>().ok().filter(|&n| n > 0) {
+                    Some(event_loops) => config.threads = ThreadModel::Reactor { event_loops },
+                    None => return usage_error("--threads needs a positive integer or `legacy`"),
+                },
+                None => return usage_error("--threads needs a value"),
+            },
+            "--runner" => match args.next().and_then(|raw| raw.parse().ok()) {
+                Some(value) => runner = Some(value),
+                None => return usage_error("--runner needs a positive integer"),
+            },
+            "--idle-timeout-ms" => match args.next().and_then(|raw| raw.parse::<u64>().ok()) {
+                Some(0) => config.idle_timeout = None,
+                Some(ms) => config.idle_timeout = Some(Duration::from_millis(ms)),
+                None => return usage_error("--idle-timeout-ms needs an integer (0 disables)"),
             },
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -49,11 +79,14 @@ fn main() -> ExitCode {
     }
 
     let mut service = PlanService::new().with_cache(cache);
-    if let Some(threads) = threads {
-        service = service.with_runner(SweepRunner::with_threads(threads));
+    if let Some(capacity) = cache_capacity {
+        service = service.with_cache_capacity(capacity);
+    }
+    if let Some(runner) = runner {
+        service = service.with_runner(SweepRunner::with_threads(runner));
     }
 
-    let server = match PlanServer::bind_addr(addr.as_str(), service) {
+    let server = match PlanServer::bind_with(addr.as_str(), service, config) {
         Ok(server) => server,
         Err(error) => {
             eprintln!("plan_server: cannot bind {addr}: {error}");
@@ -61,7 +94,19 @@ fn main() -> ExitCode {
         }
     };
     println!("listening on {}", server.addr());
-    println!("cache: {}", if cache { "on" } else { "off" });
+    let cache_label = match (cache, cache_capacity) {
+        (false, _) => "off".to_string(),
+        (true, Some(capacity)) => format!("on (capacity {capacity})"),
+        (true, None) => "on (unbounded)".to_string(),
+    };
+    println!("cache: {cache_label}");
+    println!(
+        "threads: {}",
+        match config.threads {
+            ThreadModel::Reactor { event_loops } => format!("reactor ({event_loops} event loops)"),
+            ThreadModel::Legacy => "legacy (thread per connection)".to_string(),
+        }
+    );
 
     // Blocks until a client sends the shutdown envelope.
     let service = server.wait();
@@ -71,11 +116,12 @@ fn main() -> ExitCode {
     println!("  plan queries        {}", stats.plan_queries);
     println!("  projection queries  {}", stats.projection_queries);
     println!(
-        "  plan cache          {} hits / {} misses ({:.1}% hit rate, {} entries)",
+        "  plan cache          {} hits / {} misses ({:.1}% hit rate, {} entries, {} evictions)",
         stats.cache_hits,
         stats.cache_misses,
         stats.hit_rate() * 100.0,
-        stats.cached_plans
+        stats.cached_plans,
+        stats.cache_evictions
     );
     ExitCode::SUCCESS
 }

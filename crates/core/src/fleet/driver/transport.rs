@@ -50,6 +50,32 @@ use std::time::Duration;
 /// kilobytes; anything near this cap is garbage, not a checkpoint).
 pub const MAX_SOCKET_BLOB: u64 = 256 * 1024 * 1024;
 
+/// Default bound on the total bytes a [`SocketHub`] keeps buffered across
+/// all stored blobs before it starts NAK-ing publishes.
+pub const DEFAULT_HUB_BUDGET: u64 = 1024 * 1024 * 1024;
+
+/// Resource bounds a [`SocketHub`] enforces per connection and in aggregate.
+#[derive(Debug, Clone, Copy)]
+pub struct HubLimits {
+    /// Largest single blob accepted; a frame claiming more is a framing
+    /// violation and drops the connection ([`MAX_SOCKET_BLOB`] by default).
+    pub max_blob: u64,
+    /// Total bytes buffered across all stored blobs.  A well-formed publish
+    /// that would exceed this is answered with [`wire::NAK`] and *not*
+    /// stored — reject-and-ack-late: the worker backs off and retries once
+    /// the coordinator has drained (fetched + discarded) earlier blobs.
+    pub buffer_budget: u64,
+}
+
+impl Default for HubLimits {
+    fn default() -> Self {
+        Self {
+            max_blob: MAX_SOCKET_BLOB,
+            buffer_budget: DEFAULT_HUB_BUDGET,
+        }
+    }
+}
+
 /// Why a transport operation failed.
 #[derive(Debug)]
 pub enum TransportError {
@@ -254,12 +280,34 @@ pub struct SocketHub {
 }
 
 impl SocketHub {
-    /// Binds a hub on an ephemeral loopback port and starts accepting.
+    /// Binds a hub on an ephemeral loopback port with default limits and
+    /// starts accepting.
     ///
     /// # Errors
     /// [`std::io::Error`] when the loopback listener cannot be bound.
     pub fn bind() -> std::io::Result<Self> {
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        Self::bind_with(("127.0.0.1", 0), HubLimits::default())
+    }
+
+    /// Binds a hub on an explicit address with default limits — the restart
+    /// path: a coordinator that crashed can rebind the port its workers are
+    /// still retrying against.
+    ///
+    /// # Errors
+    /// [`std::io::Error`] when the listener cannot be bound.
+    pub fn bind_addr(addr: impl std::net::ToSocketAddrs) -> std::io::Result<Self> {
+        Self::bind_with(addr, HubLimits::default())
+    }
+
+    /// Binds a hub with explicit [`HubLimits`].
+    ///
+    /// # Errors
+    /// [`std::io::Error`] when the listener cannot be bound.
+    pub fn bind_with(
+        addr: impl std::net::ToSocketAddrs,
+        limits: HubLimits,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let blobs: Arc<Mutex<HashMap<usize, Vec<u8>>>> = Arc::new(Mutex::new(HashMap::new()));
         let stop = Arc::new(AtomicBool::new(false));
@@ -275,7 +323,7 @@ impl SocketHub {
                     // Ingest is serial: one worker publishes a few KiB and
                     // disconnects, so fairness is a non-issue and a stalled
                     // client is bounded by the read timeout.
-                    let _ = Self::ingest(stream, &blobs);
+                    let _ = Self::ingest(stream, &blobs, limits);
                 }
             })
         };
@@ -293,17 +341,49 @@ impl SocketHub {
         self.addr
     }
 
+    /// Total bytes currently buffered across stored blobs.
+    #[must_use]
+    pub fn buffered_bytes(&self) -> u64 {
+        Self::buffered(&self.blobs.lock().expect("hub blob map poisoned"))
+    }
+
+    fn buffered(map: &HashMap<usize, Vec<u8>>) -> u64 {
+        map.values().map(|blob| blob.len() as u64).sum()
+    }
+
+    /// Stores `blob` under `shard` iff the budget allows it (a re-publish
+    /// frees the bytes it replaces first).
+    fn store(
+        blobs: &Mutex<HashMap<usize, Vec<u8>>>,
+        shard: usize,
+        blob: Vec<u8>,
+        budget: u64,
+    ) -> bool {
+        let mut map = blobs.lock().expect("hub blob map poisoned");
+        let replaced = map.get(&shard).map_or(0, |old| old.len() as u64);
+        if Self::buffered(&map) - replaced + blob.len() as u64 > budget {
+            return false;
+        }
+        map.insert(shard, blob);
+        true
+    }
+
     fn ingest(
         mut stream: TcpStream,
         blobs: &Mutex<HashMap<usize, Vec<u8>>>,
+        limits: HubLimits,
     ) -> Result<(), FrameError> {
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        let (shard, blob) = wire::read_frame(&mut stream, MAX_SOCKET_BLOB)?;
-        blobs
-            .lock()
-            .expect("hub blob map poisoned")
-            .insert(usize::try_from(shard).unwrap_or(usize::MAX), blob);
-        stream.write_all(&[wire::ACK])?;
+        let (shard, blob) = wire::read_frame(&mut stream, limits.max_blob)?;
+        let shard = usize::try_from(shard).unwrap_or(usize::MAX);
+        let reply = if Self::store(blobs, shard, blob, limits.buffer_budget) {
+            wire::ACK
+        } else {
+            // Well-formed but over budget: reject so the worker retries
+            // once the coordinator has drained earlier blobs.
+            wire::NAK
+        };
+        stream.write_all(&[reply])?;
         stream.flush()?;
         Ok(())
     }
@@ -355,32 +435,90 @@ impl Transport for SocketHub {
 
 /// Worker side of the loopback-socket transport: connects to a
 /// [`SocketHub`] per publish and streams one framed blob.
+///
+/// Publishes are retried under a small backoff budget: a refused or dropped
+/// connection (the hub restarting), a connection that died before the ack,
+/// and a [`wire::NAK`] (the hub's buffer budget exhausted) all back off and
+/// try again; only an outright protocol violation (an ack byte that is
+/// neither ACK nor NAK) fails immediately.  The default budget — 5 attempts
+/// starting at 25 ms and doubling — rides out a coordinator restart without
+/// masking a hub that is actually gone.
 #[derive(Debug, Clone)]
 pub struct SocketPublisher {
     addr: String,
+    attempts: u32,
+    initial_backoff: Duration,
+}
+
+/// Whether a failed publish attempt is worth retrying.
+enum PublishFailure {
+    Retry(TransportError),
+    Fatal(TransportError),
 }
 
 impl SocketPublisher {
-    /// A publisher that will connect to `addr` (`host:port`).
+    /// A publisher that will connect to `addr` (`host:port`) with the
+    /// default retry budget.
     #[must_use]
     pub fn new(addr: String) -> Self {
-        Self { addr }
+        Self {
+            addr,
+            attempts: 5,
+            initial_backoff: Duration::from_millis(25),
+        }
+    }
+
+    /// Overrides the retry budget: up to `attempts` tries (clamped to ≥ 1),
+    /// sleeping `initial_backoff` before the second and doubling after.
+    #[must_use]
+    pub fn with_retry(mut self, attempts: u32, initial_backoff: Duration) -> Self {
+        self.attempts = attempts.max(1);
+        self.initial_backoff = initial_backoff;
+        self
+    }
+
+    fn try_publish(&self, shard: usize, blob: &[u8]) -> Result<(), PublishFailure> {
+        let connect = |error: std::io::Error| PublishFailure::Retry(error.into());
+        let mut stream = TcpStream::connect(self.addr.as_str()).map_err(connect)?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(connect)?;
+        wire::write_frame(&mut stream, shard as u64, blob)
+            .map_err(|error| PublishFailure::Retry(TransportError::Io(error)))?;
+        let mut ack = [0u8; 1];
+        stream.read_exact(&mut ack).map_err(|_| {
+            PublishFailure::Retry(TransportError::Protocol(
+                "hub closed before acknowledging the blob",
+            ))
+        })?;
+        match ack[0] {
+            wire::ACK => Ok(()),
+            wire::NAK => Err(PublishFailure::Retry(TransportError::Protocol(
+                "hub rejected the blob: buffer budget exhausted",
+            ))),
+            _ => Err(PublishFailure::Fatal(TransportError::Protocol(
+                "hub sent an unexpected ack byte",
+            ))),
+        }
     }
 }
 
 impl Transport for SocketPublisher {
     fn publish(&self, shard: usize, blob: &[u8]) -> Result<(), TransportError> {
-        let mut stream = TcpStream::connect(self.addr.as_str())?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        wire::write_frame(&mut stream, shard as u64, blob)?;
-        let mut ack = [0u8; 1];
-        stream
-            .read_exact(&mut ack)
-            .map_err(|_| TransportError::Protocol("hub closed before acknowledging the blob"))?;
-        if ack[0] != wire::ACK {
-            return Err(TransportError::Protocol("hub sent an unexpected ack byte"));
+        let mut backoff = self.initial_backoff;
+        let mut last = None;
+        for attempt in 0..self.attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            match self.try_publish(shard, blob) {
+                Ok(()) => return Ok(()),
+                Err(PublishFailure::Retry(error)) => last = Some(error),
+                Err(PublishFailure::Fatal(error)) => return Err(error),
+            }
         }
-        Ok(())
+        Err(last.expect("at least one attempt ran"))
     }
 
     fn fetch(&self, _shard: usize) -> Result<Option<Vec<u8>>, TransportError> {

@@ -16,9 +16,12 @@
 //!   [`SweepRunner`].
 //! * [`codec`] — the versioned, FNV-sealed binary request/response format
 //!   ([`PlanRequest`] / [`Response`]); decoding never panics.
-//! * [`server`] — a std-only, thread-per-connection TCP front-end
-//!   ([`PlanServer`]) over the shared [`wire`](crate::wire) framing, plus
-//!   the matching [`PlanClient`].
+//! * [`server`] — the std-only TCP front-end ([`PlanServer`]) over the
+//!   shared [`wire`](crate::wire) framing, plus the matching pipelined
+//!   [`PlanClient`].  On Linux it defaults to the epoll [`reactor`] (a
+//!   small fixed pool of event-loop threads driving every connection);
+//!   [`ThreadModel::Legacy`] keeps the original thread-per-connection
+//!   path, and the two are equivalence-tested byte-for-byte.
 //!
 //! # Determinism contract
 //!
@@ -53,14 +56,18 @@
 
 pub mod cache;
 pub mod codec;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
+#[cfg(target_os = "linux")]
+pub mod sys;
 
 pub use cache::{PlanCache, PlanKey};
 pub use codec::{
     PlanRequest, ProjectionRequest, Request, RequestEnvelope, Response, ResponseEnvelope,
     WireCodecError, WireContext, WireLink, WirePlan, WireProjection,
 };
-pub use server::{ClientError, PlanClient, PlanServer};
+pub use server::{ClientError, PlanClient, PlanServer, ServeConfig, ThreadModel};
 
 use crate::partition::{PartitionContext, PartitionOptimizer};
 use crate::population::LinkCache;
@@ -90,6 +97,8 @@ pub struct ServeStats {
     pub cache_hits: u64,
     /// Plan queries that required a fresh optimisation.
     pub cache_misses: u64,
+    /// Memoized plans displaced by CLOCK eviction (0 when unbounded).
+    pub cache_evictions: u64,
     /// Distinct plan keys currently memoized.
     pub cached_plans: u64,
 }
@@ -212,6 +221,16 @@ impl PlanService {
         self
     }
 
+    /// Bounds the plan cache to `capacity` resident entries, evicting by
+    /// deterministic CLOCK beyond that (see [`PlanCache::bounded`]).
+    /// Eviction never changes answers — an evicted key re-optimises to the
+    /// same bytes — only the hit rate.
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = Some(Mutex::new(PlanCache::bounded(capacity)));
+        self
+    }
+
     /// Replaces the sweep runner batches evaluate through.
     #[must_use]
     pub fn with_runner(mut self, runner: SweepRunner) -> Self {
@@ -234,12 +253,17 @@ impl PlanService {
     /// A counter snapshot.
     #[must_use]
     pub fn stats(&self) -> ServeStats {
-        let (cache_hits, cache_misses, cached_plans) = match &self.cache {
+        let (cache_hits, cache_misses, cache_evictions, cached_plans) = match &self.cache {
             Some(cache) => {
                 let cache = cache.lock().expect("plan cache poisoned");
-                (cache.hits(), cache.misses(), cache.len() as u64)
+                (
+                    cache.hits(),
+                    cache.misses(),
+                    cache.evictions(),
+                    cache.len() as u64,
+                )
             }
-            None => (0, 0, 0),
+            None => (0, 0, 0, 0),
         };
         ServeStats {
             requests: self.requests.load(Ordering::Relaxed),
@@ -247,6 +271,7 @@ impl PlanService {
             projection_queries: self.projection_queries.load(Ordering::Relaxed),
             cache_hits,
             cache_misses,
+            cache_evictions,
             cached_plans,
         }
     }

@@ -1,12 +1,25 @@
-//! The std-only, thread-per-connection TCP front-end and its client.
+//! The std-only TCP front-end and its pipelined client.
 //!
 //! Transport is the shared [`wire`] framing (`tag u64 BE ·
 //! length u64 BE · payload`) that also carries fleet checkpoint blobs; the
 //! payloads are the sealed [`codec`] envelopes.  One frame
 //! carries one request batch; the reply frame echoes the request tag so a
-//! client can detect crossed wires.
+//! client can match responses to submissions (and pipeline several).
 //!
-//! Error containment is per-layer:
+//! Two thread models serve the same protocol ([`ThreadModel`]):
+//!
+//! * **Reactor** (Linux default) — a small fixed pool of epoll event-loop
+//!   threads drives *all* connections through nonblocking state machines
+//!   (see [`reactor`](super::reactor)).  Throughput scales with
+//!   connections, not OS threads.
+//! * **Legacy** — the original acceptor + one blocking thread per
+//!   connection.  Kept as the `--threads legacy` escape hatch and as the
+//!   equivalence baseline: both modes answer byte-identical responses,
+//!   which the serve test suite asserts across the full matrix.
+//!
+//! Both modes funnel every completed frame through one `handle_frame`, so
+//! protocol semantics cannot drift between them.  Error containment is
+//! per-layer:
 //!
 //! * A **frame** violation (oversized length, truncated header, I/O error)
 //!   drops the connection — framing is the resynchronization boundary, and
@@ -17,6 +30,9 @@
 //!   *stays open* — the frame boundary was intact, so the next frame is
 //!   still well-delimited.
 //! * A **semantic** error (infeasible workload) is a normal, typed answer.
+//! * A peer that stalls **mid-frame** (or refuses to read its responses)
+//!   beyond [`ServeConfig::idle_timeout`] is dropped — the slow-loris
+//!   guard.  A connection idle *between* frames is left alone.
 //!
 //! Shutdown is wire-level: any client may send the
 //! [`RequestEnvelope::Shutdown`] envelope; the server answers `Bye`, stops
@@ -28,44 +44,116 @@ use super::codec::{
     self, Request, RequestEnvelope, Response, ResponseEnvelope, WireCodecError, MAX_SERVE_FRAME,
 };
 use super::PlanService;
-use crate::wire::{self, FrameError};
-use std::io;
+use crate::wire::{self, FrameDecoder, FrameError};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
-/// A running plan server: an acceptor thread plus one detached thread per
-/// live connection, all answering out of one shared [`PlanService`].
+/// How connections are driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadModel {
+    /// Epoll event-loop pool (Linux; [`PlanServer::bind`]'s default there).
+    /// On other platforms this model falls back to [`Legacy`](Self::Legacy).
+    Reactor {
+        /// Event-loop threads sharing the listener (clamped to ≥ 1).
+        event_loops: usize,
+    },
+    /// The original acceptor + thread-per-connection model.
+    Legacy,
+}
+
+impl ThreadModel {
+    /// The platform default: a reactor on Linux with one event loop per
+    /// core (capped at 4 — plan serving is I/O-light, so a few loops
+    /// saturate well before the core count on big hosts, and a single loop
+    /// avoids pointless context switching on small ones), legacy elsewhere.
+    #[must_use]
+    pub fn default_for_platform() -> Self {
+        if cfg!(target_os = "linux") {
+            let cores = thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
+            Self::Reactor {
+                event_loops: cores.clamp(1, 4),
+            }
+        } else {
+            Self::Legacy
+        }
+    }
+}
+
+/// Server knobs beyond the bind address.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Connection-driving model (see [`ThreadModel`]).
+    pub threads: ThreadModel,
+    /// Drop a connection stalled mid-frame (or with unread responses) for
+    /// longer than this; `None` disables the guard.  Idle-but-between-frames
+    /// connections are never dropped, so keep-alive clients survive.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            threads: ThreadModel::default_for_platform(),
+            idle_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// A running plan server: a worker pool (reactor loops, or an acceptor
+/// spawning per-connection threads) answering out of one shared
+/// [`PlanService`].
 #[derive(Debug)]
 pub struct PlanServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
     service: Arc<PlanService>,
 }
 
 impl PlanServer {
-    /// Binds an ephemeral loopback port and starts serving.
+    /// Binds an ephemeral loopback port and serves with default config
+    /// (reactor mode on Linux).
     pub fn bind(service: PlanService) -> io::Result<Self> {
         Self::bind_addr("127.0.0.1:0", service)
     }
 
-    /// Binds `addr` and starts serving.
+    /// Binds `addr` and serves with default config.
     pub fn bind_addr(addr: impl ToSocketAddrs, service: PlanService) -> io::Result<Self> {
+        Self::bind_with(addr, service, ServeConfig::default())
+    }
+
+    /// Binds `addr` and serves with explicit [`ServeConfig`].
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        service: PlanService,
+        config: ServeConfig,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let service = Arc::new(service);
-        let acceptor = {
-            let stop = Arc::clone(&stop);
-            let service = Arc::clone(&service);
-            thread::spawn(move || accept_loop(&listener, addr, &stop, &service))
+        let workers = match config.threads {
+            #[cfg(target_os = "linux")]
+            ThreadModel::Reactor { event_loops } => {
+                super::reactor::spawn(&listener, &service, &stop, event_loops, config.idle_timeout)?
+            }
+            #[cfg(not(target_os = "linux"))]
+            ThreadModel::Reactor { .. } => {
+                spawn_legacy(listener, addr, &stop, &service, config.idle_timeout)?
+            }
+            ThreadModel::Legacy => {
+                spawn_legacy(listener, addr, &stop, &service, config.idle_timeout)?
+            }
         };
         Ok(Self {
             addr,
             stop,
-            acceptor: Some(acceptor),
+            workers,
             service,
         })
     }
@@ -82,24 +170,29 @@ impl PlanServer {
         &self.service
     }
 
-    /// Blocks until a client-initiated shutdown stops the acceptor, then
+    /// Blocks until a client-initiated shutdown stops the workers, then
     /// returns the service for a final counter snapshot.
     pub fn wait(mut self) -> Arc<PlanService> {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
         Arc::clone(&self.service)
     }
 
-    /// Stops the acceptor from the owning side (idempotent; also run by
-    /// `Drop`).  Live connections finish their current frame and notice the
-    /// flag on the next accept — in-flight answers are never truncated.
+    /// Stops the server from the owning side (idempotent; also run by
+    /// `Drop`).  Reactor loops notice the flag within one tick and flush
+    /// what they owe; the legacy acceptor is poked out of its blocking
+    /// `accept` — in-flight answers are never truncated.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(acceptor) = self.acceptor.take() {
-            // Poke the blocking `accept` so the loop observes the flag.
-            let _ = TcpStream::connect(self.addr);
-            let _ = acceptor.join();
+        if self.workers.is_empty() {
+            return;
+        }
+        // Poke a blocking legacy `accept` so the loop observes the flag
+        // (a reactor accepts-then-drops the probe; harmless).
+        let _ = TcpStream::connect(self.addr);
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
     }
 }
@@ -110,11 +203,71 @@ impl Drop for PlanServer {
     }
 }
 
+/// What a handled frame means for the connection's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FrameDisposition {
+    /// Keep answering frames.
+    KeepOpen,
+    /// Flush the appended reply (`Bye`), then close.
+    CloseAfterFlush,
+}
+
+/// The single protocol step both thread models share: decode one frame's
+/// payload, append the tagged reply frame to `out`, report what happens to
+/// the connection next.  Keeping this common is what makes reactor/legacy
+/// byte-equivalence structural rather than coincidental.
+pub(crate) fn handle_frame(
+    service: &PlanService,
+    stop: &AtomicBool,
+    tag: u64,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) -> FrameDisposition {
+    match codec::decode_request(payload) {
+        Ok(RequestEnvelope::Queries(requests)) => {
+            let answers = service.answer_batch(&requests);
+            wire::append_frame(out, tag, &codec::encode_responses(&answers));
+            FrameDisposition::KeepOpen
+        }
+        Ok(RequestEnvelope::Shutdown) => {
+            wire::append_frame(out, tag, &codec::encode_bye());
+            stop.store(true, Ordering::SeqCst);
+            FrameDisposition::CloseAfterFlush
+        }
+        Err(error) => {
+            // The frame was well-delimited, so the stream is still in
+            // sync: answer with a typed error and keep the connection.
+            let reply =
+                codec::encode_responses(&[Response::Error(format!("bad request: {error}"))]);
+            wire::append_frame(out, tag, &reply);
+            FrameDisposition::KeepOpen
+        }
+    }
+}
+
+/// Spawns the legacy acceptor thread (which in turn spawns one detached
+/// thread per connection).
+fn spawn_legacy(
+    listener: TcpListener,
+    addr: SocketAddr,
+    stop: &Arc<AtomicBool>,
+    service: &Arc<PlanService>,
+    idle_timeout: Option<Duration>,
+) -> io::Result<Vec<JoinHandle<()>>> {
+    let stop = Arc::clone(stop);
+    let service = Arc::clone(service);
+    let acceptor = thread::Builder::new()
+        .name("serve-acceptor".into())
+        .spawn(move || accept_loop(&listener, addr, &stop, &service, idle_timeout))?;
+    Ok(vec![acceptor])
+}
+
 fn accept_loop(
     listener: &TcpListener,
     addr: SocketAddr,
     stop: &Arc<AtomicBool>,
     service: &Arc<PlanService>,
+    idle_timeout: Option<Duration>,
 ) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
@@ -128,41 +281,66 @@ fn accept_loop(
         let service = Arc::clone(service);
         thread::spawn(move || {
             // Per-connection errors stay on the connection.
-            let _ = serve_connection(stream, addr, &stop, &service);
+            let _ = serve_connection(stream, addr, &stop, &service, idle_timeout);
         });
     }
 }
 
-/// Answers frames on one connection until the peer disconnects, violates
-/// framing, or requests shutdown.
+/// Answers frames on one legacy connection until the peer disconnects,
+/// violates framing, stalls mid-frame beyond the idle timeout, or requests
+/// shutdown.  Runs the same incremental [`FrameDecoder`] as the reactor, so
+/// chunked delivery and pipelined bursts behave identically: every frame
+/// completed by one read is answered, and the replies leave as one write.
 fn serve_connection(
     mut stream: TcpStream,
     addr: SocketAddr,
     stop: &AtomicBool,
     service: &PlanService,
+    idle_timeout: Option<Duration>,
 ) -> Result<(), FrameError> {
+    stream.set_read_timeout(idle_timeout)?;
+    stream.set_write_timeout(idle_timeout)?;
+    let mut decoder = FrameDecoder::new(MAX_SERVE_FRAME);
+    let mut buf = [0u8; 16 * 1024];
+    let mut frames: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut out: Vec<u8> = Vec::new();
     loop {
-        let (tag, payload) = wire::read_frame(&mut stream, MAX_SERVE_FRAME)?;
-        match codec::decode_request(&payload) {
-            Ok(RequestEnvelope::Queries(requests)) => {
-                let answers = service.answer_batch(&requests);
-                let reply = codec::encode_responses(&answers);
-                wire::write_frame(&mut stream, tag, &reply)?;
+        match stream.read(&mut buf) {
+            Ok(0) => return Ok(()), // peer EOF
+            Ok(got) => {
+                frames.clear();
+                decoder.feed(&buf[..got], &mut frames)?;
+                out.clear();
+                let mut close = false;
+                for (tag, payload) in frames.drain(..) {
+                    match handle_frame(service, stop, tag, &payload, &mut out) {
+                        FrameDisposition::KeepOpen => {}
+                        FrameDisposition::CloseAfterFlush => {
+                            close = true;
+                            break;
+                        }
+                    }
+                }
+                stream.write_all(&out)?;
+                if close {
+                    let _ = stream.flush();
+                    // Poke the acceptor out of its blocking `accept`.
+                    let _ = TcpStream::connect(addr);
+                    return Ok(());
+                }
             }
-            Ok(RequestEnvelope::Shutdown) => {
-                wire::write_frame(&mut stream, tag, &codec::encode_bye())?;
-                stop.store(true, Ordering::SeqCst);
-                // Poke the acceptor out of its blocking `accept`.
-                let _ = TcpStream::connect(addr);
-                return Ok(());
+            Err(error)
+                if error.kind() == io::ErrorKind::WouldBlock
+                    || error.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Read timeout fired.  Mid-frame = slow-loris: drop.  Idle
+                // between frames: keep waiting for the next request.
+                if decoder.mid_frame() {
+                    return Err(FrameError::Io(error));
+                }
             }
-            Err(error) => {
-                // The frame was well-delimited, so the stream is still in
-                // sync: answer with a typed error and keep the connection.
-                let reply =
-                    codec::encode_responses(&[Response::Error(format!("bad request: {error}"))]);
-                wire::write_frame(&mut stream, tag, &reply)?;
-            }
+            Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+            Err(error) => return Err(error.into()),
         }
     }
 }
@@ -174,7 +352,8 @@ pub enum ClientError {
     Frame(FrameError),
     /// The server's payload failed to decode.
     Codec(WireCodecError),
-    /// The server answered with a well-formed but unexpected envelope.
+    /// The server answered with a well-formed but unexpected envelope, or
+    /// the pipeline was misused (full, undrained, unknown tag).
     Protocol(&'static str),
 }
 
@@ -208,11 +387,45 @@ impl From<WireCodecError> for ClientError {
     }
 }
 
-/// A blocking plan-server client over one TCP connection.
+/// Default bound on a client's in-flight request frames.
+const DEFAULT_PIPELINE: usize = 32;
+
+/// A blocking, pipelined plan-server client over one TCP connection.
+///
+/// Two usage styles share the connection state:
+///
+/// * **One-shot** ([`query`](Self::query) / [`ask`](Self::ask)) — submit,
+///   wait, return: exactly the PR 7 API, preserved unchanged.
+/// * **Pipelined** ([`submit`](Self::submit) / [`recv`](Self::recv) /
+///   [`take`](Self::take)) — up to K tagged request frames ride the socket
+///   before the first reply is consumed, amortising syscalls and flight
+///   time.  Submissions are buffered and flushed lazily (on
+///   [`flush`](Self::flush) or first receive), so a burst of submissions
+///   leaves as one write.  Replies are matched by echoed tag:
+///   [`take`](Self::take) consumes a *specific* submission's answer
+///   regardless of consumption order, stashing any replies that arrive
+///   ahead of it — out-of-order completion is safe by construction.
 #[derive(Debug)]
 pub struct PlanClient {
     stream: TcpStream,
     next_tag: u64,
+    /// Buffered request frames not yet written to the socket.
+    out: Vec<u8>,
+    /// `(tag, expected answer count)` of every unconsumed submission, in
+    /// submission order.  A linear scan: the pipeline is bounded and
+    /// shallow, so this beats hashing on the per-frame hot path.
+    inflight: Vec<(u64, usize)>,
+    /// Replies read off the wire but not yet consumed, in arrival order.
+    ready: VecDeque<(u64, Vec<Response>)>,
+    max_inflight: usize,
+    /// Incremental reassembly of reply frames from buffered socket reads.
+    decoder: wire::FrameDecoder,
+    /// Reply frames reassembled but not yet matched to a submission.
+    frames: VecDeque<(u64, Vec<u8>)>,
+    /// Reusable socket read buffer: one `read` drains every reply the
+    /// kernel has queued, so a deep pipeline costs ~one syscall per burst
+    /// rather than two per frame.
+    scratch: Vec<u8>,
 }
 
 impl PlanClient {
@@ -223,23 +436,152 @@ impl PlanClient {
         Ok(Self {
             stream,
             next_tag: 1,
+            out: Vec::new(),
+            inflight: Vec::new(),
+            ready: VecDeque::new(),
+            max_inflight: DEFAULT_PIPELINE,
+            decoder: wire::FrameDecoder::new(MAX_SERVE_FRAME),
+            frames: VecDeque::new(),
+            scratch: vec![0u8; 16 * 1024],
         })
     }
 
-    /// Sends one request batch and returns the positional answers.
-    pub fn query(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
-        let payload = codec::encode_requests(requests);
-        let answers = match self.round_trip(&payload)? {
-            ResponseEnvelope::Answers(answers) => answers,
-            ResponseEnvelope::Bye => return Err(ClientError::Protocol("unsolicited bye")),
-        };
-        if answers.len() != requests.len() {
-            return Err(ClientError::Protocol("answer count mismatch"));
+    /// Caps the pipeline at `depth` in-flight submissions (clamped to ≥ 1;
+    /// default 32).
+    #[must_use]
+    pub fn with_pipeline(mut self, depth: usize) -> Self {
+        self.max_inflight = depth.max(1);
+        self
+    }
+
+    /// Unconsumed submissions (including replies already stashed).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len() + self.ready.len()
+    }
+
+    /// Queues one request batch, returning its tag for [`take`](Self::take).
+    /// The frame is buffered; it reaches the socket on [`flush`](Self::flush)
+    /// or the next receive.
+    ///
+    /// # Errors
+    /// [`ClientError::Protocol`] when the pipeline is full.
+    pub fn submit(&mut self, requests: &[Request]) -> Result<u64, ClientError> {
+        if self.in_flight() >= self.max_inflight {
+            return Err(ClientError::Protocol("pipeline full"));
         }
-        Ok(answers)
+        let tag = self.next_tag;
+        self.next_tag = self.next_tag.wrapping_add(1);
+        wire::append_frame(&mut self.out, tag, &codec::encode_requests(requests));
+        self.inflight.push((tag, requests.len()));
+        Ok(tag)
+    }
+
+    /// Writes every buffered submission to the socket in one write.
+    ///
+    /// # Errors
+    /// The socket write failure, as [`ClientError::Frame`].
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        if !self.out.is_empty() {
+            self.stream.write_all(&self.out)?;
+            self.out.clear();
+        }
+        Ok(())
+    }
+
+    /// The next reply frame off the wire, via buffered reads: blocks until
+    /// at least one frame completes, reassembling through the same
+    /// [`wire::FrameDecoder`] the reactor uses (identical cap and typed
+    /// errors to the blocking [`wire::read_frame`] path).
+    fn next_frame(&mut self) -> Result<(u64, Vec<u8>), ClientError> {
+        loop {
+            if let Some(frame) = self.frames.pop_front() {
+                return Ok(frame);
+            }
+            let got = self.stream.read(&mut self.scratch)?;
+            if got == 0 {
+                return Err(ClientError::Frame(wire::FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed mid-reply",
+                ))));
+            }
+            let mut batch = Vec::new();
+            self.decoder.feed(&self.scratch[..got], &mut batch)?;
+            self.frames.extend(batch);
+        }
+    }
+
+    /// Reads one reply frame into `(tag, answers)`, validating the tag and
+    /// answer count against the matching submission.
+    fn read_reply(&mut self) -> Result<(u64, Vec<Response>), ClientError> {
+        self.flush()?;
+        let (tag, payload) = self.next_frame()?;
+        let Some(position) = self.inflight.iter().position(|(flying, _)| *flying == tag) else {
+            return Err(ClientError::Protocol("reply tag not in flight"));
+        };
+        let (_, expected) = self.inflight.swap_remove(position);
+        match codec::decode_response(&payload)? {
+            ResponseEnvelope::Answers(answers) if answers.len() == expected => Ok((tag, answers)),
+            ResponseEnvelope::Answers(_) => Err(ClientError::Protocol("answer count mismatch")),
+            ResponseEnvelope::Bye => Err(ClientError::Protocol("unsolicited bye")),
+        }
+    }
+
+    /// The next completed submission in arrival order, as `(tag, answers)`.
+    /// Flushes buffered submissions first, so `submit*N` then `recv*N`
+    /// cannot deadlock.
+    ///
+    /// # Errors
+    /// [`ClientError::Protocol`] when nothing is in flight; otherwise any
+    /// transport/codec failure.
+    pub fn recv(&mut self) -> Result<(u64, Vec<Response>), ClientError> {
+        if let Some(front) = self.ready.pop_front() {
+            return Ok(front);
+        }
+        if self.inflight.is_empty() {
+            return Err(ClientError::Protocol("nothing in flight"));
+        }
+        self.read_reply()
+    }
+
+    /// The answers for one *specific* submission, regardless of the order
+    /// replies are consumed in: replies for other tags that arrive first
+    /// are stashed and later returned by [`recv`](Self::recv)/`take`.
+    ///
+    /// # Errors
+    /// [`ClientError::Protocol`] when `tag` was never submitted (or already
+    /// consumed); otherwise any transport/codec failure.
+    pub fn take(&mut self, tag: u64) -> Result<Vec<Response>, ClientError> {
+        loop {
+            if let Some(position) = self.ready.iter().position(|(ready, _)| *ready == tag) {
+                return Ok(self.ready.remove(position).expect("position is valid").1);
+            }
+            if !self.inflight.iter().any(|(flying, _)| *flying == tag) {
+                return Err(ClientError::Protocol("tag not in flight"));
+            }
+            let reply = self.read_reply()?;
+            self.ready.push_back(reply);
+        }
+    }
+
+    /// Sends one request batch and returns the positional answers (the
+    /// one-shot API; requires a drained pipeline).
+    ///
+    /// # Errors
+    /// [`ClientError::Protocol`] on an undrained pipeline or a server
+    /// protocol violation; otherwise any transport/codec failure.
+    pub fn query(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        if self.in_flight() > 0 {
+            return Err(ClientError::Protocol("pipeline not drained"));
+        }
+        let tag = self.submit(requests)?;
+        self.take(tag)
     }
 
     /// Sends one query (a batch of one).
+    ///
+    /// # Errors
+    /// As [`query`](Self::query).
     pub fn ask(&mut self, request: Request) -> Result<Response, ClientError> {
         Ok(self
             .query(std::slice::from_ref(&request))?
@@ -248,24 +590,36 @@ impl PlanClient {
     }
 
     /// Requests a server shutdown and consumes the connection; returns once
-    /// the server acknowledged with `Bye`.
+    /// the server acknowledged with `Bye`.  Undrained pipelined replies are
+    /// read and discarded on the way (the server answers earlier frames
+    /// before the `Bye`) — drain with [`recv`](Self::recv) first if they
+    /// matter.
+    ///
+    /// # Errors
+    /// Any transport/codec failure, or [`ClientError::Protocol`] when the
+    /// server answers something other than the expected `Bye`.
     pub fn shutdown(mut self) -> Result<(), ClientError> {
-        match self.round_trip(&codec::encode_shutdown())? {
-            ResponseEnvelope::Bye => Ok(()),
-            ResponseEnvelope::Answers(_) => {
-                Err(ClientError::Protocol("answers to a shutdown request"))
-            }
-        }
-    }
-
-    fn round_trip(&mut self, payload: &[u8]) -> Result<ResponseEnvelope, ClientError> {
         let tag = self.next_tag;
         self.next_tag = self.next_tag.wrapping_add(1);
-        wire::write_frame(&mut self.stream, tag, payload)?;
-        let (reply_tag, reply) = wire::read_frame(&mut self.stream, MAX_SERVE_FRAME)?;
-        if reply_tag != tag {
-            return Err(ClientError::Protocol("reply tag mismatch"));
+        wire::append_frame(&mut self.out, tag, &codec::encode_shutdown());
+        self.flush()?;
+        loop {
+            let (reply_tag, payload) = self.next_frame()?;
+            match codec::decode_response(&payload)? {
+                ResponseEnvelope::Bye if reply_tag == tag => return Ok(()),
+                ResponseEnvelope::Bye => return Err(ClientError::Protocol("bye to a stale tag")),
+                ResponseEnvelope::Answers(_) => {
+                    // A pipelined reply outrunning the Bye: discard.
+                    let Some(position) = self
+                        .inflight
+                        .iter()
+                        .position(|(flying, _)| *flying == reply_tag)
+                    else {
+                        return Err(ClientError::Protocol("answers to a shutdown request"));
+                    };
+                    self.inflight.swap_remove(position);
+                }
+            }
         }
-        Ok(codec::decode_response(&reply)?)
     }
 }

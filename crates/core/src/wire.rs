@@ -40,6 +40,12 @@ use std::io::{Read, Write};
 /// frame's payload (used by the blob transport's publish/ack exchange).
 pub const ACK: u8 = 0x06;
 
+/// The single-byte *negative* acknowledgement: the frame was well-formed
+/// but the receiver refused to store its payload (e.g. the blob hub's
+/// buffer budget is exhausted).  The sender may retry later — unlike a
+/// framing violation, a NAK leaves the protocol state clean.
+pub const NAK: u8 = 0x15;
+
 /// Why a frame could not be read.
 #[derive(Debug)]
 pub enum FrameError {
@@ -83,6 +89,20 @@ impl From<std::io::Error> for FrameError {
     }
 }
 
+/// Appends one `tag · length · payload` frame to an in-memory buffer
+/// without any I/O.
+///
+/// This is the building block both senders share: the blocking
+/// [`write_frame`] wraps it around a single `write_all`, and the pipelined
+/// client / reactor write paths accumulate several frames in one buffer so
+/// a burst of responses leaves in one syscall.
+pub fn append_frame(buffer: &mut Vec<u8>, tag: u64, payload: &[u8]) {
+    buffer.reserve(16 + payload.len());
+    buffer.extend_from_slice(&tag.to_be_bytes());
+    buffer.extend_from_slice(&(payload.len() as u64).to_be_bytes());
+    buffer.extend_from_slice(payload);
+}
+
 /// Writes one `tag · length · payload` frame and flushes the writer.
 ///
 /// Header and payload go out as a single `write_all`: request/response
@@ -95,9 +115,7 @@ impl From<std::io::Error> for FrameError {
 /// once the flush returns.
 pub fn write_frame(writer: &mut impl Write, tag: u64, payload: &[u8]) -> std::io::Result<()> {
     let mut frame = Vec::with_capacity(16 + payload.len());
-    frame.extend_from_slice(&tag.to_be_bytes());
-    frame.extend_from_slice(&(payload.len() as u64).to_be_bytes());
-    frame.extend_from_slice(payload);
+    append_frame(&mut frame, tag, payload);
     writer.write_all(&frame)?;
     writer.flush()
 }
@@ -119,6 +137,132 @@ pub fn read_frame(reader: &mut impl Read, cap: u64) -> Result<(u64, Vec<u8>), Fr
     let mut payload = vec![0u8; usize::try_from(len).expect("cap fits usize")];
     reader.read_exact(&mut payload)?;
     Ok((tag, payload))
+}
+
+/// Incremental, I/O-free frame assembly for nonblocking readers.
+///
+/// A readiness-driven connection receives bytes in whatever chunks the
+/// kernel hands it — half a header, three frames and a prefix, one byte at a
+/// time.  The decoder is the state machine that turns that stream back into
+/// frames: header-partial → payload-partial → complete, over and over, with
+/// the exact semantics of the blocking [`read_frame`]:
+///
+/// * the payload cap is enforced as soon as the 16 header bytes are
+///   assembled, **before** any payload allocation (`cap-before-allocate`);
+/// * frames come out in stream order, byte-identical to what repeated
+///   [`read_frame`] calls would return (property-tested against it over
+///   random chunk boundaries in `crates/core/tests/wire_decoder.rs`);
+/// * a violation is sticky — after [`FrameError::Oversized`] the stream has
+///   no findable next boundary, so every later [`feed`](Self::feed) repeats
+///   the error and the connection must be dropped.
+///
+/// # Example
+///
+/// ```
+/// use hidwa_core::wire::FrameDecoder;
+///
+/// let mut wire: Vec<u8> = Vec::new();
+/// hidwa_core::wire::write_frame(&mut wire, 7, b"payload").unwrap();
+/// let mut decoder = FrameDecoder::new(1024);
+/// let mut frames = Vec::new();
+/// // Delivered as two arbitrary chunks:
+/// decoder.feed(&wire[..5], &mut frames).unwrap();
+/// assert!(frames.is_empty() && decoder.mid_frame());
+/// decoder.feed(&wire[5..], &mut frames).unwrap();
+/// assert_eq!(frames, vec![(7, b"payload".to_vec())]);
+/// assert!(!decoder.mid_frame());
+/// ```
+#[derive(Debug)]
+pub struct FrameDecoder {
+    cap: u64,
+    /// Header bytes assembled so far (meaningful while `payload_need` is
+    /// `None`).
+    header: [u8; 16],
+    header_filled: usize,
+    /// `Some(len)` once a header committed to a payload of `len` bytes.
+    payload_need: Option<usize>,
+    payload: Vec<u8>,
+    tag: u64,
+    /// A framing violation observed earlier; replayed on every later feed.
+    poisoned: Option<(u64, u64)>,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `cap` on every frame's payload length.
+    #[must_use]
+    pub fn new(cap: u64) -> Self {
+        Self {
+            cap,
+            header: [0u8; 16],
+            header_filled: 0,
+            payload_need: None,
+            payload: Vec::new(),
+            tag: 0,
+            poisoned: None,
+        }
+    }
+
+    /// Whether the decoder sits in the middle of a frame (a partial header
+    /// or a partial payload).  This is what idle-timeout enforcement keys
+    /// on: a peer that stalls *mid-frame* is a slow-loris, a peer idle
+    /// *between* frames is just quiet.
+    #[must_use]
+    pub fn mid_frame(&self) -> bool {
+        self.header_filled > 0 || self.payload_need.is_some()
+    }
+
+    /// Feeds one received chunk, appending every frame it completes (in
+    /// stream order) to `frames`.
+    ///
+    /// # Errors
+    /// [`FrameError::Oversized`] when a header's length prefix exceeds the
+    /// cap — raised the moment the header is complete, before any payload
+    /// byte arrives or is allocated, and sticky thereafter.
+    pub fn feed(
+        &mut self,
+        mut chunk: &[u8],
+        frames: &mut Vec<(u64, Vec<u8>)>,
+    ) -> Result<(), FrameError> {
+        if let Some((len, cap)) = self.poisoned {
+            return Err(FrameError::Oversized { len, cap });
+        }
+        while !chunk.is_empty() || self.payload_need == Some(0) {
+            match self.payload_need {
+                None => {
+                    let take = (16 - self.header_filled).min(chunk.len());
+                    self.header[self.header_filled..self.header_filled + take]
+                        .copy_from_slice(&chunk[..take]);
+                    self.header_filled += take;
+                    chunk = &chunk[take..];
+                    if self.header_filled < 16 {
+                        break;
+                    }
+                    self.tag = u64::from_be_bytes(self.header[..8].try_into().expect("8 bytes"));
+                    let len = u64::from_be_bytes(self.header[8..].try_into().expect("8 bytes"));
+                    if len > self.cap {
+                        self.poisoned = Some((len, self.cap));
+                        return Err(FrameError::Oversized { len, cap: self.cap });
+                    }
+                    self.header_filled = 0;
+                    let need = usize::try_from(len).expect("cap fits usize");
+                    self.payload_need = Some(need);
+                    self.payload = Vec::with_capacity(need);
+                }
+                Some(need) => {
+                    let take = (need - self.payload.len()).min(chunk.len());
+                    self.payload.extend_from_slice(&chunk[..take]);
+                    chunk = &chunk[take..];
+                    if self.payload.len() == need {
+                        self.payload_need = None;
+                        frames.push((self.tag, std::mem::take(&mut self.payload)));
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

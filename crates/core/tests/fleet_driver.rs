@@ -336,6 +336,101 @@ fn socket_hub_drops_malformed_frames() {
     assert_eq!(hub.fetch(7).expect("fetch").as_deref(), Some(&b"fine"[..]));
 }
 
+#[test]
+fn publisher_rides_out_a_hub_restart_mid_publish() {
+    use hidwa_core::fleet::driver::transport::TransportError;
+    use std::time::Duration;
+
+    // Bind once to learn a free port, then take the hub down.
+    let addr = {
+        let hub = SocketHub::bind().expect("bind");
+        hub.addr()
+    };
+    let publisher = SocketPublisher::new(addr.to_string()).with_retry(8, Duration::from_millis(25));
+
+    // Publish against the dead hub from another thread: the first attempts
+    // are refused; the backoff budget must carry it across the restart.
+    let worker = std::thread::spawn(move || publisher.publish(4, b"survived the restart"));
+    std::thread::sleep(Duration::from_millis(80));
+    let hub = SocketHub::bind_addr(addr).expect("rebind the same port");
+    worker
+        .join()
+        .expect("publisher thread")
+        .expect("publish across restart");
+    assert_eq!(
+        hub.fetch(4).expect("fetch").as_deref(),
+        Some(&b"survived the restart"[..])
+    );
+
+    // A hub that never comes back exhausts the budget with a typed error.
+    let gone = {
+        let hub = SocketHub::bind().expect("bind");
+        hub.addr()
+    };
+    let err = SocketPublisher::new(gone.to_string())
+        .with_retry(2, Duration::from_millis(5))
+        .publish(0, b"nope")
+        .expect_err("no hub to publish to");
+    assert!(matches!(err, TransportError::Io(_)), "{err}");
+}
+
+#[test]
+fn hub_backpressure_naks_over_budget_blobs_until_drained() {
+    use hidwa_core::fleet::driver::transport::{HubLimits, TransportError};
+    use std::time::Duration;
+
+    let hub = SocketHub::bind_with(
+        ("127.0.0.1", 0),
+        HubLimits {
+            max_blob: 1024,
+            buffer_budget: 100,
+        },
+    )
+    .expect("bind with limits");
+    let one_shot = |addr: std::net::SocketAddr| {
+        SocketPublisher::new(addr.to_string()).with_retry(1, Duration::from_millis(1))
+    };
+
+    // Fill the budget, then watch the next publish get NAK-ed, not stored.
+    one_shot(hub.addr()).publish(0, &[0xAA; 80]).expect("fits");
+    assert_eq!(hub.buffered_bytes(), 80);
+    let err = one_shot(hub.addr())
+        .publish(1, &[0xBB; 40])
+        .expect_err("over budget");
+    assert!(
+        matches!(err, TransportError::Protocol(message) if message.contains("budget")),
+        "{err}"
+    );
+    assert!(hub.fetch(1).expect("fetch").is_none(), "NAK stores nothing");
+    assert_eq!(hub.buffered_bytes(), 80, "rejected bytes are not buffered");
+
+    // Re-publishing a resident shard frees its old bytes first.
+    one_shot(hub.addr())
+        .publish(0, &[0xCC; 90])
+        .expect("replace in place");
+    assert_eq!(hub.buffered_bytes(), 90);
+
+    // Draining (the coordinator consumed the blob) re-opens the budget —
+    // the ack-late half of reject-and-ack-late, and what a worker's retry
+    // budget rides on.
+    hub.discard(0).expect("coordinator drains");
+    one_shot(hub.addr())
+        .publish(1, &[0xBB; 40])
+        .expect("fits after drain");
+    assert_eq!(
+        hub.fetch(1).expect("fetch").as_deref(),
+        Some(&[0xBB; 40][..])
+    );
+
+    // A blob over the per-frame cap is a framing violation: dropped with
+    // no reply at all, and retries cannot help.
+    let err = one_shot(hub.addr())
+        .publish(2, &[0xDD; 2048])
+        .expect_err("over the frame cap");
+    assert!(matches!(err, TransportError::Protocol(_)), "{err}");
+    assert!(hub.fetch(2).expect("fetch").is_none());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

@@ -156,6 +156,103 @@ fn overrides_within_one_quantum_share_a_cache_entry() {
     assert!(matches!(c, codec::Response::Plan(_)));
 }
 
+/// The first `n` plan-grid requests, each canonicalizing to a distinct key.
+fn distinct_plans(n: usize) -> Vec<Request> {
+    let grid = plan_grid();
+    assert!(n <= grid.len());
+    grid.into_iter().take(n).collect()
+}
+
+#[test]
+fn bounded_cache_replays_a_cyclic_scan_with_analytic_counters() {
+    // A cyclic scan over N keys through a capacity-C cache with N > C is
+    // the analytic worst case for any recency-family policy (CLOCK
+    // included): the resident set is always the C most recently inserted
+    // keys, and the next key in the cycle is N−C insertions old — never
+    // resident.  Every access misses; every miss past the first C evicts.
+    const N: usize = 12;
+    const C: usize = 8;
+    const CYCLES: usize = 3;
+    let keys = distinct_plans(N);
+    let service = PlanService::new().with_cache_capacity(C);
+    let reference = PlanService::new().with_cache(false);
+    for cycle in 0..CYCLES {
+        for request in &keys {
+            let answer = service.answer(request);
+            assert_eq!(
+                codec::encode_responses(&[answer]).to_vec(),
+                codec::encode_responses(&[reference.answer(request)]).to_vec(),
+                "cycle {cycle} diverged from uncached recomputation"
+            );
+        }
+    }
+    let stats = service.stats();
+    let accesses = (N * CYCLES) as u64;
+    assert_eq!(
+        stats.cache_misses, accesses,
+        "cyclic scan: every access misses"
+    );
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.cache_evictions, accesses - C as u64);
+    assert_eq!(
+        stats.cached_plans, C as u64,
+        "resident set pinned at capacity"
+    );
+    assert_eq!(stats.hit_rate(), 0.0);
+}
+
+#[test]
+fn working_set_within_capacity_never_evicts() {
+    const N: usize = 6;
+    let keys = distinct_plans(N);
+    let service = PlanService::new().with_cache_capacity(8);
+    let first: Vec<_> = keys.iter().map(|request| service.answer(request)).collect();
+    let second: Vec<_> = keys.iter().map(|request| service.answer(request)).collect();
+    assert_eq!(
+        codec::encode_responses(&first).to_vec(),
+        codec::encode_responses(&second).to_vec()
+    );
+    let stats = service.stats();
+    assert_eq!(stats.cache_misses, N as u64);
+    assert_eq!(stats.cache_hits, N as u64);
+    assert_eq!(stats.cache_evictions, 0, "working set fits: no eviction");
+    assert_eq!(stats.cached_plans, N as u64);
+}
+
+#[test]
+fn evicted_then_refetched_keys_answer_byte_identical() {
+    // Capacity 1: two alternating keys evict each other on every access.
+    // Eviction must only ever cost recomputation, never change bytes.
+    let keys = distinct_plans(2);
+    let service = PlanService::new().with_cache_capacity(1);
+    let reference = PlanService::new().with_cache(false);
+    let reference_bytes: Vec<_> = keys
+        .iter()
+        .map(|request| codec::encode_responses(&[reference.answer(request)]).to_vec())
+        .collect();
+    for round in 0..2 {
+        for (request, expected) in keys.iter().zip(&reference_bytes) {
+            let answer = service.answer(request);
+            assert_eq!(
+                &codec::encode_responses(&[answer]).to_vec(),
+                expected,
+                "round {round}: evicted-then-refetched key changed bytes"
+            );
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(
+        stats.cache_misses, 4,
+        "every access re-misses at capacity 1"
+    );
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(
+        stats.cache_evictions, 3,
+        "every insert past the first evicts"
+    );
+    assert_eq!(stats.cached_plans, 1);
+}
+
 #[test]
 fn cache_equivalence_holds_across_runner_widths() {
     // The batch path evaluates misses through the sweep runner; answers and

@@ -158,6 +158,40 @@ fn every_single_bit_flip_is_rejected() {
 }
 
 #[test]
+fn every_single_bit_flip_survives_chunked_frame_delivery() {
+    // The bit-flip sweep extended through the nonblocking delivery path a
+    // reactor connection actually takes: each tampered envelope is framed,
+    // the framed stream is cut into 1/3/13-byte chunks and reassembled by
+    // `FrameDecoder`, and whatever comes out goes through the decoder
+    // codec.  Nothing on the path may panic, and nothing tampered may
+    // decode — frame reassembly must be corruption-neutral.
+    use hidwa_core::wire::FrameDecoder;
+    let blob = codec::encode_requests(&representative_requests()).to_vec();
+    for position in 0..blob.len() {
+        let bit = position % 8;
+        let mut tampered = blob.clone();
+        tampered[position] ^= 1 << bit;
+        let mut wire = Vec::new();
+        hidwa_core::wire::write_frame(&mut wire, position as u64, &tampered).unwrap();
+        for chunk_size in [1usize, 3, 13] {
+            let mut decoder = FrameDecoder::new(codec::MAX_SERVE_FRAME);
+            let mut frames = Vec::new();
+            for chunk in wire.chunks(chunk_size) {
+                decoder.feed(chunk, &mut frames).expect("framing is intact");
+            }
+            assert_eq!(frames.len(), 1, "one tampered frame reassembles");
+            let (tag, payload) = &frames[0];
+            assert_eq!(*tag, position as u64);
+            assert_eq!(payload, &tampered, "reassembly must not mask the flip");
+            assert!(
+                codec::decode_request(payload).is_err(),
+                "bit {bit} of byte {position} flipped, chunked at {chunk_size}, still decoded"
+            );
+        }
+    }
+}
+
+#[test]
 fn version_bump_with_resealed_checksum_is_refused_as_unsupported() {
     let mut future = codec::encode_requests(&representative_requests()).to_vec();
     future[9] = (WIRE_VERSION + 1) as u8; // version u16 BE at offset 8..10

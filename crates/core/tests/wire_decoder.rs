@@ -1,0 +1,178 @@
+//! Equivalence of the incremental [`FrameDecoder`] and the blocking
+//! [`read_frame`] — the property the reactor's correctness rests on.
+//!
+//! A readiness-driven connection sees the same byte stream a blocking one
+//! does, just cut into arbitrary chunks by the kernel.  These tests deliver
+//! identical streams both ways — whole to `read_frame`, randomly chunked to
+//! `FrameDecoder::feed` — and assert byte-identical frames and identical
+//! typed errors, including the cap-before-allocate `Oversized` rejection
+//! and its sticky replay.
+
+use hidwa_core::wire::{read_frame, write_frame, FrameDecoder, FrameError};
+use proptest::prelude::*;
+
+/// Frames drained from a stream plus the `Oversized` payload/cap pair if
+/// one was hit (`None` = clean EOF at a frame boundary).
+type DrainOutcome = (Vec<(u64, Vec<u8>)>, Option<(u64, u64)>);
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state
+}
+
+/// Drains `wire` through repeated blocking `read_frame` calls, returning
+/// the frames plus the `Oversized` payload/cap pair if one was hit
+/// (`None` = clean EOF at a frame boundary).
+fn blocking_reference(wire: &[u8], cap: u64) -> DrainOutcome {
+    let mut reader = wire;
+    let mut frames = Vec::new();
+    loop {
+        match read_frame(&mut reader, cap) {
+            Ok(frame) => frames.push(frame),
+            Err(FrameError::Oversized { len, cap }) => return (frames, Some((len, cap))),
+            Err(FrameError::Io(_)) => return (frames, None),
+        }
+    }
+}
+
+/// Drains `wire` through `FrameDecoder::feed` in pseudo-random chunks of
+/// 1..=`max_chunk` bytes, asserting that an `Oversized` error is sticky.
+fn chunked_decode(wire: &[u8], cap: u64, mut seed: u64, max_chunk: usize) -> DrainOutcome {
+    let mut decoder = FrameDecoder::new(cap);
+    let mut frames = Vec::new();
+    let mut offset = 0;
+    while offset < wire.len() {
+        let take = 1 + (lcg(&mut seed) >> 33) as usize % max_chunk;
+        let end = (offset + take).min(wire.len());
+        match decoder.feed(&wire[offset..end], &mut frames) {
+            Ok(()) => offset = end,
+            Err(FrameError::Oversized { len, cap }) => {
+                // Sticky: any later feed replays the violation and
+                // completes no further frames.
+                let before = frames.len();
+                assert!(matches!(
+                    decoder.feed(&[0u8; 4], &mut frames),
+                    Err(FrameError::Oversized { .. })
+                ));
+                assert_eq!(frames.len(), before);
+                return (frames, Some((len, cap)));
+            }
+            Err(FrameError::Io(_)) => unreachable!("feed never does I/O"),
+        }
+    }
+    (frames, None)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random frame sequences over random chunk boundaries: the decoder
+    /// reproduces the blocking reader's frames byte-for-byte.
+    #[test]
+    fn chunked_decoding_matches_blocking_reads(
+        payload_lens in prop::collection::vec(0usize..600, 0..7),
+        tag_seed in 0u64..u64::MAX,
+        chunk_seed in 0u64..u64::MAX,
+        max_chunk in 1usize..64,
+    ) {
+        let mut state = tag_seed;
+        let mut wire: Vec<u8> = Vec::new();
+        for &len in &payload_lens {
+            let tag = lcg(&mut state);
+            let payload: Vec<u8> = (0..len).map(|_| (lcg(&mut state) >> 56) as u8).collect();
+            write_frame(&mut wire, tag, &payload).unwrap();
+        }
+        let (expected, expected_error) = blocking_reference(&wire, 1024);
+        let (decoded, decoded_error) = chunked_decode(&wire, 1024, chunk_seed, max_chunk);
+        prop_assert_eq!(expected_error, None);
+        prop_assert_eq!(decoded_error, None);
+        prop_assert_eq!(&decoded, &expected);
+        prop_assert_eq!(decoded.len(), payload_lens.len());
+    }
+
+    /// A stream whose N-th frame lies about its length: both readers
+    /// return the same earlier frames and the same typed `Oversized`.
+    #[test]
+    fn oversized_frames_error_identically(
+        good_frames in 0usize..4,
+        lie in 1025u64..u64::MAX,
+        chunk_seed in 0u64..u64::MAX,
+        max_chunk in 1usize..48,
+    ) {
+        let mut wire: Vec<u8> = Vec::new();
+        for index in 0..good_frames {
+            write_frame(&mut wire, index as u64, &[0x5A; 33]).unwrap();
+        }
+        // A hand-built header claiming `lie` payload bytes (never sent).
+        wire.extend_from_slice(&77u64.to_be_bytes());
+        wire.extend_from_slice(&lie.to_be_bytes());
+        let (expected, expected_error) = blocking_reference(&wire, 1024);
+        let (decoded, decoded_error) = chunked_decode(&wire, 1024, chunk_seed, max_chunk);
+        prop_assert_eq!(expected_error, Some((lie, 1024)));
+        prop_assert_eq!(decoded_error, Some((lie, 1024)));
+        prop_assert_eq!(&decoded, &expected);
+        prop_assert_eq!(decoded.len(), good_frames);
+    }
+}
+
+#[test]
+fn byte_at_a_time_delivery_reassembles_exactly() {
+    let mut wire: Vec<u8> = Vec::new();
+    write_frame(&mut wire, 1, b"first").unwrap();
+    write_frame(&mut wire, u64::MAX, b"").unwrap();
+    write_frame(&mut wire, 3, &[0xCD; 257]).unwrap();
+    let mut decoder = FrameDecoder::new(1024);
+    let mut frames = Vec::new();
+    for byte in &wire {
+        decoder
+            .feed(std::slice::from_ref(byte), &mut frames)
+            .unwrap();
+    }
+    assert_eq!(
+        frames,
+        vec![
+            (1, b"first".to_vec()),
+            (u64::MAX, Vec::new()),
+            (3, vec![0xCD; 257]),
+        ]
+    );
+    assert!(!decoder.mid_frame());
+}
+
+#[test]
+fn one_chunk_with_many_frames_completes_them_in_order() {
+    let mut wire: Vec<u8> = Vec::new();
+    for tag in 0..50u64 {
+        write_frame(&mut wire, tag, &tag.to_be_bytes()).unwrap();
+    }
+    let mut decoder = FrameDecoder::new(64);
+    let mut frames = Vec::new();
+    decoder.feed(&wire, &mut frames).unwrap();
+    assert_eq!(frames.len(), 50);
+    for (index, (tag, payload)) in frames.iter().enumerate() {
+        assert_eq!(*tag, index as u64);
+        assert_eq!(payload.as_slice(), &(index as u64).to_be_bytes());
+    }
+}
+
+#[test]
+fn mid_frame_tracks_partial_headers_and_partial_payloads() {
+    let mut wire: Vec<u8> = Vec::new();
+    write_frame(&mut wire, 9, b"stalled").unwrap();
+    let mut decoder = FrameDecoder::new(1024);
+    let mut frames = Vec::new();
+    assert!(!decoder.mid_frame());
+    // Half a header: mid-frame (the slow-loris signature).
+    decoder.feed(&wire[..8], &mut frames).unwrap();
+    assert!(decoder.mid_frame());
+    // Full header, partial payload: still mid-frame.
+    decoder.feed(&wire[8..18], &mut frames).unwrap();
+    assert!(decoder.mid_frame());
+    assert!(frames.is_empty());
+    // Completion clears it.
+    decoder.feed(&wire[18..], &mut frames).unwrap();
+    assert!(!decoder.mid_frame());
+    assert_eq!(frames, vec![(9, b"stalled".to_vec())]);
+}

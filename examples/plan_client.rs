@@ -17,24 +17,51 @@
 //! `--shutdown` sends the wire-level shutdown envelope after the queries —
 //! the server acknowledges with `Bye` and exits cleanly (this is how CI's
 //! smoke test stops the server it started).
+//!
+//! `--stress <conns>x<depth>` replaces the walkthrough with a pipelined
+//! load generator: `conns` concurrent connections each keep `depth` tagged
+//! frames in flight over a sliding window, and every reply is verified
+//! byte-identical (through the response codec) against a locally computed
+//! reference.  CI drives the reactor smoke test with `--stress 64x8`.
+//! `--rounds <n>` sets frames per connection (default 50).
 
 use hidwa_core::partition::Objective;
 use hidwa_core::serve::codec::{
-    ModelId, PlanRequest, ProjectionRequest, Request, Response, WireContext, WireLink,
+    self, ModelId, PlanRequest, ProjectionRequest, Request, Response, WireContext, WireLink,
 };
 use hidwa_core::serve::{PlanClient, PlanServer, PlanService};
 use hidwa_eqs::body::BodySite;
 use hidwa_phy::RadioTechnology;
+use std::collections::VecDeque;
 
 fn main() {
     let mut connect: Option<String> = None;
     let mut shutdown = false;
+    let mut stress: Option<(usize, usize)> = None;
+    let mut rounds = 50usize;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--connect" => connect = Some(args.next().expect("--connect needs host:port")),
             "--shutdown" => shutdown = true,
-            other => panic!("unknown flag {other} (try --connect <host:port> / --shutdown)"),
+            "--stress" => {
+                let spec = args.next().expect("--stress needs <conns>x<depth>");
+                let (conns, depth) = spec
+                    .split_once('x')
+                    .and_then(|(c, d)| Some((c.parse().ok()?, d.parse().ok()?)))
+                    .filter(|&(c, d): &(usize, usize)| c > 0 && d > 0)
+                    .expect("--stress wants e.g. 64x8");
+                stress = Some((conns, depth));
+            }
+            "--rounds" => {
+                rounds = args
+                    .next()
+                    .and_then(|raw| raw.parse().ok())
+                    .expect("--rounds needs a positive integer");
+            }
+            other => panic!(
+                "unknown flag {other} (try --connect <host:port> / --shutdown / --stress 64x8)"
+            ),
         }
     }
 
@@ -53,6 +80,20 @@ fn main() {
             .addr()
             .to_string()
     });
+
+    if let Some((conns, depth)) = stress {
+        run_stress(&addr, conns, depth, rounds);
+        if shutdown {
+            let client = PlanClient::connect(addr.as_str()).expect("connect for shutdown");
+            client.shutdown().expect("server acknowledged shutdown");
+            println!("server acknowledged shutdown (bye)");
+            if let Some(server) = embedded {
+                server.wait();
+            }
+        }
+        println!("done");
+        return;
+    }
 
     println!("== plan_client: querying {addr} ==\n");
     let mut client = PlanClient::connect(addr.as_str()).expect("connect to plan server");
@@ -136,4 +177,97 @@ fn main() {
         }
     }
     println!("done");
+}
+
+/// Pipelined load generator: `conns` threads, each holding a connection with
+/// `depth` frames in flight, every reply byte-checked against a locally
+/// computed reference.  Panics (non-zero exit) on any divergence.
+fn run_stress(addr: &str, conns: usize, depth: usize, rounds: usize) {
+    // The frame cycle: four single-plan frames covering distinct models and
+    // links, so pipelined replies differ from each other and a tag mix-up
+    // cannot go unnoticed.
+    let frames: Vec<Vec<Request>> = vec![
+        vec![Request::Plan(PlanRequest {
+            model: ModelId::KeywordSpotting,
+            context: WireContext::of(WireLink::WiR),
+            objective: Objective::LeafEnergy,
+        })],
+        vec![Request::Plan(PlanRequest {
+            model: ModelId::ImuGesture,
+            context: WireContext::of(WireLink::Ble),
+            objective: Objective::Latency,
+        })],
+        vec![
+            Request::Plan(PlanRequest {
+                model: ModelId::VideoFeature,
+                context: WireContext::of(WireLink::Site(RadioTechnology::WiR, BodySite::Wrist)),
+                objective: Objective::EnergyDelayProduct,
+            }),
+            Request::Projection(ProjectionRequest { rate_bps: 4000.0 }),
+        ],
+        vec![Request::Plan(PlanRequest {
+            model: ModelId::EcgArrhythmia,
+            context: WireContext::of(WireLink::WiR),
+            objective: Objective::Latency,
+        })],
+    ];
+    let reference = PlanService::new().with_cache(false);
+    let expected: Vec<Vec<u8>> = frames
+        .iter()
+        .map(|frame| codec::encode_responses(&reference.answer_batch(frame)).to_vec())
+        .collect();
+
+    println!("== plan_client stress: {conns} conns × depth {depth} × {rounds} frames ==");
+    let started = std::time::Instant::now();
+    let workers: Vec<_> = (0..conns)
+        .map(|worker| {
+            let addr = addr.to_string();
+            let frames = frames.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = PlanClient::connect(addr.as_str())
+                    .expect("stress connect")
+                    .with_pipeline(depth);
+                let mut window: VecDeque<(u64, usize)> = VecDeque::new();
+                let mut served = 0u64;
+                for round in 0..rounds {
+                    let cycle = (worker + round) % frames.len();
+                    let tag = client.submit(&frames[cycle]).expect("submit");
+                    window.push_back((tag, cycle));
+                    if window.len() == depth {
+                        served += drain_one(&mut client, &mut window, &expected);
+                    }
+                }
+                while !window.is_empty() {
+                    served += drain_one(&mut client, &mut window, &expected);
+                }
+                served
+            })
+        })
+        .collect();
+    let served: u64 = workers
+        .into_iter()
+        .map(|worker| worker.join().expect("stress worker"))
+        .sum();
+    let elapsed = started.elapsed().as_secs_f64();
+    println!(
+        "stress ok: {served} answers verified byte-identical in {elapsed:.2}s ({:.0} frames/s)",
+        (conns * rounds) as f64 / elapsed
+    );
+}
+
+/// Pops the oldest in-flight frame, byte-checks its reply, returns answers.
+fn drain_one(
+    client: &mut PlanClient,
+    window: &mut VecDeque<(u64, usize)>,
+    expected: &[Vec<u8>],
+) -> u64 {
+    let (tag, cycle) = window.pop_front().expect("non-empty window");
+    let answers = client.take(tag).expect("pipelined reply");
+    assert_eq!(
+        codec::encode_responses(&answers).to_vec(),
+        expected[cycle],
+        "stress reply diverged from local reference (cycle {cycle})"
+    );
+    answers.len() as u64
 }
