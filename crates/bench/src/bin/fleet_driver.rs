@@ -26,6 +26,8 @@
 use hidwa_core::fleet::driver::{
     DriverFleetSpec, FleetDriver, PopulationSpec, ProcessExecutor, WorkerCommand,
 };
+use hidwa_core::fleet::{ChurnSpec, PolicyKind};
+use hidwa_core::population::ChurnModel;
 use hidwa_core::sweep::SweepRunner;
 use hidwa_units::TimeSpan;
 use std::process::ExitCode;
@@ -34,6 +36,8 @@ const USAGE: &str = "\
 usage: fleet_driver --bodies <n> [--shards <k> | --boundaries <a,b,..>]
                     [--base-seed <u64>] [--horizon-s <f64>] [--top-k <n>]
                     [--population <uniform|mixed>] [--spool-root <dir>]
+                    [--churn-rate <f64>] [--churn-fade <f64>]
+                    [--churn-policy <static-at-admission|reoptimize-on-change|hysteresis>]
                     [--worker-bin <path>] [--worker-threads <n>]
                     [--max-attempts <n>] [--inject-kill <shard>]
                     [--verify-single-stream] [--plan]
@@ -60,6 +64,9 @@ fn main() -> ExitCode {
     let mut top_k = None;
     let mut population = PopulationSpec::Uniform;
     let mut spool_root = "spool".to_string();
+    let mut churn_rate: Option<f64> = None;
+    let mut churn_fade: Option<f64> = None;
+    let mut churn_policy = PolicyKind::ReoptimizeOnChange;
     let mut worker_bin: Option<String> = None;
     let mut worker_threads = 1usize;
     let mut max_attempts = FleetDriver::DEFAULT_MAX_ATTEMPTS;
@@ -89,6 +96,9 @@ fn main() -> ExitCode {
                         .map_err(|error| error.to_string())?;
                 }
                 "--spool-root" => spool_root = value("--spool-root")?,
+                "--churn-rate" => churn_rate = Some(parse(&value("--churn-rate")?)?),
+                "--churn-fade" => churn_fade = Some(parse(&value("--churn-fade")?)?),
+                "--churn-policy" => churn_policy = PolicyKind::parse(&value("--churn-policy")?)?,
                 "--worker-bin" => worker_bin = Some(value("--worker-bin")?),
                 "--worker-threads" => worker_threads = parse(&value("--worker-threads")?)?,
                 "--max-attempts" => max_attempts = parse(&value("--max-attempts")?)?,
@@ -116,6 +126,15 @@ fn main() -> ExitCode {
     }
     if let Some(top_k) = top_k {
         spec = spec.with_top_k(top_k);
+    }
+    if let Some(rate) = churn_rate {
+        let mut churn = ChurnModel::with_rate(rate);
+        if let Some(fade) = churn_fade {
+            churn = churn.with_link_fade(fade);
+        }
+        spec = spec.with_churn(ChurnSpec::new(churn, churn_policy));
+    } else if churn_fade.is_some() {
+        return usage_error("--churn-fade needs --churn-rate");
     }
 
     let driver = match &boundaries {
@@ -221,6 +240,15 @@ fn main() -> ExitCode {
         report.fleet_latency().quantile(0.95).as_seconds() * 1e3,
         report.total_energy().as_joules(),
     );
+    if spec.churn().is_some() {
+        println!(
+            "churn        : {} migrations ({:.2}/body-hour), {} re-plans, occupancy {:.3}",
+            report.migrations(),
+            report.migration_rate(),
+            report.replans(),
+            report.mean_occupancy(),
+        );
+    }
 
     if verify {
         let config = spec.to_config();

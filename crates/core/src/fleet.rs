@@ -45,6 +45,16 @@
 //! socket, re-runs killed or corrupted shards, and merges — byte-identical
 //! to the single-stream fold through every recovery path.
 //!
+//! PR 9 makes the fleet *live*: [`FleetConfig::with_churn`] attaches a
+//! [`ChurnSpec`] — a per-body arrival/departure/duty-cycle model
+//! ([`ChurnModel`](crate::population::ChurnModel)) plus an online
+//! [`placement`] policy that re-plans each body's partition point as its
+//! link context shifts.  Churn draws are a pure function of
+//! `(base_seed, body_index)` under their own seed domain, so churned fleets
+//! keep every determinism axis above; migration and occupancy statistics
+//! flow through the same commutative merge monoid and the (version-bumped)
+//! checkpoint format.
+//!
 //! # Example
 //!
 //! ```
@@ -72,11 +82,16 @@ use std::sync::Arc;
 
 pub mod checkpoint;
 pub mod driver;
+pub mod placement;
 pub mod shard;
 
 pub use crate::population::body_seed;
 pub use checkpoint::{CheckpointError, FleetCheckpoint};
 pub use driver::{DriverError, DriverFleetSpec, FleetDriver};
+pub use placement::{
+    ChurnSpec, Hysteresis, PlacementDecision, PlacementPolicy, PolicyKind, ReoptimizeOnChange,
+    StaticAtAdmission,
+};
 pub use shard::{ShardError, ShardPlan, ShardRunner};
 
 /// A fleet of body networks drawn from a population model.
@@ -95,6 +110,7 @@ pub struct FleetConfig {
     population: PopulationModel,
     top_k: usize,
     chunk_size: Option<usize>,
+    churn: Option<ChurnSpec>,
 }
 
 impl FleetConfig {
@@ -116,6 +132,7 @@ impl FleetConfig {
             ),
             top_k: Self::DEFAULT_TOP_K,
             chunk_size: None,
+            churn: None,
         }
     }
 
@@ -177,6 +194,31 @@ impl FleetConfig {
         self
     }
 
+    /// Attaches a churn-and-placement layer: bodies arrive, depart and duty
+    /// cycle per the spec's [`ChurnModel`](crate::population::ChurnModel)
+    /// (each body simulates only its active span), and the spec's
+    /// [`PlacementPolicy`] re-plans partition points as link context shifts,
+    /// charging migrations into the per-body summaries.
+    #[must_use]
+    pub fn with_churn(mut self, churn: ChurnSpec) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// The churn-and-placement spec, if the fleet is churned.
+    #[must_use]
+    pub fn churn(&self) -> Option<&ChurnSpec> {
+        self.churn.as_ref()
+    }
+
+    /// Fingerprint of the churn spec (0 for a churn-free fleet) — part of
+    /// the checkpoint config identity, so partials folded under different
+    /// churn configurations never merge or resume into each other.
+    #[must_use]
+    pub fn churn_fingerprint(&self) -> u64 {
+        self.churn.as_ref().map_or(0, ChurnSpec::fingerprint)
+    }
+
     /// Number of bodies in the fleet.
     #[must_use]
     pub fn bodies(&self) -> usize {
@@ -220,11 +262,28 @@ impl FleetConfig {
         self.population.sample(self.base_seed, body_index as u64)
     }
 
-    /// Simulates one body end to end: sample scenario, build, run, reduce.
+    /// Simulates one body end to end: sample scenario (and, for a churned
+    /// fleet, the body's residency and placement trajectory), build, run the
+    /// active span, reduce.
     fn simulate_body(&self, body_index: usize, links: &LinkCache) -> BodySummary {
         let scenario = self.scenario_for_body(body_index);
+        let (active_span, migrations, replans, placement_energy) = match &self.churn {
+            None => (self.horizon, 0, 0, Energy::ZERO),
+            Some(spec) => {
+                let sample = spec
+                    .churn()
+                    .sample(self.base_seed, body_index as u64, self.horizon);
+                let outcome = placement::simulate_placement(spec, &scenario, &sample);
+                (
+                    sample.active(),
+                    outcome.migrations,
+                    outcome.replans,
+                    outcome.energy,
+                )
+            }
+        };
         let mut sim = scenario.build_simulation(links);
-        let report = sim.run(self.horizon);
+        let report = sim.run(active_span);
         let mut latency = LatencySketch::new();
         let mut worst_p95 = TimeSpan::ZERO;
         for (stats, sketch) in report.node_stats().iter().zip(report.latency_sketches()) {
@@ -244,6 +303,10 @@ impl FleetConfig {
             total_energy: report.total_energy(),
             worst_p95_latency: worst_p95,
             latency,
+            active_span,
+            migrations,
+            replans,
+            placement_energy,
         }
     }
 
@@ -360,6 +423,16 @@ pub struct BodySummary {
     pub worst_p95_latency: TimeSpan,
     /// Merged latency sketch over every node of this body.
     pub latency: LatencySketch,
+    /// Span the body actually simulated: the full horizon for a static
+    /// fleet, the duty-weighted residency for a churned one.
+    pub active_span: TimeSpan,
+    /// Placement migrations adopted over the body's residency.
+    pub migrations: u64,
+    /// Optimiser re-runs after admission (a superset of migrations).
+    pub replans: u64,
+    /// Inference + migration energy charged by the placement layer
+    /// ([`Energy::ZERO`] for a churn-free fleet).
+    pub placement_energy: Energy,
 }
 
 /// Bounded-memory, body-order fold of a fleet stream.
@@ -399,6 +472,14 @@ pub struct FleetAggregator {
     total_delivered_bytes: usize,
     total_events: u64,
     min_body_delivery_ratio: f64,
+    /// Placement migrations adopted across the fleet (0 without churn).
+    total_migrations: u64,
+    /// Optimiser re-runs across the fleet (0 without churn).
+    total_replans: u64,
+    /// Sum of per-body active spans in seconds, accumulated exactly.
+    active_span: ExactSum,
+    /// Placement-layer energy in joules, accumulated exactly.
+    placement_energy: ExactSum,
     worst: Vec<BodySummary>,
 }
 
@@ -418,6 +499,10 @@ impl FleetAggregator {
             total_delivered_bytes: 0,
             total_events: 0,
             min_body_delivery_ratio: 1.0,
+            total_migrations: 0,
+            total_replans: 0,
+            active_span: ExactSum::new(),
+            placement_energy: ExactSum::new(),
             worst: Vec::new(),
         }
     }
@@ -440,6 +525,11 @@ impl FleetAggregator {
         self.total_delivered_bytes += summary.delivered_bytes;
         self.total_events += summary.events_processed;
         self.min_body_delivery_ratio = self.min_body_delivery_ratio.min(summary.delivery_ratio);
+        self.total_migrations += summary.migrations;
+        self.total_replans += summary.replans;
+        self.active_span.add(summary.active_span.as_seconds());
+        self.placement_energy
+            .add(summary.placement_energy.as_joules());
         // Keep `worst` sorted worst-first (p95 descending, earlier body
         // first on ties): find the first slot whose p95 is strictly smaller
         // and insert there, so in-order ingestion is fully deterministic.
@@ -513,6 +603,10 @@ impl FleetAggregator {
         self.min_body_delivery_ratio = self
             .min_body_delivery_ratio
             .min(other.min_body_delivery_ratio);
+        self.total_migrations += other.total_migrations;
+        self.total_replans += other.total_replans;
+        self.active_span.add_sum(&other.active_span);
+        self.placement_energy.add_sum(&other.placement_energy);
         let mut left = std::mem::take(&mut self.worst).into_iter().peekable();
         let mut right = other.worst.into_iter().peekable();
         let mut merged = Vec::with_capacity(self.top_k.min(left.len() + right.len()));
@@ -544,6 +638,10 @@ impl FleetAggregator {
             total_delivered_bytes: self.total_delivered_bytes,
             total_events: self.total_events,
             min_body_delivery_ratio: self.min_body_delivery_ratio,
+            total_migrations: self.total_migrations,
+            total_replans: self.total_replans,
+            active_span: TimeSpan::from_seconds(self.active_span.to_f64()),
+            placement_energy: Energy::from_joules(self.placement_energy.to_f64()),
             worst: self.worst,
         }
     }
@@ -591,6 +689,10 @@ pub struct FleetReport {
     total_delivered_bytes: usize,
     total_events: u64,
     min_body_delivery_ratio: f64,
+    total_migrations: u64,
+    total_replans: u64,
+    active_span: TimeSpan,
+    placement_energy: Energy,
     worst: Vec<BodySummary>,
 }
 
@@ -710,6 +812,55 @@ impl FleetReport {
     #[must_use]
     pub fn min_body_delivery_ratio(&self) -> f64 {
         self.min_body_delivery_ratio
+    }
+
+    /// Placement migrations adopted across the fleet (0 without churn).
+    #[must_use]
+    pub fn migrations(&self) -> u64 {
+        self.total_migrations
+    }
+
+    /// Optimiser re-runs across the fleet after admission (0 without churn).
+    #[must_use]
+    pub fn replans(&self) -> u64 {
+        self.total_replans
+    }
+
+    /// Total active (duty-weighted resident) simulated time across bodies.
+    #[must_use]
+    pub fn active_span(&self) -> TimeSpan {
+        self.active_span
+    }
+
+    /// Inference + migration energy charged by the placement layer
+    /// ([`Energy::ZERO`] without churn).
+    #[must_use]
+    pub fn placement_energy(&self) -> Energy {
+        self.placement_energy
+    }
+
+    /// Migrations per active body-hour — the headline policy-comparison
+    /// metric (ccicconetti/stateful-faas-sim's `migration_rate` at fleet
+    /// scale).  Zero when no body was ever active.
+    #[must_use]
+    pub fn migration_rate(&self) -> f64 {
+        let hours = self.active_span.as_seconds() / 3600.0;
+        if hours <= 0.0 {
+            return 0.0;
+        }
+        self.total_migrations as f64 / hours
+    }
+
+    /// Mean fraction of the horizon bodies spent active — 1.0 for a static
+    /// fleet, lower under churn (arrival/departure clipping × duty cycle).
+    /// Zero for an empty fleet.
+    #[must_use]
+    pub fn mean_occupancy(&self) -> f64 {
+        let denominator = self.bodies as f64 * self.horizon.as_seconds();
+        if denominator <= 0.0 {
+            return 0.0;
+        }
+        self.active_span.as_seconds() / denominator
     }
 }
 
@@ -895,6 +1046,64 @@ mod tests {
         for pair in curve.windows(2) {
             assert!(pair[0] <= pair[1], "SLO curve dipped: {pair:?}");
         }
+    }
+
+    #[test]
+    fn churned_fleet_reports_migrations_and_occupancy() {
+        use crate::population::ChurnModel;
+        let base = FleetConfig::new(24)
+            .with_population(PopulationModel::mixed_default())
+            .with_base_seed(77)
+            .with_horizon(TimeSpan::from_seconds(1.5));
+        let static_report = base.clone().run(&SweepRunner::serial());
+        assert_eq!(static_report.migrations(), 0);
+        assert_eq!(static_report.replans(), 0);
+        assert_eq!(static_report.placement_energy(), Energy::ZERO);
+        assert!((static_report.mean_occupancy() - 1.0).abs() < 1e-12);
+
+        let spec = ChurnSpec::new(
+            ChurnModel::with_rate(0.5).with_link_fade(0.9),
+            PolicyKind::ReoptimizeOnChange,
+        );
+        let churned = base.clone().with_churn(spec.clone());
+        let report = churned.run(&SweepRunner::serial());
+        // Churn shrinks occupancy below the static fleet's.
+        assert!(report.mean_occupancy() < 1.0);
+        assert!(report.mean_occupancy() > 0.0);
+        assert!(report.active_span() > TimeSpan::ZERO);
+        // The eager policy re-plans every context epoch of every body.
+        let epochs = u64::from(spec.churn().epochs());
+        assert_eq!(report.replans(), 24 * (epochs - 1));
+        assert!(report.placement_energy() > Energy::ZERO);
+        assert!(report.migration_rate() >= 0.0);
+
+        // Determinism: thread width and chunk size still invisible.
+        let wide = churned
+            .clone()
+            .with_chunk_size(5)
+            .run(&SweepRunner::with_threads(4));
+        let serial = churned.run(&SweepRunner::serial());
+        assert_eq!(serial, wide);
+        assert_eq!(serial, report);
+    }
+
+    #[test]
+    fn enabling_churn_does_not_change_scenario_sampling() {
+        use crate::population::ChurnModel;
+        let base = FleetConfig::new(8).with_population(PopulationModel::mixed_default());
+        let churned = base.clone().with_churn(ChurnSpec::new(
+            ChurnModel::with_rate(0.8),
+            PolicyKind::Hysteresis,
+        ));
+        for i in 0..8 {
+            let a = base.scenario_for_body(i);
+            let b = churned.scenario_for_body(i);
+            assert_eq!(a.seed(), b.seed());
+            assert_eq!(a.archetype(), b.archetype());
+            assert_eq!(a.leaves().len(), b.leaves().len());
+        }
+        assert_eq!(base.churn_fingerprint(), 0);
+        assert_ne!(churned.churn_fingerprint(), 0);
     }
 
     #[test]

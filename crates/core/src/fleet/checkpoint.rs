@@ -10,24 +10,34 @@
 //! fold byte-identical to an uninterrupted run, and completed shard
 //! checkpoints merge into the same bytes the single stream produces.
 //!
-//! # Wire format (version 1)
+//! # Wire format (version 2)
 //!
 //! Big-endian throughout, written with the `bytes` cursors.  The layout is
 //! documented normatively in `ARCHITECTURE.md`; in short:
 //!
 //! ```text
 //! magic  b"HIDWAFLT"              8 bytes
-//! version u16                     (currently 1)
+//! version u16                     (currently 2)
 //! config fingerprint              base_seed u64 · bodies u64 ·
-//!                                 horizon f64-bits · top_k u32
+//!                                 horizon f64-bits · top_k u32 ·
+//!                                 churn fingerprint u64 (0 = no churn)
 //! next_body u64
 //! aggregator state                bodies u64 · generated u64 ·
 //!                                 delivered u64 · delivered_bytes u64 ·
 //!                                 events u64 · min_delivery_ratio f64 ·
-//!                                 energy ExactSum · fleet sketch ·
-//!                                 body-p95 sketch · worst list
+//!                                 migrations u64 · replans u64 ·
+//!                                 energy ExactSum · active ExactSum ·
+//!                                 placement-energy ExactSum ·
+//!                                 fleet sketch · body-p95 sketch ·
+//!                                 worst list
 //! checksum u64                    FNV-1a 64 over every preceding byte
 //! ```
+//!
+//! Version 2 (PR 9) added the churn fingerprint to the config identity and
+//! the migration / re-plan / active-span / placement-energy statistics to
+//! the aggregator state and each retained body summary.  Version-1 blobs are
+//! rejected with [`CheckpointError::UnsupportedVersion`] — re-fold rather
+//! than guess zeroes for fields the old format never measured.
 //!
 //! Sketches and [`ExactSum`]s use their own codecs in
 //! [`hidwa_netsim::sketch`].  [`FleetCheckpoint::load`] **never panics**:
@@ -47,7 +57,7 @@ use std::sync::Arc;
 const MAGIC: &[u8; 8] = b"HIDWAFLT";
 
 /// Current checkpoint format version.
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 /// Bytes of envelope that must exist before payload decoding can start:
 /// magic + version + trailing checksum.
@@ -117,6 +127,7 @@ pub struct FleetCheckpoint {
     bodies: u64,
     horizon: TimeSpan,
     top_k: u32,
+    churn_fp: u64,
     next_body: u64,
     aggregator: FleetAggregator,
 }
@@ -131,6 +142,7 @@ impl FleetCheckpoint {
             bodies: config.bodies as u64,
             horizon: config.horizon,
             top_k: config.top_k as u32,
+            churn_fp: config.churn_fingerprint(),
             next_body: next_body.min(config.bodies) as u64,
             aggregator: aggregator.clone(),
         }
@@ -164,7 +176,7 @@ impl FleetCheckpoint {
     ///
     /// # Errors
     /// [`CheckpointError::ConfigMismatch`] naming the first disagreeing
-    /// field (bodies, base seed, horizon or top-K).
+    /// field (bodies, base seed, horizon, top-K or churn spec).
     pub fn verify_config(&self, config: &FleetConfig) -> Result<(), CheckpointError> {
         if self.bodies != config.bodies as u64 {
             return Err(CheckpointError::ConfigMismatch("fleet size differs"));
@@ -177,6 +189,9 @@ impl FleetCheckpoint {
         }
         if self.top_k != config.top_k as u32 {
             return Err(CheckpointError::ConfigMismatch("top-K differs"));
+        }
+        if self.churn_fp != config.churn_fingerprint() {
+            return Err(CheckpointError::ConfigMismatch("churn spec differs"));
         }
         Ok(())
     }
@@ -192,6 +207,7 @@ impl FleetCheckpoint {
         out.put_u64(self.bodies);
         out.put_f64(self.horizon.as_seconds());
         out.put_u32(self.top_k);
+        out.put_u64(self.churn_fp);
         out.put_u64(self.next_body);
         let aggregator = &self.aggregator;
         out.put_u64(aggregator.bodies as u64);
@@ -200,7 +216,11 @@ impl FleetCheckpoint {
         out.put_u64(aggregator.total_delivered_bytes as u64);
         out.put_u64(aggregator.total_events);
         out.put_f64(aggregator.min_body_delivery_ratio);
+        out.put_u64(aggregator.total_migrations);
+        out.put_u64(aggregator.total_replans);
         aggregator.total_energy.encode(&mut out);
+        aggregator.active_span.encode(&mut out);
+        aggregator.placement_energy.encode(&mut out);
         aggregator.fleet_latency.encode(&mut out);
         aggregator.body_p95.encode(&mut out);
         out.put_u32(aggregator.worst.len() as u32);
@@ -250,6 +270,7 @@ impl FleetCheckpoint {
         if top_k == 0 {
             return Err(CheckpointError::Corrupt("top-K of zero"));
         }
+        let churn_fp = take_u64(&mut input)?;
         let next_body = take_u64(&mut input)?;
         if next_body > bodies {
             return Err(CheckpointError::Corrupt("next body beyond the fleet"));
@@ -263,7 +284,22 @@ impl FleetCheckpoint {
         if !min_body_delivery_ratio.is_finite() || !(0.0..=1.0).contains(&min_body_delivery_ratio) {
             return Err(CheckpointError::Corrupt("delivery ratio out of range"));
         }
+        let total_migrations = take_u64(&mut input)?;
+        let total_replans = take_u64(&mut input)?;
+        if total_migrations > total_replans {
+            return Err(CheckpointError::Corrupt(
+                "more migrations than optimiser re-runs",
+            ));
+        }
         let total_energy = ExactSum::decode(&mut input)?;
+        let active_span = ExactSum::decode(&mut input)?;
+        let placement_energy = ExactSum::decode(&mut input)?;
+        if active_span.to_f64() < 0.0 {
+            return Err(CheckpointError::Corrupt("negative active span"));
+        }
+        if placement_energy.to_f64() < 0.0 {
+            return Err(CheckpointError::Corrupt("negative placement energy"));
+        }
         let fleet_latency = LatencySketch::decode(&mut input)?;
         let body_p95 = LatencySketch::decode(&mut input)?;
         let worst_len = take_u32(&mut input)? as usize;
@@ -304,7 +340,11 @@ impl FleetCheckpoint {
         aggregator.total_delivered_bytes = total_delivered_bytes as usize;
         aggregator.total_events = total_events;
         aggregator.min_body_delivery_ratio = min_body_delivery_ratio;
+        aggregator.total_migrations = total_migrations;
+        aggregator.total_replans = total_replans;
         aggregator.total_energy = total_energy;
+        aggregator.active_span = active_span;
+        aggregator.placement_energy = placement_energy;
         aggregator.fleet_latency = fleet_latency;
         aggregator.body_p95 = body_p95;
         aggregator.worst = worst;
@@ -313,6 +353,7 @@ impl FleetCheckpoint {
             bodies,
             horizon: TimeSpan::from_seconds(horizon_seconds),
             top_k,
+            churn_fp,
             next_body,
             aggregator,
         })
@@ -333,6 +374,10 @@ fn encode_summary(summary: &BodySummary, out: &mut BytesMut) {
     out.put_f64(summary.delivery_ratio);
     out.put_f64(summary.total_energy.as_joules());
     out.put_f64(summary.worst_p95_latency.as_seconds());
+    out.put_f64(summary.active_span.as_seconds());
+    out.put_u64(summary.migrations);
+    out.put_u64(summary.replans);
+    out.put_f64(summary.placement_energy.as_joules());
     summary.latency.encode(out);
 }
 
@@ -363,6 +408,23 @@ fn decode_summary(input: &mut Bytes) -> Result<BodySummary, CheckpointError> {
     if !worst_p95_seconds.is_finite() || worst_p95_seconds < 0.0 {
         return Err(CheckpointError::Corrupt("body p95 not a finite latency"));
     }
+    let active_seconds = take_f64(input)?;
+    if !active_seconds.is_finite() || active_seconds < 0.0 {
+        return Err(CheckpointError::Corrupt("body active span not finite"));
+    }
+    let migrations = take_u64(input)?;
+    let replans = take_u64(input)?;
+    if migrations > replans {
+        return Err(CheckpointError::Corrupt(
+            "body migrations exceed optimiser re-runs",
+        ));
+    }
+    let placement_joules = take_f64(input)?;
+    if !placement_joules.is_finite() || placement_joules < 0.0 {
+        return Err(CheckpointError::Corrupt(
+            "body placement energy not a finite amount",
+        ));
+    }
     let latency = LatencySketch::decode(input)?;
     if latency.count() != delivered_frames {
         return Err(CheckpointError::Corrupt(
@@ -382,6 +444,10 @@ fn decode_summary(input: &mut Bytes) -> Result<BodySummary, CheckpointError> {
         total_energy: Energy::from_joules(energy_joules),
         worst_p95_latency: TimeSpan::from_seconds(worst_p95_seconds),
         latency,
+        active_span: TimeSpan::from_seconds(active_seconds),
+        migrations,
+        replans,
+        placement_energy: Energy::from_joules(placement_joules),
     })
 }
 

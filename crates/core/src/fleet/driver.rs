@@ -67,6 +67,7 @@
 //! ```
 
 use super::checkpoint::{fnv1a64, CheckpointError, FleetCheckpoint};
+use super::placement::ChurnSpec;
 use super::shard::ShardPlan;
 use super::{FleetAggregator, FleetConfig, FleetReport};
 use crate::population::{LinkCache, PopulationModel};
@@ -91,6 +92,7 @@ usage: shard_worker --bodies <n> --shard-index <i> --shard-start <a> --shard-end
                     (--spool <dir> | --connect <host:port>)
                     [--base-seed <u64>] [--horizon-s <f64> | --horizon-bits <u64>]
                     [--top-k <n>] [--population <uniform|mixed>] [--threads <n>]
+                    [--churn <rate:dmin:dmax:epochs:fade:policy:thresh:objective:cost>]
                     [--fail-after-bodies <n>] [--fail-with-partial]";
 
 /// Why a driver run (or a worker invocation) failed.
@@ -266,14 +268,19 @@ impl std::fmt::Display for PopulationSpec {
 /// config is bit-identical even for horizons with no short decimal form —
 /// the checkpoint fingerprint compares horizon bits, so anything less would
 /// make workers' blobs unmergeable.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DriverFleetSpec {
     bodies: usize,
     base_seed: u64,
     horizon_bits: u64,
     top_k: usize,
     population: PopulationSpec,
+    churn: Option<ChurnSpec>,
 }
+
+// Every float a `ChurnSpec` carries is validated finite at construction and
+// at `--churn` parse time, so `PartialEq` is total here.
+impl Eq for DriverFleetSpec {}
 
 impl DriverFleetSpec {
     /// A spec with [`FleetConfig::new`]'s defaults: uniform population,
@@ -287,6 +294,7 @@ impl DriverFleetSpec {
             horizon_bits: defaults.horizon().as_seconds().to_bits(),
             top_k: defaults.top_k(),
             population: PopulationSpec::Uniform,
+            churn: None,
         }
     }
 
@@ -318,6 +326,21 @@ impl DriverFleetSpec {
         self
     }
 
+    /// Attaches a churn-and-placement spec; it crosses the process boundary
+    /// as the bit-exact `--churn` flag, so workers rebuild the exact same
+    /// churned [`FleetConfig`].
+    #[must_use]
+    pub fn with_churn(mut self, churn: ChurnSpec) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// The churn-and-placement spec, if the fleet is churned.
+    #[must_use]
+    pub fn churn(&self) -> Option<&ChurnSpec> {
+        self.churn.as_ref()
+    }
+
     /// Number of bodies in the fleet.
     #[must_use]
     pub fn bodies(&self) -> usize {
@@ -340,9 +363,13 @@ impl DriverFleetSpec {
                 self.horizon_bits,
             )))
             .with_top_k(self.top_k);
-        match self.population {
+        let config = match self.population {
             PopulationSpec::Uniform => config,
             PopulationSpec::Mixed => config.with_population(PopulationModel::mixed_default()),
+        };
+        match &self.churn {
+            None => config,
+            Some(churn) => config.with_churn(churn.clone()),
         }
     }
 
@@ -350,7 +377,7 @@ impl DriverFleetSpec {
     /// transport flags (see [`Transport::worker_flags`]) come on top.
     #[must_use]
     pub fn worker_args(&self, shard: &ShardAssignment) -> Vec<String> {
-        vec![
+        let mut args = vec![
             "--base-seed".into(),
             self.base_seed.to_string(),
             "--bodies".into(),
@@ -361,13 +388,20 @@ impl DriverFleetSpec {
             self.top_k.to_string(),
             "--population".into(),
             self.population.tag().into(),
+        ];
+        if let Some(churn) = &self.churn {
+            args.push("--churn".into());
+            args.push(churn.flag_value());
+        }
+        args.extend([
             "--shard-index".into(),
             shard.index.to_string(),
             "--shard-start".into(),
             shard.start.to_string(),
             "--shard-end".into(),
             shard.end.to_string(),
-        ]
+        ]);
+        args
     }
 }
 
@@ -450,6 +484,7 @@ impl WorkerRequest {
         let mut horizon_bits = None;
         let mut top_k = None;
         let mut population = None;
+        let mut churn = None;
         let mut shard_index = None;
         let mut shard_start = None;
         let mut shard_end = None;
@@ -475,6 +510,10 @@ impl WorkerRequest {
                 "--top-k" => top_k = Some(parse_value(&flag, args.next())?),
                 "--population" => {
                     population = Some(PopulationSpec::parse(&require_value(&flag, args.next())?)?);
+                }
+                "--churn" => {
+                    let value = require_value(&flag, args.next())?;
+                    churn = Some(ChurnSpec::parse_flag(&value).map_err(DriverError::Usage)?);
                 }
                 "--shard-index" => shard_index = Some(parse_value(&flag, args.next())?),
                 "--shard-start" => shard_start = Some(parse_value(&flag, args.next())?),
@@ -508,6 +547,9 @@ impl WorkerRequest {
         }
         if let Some(population) = population {
             spec = spec.with_population(population);
+        }
+        if let Some(churn) = churn {
+            spec = spec.with_churn(churn);
         }
         let shard = ShardAssignment {
             index: shard_index
@@ -947,6 +989,10 @@ pub fn run_fingerprint(spec: &DriverFleetSpec, interior_boundaries: &[usize]) ->
     bytes.extend_from_slice(&(spec.top_k as u64).to_be_bytes());
     bytes.extend_from_slice(spec.population.tag().as_bytes());
     bytes.push(0);
+    if let Some(churn) = &spec.churn {
+        bytes.extend_from_slice(churn.flag_value().as_bytes());
+    }
+    bytes.push(0);
     bytes.extend_from_slice(&(interior_boundaries.len() as u64).to_be_bytes());
     for &boundary in interior_boundaries {
         bytes.extend_from_slice(&(boundary as u64).to_be_bytes());
@@ -1326,6 +1372,41 @@ mod tests {
     }
 
     #[test]
+    fn churn_flag_round_trips_through_the_parser() {
+        use super::super::placement::PolicyKind;
+        use crate::population::ChurnModel;
+        let spec = DriverFleetSpec::new(40)
+            .with_population(PopulationSpec::Mixed)
+            .with_churn(
+                ChurnSpec::new(
+                    ChurnModel::with_rate(0.42).with_epochs(5),
+                    PolicyKind::Hysteresis,
+                )
+                .with_hysteresis_threshold(0.2),
+            );
+        let shard = ShardAssignment {
+            index: 0,
+            start: 0,
+            end: 40,
+        };
+        let mut args = spec.worker_args(&shard);
+        args.extend(["--spool".to_string(), "/tmp/somewhere".to_string()]);
+        let request = WorkerRequest::parse(args).expect("churn args parse");
+        assert_eq!(request.spec, spec);
+        assert_eq!(
+            request.spec.churn().unwrap().fingerprint(),
+            spec.churn().unwrap().fingerprint()
+        );
+        // A malformed churn value is a usage error, not a panic.
+        let bad = WorkerRequest::parse(
+            ["--bodies", "4", "--churn", "garbage"]
+                .iter()
+                .map(ToString::to_string),
+        );
+        assert!(matches!(bad, Err(DriverError::Usage(_))));
+    }
+
+    #[test]
     fn fingerprints_separate_incompatible_runs() {
         let spec = DriverFleetSpec::new(64);
         let base = run_fingerprint(&spec, &[32]);
@@ -1341,6 +1422,12 @@ mod tests {
             run_fingerprint(&spec.clone().with_population(PopulationSpec::Mixed), &[32])
         );
         assert_ne!(base, run_fingerprint(&DriverFleetSpec::new(65), &[32]));
+        // Churned and churn-free runs of the same fleet never share a spool.
+        let churned = spec.clone().with_churn(ChurnSpec::new(
+            crate::population::ChurnModel::with_rate(0.3),
+            super::super::placement::PolicyKind::StaticAtAdmission,
+        ));
+        assert_ne!(base, run_fingerprint(&churned, &[32]));
         // Same inputs, same fingerprint — resumability depends on it.
         assert_eq!(base, run_fingerprint(&DriverFleetSpec::new(64), &[32]));
     }

@@ -441,13 +441,14 @@ impl Transport for SocketHub {
 /// and a [`wire::NAK`] (the hub's buffer budget exhausted) all back off and
 /// try again; only an outright protocol violation (an ack byte that is
 /// neither ACK nor NAK) fails immediately.  The default budget — 5 attempts
-/// starting at 25 ms and doubling — rides out a coordinator restart without
-/// masking a hub that is actually gone.
+/// starting at 25 ms and doubling, never past a 5 s ceiling — rides out a
+/// coordinator restart without masking a hub that is actually gone.
 #[derive(Debug, Clone)]
 pub struct SocketPublisher {
     addr: String,
     attempts: u32,
     initial_backoff: Duration,
+    max_backoff: Duration,
 }
 
 /// Whether a failed publish attempt is worth retrying.
@@ -465,15 +466,30 @@ impl SocketPublisher {
             addr,
             attempts: 5,
             initial_backoff: Duration::from_millis(25),
+            max_backoff: Self::DEFAULT_MAX_BACKOFF,
         }
     }
 
+    /// Ceiling the exponential backoff saturates at.  Doubling unboundedly
+    /// would overflow `Duration` within a few dozen attempts (a panic
+    /// mid-retry); anything past a few seconds adds latency without adding
+    /// information about a hub that is still down.
+    pub const DEFAULT_MAX_BACKOFF: Duration = Duration::from_secs(5);
+
     /// Overrides the retry budget: up to `attempts` tries (clamped to ≥ 1),
-    /// sleeping `initial_backoff` before the second and doubling after.
+    /// sleeping `initial_backoff` before the second and doubling after —
+    /// saturating at the backoff ceiling, never overflowing.
     #[must_use]
     pub fn with_retry(mut self, attempts: u32, initial_backoff: Duration) -> Self {
         self.attempts = attempts.max(1);
         self.initial_backoff = initial_backoff;
+        self
+    }
+
+    /// Overrides the backoff ceiling (clamped to at least 1 ms).
+    #[must_use]
+    pub fn with_backoff_cap(mut self, max_backoff: Duration) -> Self {
+        self.max_backoff = max_backoff.max(Duration::from_millis(1));
         self
     }
 
@@ -505,12 +521,12 @@ impl SocketPublisher {
 
 impl Transport for SocketPublisher {
     fn publish(&self, shard: usize, blob: &[u8]) -> Result<(), TransportError> {
-        let mut backoff = self.initial_backoff;
+        let mut backoff = self.initial_backoff.min(self.max_backoff);
         let mut last = None;
         for attempt in 0..self.attempts {
             if attempt > 0 {
                 std::thread::sleep(backoff);
-                backoff *= 2;
+                backoff = backoff.saturating_mul(2).min(self.max_backoff);
             }
             match self.try_publish(shard, blob) {
                 Ok(()) => return Ok(()),

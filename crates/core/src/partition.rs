@@ -139,6 +139,29 @@ impl PartitionContext {
         self
     }
 
+    /// Derates the leaf→hub link to `factor` of its nominal operating point
+    /// (clamped to `[0.001, 1]`): goodput scales down by `factor` and energy
+    /// per delivered bit scales up by `1 / factor`, modelling a faded channel
+    /// that needs more retransmissions per application bit.  The label is
+    /// kept, so derated plans still report their base context.
+    ///
+    /// This is the knob the churn layer turns per context epoch: a derated
+    /// link shifts both the feasibility frontier and the optimal cut, which
+    /// is what makes online re-planning (and hence placement policies) a
+    /// meaningful axis.
+    #[must_use]
+    pub fn with_link_derating(mut self, factor: f64) -> Self {
+        let factor = if factor.is_finite() {
+            factor.clamp(1e-3, 1.0)
+        } else {
+            1.0
+        };
+        self.link_goodput = DataRate::from_bps(self.link_goodput.as_bps() * factor);
+        self.link_energy_per_bit =
+            EnergyPerBit::from_pico_joules(self.link_energy_per_bit.as_pico_joules() / factor);
+        self
+    }
+
     /// Context label.
     #[must_use]
     pub fn label(&self) -> &str {
@@ -537,6 +560,33 @@ mod tests {
         let best = optimizer.optimize(&model, Objective::LeafEnergy).unwrap();
         assert!(best.feasible);
         assert!(best.cut_index < model.network().len());
+    }
+
+    #[test]
+    fn link_derating_raises_cost_and_can_move_the_cut() {
+        let model = models::keyword_spotting_cnn();
+        let nominal = PartitionOptimizer::new(PartitionContext::wir_default());
+        let faded =
+            PartitionOptimizer::new(PartitionContext::wir_default().with_link_derating(0.5));
+        // A fixed offload-heavy cut gets strictly slower and more expensive
+        // on a derated link.
+        let cut = &model.cut_points()[0];
+        let before = nominal.evaluate(&model, cut);
+        let after = faded.evaluate(&model, cut);
+        assert!(after.latency > before.latency);
+        assert!(after.leaf_energy > before.leaf_energy);
+        // Factor 1.0 is the identity.
+        let identity =
+            PartitionOptimizer::new(PartitionContext::wir_default().with_link_derating(1.0));
+        assert_eq!(identity.evaluate(&model, cut), before);
+        // A severe fade pushes the energy-optimal cut at least as far toward
+        // the leaf as the nominal link (the BLE-vs-Wi-R monotonicity, local).
+        let severe =
+            PartitionOptimizer::new(PartitionContext::wir_default().with_link_derating(0.001));
+        let nominal_cut = nominal.optimize(&model, Objective::LeafEnergy).unwrap();
+        if let Ok(faded_best) = severe.optimize(&model, Objective::LeafEnergy) {
+            assert!(faded_best.cut_index >= nominal_cut.cut_index);
+        }
     }
 
     #[test]

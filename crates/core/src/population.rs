@@ -79,6 +79,12 @@ pub fn body_seed(base_seed: u64, body_index: u64) -> u64 {
 /// scenario-sampling RNG stream.
 const SCENARIO_DOMAIN: u64 = 0x5CE7_A810_D0AB_1E55;
 
+/// Domain-separation constant for a body's churn draws (arrival, dwell, duty
+/// cycle, per-epoch link derating).  Distinct from [`SCENARIO_DOMAIN`] so
+/// enabling churn never perturbs the scenario stream: a body's leaf set and
+/// traffic mix are identical with churn on or off.
+const CHURN_DOMAIN: u64 = 0x7D1A_C0DE_5EA5_0A11;
+
 /// One leaf slot of an archetype: the base [`LeafSpec`], how likely the leaf
 /// is to be worn at all, and the [`TrafficMix`] its traffic pattern is drawn
 /// from.
@@ -665,6 +671,181 @@ impl LinkCache {
     }
 }
 
+/// When bodies come and go: per-body arrival/departure times and diurnal
+/// duty cycles over the fleet horizon, plus per-epoch link fading.
+///
+/// The paper's fleet is *alive* — wearers put devices on in the morning,
+/// take them off at night, and walk through changing RF environments.  A
+/// `ChurnModel` captures that as four knobs:
+///
+/// * **rate** `r ∈ [0, 1]` — the fraction of the horizon churned away: a
+///   body arrives uniformly inside the first `r·H` seconds and dwells for
+///   `(1-r)·H + U(0,1)·r·H`, so `r = 0` reproduces the always-present fleet
+///   exactly and larger `r` shortens and staggers residencies;
+/// * **duty cycle** `u ∈ [duty_min, duty_max]` — the diurnal on-fraction of
+///   the residency actually spent generating traffic (screen-on time, worn
+///   time);
+/// * **epochs** — how many context windows the residency is divided into
+///   (each a candidate migration point for a placement policy);
+/// * **link fade** — the per-epoch link derating draw: each epoch's
+///   leaf→hub link runs at `1 - U(0, fade)` of nominal goodput (and
+///   correspondingly worse energy per bit), which is what makes online
+///   re-planning worthwhile.
+///
+/// # Determinism
+///
+/// [`ChurnModel::sample`] is a **pure function of
+/// `(base_seed, body_index, horizon)`**, like every other per-body draw: it
+/// seeds a fresh RNG from [`body_seed`] under its own domain constant
+/// (distinct from the scenario stream, so enabling churn never changes which
+/// leaves a body carries) and consumes a fixed number of draws per body.
+/// Arrivals, departures, duty cycles and epoch deratings are therefore
+/// byte-identical at any thread width, chunk size, shard layout or process
+/// boundary — the property the fleet identity tests extend to churn.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnModel {
+    rate: f64,
+    duty_min: f64,
+    duty_max: f64,
+    epochs: u32,
+    link_fade: f64,
+}
+
+impl ChurnModel {
+    /// A churn model at `rate` with the default diurnal duty cycle
+    /// (`0.55..=0.95`), 4 context epochs and 60 % maximum link fade.
+    #[must_use]
+    pub fn with_rate(rate: f64) -> Self {
+        Self {
+            rate: if rate.is_finite() {
+                rate.clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
+            duty_min: 0.55,
+            duty_max: 0.95,
+            epochs: 4,
+            link_fade: 0.6,
+        }
+    }
+
+    /// Sets the diurnal duty-cycle range (both clamped to `(0, 1]`, kept
+    /// ordered).
+    #[must_use]
+    pub fn with_duty_cycle(mut self, min: f64, max: f64) -> Self {
+        let clamp = |v: f64| {
+            if v.is_finite() {
+                v.clamp(1e-3, 1.0)
+            } else {
+                1.0
+            }
+        };
+        let (min, max) = (clamp(min), clamp(max));
+        self.duty_min = min.min(max);
+        self.duty_max = min.max(max);
+        self
+    }
+
+    /// Sets how many context epochs a residency is divided into (minimum 1).
+    #[must_use]
+    pub fn with_epochs(mut self, epochs: u32) -> Self {
+        self.epochs = epochs.max(1);
+        self
+    }
+
+    /// Sets the maximum per-epoch link derating (clamped to `[0, 0.95]`).
+    #[must_use]
+    pub fn with_link_fade(mut self, fade: f64) -> Self {
+        self.link_fade = if fade.is_finite() {
+            fade.clamp(0.0, 0.95)
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// Fraction of the horizon churned away.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Diurnal duty-cycle range `(min, max)`.
+    #[must_use]
+    pub fn duty_cycle(&self) -> (f64, f64) {
+        (self.duty_min, self.duty_max)
+    }
+
+    /// Context epochs per residency.
+    #[must_use]
+    pub fn epochs(&self) -> u32 {
+        self.epochs
+    }
+
+    /// Maximum per-epoch link derating.
+    #[must_use]
+    pub fn link_fade(&self) -> f64 {
+        self.link_fade
+    }
+
+    /// Samples body `body_index`'s churn — a pure function of
+    /// `(base_seed, body_index, horizon)` (see the type docs).  Draw order
+    /// (arrival, dwell, duty, then one derating per epoch) is fixed, so every
+    /// body consumes exactly `3 + epochs` draws.
+    #[must_use]
+    pub fn sample(&self, base_seed: u64, body_index: u64, horizon: TimeSpan) -> ChurnSample {
+        let mut rng = StdRng::seed_from_u64(body_seed(base_seed, body_index) ^ CHURN_DOMAIN);
+        let arrival_frac: f64 = rng.gen_range(0.0..=1.0);
+        let dwell_frac: f64 = rng.gen_range(0.0..=1.0);
+        let duty: f64 = rng.gen_range(self.duty_min..=self.duty_max);
+        let mut link_derate = Vec::with_capacity(self.epochs as usize);
+        for _ in 0..self.epochs {
+            let fade: f64 = rng.gen_range(0.0..=self.link_fade.max(0.0));
+            link_derate.push(1.0 - fade);
+        }
+        let h = horizon.as_seconds();
+        let arrival = arrival_frac * self.rate * h;
+        let dwell = (1.0 - self.rate) * h + dwell_frac * self.rate * h;
+        let departure = (arrival + dwell).min(h);
+        ChurnSample {
+            arrival: TimeSpan::from_seconds(arrival),
+            departure: TimeSpan::from_seconds(departure),
+            duty,
+            link_derate,
+        }
+    }
+}
+
+/// One body's sampled churn: when it is present, how hard it runs while
+/// present, and how its link fades across context epochs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnSample {
+    /// When the body joins the fleet (seconds into the horizon).
+    pub arrival: TimeSpan,
+    /// When the body leaves again (`arrival <= departure <= horizon`).
+    pub departure: TimeSpan,
+    /// Diurnal duty cycle: the on-fraction of the residency.
+    pub duty: f64,
+    /// Per-epoch link goodput factors in `(0, 1]`, one per context epoch —
+    /// the signal placement policies react to.
+    pub link_derate: Vec<f64>,
+}
+
+impl ChurnSample {
+    /// Wall-clock residency span (departure − arrival).
+    #[must_use]
+    pub fn residency(&self) -> TimeSpan {
+        TimeSpan::from_seconds(self.departure.as_seconds() - self.arrival.as_seconds())
+    }
+
+    /// Duty-weighted active span — the simulated horizon of the body and
+    /// the occupancy the fleet aggregator accounts.
+    #[must_use]
+    pub fn active(&self) -> TimeSpan {
+        TimeSpan::from_seconds(self.residency().as_seconds() * self.duty)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -759,6 +940,74 @@ mod tests {
         assert_eq!(
             fallback,
             scenario::link_params_for(RadioTechnology::WiR, BodySite::Ankle, BodySite::Waist)
+        );
+    }
+
+    #[test]
+    fn churn_sampling_is_pure_and_bounded() {
+        let churn = ChurnModel::with_rate(0.4);
+        let horizon = TimeSpan::from_seconds(10.0);
+        for body in 0..64u64 {
+            let a = churn.sample(2024, body, horizon);
+            let b = churn.sample(2024, body, horizon);
+            assert_eq!(a, b, "churn draw not pure for body {body}");
+            assert!(a.arrival >= TimeSpan::ZERO);
+            assert!(a.arrival <= a.departure);
+            assert!(a.departure <= horizon);
+            assert!((0.55..=0.95).contains(&a.duty), "duty {}", a.duty);
+            assert_eq!(a.link_derate.len(), 4);
+            for &derate in &a.link_derate {
+                assert!((0.4 - 1e-12..=1.0).contains(&derate), "derate {derate}");
+            }
+            assert!(a.active() <= a.residency());
+        }
+    }
+
+    #[test]
+    fn zero_churn_rate_keeps_every_body_for_the_whole_horizon() {
+        let churn = ChurnModel::with_rate(0.0).with_duty_cycle(1.0, 1.0);
+        let horizon = TimeSpan::from_seconds(5.0);
+        for body in 0..16u64 {
+            let sample = churn.sample(7, body, horizon);
+            assert_eq!(sample.arrival, TimeSpan::ZERO);
+            assert_eq!(sample.departure, horizon);
+            assert_eq!(sample.active(), horizon);
+        }
+    }
+
+    #[test]
+    fn churn_draws_do_not_perturb_scenario_draws() {
+        // Enabling churn must never change which leaves a body carries: the
+        // two streams are domain-separated.
+        let population = PopulationModel::mixed_default();
+        let before: Vec<String> = (0..32)
+            .map(|i| population.sample(11, i).archetype().to_string())
+            .collect();
+        let churn = ChurnModel::with_rate(0.8);
+        let _samples: Vec<ChurnSample> = (0..32)
+            .map(|i| churn.sample(11, i, TimeSpan::from_seconds(3.0)))
+            .collect();
+        let after: Vec<String> = (0..32)
+            .map(|i| population.sample(11, i).archetype().to_string())
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn higher_churn_rates_shorten_residencies_on_average() {
+        let horizon = TimeSpan::from_seconds(10.0);
+        let mean_residency = |rate: f64| {
+            let churn = ChurnModel::with_rate(rate);
+            (0..256u64)
+                .map(|i| churn.sample(3, i, horizon).residency().as_seconds())
+                .sum::<f64>()
+                / 256.0
+        };
+        let calm = mean_residency(0.1);
+        let stormy = mean_residency(0.8);
+        assert!(
+            stormy < calm,
+            "residency did not shrink with churn: {calm} -> {stormy}"
         );
     }
 

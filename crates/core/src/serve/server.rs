@@ -355,6 +355,10 @@ pub enum ClientError {
     /// The server answered with a well-formed but unexpected envelope, or
     /// the pipeline was misused (full, undrained, unknown tag).
     Protocol(&'static str),
+    /// A configured client deadline ([`PlanClient::with_timeout`]) expired
+    /// while waiting on the socket — the server died or stalled with replies
+    /// outstanding.  Without a timeout the client would block forever.
+    Timeout,
 }
 
 impl std::fmt::Display for ClientError {
@@ -363,6 +367,7 @@ impl std::fmt::Display for ClientError {
             Self::Frame(error) => write!(f, "transport: {error}"),
             Self::Codec(error) => write!(f, "codec: {error}"),
             Self::Protocol(message) => write!(f, "protocol: {message}"),
+            Self::Timeout => write!(f, "timed out waiting for the server"),
         }
     }
 }
@@ -371,12 +376,24 @@ impl std::error::Error for ClientError {}
 
 impl From<FrameError> for ClientError {
     fn from(error: FrameError) -> Self {
-        Self::Frame(error)
+        match error {
+            FrameError::Io(io_error) => io_error.into(),
+            other => Self::Frame(other),
+        }
     }
 }
 
 impl From<io::Error> for ClientError {
     fn from(error: io::Error) -> Self {
+        // With socket timeouts set, a stalled read/write surfaces as
+        // WouldBlock (Unix) or TimedOut (Windows); both mean the configured
+        // deadline expired, not a broken transport.
+        if matches!(
+            error.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            return Self::Timeout;
+        }
         Self::Frame(FrameError::Io(error))
     }
 }
@@ -452,6 +469,21 @@ impl PlanClient {
     pub fn with_pipeline(mut self, depth: usize) -> Self {
         self.max_inflight = depth.max(1);
         self
+    }
+
+    /// Bounds every socket read and write by `timeout` (clamped to ≥ 1 ms).
+    /// A server that dies or stalls with replies outstanding then surfaces
+    /// as [`ClientError::Timeout`] instead of blocking
+    /// [`recv`](Self::recv) / [`take`](Self::take) forever.  By default no
+    /// deadline is set (the PR 7/8 behaviour: reads block indefinitely).
+    ///
+    /// # Errors
+    /// The socket-option failure, as [`io::Error`].
+    pub fn with_timeout(self, timeout: Duration) -> io::Result<Self> {
+        let timeout = timeout.max(Duration::from_millis(1));
+        self.stream.set_read_timeout(Some(timeout))?;
+        self.stream.set_write_timeout(Some(timeout))?;
+        Ok(self)
     }
 
     /// Unconsumed submissions (including replies already stashed).

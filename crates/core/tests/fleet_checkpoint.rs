@@ -3,8 +3,8 @@
 //! version-bumped / mismatched checkpoints come back as typed errors — never
 //! a panic, never a silent mis-restore.
 
-use hidwa_core::fleet::{CheckpointError, FleetCheckpoint, FleetConfig};
-use hidwa_core::population::PopulationModel;
+use hidwa_core::fleet::{CheckpointError, ChurnSpec, FleetCheckpoint, FleetConfig, PolicyKind};
+use hidwa_core::population::{ChurnModel, PopulationModel};
 use hidwa_core::sweep::SweepRunner;
 use hidwa_units::TimeSpan;
 
@@ -124,13 +124,25 @@ fn version_and_magic_mismatches_are_typed() {
     // A future version with a correct checksum must be refused as
     // UnsupportedVersion, not mis-parsed.
     let mut future = blob.clone();
-    future[9] = 2; // version u16 big-endian at offset 8..10
+    future[9] = 3; // version u16 big-endian at offset 8..10
     let body_len = future.len() - 8;
     let reseal = fnv1a64(&future[..body_len]);
     future[body_len..].copy_from_slice(&reseal.to_be_bytes());
     assert_eq!(
         FleetCheckpoint::load(&future).unwrap_err(),
-        CheckpointError::UnsupportedVersion(2)
+        CheckpointError::UnsupportedVersion(3)
+    );
+
+    // An *old* (version-1, pre-churn) blob is likewise refused — version 2
+    // cannot guess migration or occupancy statistics the old format never
+    // measured, so it rejects rather than restoring zeros.
+    let mut old = blob.clone();
+    old[9] = 1;
+    let reseal = fnv1a64(&old[..body_len]);
+    old[body_len..].copy_from_slice(&reseal.to_be_bytes());
+    assert_eq!(
+        FleetCheckpoint::load(&old).unwrap_err(),
+        CheckpointError::UnsupportedVersion(1)
     );
 
     let mut alien = blob.clone();
@@ -186,6 +198,98 @@ fn resume_under_a_different_config_is_refused() {
         Err(CheckpointError::ConfigMismatch(_))
     ));
     // The original config still resumes fine.
+    assert!(config.resume(&serial, load()).is_ok());
+}
+
+fn churned_fleet() -> FleetConfig {
+    fleet().with_churn(ChurnSpec::new(
+        ChurnModel::with_rate(0.5).with_link_fade(0.8),
+        PolicyKind::ReoptimizeOnChange,
+    ))
+}
+
+#[test]
+fn churned_resume_from_every_body_boundary_is_byte_identical() {
+    let config = churned_fleet();
+    let serial = SweepRunner::serial();
+    let single = config.run(&serial);
+    assert!(single.replans() > 0, "churned fixture never re-planned");
+    for stop in [0, 1, 17, 50, 99, 100] {
+        let blob = config.run_until(&serial, stop).save();
+        let restored = FleetCheckpoint::load(&blob).unwrap_or_else(|e| {
+            panic!("churned checkpoint at body {stop} failed to load: {e}");
+        });
+        assert_eq!(restored.save().to_vec(), blob.to_vec());
+        let resumed = config.resume(&serial, restored).expect("same config");
+        assert_eq!(resumed, single, "churned resume from body {stop} diverged");
+        assert_eq!(resumed.migrations(), single.migrations());
+        assert_eq!(resumed.replans(), single.replans());
+    }
+}
+
+#[test]
+fn churned_checkpoint_corruption_sweep_never_panics() {
+    let config = churned_fleet();
+    let blob = config.run_until(&SweepRunner::serial(), 31).save().to_vec();
+    // Truncation at every cut.
+    for cut in 0..blob.len() {
+        assert!(
+            FleetCheckpoint::load(&blob[..cut]).is_err(),
+            "a {cut}-byte prefix of a churned checkpoint loaded"
+        );
+    }
+    // One bit flip per byte position, rotating through all eight lanes —
+    // covers the new migration/replan/active-span/placement-energy fields.
+    for position in 0..blob.len() {
+        let bit = position % 8;
+        let mut tampered = blob.clone();
+        tampered[position] ^= 1 << bit;
+        assert!(
+            FleetCheckpoint::load(&tampered).is_err(),
+            "bit {bit} of byte {position} of a churned checkpoint survived"
+        );
+    }
+}
+
+#[test]
+fn resume_under_a_different_churn_spec_is_refused() {
+    let config = churned_fleet();
+    let serial = SweepRunner::serial();
+    let blob = config.run_until(&serial, 30).save();
+    let load = || FleetCheckpoint::load(&blob).expect("valid blob");
+
+    // Same fleet, no churn: refused.
+    assert!(matches!(
+        fleet().resume(&serial, load()),
+        Err(CheckpointError::ConfigMismatch(_))
+    ));
+    // Same churn model, different policy: refused.
+    let other_policy = fleet().with_churn(ChurnSpec::new(
+        ChurnModel::with_rate(0.5).with_link_fade(0.8),
+        PolicyKind::StaticAtAdmission,
+    ));
+    assert!(matches!(
+        other_policy.resume(&serial, load()),
+        Err(CheckpointError::ConfigMismatch(_))
+    ));
+    // Different churn rate: refused.
+    let other_rate = fleet().with_churn(ChurnSpec::new(
+        ChurnModel::with_rate(0.2).with_link_fade(0.8),
+        PolicyKind::ReoptimizeOnChange,
+    ));
+    assert!(matches!(
+        other_rate.resume(&serial, load()),
+        Err(CheckpointError::ConfigMismatch(_))
+    ));
+    // A churned blob under a churn-free config and vice versa both refuse;
+    // the original config still resumes.
+    assert!(matches!(
+        churned_fleet().resume(&serial, {
+            let plain = fleet().run_until(&serial, 30).save();
+            FleetCheckpoint::load(&plain).expect("valid blob")
+        }),
+        Err(CheckpointError::ConfigMismatch(_))
+    ));
     assert!(config.resume(&serial, load()).is_ok());
 }
 

@@ -431,6 +431,68 @@ fn hub_backpressure_naks_over_budget_blobs_until_drained() {
     assert!(hub.fetch(2).expect("fetch").is_none());
 }
 
+#[test]
+fn churned_driver_runs_are_identical_across_1_2_4_shards() {
+    use hidwa_core::fleet::{ChurnSpec, PolicyKind};
+    use hidwa_core::population::ChurnModel;
+
+    // ISSUE 9: churn — arrivals, departures, duty cycles and online
+    // re-placement — flows through the worker CLI (`--churn`) and stays
+    // byte-identical whether the fleet is folded in one stream or split
+    // across 1, 2 or 4 driver shards.
+    let spec = small_spec(30, 0xC0FFEE).with_churn(ChurnSpec::new(
+        ChurnModel::with_rate(0.5).with_link_fade(0.8),
+        PolicyKind::Hysteresis,
+    ));
+    let expected = single_stream_state(&spec);
+    for shards in [1usize, 2, 4] {
+        let driver = FleetDriver::new(spec.clone(), shards);
+        let dir = spool_dir(&format!("churn-{shards}"));
+        let spool = driver.spool_in(&dir).expect("spool");
+        let run = driver
+            .run(&InProcessExecutor::serial(), &spool)
+            .expect("churned driver run");
+        assert_eq!(run.report().bodies(), spec.bodies());
+        assert!(
+            run.report().mean_occupancy() < 1.0,
+            "churn left every body resident for the whole horizon"
+        );
+        assert_eq!(
+            merged_state(&spec, &spool, shards),
+            expected,
+            "churned fleet diverged at {shards} shards"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn publisher_backoff_saturates_instead_of_overflowing() {
+    use hidwa_core::fleet::driver::transport::TransportError;
+    use std::time::{Duration, Instant};
+
+    // Regression for the ISSUE 9 backoff bug: `backoff *= 2` each attempt
+    // overflows Duration after ~64 doublings and panics mid-retry-loop. The
+    // fix saturates and caps, so even an absurd attempt budget against a
+    // hub that never comes back must fail with a typed error — quickly,
+    // and without panicking.
+    let dead = {
+        let hub = SocketHub::bind().expect("bind");
+        hub.addr()
+    };
+    let started = Instant::now();
+    let err = SocketPublisher::new(dead.to_string())
+        .with_retry(200, Duration::from_nanos(1))
+        .with_backoff_cap(Duration::from_millis(1))
+        .publish(0, b"never lands")
+        .expect_err("no hub to publish to");
+    assert!(matches!(err, TransportError::Io(_)), "{err}");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "capped backoff must keep 200 attempts bounded"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

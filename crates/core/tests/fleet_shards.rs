@@ -212,6 +212,67 @@ fn shard_checkpoints_merge_across_machines() {
     );
 }
 
+/// ISSUE 9 churn determinism anchor: a churned heterogeneous fleet —
+/// arrivals, departures, duty cycles and online placement decisions — is
+/// byte-identical across thread widths 1 vs 4, across shard layouts, and
+/// across a mid-stream save/resume.
+#[test]
+fn churned_fleet_is_width_and_layout_invariant() {
+    use hidwa_core::fleet::{ChurnSpec, PolicyKind};
+    use hidwa_core::population::ChurnModel;
+
+    for policy in [
+        PolicyKind::StaticAtAdmission,
+        PolicyKind::ReoptimizeOnChange,
+        PolicyKind::Hysteresis,
+    ] {
+        let config = small_fleet(120, 0xC0FFEE).with_churn(ChurnSpec::new(
+            ChurnModel::with_rate(0.4).with_link_fade(0.8),
+            policy,
+        ));
+        let serial = SweepRunner::serial();
+        let single = config.run(&serial);
+        let single_state = config.run_until(&serial, 120).save().to_vec();
+
+        // Thread width 1 vs 4 (and an odd chunk size): byte-identical state.
+        let wide_state = config
+            .clone()
+            .with_chunk_size(7)
+            .run_until(&SweepRunner::with_threads(4), 120)
+            .save()
+            .to_vec();
+        assert_eq!(wide_state, single_state, "{policy}: width diverged");
+
+        // Shard layouts: even 3-way and a lopsided explicit partition.
+        for (index, plan) in [
+            ShardPlan::split(config.clone(), 3),
+            ShardPlan::from_boundaries(config.clone(), &[1, 40, 119]).expect("sorted"),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let merged = plan.fold(&SweepRunner::with_threads(2));
+            let merged_state = state_bytes(&config, &merged);
+            assert_eq!(
+                merged_state, single_state,
+                "{policy}: layout {index} diverged"
+            );
+            assert_eq!(
+                merged.finish(),
+                single,
+                "{policy}: layout {index} report diverged"
+            );
+        }
+
+        // Mid-stream save/resume reproduces the uninterrupted fold.
+        let restored =
+            FleetCheckpoint::load(&config.run_until(&serial, 60).save()).expect("valid blob");
+        let resumed = config.resume(&serial, restored).expect("same config");
+        assert_eq!(resumed, single, "{policy}: mid-stream resume diverged");
+        assert_eq!(resumed.migrations(), single.migrations());
+    }
+}
+
 #[test]
 fn invalid_layouts_are_rejected_with_typed_errors() {
     let config = small_fleet(10, 1);

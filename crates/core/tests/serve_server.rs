@@ -391,6 +391,57 @@ fn mid_request_disconnects_leave_the_server_serving() {
 }
 
 #[test]
+fn client_timeout_is_typed_when_the_server_never_replies() {
+    use hidwa_core::serve::ClientError;
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    // Regression for the ISSUE 9 client-hang bug: a server that accepts
+    // the connection and reads the request but never replies (killed with
+    // replies outstanding, wedged event loop) used to hang `recv()`
+    // forever. With a timeout configured, the client must surface a typed
+    // `ClientError::Timeout` within the bound — not block, not panic.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind sink");
+    let addr = listener.local_addr().expect("addr");
+    let sink = thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        // Swallow whatever the client sends; never write a byte back.
+        let mut void = [0u8; 1024];
+        while let Ok(n) = stream.read(&mut void) {
+            if n == 0 {
+                break;
+            }
+        }
+    });
+
+    let mut client = PlanClient::connect(addr)
+        .expect("connect")
+        .with_timeout(Duration::from_millis(100))
+        .expect("set timeout")
+        .with_pipeline(4);
+    let request = Request::Projection(ProjectionRequest { rate_bps: 1000.0 });
+    client
+        .submit(std::slice::from_ref(&request))
+        .expect("submit");
+
+    let started = Instant::now();
+    match client.recv() {
+        Err(ClientError::Timeout) => {}
+        other => panic!("expected ClientError::Timeout, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "timeout must fire near the configured bound, not hang"
+    );
+    assert!(
+        ClientError::Timeout.to_string().contains("timed out"),
+        "timeout error renders a useful message"
+    );
+    drop(client);
+    sink.join().expect("sink thread");
+}
+
+#[test]
 fn client_initiated_shutdown_is_acknowledged_and_stops_the_workers() {
     for threads in MODES {
         let server = bind_mode(PlanService::new(), threads);
