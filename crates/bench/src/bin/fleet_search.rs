@@ -1,0 +1,466 @@
+//! Fleet-scale configuration search (ISSUE 10 tentpole figure): the
+//! `hidwa_core::search` harness run as a production question — which
+//! (MAC × objective × radio × traffic scaling × churn policy) config do we
+//! ship to the fleet?
+//!
+//! For each population archetype the binary walks the 32-point
+//! [`ObjectiveSpace::paper_default`] grid exhaustively — every evaluation
+//! an exact fleet fold through `fleet::driver` — and reports the ranked
+//! Pareto frontier (fleet energy vs worst-body p95).  Three contracts are
+//! re-asserted on a reduced grid and gate the exit code:
+//!
+//! * `identity_ok` — the frontier, every evaluation outcome and the sealed
+//!   search checkpoint are byte-identical between in-process execution and
+//!   real worker *processes* (the binary re-invokes itself with
+//!   `--worker`, two workers per evaluation).
+//! * `resume_ok` — a search killed after three evaluations
+//!   (`run_with_budget`, the deterministic SIGKILL stand-in) resumes to
+//!   the identical frontier, folding only the remainder.
+//! * `descent_cache_ok` — coordinate descent over an already-searched
+//!   spool root folds **nothing**: every revisit hits the
+//!   completed-evaluation index (fold count == 0, cache hits == requests).
+//!
+//! Results are **spliced into `BENCH_netsim.json`** (in `$HIDWA_BENCH_OUT`
+//! or the current directory) as a `search` section; re-runs replace the
+//! section idempotently.  Search checkpoints and fleet blobs spool under
+//! `$HIDWA_SEARCH_SPOOL` (default `search-spool/`), which CI uploads as an
+//! artifact.
+//!
+//! Knobs: `HIDWA_BENCH_SEARCH_BODIES` (default 48),
+//! `HIDWA_BENCH_SEARCH_HORIZON_S` (default 0.5 s per-body horizon).
+//!
+//! An operator mode for the `DEPLOYMENT.md` walkthrough runs one search
+//! with explicit flags and real worker processes:
+//!
+//! ```text
+//! fleet_search --search --bodies 64 --shards 2 --spool search-spool/demo \
+//!              [--budget <k>] [--strategy <exhaustive|descent>]
+//! ```
+
+use hidwa_bench::{env_f64, json};
+use hidwa_core::fleet::driver::{
+    DriverFleetSpec, InProcessExecutor, PopulationSpec, ProcessExecutor, WorkerCommand,
+};
+use hidwa_core::fleet::{ChurnSpec, PolicyKind};
+use hidwa_core::population::ChurnModel;
+use hidwa_core::search::{ObjectiveSpace, SearchDriver, SearchRun, SearchSpec, SearchStrategy};
+use hidwa_core::sweep::SweepRunner;
+use hidwa_units::TimeSpan;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct FrontierRow {
+    rank: usize,
+    point: u64,
+    label: String,
+    energy_j: f64,
+    worst_p95_ms: f64,
+    migration_rate: f64,
+    state_fp: String,
+}
+
+hidwa_bench::json_struct!(FrontierRow {
+    rank,
+    point,
+    label,
+    energy_j,
+    worst_p95_ms,
+    migration_rate,
+    state_fp,
+});
+
+struct ArchetypeSearch {
+    population: String,
+    wall_ms: f64,
+    folds: usize,
+    requests: usize,
+    cache_hits: usize,
+    frontier: Vec<FrontierRow>,
+}
+
+hidwa_bench::json_struct!(ArchetypeSearch {
+    population,
+    wall_ms,
+    folds,
+    requests,
+    cache_hits,
+    frontier,
+});
+
+struct SearchSection {
+    bodies: usize,
+    horizon_s: f64,
+    grid_points: u64,
+    identity_ok: bool,
+    resume_ok: bool,
+    descent_cache_ok: bool,
+    archetypes: Vec<ArchetypeSearch>,
+}
+
+hidwa_bench::json_struct!(SearchSection {
+    bodies,
+    horizon_s,
+    grid_points,
+    identity_ok,
+    resume_ok,
+    descent_cache_ok,
+    archetypes,
+});
+
+/// The churn template every grid point perturbs: moderate churn with
+/// severe epoch fades, so the policy and objective axes have real work.
+fn churn_template() -> ChurnSpec {
+    ChurnSpec::new(
+        ChurnModel::with_rate(0.3).with_link_fade(0.8),
+        PolicyKind::StaticAtAdmission,
+    )
+    .with_hysteresis_threshold(0.1)
+}
+
+fn base_spec(bodies: usize, horizon: TimeSpan, population: PopulationSpec) -> DriverFleetSpec {
+    DriverFleetSpec::new(bodies)
+        .with_base_seed(0x5EA7C4)
+        .with_horizon(horizon)
+        .with_population(population)
+        .with_churn(churn_template())
+}
+
+fn frontier_rows(run: &SearchRun, space: &ObjectiveSpace) -> Vec<FrontierRow> {
+    run.frontier()
+        .iter()
+        .enumerate()
+        .map(|(rank, outcome)| FrontierRow {
+            rank,
+            point: outcome.point(),
+            label: space.point(outcome.point()).label(),
+            energy_j: outcome.energy_j(),
+            worst_p95_ms: outcome.worst_p95_s() * 1e3,
+            migration_rate: outcome.migration_rate(),
+            state_fp: format!("{:016x}", outcome.state_fp()),
+        })
+        .collect()
+}
+
+fn print_frontier(rows: &[FrontierRow]) {
+    println!(
+        "  {:<4} {:>5} {:<42} {:>11} {:>9} {:>9}",
+        "rank", "point", "config", "energy J", "p95 ms", "migr/b-h"
+    );
+    for row in rows {
+        println!(
+            "  {:<4} {:>5} {:<42} {:>11.4} {:>9.3} {:>9.2}",
+            row.rank, row.point, row.label, row.energy_j, row.worst_p95_ms, row.migration_rate
+        );
+    }
+}
+
+/// The reduced 4-point grid the contract checks run on (2 MACs × 2
+/// radios), cheap enough to evaluate three times over.
+fn contract_space() -> ObjectiveSpace {
+    use hidwa_netsim::mac::MacPolicy;
+    use hidwa_phy::RadioTechnology;
+    ObjectiveSpace::new()
+        .with_mac_axis(&[MacPolicy::Polling, MacPolicy::Tdma])
+        .with_radio_axis(&[RadioTechnology::WiR, RadioTechnology::Ble])
+}
+
+fn checkpoint_bytes(root: &Path) -> Vec<u8> {
+    std::fs::read(SearchDriver::checkpoint_path(root)).expect("search checkpoint exists")
+}
+
+/// In-process vs two real worker processes per evaluation: identical
+/// frontier, outcomes and checkpoint bytes.
+fn check_identity(spec: &SearchSpec, spool: &Path) -> bool {
+    let driver = SearchDriver::new(spec.clone().with_shards(2), SearchStrategy::ExhaustiveGrid);
+    let runner = SweepRunner::serial();
+    let in_process_root = spool.join("contract-inproc");
+    let in_process = driver
+        .run(&runner, &InProcessExecutor::serial(), &in_process_root)
+        .expect("in-process contract search");
+    let worker = WorkerCommand::current_exe_worker().expect("current exe");
+    let process_root = spool.join("contract-proc");
+    let process = driver
+        .run(&runner, &ProcessExecutor::new(worker), &process_root)
+        .expect("multi-process contract search");
+    in_process.evaluations() == process.evaluations()
+        && in_process.frontier() == process.frontier()
+        && checkpoint_bytes(&in_process_root) == checkpoint_bytes(&process_root)
+}
+
+/// Budget-3 kill, then resume: identical frontier, only the remainder
+/// folded.
+fn check_resume(spec: &SearchSpec, spool: &Path, reference_root: &Path) -> bool {
+    let driver = SearchDriver::new(spec.clone().with_shards(2), SearchStrategy::ExhaustiveGrid);
+    let runner = SweepRunner::serial();
+    let executor = InProcessExecutor::serial();
+    let root = spool.join("contract-resume");
+    // The kill-and-resume drill needs a fresh root: a spool left by a
+    // previous bench run would make the budgeted "killed" search resume
+    // to completion immediately instead of stopping after 3 folds.
+    let _ = std::fs::remove_dir_all(&root);
+    let partial = driver
+        .run_with_budget(&runner, &executor, &root, Some(3))
+        .expect("budgeted contract search");
+    let resumed = driver
+        .run(&runner, &executor, &root)
+        .expect("resumed search");
+    let grid = spec.space().len() as usize;
+    !partial.complete()
+        && partial.folds() == 3
+        && resumed.complete()
+        && resumed.resumed() == 3
+        && resumed.folds() == grid - 3
+        && checkpoint_bytes(&root) == checkpoint_bytes(reference_root)
+}
+
+/// Coordinate descent over the already-searched root: pure index replay.
+fn check_descent_cache(spec: &SearchSpec, searched_root: &Path) -> bool {
+    let driver = SearchDriver::new(
+        spec.clone().with_shards(2),
+        SearchStrategy::CoordinateDescent { max_rounds: 3 },
+    );
+    let run = driver
+        .run(
+            &SweepRunner::serial(),
+            &InProcessExecutor::serial(),
+            searched_root,
+        )
+        .expect("descent over searched root");
+    run.complete() && run.folds() == 0 && run.cache_hits() == run.requests()
+}
+
+/// Operator mode for the `DEPLOYMENT.md` walkthrough: one search with
+/// explicit flags, evaluations folded by real worker processes.
+fn search_cli(mut args: impl Iterator<Item = String>) -> ExitCode {
+    const USAGE: &str = "\
+usage: fleet_search --search [--bodies <n>] [--shards <k>] [--spool <dir>]
+                    [--budget <k>] [--strategy <exhaustive|descent>]
+                    [--population <uniform|mixed>] [--horizon-s <f64>]";
+    let mut bodies = 64usize;
+    let mut shards = 2usize;
+    let mut spool = PathBuf::from("search-spool/walkthrough");
+    let mut budget: Option<usize> = None;
+    let mut strategy = SearchStrategy::ExhaustiveGrid;
+    let mut population = PopulationSpec::Mixed;
+    let mut horizon_s = 0.25f64;
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--bodies" => {
+                    bodies = value("--bodies")?.parse().map_err(|e| format!("{e}"))?;
+                }
+                "--shards" => {
+                    shards = value("--shards")?.parse().map_err(|e| format!("{e}"))?;
+                }
+                "--spool" => spool = PathBuf::from(value("--spool")?),
+                "--budget" => {
+                    budget = Some(value("--budget")?.parse().map_err(|e| format!("{e}"))?);
+                }
+                "--strategy" => {
+                    strategy = match value("--strategy")?.as_str() {
+                        "exhaustive" => SearchStrategy::ExhaustiveGrid,
+                        "descent" => SearchStrategy::CoordinateDescent { max_rounds: 4 },
+                        other => return Err(format!("unknown strategy {other:?}")),
+                    };
+                }
+                "--population" => {
+                    population = PopulationSpec::parse(&value("--population")?)
+                        .map_err(|e| format!("{e}"))?;
+                }
+                "--horizon-s" => {
+                    horizon_s = value("--horizon-s")?.parse().map_err(|e| format!("{e}"))?;
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+            Ok(())
+        })();
+        if let Err(message) = result {
+            eprintln!("{message}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let spec = SearchSpec::new(
+        base_spec(bodies, TimeSpan::from_seconds(horizon_s), population),
+        ObjectiveSpace::paper_default(),
+    )
+    .with_shards(shards);
+    let space = spec.space().clone();
+    let driver = SearchDriver::new(spec, strategy);
+    let worker = match WorkerCommand::current_exe_worker() {
+        Ok(worker) => worker,
+        Err(error) => {
+            eprintln!("cannot locate own executable: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let executor = ProcessExecutor::new(worker);
+    println!(
+        "searching {} grid points, {bodies} bodies x {horizon_s} s, {shards} worker(s) per evaluation",
+        space.len()
+    );
+    println!("spool root: {} (checkpoint: search.ckpt)", spool.display());
+    let start = Instant::now();
+    let run = match driver.run_with_budget(&SweepRunner::new(), &executor, &spool, budget) {
+        Ok(run) => run,
+        Err(error) => {
+            eprintln!("search failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{} folds, {} cache hits, {} resumed in {:.1} ms — {}",
+        run.folds(),
+        run.cache_hits(),
+        run.resumed(),
+        start.elapsed().as_secs_f64() * 1e3,
+        if run.complete() {
+            "complete"
+        } else {
+            "budget exhausted (resume by re-running without --budget)"
+        }
+    );
+    if run.complete() {
+        println!("\nPareto frontier (fleet energy vs worst-body p95):");
+        print_frontier(&frontier_rows(&run, &space));
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("--worker") {
+        return hidwa_core::fleet::driver::worker_main(args.skip(1));
+    }
+    if args.peek().map(String::as_str) == Some("--search") {
+        return search_cli(args.skip(1));
+    }
+
+    let bodies = (env_f64("HIDWA_BENCH_SEARCH_BODIES", 48.0) as usize).max(8);
+    let horizon = TimeSpan::from_seconds(env_f64("HIDWA_BENCH_SEARCH_HORIZON_S", 0.5).max(0.05));
+    let spool = PathBuf::from(
+        std::env::var("HIDWA_SEARCH_SPOOL").unwrap_or_else(|_| "search-spool".to_string()),
+    );
+    let runner = SweepRunner::new();
+    let space = ObjectiveSpace::paper_default();
+
+    hidwa_bench::header(
+        "fleet_search",
+        "fleet-scale configuration search: ranked energy vs worst-body-p95 frontier per archetype",
+    );
+    println!(
+        "{} grid points (mac x objective x radio x traffic x policy), {bodies} bodies, {:.2} s horizon (threads: {})\n",
+        space.len(),
+        horizon.as_seconds(),
+        runner.threads()
+    );
+
+    let mut archetypes = Vec::new();
+    for population in [PopulationSpec::Uniform, PopulationSpec::Mixed] {
+        let tag = population.tag().to_string();
+        let spec = SearchSpec::new(base_spec(bodies, horizon, population), space.clone());
+        let driver = SearchDriver::new(spec, SearchStrategy::ExhaustiveGrid);
+        let root = spool.join(&tag);
+        let start = Instant::now();
+        let run = driver
+            .run(&runner, &InProcessExecutor::serial(), &root)
+            .expect("exhaustive search");
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let frontier = frontier_rows(&run, &space);
+        println!(
+            "[{tag}] {} evaluations, {} folds, frontier of {} in {:.1} ms",
+            run.evaluations().len(),
+            run.folds(),
+            frontier.len(),
+            wall_ms
+        );
+        print_frontier(&frontier);
+        println!();
+        archetypes.push(ArchetypeSearch {
+            population: tag,
+            wall_ms,
+            folds: run.folds(),
+            requests: run.requests(),
+            cache_hits: run.cache_hits(),
+            frontier,
+        });
+    }
+
+    // Contract checks on the reduced grid (mixed population).
+    let contract = SearchSpec::new(
+        base_spec(bodies.min(24), horizon, PopulationSpec::Mixed),
+        contract_space(),
+    );
+    let reference_root = spool.join("contract-inproc");
+    let identity_ok = check_identity(&contract, &spool);
+    let resume_ok = check_resume(&contract, &spool, &reference_root);
+    let descent_cache_ok = check_descent_cache(&contract, &reference_root);
+    println!(
+        "identity(in-process vs worker processes): {}  kill+resume: {}  descent cache: {}",
+        if identity_ok { "ok" } else { "DIVERGED" },
+        if resume_ok { "ok" } else { "DIVERGED" },
+        if descent_cache_ok { "ok" } else { "RE-FOLDED" },
+    );
+
+    let frontiers_nonempty = archetypes.iter().all(|a| !a.frontier.is_empty());
+    let frontiers_ranked = archetypes.iter().all(|a| {
+        a.frontier
+            .windows(2)
+            .all(|pair| pair[0].energy_j <= pair[1].energy_j)
+    });
+
+    let section = SearchSection {
+        bodies,
+        horizon_s: horizon.as_seconds(),
+        grid_points: space.len(),
+        identity_ok,
+        resume_ok,
+        descent_cache_ok,
+        archetypes,
+    };
+    let out_dir = std::env::var("HIDWA_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
+    let path = Path::new(&out_dir).join("BENCH_netsim.json");
+    splice_into_bench_netsim(&path, &section);
+    println!("\n[search section spliced into {}]", path.display());
+    hidwa_bench::write_json("fleet_search", &section);
+
+    assert!(
+        frontiers_nonempty,
+        "an archetype produced an empty frontier"
+    );
+    assert!(
+        frontiers_ranked,
+        "a frontier is not ranked by ascending energy"
+    );
+    assert!(
+        identity_ok,
+        "search diverged between in-process and worker-process execution"
+    );
+    assert!(
+        resume_ok,
+        "a killed search did not resume to the identical frontier"
+    );
+    assert!(
+        descent_cache_ok,
+        "coordinate descent re-folded a completed evaluation"
+    );
+    ExitCode::SUCCESS
+}
+
+/// Splice `section` into the existing `BENCH_netsim.json` as the trailing
+/// `search` key, replacing any previous copy of the section.
+fn splice_into_bench_netsim(path: &Path, section: &SearchSection) {
+    let mut text = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}".to_string());
+    if let Some(position) = text.find(",\n  \"search\"") {
+        text.truncate(position);
+        text.push_str("\n}");
+    }
+    let body = text.trim_end().trim_end_matches('}').trim_end().to_string();
+    let separator = if body.ends_with('{') { "\n" } else { ",\n" };
+    let rendered = json::to_string_pretty(section).replace('\n', "\n  ");
+    let spliced = format!("{body}{separator}  \"search\": {rendered}\n}}\n");
+    std::fs::write(path, spliced).expect("write BENCH_netsim.json");
+}

@@ -1,0 +1,144 @@
+//! Multi-**process** search tests: the `hidwa_core::search` layer driven
+//! by real `shard_worker` processes.  The deterministic in-process
+//! versions of these properties live in
+//! `crates/core/tests/search_determinism.rs`; here every evaluation spawns
+//! actual workers — including one that is killed mid-shard — and the
+//! frontier, outcomes and sealed search checkpoint must still be
+//! byte-identical to the in-process fold.
+
+use hidwa_core::fleet::driver::{
+    DriverFleetSpec, InProcessExecutor, PopulationSpec, ProcessExecutor, WorkerCommand,
+};
+use hidwa_core::fleet::{ChurnSpec, PolicyKind};
+use hidwa_core::population::ChurnModel;
+use hidwa_core::search::{ObjectiveSpace, SearchDriver, SearchSpec, SearchStrategy};
+use hidwa_core::sweep::SweepRunner;
+use hidwa_netsim::mac::MacPolicy;
+use hidwa_phy::RadioTechnology;
+use hidwa_units::TimeSpan;
+use std::path::{Path, PathBuf};
+
+/// The release-agnostic path of the worker binary under test.
+fn worker_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_shard_worker")
+}
+
+fn spool_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hidwa-procsearch-{tag}-{}", std::process::id()))
+}
+
+/// A 4-point grid (MAC × radio) over a churned 8-body fleet — small enough
+/// that spawning 2 worker processes per evaluation stays fast.
+fn search_spec() -> SearchSpec {
+    let base = DriverFleetSpec::new(8)
+        .with_base_seed(21)
+        .with_horizon(TimeSpan::from_seconds(0.1))
+        .with_population(PopulationSpec::Mixed)
+        .with_churn(ChurnSpec::new(
+            ChurnModel::with_rate(0.4).with_epochs(2),
+            PolicyKind::Hysteresis,
+        ));
+    let space = ObjectiveSpace::new()
+        .with_mac_axis(&[MacPolicy::Polling, MacPolicy::Tdma])
+        .with_radio_axis(&[RadioTechnology::WiR, RadioTechnology::Ble]);
+    SearchSpec::new(base, space).with_shards(2)
+}
+
+fn checkpoint_bytes(root: &Path) -> Vec<u8> {
+    std::fs::read(SearchDriver::checkpoint_path(root)).expect("search checkpoint exists")
+}
+
+#[test]
+fn process_search_matches_in_process_byte_for_byte() {
+    let driver = SearchDriver::new(search_spec(), SearchStrategy::ExhaustiveGrid);
+    let runner = SweepRunner::serial();
+
+    let in_root = spool_dir("inproc");
+    let in_process = driver
+        .run(&runner, &InProcessExecutor::serial(), &in_root)
+        .expect("in-process search");
+
+    let proc_root = spool_dir("proc");
+    let executor = ProcessExecutor::new(WorkerCommand::new(worker_bin()));
+    let process = driver
+        .run(&runner, &executor, &proc_root)
+        .expect("multi-process search");
+
+    assert_eq!(in_process.evaluations(), process.evaluations());
+    assert_eq!(in_process.frontier(), process.frontier());
+    assert_eq!(checkpoint_bytes(&in_root), checkpoint_bytes(&proc_root));
+    assert_eq!(process.folds(), process.evaluations().len());
+
+    let _ = std::fs::remove_dir_all(&in_root);
+    let _ = std::fs::remove_dir_all(&proc_root);
+}
+
+#[test]
+fn process_search_resumes_after_budget_kill() {
+    let driver = SearchDriver::new(search_spec(), SearchStrategy::ExhaustiveGrid);
+    let runner = SweepRunner::serial();
+    let executor = ProcessExecutor::new(WorkerCommand::new(worker_bin()));
+
+    let baseline_root = spool_dir("baseline");
+    let baseline = driver
+        .run(&runner, &executor, &baseline_root)
+        .expect("baseline search");
+
+    let killed_root = spool_dir("killed");
+    let partial = driver
+        .run_with_budget(&runner, &executor, &killed_root, Some(2))
+        .expect("budgeted search");
+    assert!(!partial.complete());
+    assert_eq!(partial.folds(), 2);
+
+    let resumed = driver
+        .run(&runner, &executor, &killed_root)
+        .expect("resumed search");
+    assert!(resumed.complete());
+    assert_eq!(resumed.resumed(), 2);
+    assert_eq!(resumed.folds(), baseline.folds() - 2);
+    assert_eq!(resumed.evaluations(), baseline.evaluations());
+    assert_eq!(resumed.frontier(), baseline.frontier());
+    assert_eq!(
+        checkpoint_bytes(&killed_root),
+        checkpoint_bytes(&baseline_root)
+    );
+
+    let _ = std::fs::remove_dir_all(&baseline_root);
+    let _ = std::fs::remove_dir_all(&killed_root);
+}
+
+#[test]
+fn worker_crash_is_invisible_in_the_frontier() {
+    let driver = SearchDriver::new(search_spec(), SearchStrategy::ExhaustiveGrid);
+    let runner = SweepRunner::serial();
+
+    let clean_root = spool_dir("clean");
+    let clean = driver
+        .run(
+            &runner,
+            &ProcessExecutor::new(WorkerCommand::new(worker_bin())),
+            &clean_root,
+        )
+        .expect("clean search");
+
+    // Every evaluation's first attempt at shard 1 dies mid-fold
+    // (`--fail-after-bodies` injection); the fleet driver detects the
+    // death and re-runs, so the search result must not change.
+    let faulty_root = spool_dir("faulty");
+    let faulty_executor =
+        ProcessExecutor::new(WorkerCommand::new(worker_bin())).with_injected_kill(1);
+    let faulty = driver
+        .run(&runner, &faulty_executor, &faulty_root)
+        .expect("search with injected worker crashes");
+
+    assert_eq!(clean.evaluations(), faulty.evaluations());
+    assert_eq!(clean.frontier(), faulty.frontier());
+    assert_eq!(
+        checkpoint_bytes(&clean_root),
+        checkpoint_bytes(&faulty_root)
+    );
+
+    let _ = std::fs::remove_dir_all(&clean_root);
+    let _ = std::fs::remove_dir_all(&faulty_root);
+}

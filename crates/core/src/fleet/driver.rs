@@ -72,6 +72,8 @@ use super::shard::ShardPlan;
 use super::{FleetAggregator, FleetConfig, FleetReport};
 use crate::population::{LinkCache, PopulationModel};
 use crate::sweep::SweepRunner;
+use hidwa_netsim::mac::MacPolicy;
+use hidwa_phy::RadioTechnology;
 use std::ops::Range;
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -92,8 +94,61 @@ usage: shard_worker --bodies <n> --shard-index <i> --shard-start <a> --shard-end
                     (--spool <dir> | --connect <host:port>)
                     [--base-seed <u64>] [--horizon-s <f64> | --horizon-bits <u64>]
                     [--top-k <n>] [--population <uniform|mixed>] [--threads <n>]
+                    [--mac <tdma|polling>] [--radio <wi-r|ble|nfmi|wifi>]
+                    [--traffic-scale <f64> | --traffic-scale-bits <u64>]
                     [--churn <rate:dmin:dmax:epochs:fade:policy:thresh:objective:cost>]
                     [--fail-after-bodies <n>] [--fail-with-partial]";
+
+/// The `--mac` flag tag of a [`MacPolicy`] (the search layer's MAC axis
+/// crosses the process boundary with these).
+#[must_use]
+pub fn mac_tag(policy: MacPolicy) -> &'static str {
+    match policy {
+        MacPolicy::Tdma => "tdma",
+        MacPolicy::Polling => "polling",
+    }
+}
+
+/// Parses a `--mac` flag value.
+///
+/// # Errors
+/// A human-readable message for an unknown tag.
+pub fn parse_mac_tag(tag: &str) -> Result<MacPolicy, String> {
+    match tag {
+        "tdma" => Ok(MacPolicy::Tdma),
+        "polling" => Ok(MacPolicy::Polling),
+        other => Err(format!(
+            "unknown MAC policy {other:?} (expected \"tdma\" or \"polling\")"
+        )),
+    }
+}
+
+/// The `--radio` flag tag of a [`RadioTechnology`].
+#[must_use]
+pub fn radio_tag(technology: RadioTechnology) -> &'static str {
+    match technology {
+        RadioTechnology::WiR => "wi-r",
+        RadioTechnology::Ble => "ble",
+        RadioTechnology::Nfmi => "nfmi",
+        RadioTechnology::WiFi => "wifi",
+    }
+}
+
+/// Parses a `--radio` flag value.
+///
+/// # Errors
+/// A human-readable message for an unknown tag.
+pub fn parse_radio_tag(tag: &str) -> Result<RadioTechnology, String> {
+    match tag {
+        "wi-r" => Ok(RadioTechnology::WiR),
+        "ble" => Ok(RadioTechnology::Ble),
+        "nfmi" => Ok(RadioTechnology::Nfmi),
+        "wifi" => Ok(RadioTechnology::WiFi),
+        other => Err(format!(
+            "unknown radio {other:?} (expected \"wi-r\", \"ble\", \"nfmi\" or \"wifi\")"
+        )),
+    }
+}
 
 /// Why a driver run (or a worker invocation) failed.
 ///
@@ -275,6 +330,15 @@ pub struct DriverFleetSpec {
     horizon_bits: u64,
     top_k: usize,
     population: PopulationSpec,
+    /// Overrides the named population's MAC policy on every archetype
+    /// (`--mac`); `None` keeps the population's own policies.
+    mac: Option<MacPolicy>,
+    /// Overrides the radio technology on every archetype (`--radio`).
+    radio: Option<RadioTechnology>,
+    /// Traffic-scale factor as raw `f64` bits (`--traffic-scale-bits`);
+    /// `1.0` is the identity.  Bits, not decimals, for the same reason the
+    /// horizon crosses as bits: both sides must rebuild the exact config.
+    traffic_scale_bits: u64,
     churn: Option<ChurnSpec>,
 }
 
@@ -294,6 +358,9 @@ impl DriverFleetSpec {
             horizon_bits: defaults.horizon().as_seconds().to_bits(),
             top_k: defaults.top_k(),
             population: PopulationSpec::Uniform,
+            mac: None,
+            radio: None,
+            traffic_scale_bits: 1.0f64.to_bits(),
             churn: None,
         }
     }
@@ -324,6 +391,77 @@ impl DriverFleetSpec {
     pub fn with_population(mut self, population: PopulationSpec) -> Self {
         self.population = population;
         self
+    }
+
+    /// Overrides the MAC policy on every archetype of the named population
+    /// (the search layer's MAC axis; crosses the boundary as `--mac`).
+    #[must_use]
+    pub fn with_mac(mut self, mac: MacPolicy) -> Self {
+        self.mac = Some(mac);
+        self
+    }
+
+    /// Overrides the radio technology on every archetype (`--radio`).
+    #[must_use]
+    pub fn with_radio(mut self, radio: RadioTechnology) -> Self {
+        self.radio = Some(radio);
+        self
+    }
+
+    /// Scales every leaf's offered traffic load by `factor`
+    /// ([`PopulationModel::with_traffic_scale`]); non-finite or non-positive
+    /// factors reset to the identity.  Crosses the boundary as
+    /// `--traffic-scale-bits`, bit-exactly.
+    #[must_use]
+    pub fn with_traffic_scale(mut self, factor: f64) -> Self {
+        self.traffic_scale_bits = if factor.is_finite() && factor > 0.0 {
+            factor.to_bits()
+        } else {
+            1.0f64.to_bits()
+        };
+        self
+    }
+
+    /// The MAC-policy override, if one is set.
+    #[must_use]
+    pub fn mac(&self) -> Option<MacPolicy> {
+        self.mac
+    }
+
+    /// The radio-technology override, if one is set.
+    #[must_use]
+    pub fn radio(&self) -> Option<RadioTechnology> {
+        self.radio
+    }
+
+    /// The traffic-scale factor (1.0 = identity).
+    #[must_use]
+    pub fn traffic_scale(&self) -> f64 {
+        f64::from_bits(self.traffic_scale_bits)
+    }
+
+    /// The traffic-scale factor as raw bits (what crosses the boundary).
+    #[must_use]
+    pub fn traffic_scale_bits(&self) -> u64 {
+        self.traffic_scale_bits
+    }
+
+    /// The base seed per-body scenarios derive from.
+    #[must_use]
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// The per-body horizon as raw `f64` seconds bits.
+    #[must_use]
+    pub fn horizon_bits(&self) -> u64 {
+        self.horizon_bits
+    }
+
+    /// How many worst bodies the aggregator keeps exactly.
+    #[must_use]
+    pub fn top_k(&self) -> usize {
+        self.top_k
     }
 
     /// Attaches a churn-and-placement spec; it crosses the process boundary
@@ -363,10 +501,23 @@ impl DriverFleetSpec {
                 self.horizon_bits,
             )))
             .with_top_k(self.top_k);
-        let config = match self.population {
+        let mut config = match self.population {
             PopulationSpec::Uniform => config,
             PopulationSpec::Mixed => config.with_population(PopulationModel::mixed_default()),
         };
+        if let Some(mac) = self.mac {
+            config = config.with_policy(mac);
+        }
+        if let Some(radio) = self.radio {
+            config = config.with_technology(radio);
+        }
+        if self.traffic_scale_bits != 1.0f64.to_bits() {
+            let scaled = config
+                .population()
+                .clone()
+                .with_traffic_scale(f64::from_bits(self.traffic_scale_bits));
+            config = config.with_population(scaled);
+        }
         match &self.churn {
             None => config,
             Some(churn) => config.with_churn(churn.clone()),
@@ -389,6 +540,18 @@ impl DriverFleetSpec {
             "--population".into(),
             self.population.tag().into(),
         ];
+        if let Some(mac) = self.mac {
+            args.push("--mac".into());
+            args.push(mac_tag(mac).into());
+        }
+        if let Some(radio) = self.radio {
+            args.push("--radio".into());
+            args.push(radio_tag(radio).into());
+        }
+        if self.traffic_scale_bits != 1.0f64.to_bits() {
+            args.push("--traffic-scale-bits".into());
+            args.push(self.traffic_scale_bits.to_string());
+        }
         if let Some(churn) = &self.churn {
             args.push("--churn".into());
             args.push(churn.flag_value());
@@ -484,6 +647,9 @@ impl WorkerRequest {
         let mut horizon_bits = None;
         let mut top_k = None;
         let mut population = None;
+        let mut mac = None;
+        let mut radio = None;
+        let mut traffic_scale_bits = None;
         let mut churn = None;
         let mut shard_index = None;
         let mut shard_start = None;
@@ -510,6 +676,33 @@ impl WorkerRequest {
                 "--top-k" => top_k = Some(parse_value(&flag, args.next())?),
                 "--population" => {
                     population = Some(PopulationSpec::parse(&require_value(&flag, args.next())?)?);
+                }
+                "--mac" => {
+                    let value = require_value(&flag, args.next())?;
+                    mac = Some(parse_mac_tag(&value).map_err(DriverError::Usage)?);
+                }
+                "--radio" => {
+                    let value = require_value(&flag, args.next())?;
+                    radio = Some(parse_radio_tag(&value).map_err(DriverError::Usage)?);
+                }
+                "--traffic-scale" => {
+                    let factor: f64 = parse_value(&flag, args.next())?;
+                    if !(factor.is_finite() && factor > 0.0) {
+                        return Err(DriverError::Usage(
+                            "--traffic-scale must be a finite positive factor".into(),
+                        ));
+                    }
+                    traffic_scale_bits = Some(factor.to_bits());
+                }
+                "--traffic-scale-bits" => {
+                    let bits: u64 = parse_value(&flag, args.next())?;
+                    let factor = f64::from_bits(bits);
+                    if !(factor.is_finite() && factor > 0.0) {
+                        return Err(DriverError::Usage(
+                            "--traffic-scale-bits do not encode a finite positive factor".into(),
+                        ));
+                    }
+                    traffic_scale_bits = Some(bits);
                 }
                 "--churn" => {
                     let value = require_value(&flag, args.next())?;
@@ -547,6 +740,15 @@ impl WorkerRequest {
         }
         if let Some(population) = population {
             spec = spec.with_population(population);
+        }
+        if let Some(mac) = mac {
+            spec = spec.with_mac(mac);
+        }
+        if let Some(radio) = radio {
+            spec = spec.with_radio(radio);
+        }
+        if let Some(bits) = traffic_scale_bits {
+            spec.traffic_scale_bits = bits;
         }
         if let Some(churn) = churn {
             spec = spec.with_churn(churn);
@@ -989,6 +1191,15 @@ pub fn run_fingerprint(spec: &DriverFleetSpec, interior_boundaries: &[usize]) ->
     bytes.extend_from_slice(&(spec.top_k as u64).to_be_bytes());
     bytes.extend_from_slice(spec.population.tag().as_bytes());
     bytes.push(0);
+    if let Some(mac) = spec.mac {
+        bytes.extend_from_slice(mac_tag(mac).as_bytes());
+    }
+    bytes.push(0);
+    if let Some(radio) = spec.radio {
+        bytes.extend_from_slice(radio_tag(radio).as_bytes());
+    }
+    bytes.push(0);
+    bytes.extend_from_slice(&spec.traffic_scale_bits.to_be_bytes());
     if let Some(churn) = &spec.churn {
         bytes.extend_from_slice(churn.flag_value().as_bytes());
     }
@@ -1407,6 +1618,65 @@ mod tests {
     }
 
     #[test]
+    fn grid_overrides_round_trip_through_the_parser() {
+        let spec = DriverFleetSpec::new(24)
+            .with_mac(MacPolicy::Tdma)
+            .with_radio(RadioTechnology::Ble)
+            .with_traffic_scale(1.75);
+        let shard = ShardAssignment {
+            index: 0,
+            start: 0,
+            end: 24,
+        };
+        let mut args = spec.worker_args(&shard);
+        args.extend(["--spool".to_string(), "/tmp/somewhere".to_string()]);
+        let request = WorkerRequest::parse(args).expect("override args parse");
+        assert_eq!(request.spec, spec);
+        assert_eq!(request.spec.mac(), Some(MacPolicy::Tdma));
+        assert_eq!(request.spec.radio(), Some(RadioTechnology::Ble));
+        assert_eq!(request.spec.traffic_scale(), 1.75);
+        // The convenience flag lands on the identical bit pattern.
+        let convenient = WorkerRequest::parse(
+            [
+                "--bodies",
+                "24",
+                "--traffic-scale",
+                "1.75",
+                "--shard-index",
+                "0",
+                "--shard-start",
+                "0",
+                "--shard-end",
+                "24",
+                "--spool",
+                "/tmp/x",
+            ]
+            .iter()
+            .map(ToString::to_string),
+        )
+        .expect("convenience flag parses");
+        assert_eq!(
+            convenient.spec.traffic_scale_bits(),
+            spec.traffic_scale_bits()
+        );
+        // Malformed values are usage errors, never panics.
+        let nan_bits = f64::NAN.to_bits().to_string();
+        for bad in [
+            vec!["--bodies", "4", "--mac", "csma"],
+            vec!["--bodies", "4", "--radio", "zigbee"],
+            vec!["--bodies", "4", "--traffic-scale", "0"],
+            vec!["--bodies", "4", "--traffic-scale", "inf"],
+            vec!["--bodies", "4", "--traffic-scale-bits", nan_bits.as_str()],
+        ] {
+            let parsed = WorkerRequest::parse(bad.iter().map(ToString::to_string));
+            assert!(
+                matches!(parsed, Err(DriverError::Usage(_))),
+                "expected usage error for {bad:?}, got {parsed:?}"
+            );
+        }
+    }
+
+    #[test]
     fn fingerprints_separate_incompatible_runs() {
         let spec = DriverFleetSpec::new(64);
         let base = run_fingerprint(&spec, &[32]);
@@ -1422,6 +1692,19 @@ mod tests {
             run_fingerprint(&spec.clone().with_population(PopulationSpec::Mixed), &[32])
         );
         assert_ne!(base, run_fingerprint(&DriverFleetSpec::new(65), &[32]));
+        // Grid overrides each move the fingerprint.
+        assert_ne!(
+            base,
+            run_fingerprint(&spec.clone().with_mac(MacPolicy::Tdma), &[32])
+        );
+        assert_ne!(
+            base,
+            run_fingerprint(&spec.clone().with_radio(RadioTechnology::WiFi), &[32])
+        );
+        assert_ne!(
+            base,
+            run_fingerprint(&spec.clone().with_traffic_scale(2.0), &[32])
+        );
         // Churned and churn-free runs of the same fleet never share a spool.
         let churned = spec.clone().with_churn(ChurnSpec::new(
             crate::population::ChurnModel::with_rate(0.3),

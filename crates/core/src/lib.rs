@@ -27,6 +27,12 @@
 //!   the sweep runner: per-body seeds, bounded per-body summaries and a
 //!   bounded-memory aggregator whose state is independent of fleet size (the
 //!   millions-of-users direction).
+//! * [`search`] — fleet-scale configuration search: a discrete objective
+//!   grid (MAC × objective × radio × traffic scaling × churn policy), one
+//!   exact fleet fold per evaluation, exhaustive-grid and
+//!   coordinate-descent strategies, and a sealed resumable index of
+//!   completed evaluations (the production question "which config do we
+//!   ship to the fleet").
 //! * [`wire`] — the length-prefixed socket framing shared by the fleet blob
 //!   transport and the plan server (one implementation, capped reads, typed
 //!   errors).
@@ -78,6 +84,7 @@ pub mod partition;
 pub mod population;
 pub mod projection;
 pub mod scenario;
+pub mod search;
 pub mod serve;
 pub mod sweep;
 pub mod wire;

@@ -470,6 +470,24 @@ impl PopulationModel {
         self
     }
 
+    /// Scales the offered load of **every** leaf's traffic — both the base
+    /// spec pattern and every entry of the per-body [`TrafficMix`] — by
+    /// `factor` (see [`TrafficPattern::scaled`]).  This is the search layer's
+    /// traffic-scaling axis: weights and draw order are untouched, so a
+    /// scaled population samples the scaled counterpart of exactly the
+    /// scenario the unscaled population would have produced, body for body.
+    /// Non-finite or non-positive factors are ignored.
+    #[must_use]
+    pub fn with_traffic_scale(mut self, factor: f64) -> Self {
+        for archetype in &mut self.archetypes {
+            for slot in &mut archetype.leaves {
+                slot.spec.traffic = slot.spec.traffic.scaled(factor);
+                slot.traffic = slot.traffic.scaled(factor);
+            }
+        }
+        self
+    }
+
     /// Samples body `body_index`'s scenario — a pure function of
     /// `(base_seed, body_index)` (see the module docs), so the result is
     /// byte-identical wherever and whenever it is materialised.

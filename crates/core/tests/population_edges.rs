@@ -151,3 +151,41 @@ fn scenario_sampling_is_a_pure_function() {
         "base seed had no observable effect"
     );
 }
+
+/// Traffic scaling (the search layer's axis) multiplies every sampled leaf's
+/// offered load without perturbing the sampling stream: same archetype, same
+/// leaf presence, same mix entry — just the scaled pattern.
+#[test]
+fn traffic_scaling_is_draw_aligned_and_load_linear() {
+    let base = PopulationModel::mixed_default();
+    let scaled = PopulationModel::mixed_default().with_traffic_scale(2.0);
+    for body in 0..96u64 {
+        let a = base.sample(77, body);
+        let b = scaled.sample(77, body);
+        assert_eq!(a.archetype(), b.archetype(), "body {body} archetype moved");
+        assert_eq!(
+            a.leaves().len(),
+            b.leaves().len(),
+            "body {body} leaf set moved"
+        );
+        for (la, lb) in a.leaves().iter().zip(b.leaves()) {
+            assert_eq!(la.name, lb.name);
+            assert_eq!(
+                lb.traffic,
+                la.traffic.scaled(2.0),
+                "body {body} leaf {} pattern",
+                la.name
+            );
+        }
+    }
+    // Degenerate factors leave the population untouched.
+    let inert = PopulationModel::mixed_default().with_traffic_scale(f64::NAN);
+    for body in 0..16u64 {
+        let a = base.sample(5, body);
+        let b = inert.sample(5, body);
+        assert_eq!(a.leaves().len(), b.leaves().len());
+        for (la, lb) in a.leaves().iter().zip(b.leaves()) {
+            assert_eq!(la.traffic, lb.traffic);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Replay-exact accounting of the completed-evaluation index (ISSUE 10
+//! satellite), mirroring the `PlanCache` counter tests: coordinate descent
+//! revisits grid points on every axis scan, and every revisit must hit the
+//! index instead of re-folding a fleet — fold count == distinct points,
+//! revisit count == cache hits, and a second run over the same spool root
+//! folds nothing at all.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hidwa_core::fleet::driver::{DriverFleetSpec, InProcessExecutor};
+use hidwa_core::fleet::placement::{ChurnSpec, PolicyKind};
+use hidwa_core::partition::Objective;
+use hidwa_core::population::ChurnModel;
+use hidwa_core::search::{ObjectiveSpace, SearchDriver, SearchSpec, SearchStrategy};
+use hidwa_core::sweep::SweepRunner;
+use hidwa_netsim::mac::MacPolicy;
+use hidwa_phy::RadioTechnology;
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        Self(std::env::temp_dir().join(format!(
+            "hidwa-search-cache-{}-{tag}-{case}",
+            std::process::id()
+        )))
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A 2×2×2 churned grid: three live multi-valued axes, so every descent
+/// axis scan revisits the current point.
+fn search_spec() -> SearchSpec {
+    let base = DriverFleetSpec::new(3)
+        .with_base_seed(5)
+        .with_horizon(hidwa_units::TimeSpan::from_seconds(0.04))
+        .with_churn(
+            ChurnSpec::new(
+                ChurnModel::with_rate(0.5).with_epochs(3),
+                PolicyKind::StaticAtAdmission,
+            )
+            .with_hysteresis_threshold(0.15),
+        );
+    let space = ObjectiveSpace::new()
+        .with_mac_axis(&[MacPolicy::Polling, MacPolicy::Tdma])
+        .with_objective_axis(&[Objective::LeafEnergy, Objective::EnergyDelayProduct])
+        .with_radio_axis(&[RadioTechnology::WiR, RadioTechnology::Ble]);
+    SearchSpec::new(base, space)
+}
+
+#[test]
+fn descent_revisits_hit_the_index_not_the_fleet() {
+    let spec = search_spec();
+    let driver = SearchDriver::new(spec, SearchStrategy::CoordinateDescent { max_rounds: 3 });
+    let runner = SweepRunner::serial();
+    let executor = InProcessExecutor::serial();
+    let root = Scratch::new("descent");
+
+    let run = driver
+        .run(&runner, &executor, root.path())
+        .expect("descent runs");
+    assert!(run.complete());
+    assert_eq!(run.resumed(), 0, "fresh root resumed nothing");
+    // The analytic identities: every fold is a distinct grid point, every
+    // revisit is a cache hit, and together they are exactly the requests.
+    assert_eq!(run.folds(), run.evaluations().len());
+    assert_eq!(run.cache_hits(), run.requests() - run.folds());
+    // Descent genuinely revisits: the starting point reappears in its own
+    // axis scans (five scans per round), so revisits are guaranteed.
+    assert!(
+        run.requests() > run.folds(),
+        "descent issued {} requests over {} folds — no revisit happened",
+        run.requests(),
+        run.folds()
+    );
+}
+
+#[test]
+fn completed_search_replays_without_folding() {
+    let spec = search_spec();
+    let driver = SearchDriver::new(spec, SearchStrategy::CoordinateDescent { max_rounds: 3 });
+    let runner = SweepRunner::serial();
+    let executor = InProcessExecutor::serial();
+    let root = Scratch::new("replay");
+
+    let first = driver
+        .run(&runner, &executor, root.path())
+        .expect("first run");
+    let replay = driver
+        .run(&runner, &executor, root.path())
+        .expect("replay run");
+    assert_eq!(replay.folds(), 0, "replay re-folded a completed evaluation");
+    assert_eq!(replay.cache_hits(), replay.requests());
+    assert_eq!(replay.resumed(), first.evaluations().len());
+    assert_eq!(replay.evaluations(), first.evaluations());
+    assert_eq!(replay.frontier(), first.frontier());
+}
+
+#[test]
+fn exhaustive_reuses_descent_evaluations() {
+    let spec = search_spec();
+    let grid = spec.space().len() as usize;
+    let runner = SweepRunner::serial();
+    let executor = InProcessExecutor::serial();
+    let root = Scratch::new("cross-strategy");
+
+    let descent = SearchDriver::new(
+        spec.clone(),
+        SearchStrategy::CoordinateDescent { max_rounds: 3 },
+    )
+    .run(&runner, &executor, root.path())
+    .expect("descent runs");
+
+    // The exhaustive pass over the same root only folds the points the
+    // descent never visited; the descent's work is reused from the index.
+    let exhaustive = SearchDriver::new(spec, SearchStrategy::ExhaustiveGrid)
+        .run(&runner, &executor, root.path())
+        .expect("exhaustive runs");
+    assert_eq!(exhaustive.evaluations().len(), grid);
+    assert_eq!(exhaustive.resumed(), descent.evaluations().len());
+    assert_eq!(exhaustive.folds(), grid - descent.evaluations().len());
+    assert_eq!(exhaustive.cache_hits(), descent.evaluations().len());
+    // The exhaustive frontier can only extend the descent's evaluations.
+    for outcome in descent.evaluations() {
+        assert_eq!(
+            exhaustive
+                .evaluations()
+                .iter()
+                .find(|e| e.point() == outcome.point()),
+            Some(outcome)
+        );
+    }
+}
+
+#[test]
+fn zero_budget_is_an_empty_partial_run() {
+    let spec = search_spec();
+    let driver = SearchDriver::new(spec, SearchStrategy::ExhaustiveGrid);
+    let root = Scratch::new("zero-budget");
+    let run = driver
+        .run_with_budget(
+            &SweepRunner::serial(),
+            &InProcessExecutor::serial(),
+            root.path(),
+            Some(0),
+        )
+        .expect("zero-budget run");
+    assert!(!run.complete());
+    assert_eq!(run.folds(), 0);
+    assert_eq!(run.requests(), 0);
+    assert!(run.evaluations().is_empty());
+    assert!(run.frontier().is_empty());
+}

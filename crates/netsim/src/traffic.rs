@@ -100,6 +100,40 @@ impl TrafficPattern {
         }
     }
 
+    /// The same pattern with its long-run offered load scaled by `factor`:
+    /// periodic and bursty intervals shrink by `factor`, streaming rates grow
+    /// by it, frame sizes stay put (so MAC overhead per byte is unchanged and
+    /// a scaled fleet stresses the medium, not the framing).  A non-finite or
+    /// non-positive factor is ignored — the pattern is returned unchanged —
+    /// so degenerate sweep axes stay simulable instead of panicking.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        if !(factor.is_finite() && factor > 0.0) {
+            return self.clone();
+        }
+        match *self {
+            TrafficPattern::Periodic {
+                period,
+                frame_bytes,
+            } => TrafficPattern::Periodic {
+                period: TimeSpan::from_seconds(period.as_seconds() / factor),
+                frame_bytes,
+            },
+            TrafficPattern::Streaming { rate, frame_bytes } => TrafficPattern::Streaming {
+                rate: DataRate::from_bps(rate.as_bps() * factor),
+                frame_bytes,
+            },
+            TrafficPattern::Bursty {
+                mean_interval,
+                burst_bytes,
+            } => TrafficPattern::Bursty {
+                mean_interval: TimeSpan::from_seconds(mean_interval.as_seconds() / factor),
+                burst_bytes,
+            },
+            TrafficPattern::Silent => TrafficPattern::Silent,
+        }
+    }
+
     /// Time until the next frame after the current one, or `None` for silent
     /// patterns.  Bursty patterns draw from an exponential distribution using
     /// `rng`; deterministic patterns ignore it.
@@ -235,6 +269,22 @@ impl TrafficMix {
         DataRate::from_bps(bps / total)
     }
 
+    /// The same mix with every pattern scaled by `factor` (see
+    /// [`TrafficPattern::scaled`]); weights are untouched, so the **draw**
+    /// a body makes from the scaled mix lands on the scaled counterpart of
+    /// exactly the pattern it would have drawn unscaled — traffic scaling
+    /// never perturbs the deterministic sampling stream.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            entries: self
+                .entries
+                .iter()
+                .map(|(w, p)| (*w, p.scaled(factor)))
+                .collect(),
+        }
+    }
+
     /// Draws one pattern via [`weighted_index`] (one uniform sample per call,
     /// degenerate mixes yield [`TrafficPattern::Silent`]).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &TrafficPattern {
@@ -361,6 +411,53 @@ mod tests {
         let _ = empty.sample(&mut a);
         let _: f64 = b.gen_range(0.0..1.0);
         assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+    }
+
+    #[test]
+    fn scaling_multiplies_offered_load_and_keeps_frames() {
+        let periodic = TrafficPattern::periodic(TimeSpan::from_seconds(2.0), 512);
+        let streaming = TrafficPattern::streaming(DataRate::from_kbps(13.0), 512);
+        let bursty = TrafficPattern::bursty(TimeSpan::from_seconds(4.0), 256);
+        for pattern in [&periodic, &streaming, &bursty] {
+            let scaled = pattern.scaled(2.0);
+            assert!(
+                (scaled.average_rate().as_bps() - 2.0 * pattern.average_rate().as_bps()).abs()
+                    < 1e-9,
+                "scaling by 2 must double the offered load of {pattern:?}"
+            );
+            assert_eq!(scaled.frame_bytes(), pattern.frame_bytes());
+        }
+        assert_eq!(TrafficPattern::Silent.scaled(3.0), TrafficPattern::Silent);
+        // Identity scaling is exact (bit-for-bit), not merely approximate.
+        assert_eq!(periodic.scaled(1.0), periodic);
+        // Degenerate factors are ignored rather than panicking.
+        assert_eq!(periodic.scaled(0.0), periodic);
+        assert_eq!(periodic.scaled(-2.0), periodic);
+        assert_eq!(periodic.scaled(f64::NAN), periodic);
+    }
+
+    #[test]
+    fn scaled_mix_preserves_weights_and_draw_alignment() {
+        let mix = TrafficMix::new(vec![
+            (
+                3.0,
+                TrafficPattern::periodic(TimeSpan::from_seconds(1.0), 512),
+            ),
+            (
+                1.0,
+                TrafficPattern::streaming(DataRate::from_kbps(13.0), 512),
+            ),
+        ]);
+        let scaled = mix.scaled(2.0);
+        assert!(
+            (scaled.expected_rate().as_bps() - 2.0 * mix.expected_rate().as_bps()).abs() < 1e-9
+        );
+        // Same RNG state draws the scaled counterpart of the same entry.
+        for seed in 0..32 {
+            let base_pick = mix.sample(&mut StdRng::seed_from_u64(seed)).clone();
+            let scaled_pick = scaled.sample(&mut StdRng::seed_from_u64(seed)).clone();
+            assert_eq!(scaled_pick, base_pick.scaled(2.0), "seed {seed} misaligned");
+        }
     }
 
     #[test]
